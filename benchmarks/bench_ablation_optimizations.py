@@ -1,0 +1,65 @@
+"""Ablations of the §3.2.7 optimizations and the baselines' fetch
+semantics — the design choices DESIGN.md calls out."""
+
+from repro.bench import (ablation_aggregation_limits,
+                         ablation_fetch_semantics,
+                         ablation_lifetime_aware_scheduling,
+                         ablation_optimizations, render_table)
+
+
+def test_ablation_optimizations(benchmark, save_artifact):
+    rows = benchmark.pedantic(ablation_optimizations, rounds=1, iterations=1)
+    text = render_table(
+        ["variant", "JCT (m)", "pushed (GB)", "input read (GB)",
+         "shuffled (GB)"], rows,
+        title="Ablation: Pado optimizations on MLR (high eviction)")
+    save_artifact("ablation_optimizations", text)
+
+    by_name = {r[0]: r for r in rows}
+    # Partial aggregation shrinks what reserved executors receive.
+    assert by_name["full"][2] < by_name["no-partial-agg"][2]
+    # Caching cuts input re-reads across iterations.
+    assert by_name["full"][3] <= by_name["no-caching"][3]
+    # The full configuration is the fastest (or ties).
+    assert by_name["full"][1] <= min(r[1] for r in rows) + 0.5
+
+
+def test_ablation_aggregation_limits(benchmark, save_artifact):
+    rows = benchmark.pedantic(ablation_aggregation_limits, rounds=1,
+                              iterations=1)
+    text = render_table(
+        ["max merged tasks", "JCT (m)", "pushed (GB)", "relaunched"], rows,
+        title="Ablation: partial-aggregation escape limit (MLR, high "
+              "eviction)")
+    save_artifact("ablation_aggregation_limits", text)
+
+    pushed = {r[0]: r[2] for r in rows}
+    # Bigger batches -> fewer bytes pushed to reserved executors.
+    assert pushed[8] <= pushed[2] <= pushed[1]
+
+
+def test_ablation_lifetime_aware_scheduling(benchmark, save_artifact):
+    rows = benchmark.pedantic(ablation_lifetime_aware_scheduling, rounds=1,
+                              iterations=1)
+    text = render_table(
+        ["policy", "JCT (m)", "relaunched tasks", "relaunch ratio"], rows,
+        title="Ablation (§6): lifetime-aware placement on mixed transient "
+              "pools (MLR)")
+    save_artifact("ablation_lifetime_aware", text)
+    by_name = {r[0]: r for r in rows}
+    # Heavy tasks on long-lived containers lose less work to evictions.
+    assert by_name["lifetime-aware"][2] <= by_name["default"][2]
+
+
+def test_ablation_fetch_semantics(benchmark, save_artifact):
+    rows = benchmark.pedantic(ablation_fetch_semantics, rounds=1,
+                              iterations=1)
+    text = render_table(
+        ["fetch-failure semantics", "JCT (m)", "relaunched",
+         "shuffled (GB)"], rows,
+        title="Ablation: Spark fetch-failure handling on ALS "
+              "(high eviction)")
+    save_artifact("ablation_fetch_semantics", text)
+    by_name = {r[0]: r for r in rows}
+    # Aborting whole attempts re-pulls more shuffle data.
+    assert by_name["abort-attempt"][3] >= by_name["refetch-missing"][3]

@@ -1,0 +1,25 @@
+"""Figure 2: recovery cost when every transient container is evicted while
+the Reduce operator runs."""
+
+from repro.bench import fig2_recovery_costs, render_table
+
+
+def test_fig2_recovery_costs(benchmark, save_artifact):
+    rows = benchmark.pedantic(fig2_recovery_costs, rounds=1, iterations=1)
+    text = render_table(
+        ["engine", "relaunched tasks", "checkpointed (MB)", "JCT (m)",
+         "no-eviction JCT (m)"], rows,
+        title="Figure 2: recovery after evicting all transient containers "
+              "during Reduce")
+    save_artifact("fig2_recovery_costs", text)
+
+    by_engine = {r[0]: r for r in rows}
+    # Pado: no recomputation and no checkpointing needed to recover.
+    assert by_engine["pado"][1] == 0
+    assert by_engine["pado"][2] == 0
+    assert by_engine["pado"][3] == by_engine["pado"][4]  # JCT unchanged
+    # Spark: must recompute maps and reduces.
+    assert by_engine["spark"][1] > 0
+    assert by_engine["spark"][3] > by_engine["spark"][4]
+    # Spark-checkpoint: paid checkpoint traffic; recomputes only reduces.
+    assert by_engine["spark-checkpoint"][2] > 0

@@ -1,0 +1,28 @@
+"""Figure 5: ALS job completion times and relaunched-task ratios under
+different eviction rates (Spark vs Spark-checkpoint vs Pado)."""
+
+from repro.bench.experiments import completed, jct_of
+from repro.bench import fig5_als, render_table
+
+
+def test_fig5_als_eviction(benchmark, save_artifact):
+    rows = benchmark.pedantic(fig5_als, rounds=1, iterations=1)
+    text = render_table(
+        ["workload", "eviction", "engine", "JCT (m)", "completed",
+         "relaunched", "evictions"], [r.as_tuple() for r in rows],
+        title="Figure 5: ALS under different eviction rates "
+              "(40 transient + 5 reserved)")
+    save_artifact("fig5_als_eviction", text)
+
+    # Paper shapes: Pado's JCT grows smoothly and stays lowest at high
+    # eviction; Spark collapses (does not finish within the cutoff, or is
+    # several times slower); Spark-checkpoint sits in between.
+    assert jct_of(rows, "high", "pado") <= \
+        jct_of(rows, "high", "spark-checkpoint")
+    spark_high = jct_of(rows, "high", "spark")
+    assert (not completed(rows, "high", "spark")
+            or spark_high > 2.0 * jct_of(rows, "high", "pado"))
+    # Pado degrades gently from none to high (paper: ~1.5x).
+    assert jct_of(rows, "high", "pado") < 2.0 * jct_of(rows, "none", "pado")
+    # Checkpointing avoids Spark's collapse.
+    assert completed(rows, "high", "spark-checkpoint")

@@ -1,0 +1,30 @@
+"""Figure 6: MLR job completion times and relaunched-task ratios under
+different eviction rates."""
+
+from repro.bench.experiments import completed, jct_of
+from repro.bench import fig6_mlr, render_table
+
+
+def test_fig6_mlr_eviction(benchmark, save_artifact):
+    rows = benchmark.pedantic(fig6_mlr, rounds=1, iterations=1)
+    text = render_table(
+        ["workload", "eviction", "engine", "JCT (m)", "completed",
+         "relaunched", "evictions"], [r.as_tuple() for r in rows],
+        title="Figure 6: MLR under different eviction rates "
+              "(40 transient + 5 reserved)")
+    save_artifact("fig6_mlr_eviction", text)
+
+    # Paper: Pado outperforms Spark-checkpoint even more than in ALS
+    # thanks to partial aggregation; Spark degrades severely at high.
+    assert jct_of(rows, "high", "pado") < \
+        jct_of(rows, "high", "spark-checkpoint")
+    assert (not completed(rows, "high", "spark")
+            or jct_of(rows, "high", "spark") >
+            2.5 * jct_of(rows, "high", "pado"))
+    # At medium and high, Pado is the fastest of the three.
+    for rate in ("medium", "high"):
+        pado = jct_of(rows, rate, "pado")
+        assert pado <= jct_of(rows, rate, "spark-checkpoint")
+        assert pado <= jct_of(rows, rate, "spark")
+    # Pado stays within ~1.5x of its eviction-free JCT.
+    assert jct_of(rows, "high", "pado") < 1.6 * jct_of(rows, "none", "pado")

@@ -1,0 +1,28 @@
+"""Figure 7: Map-Reduce job completion times and relaunched-task ratios
+under different eviction rates."""
+
+from repro.bench.experiments import completed, jct_of
+from repro.bench import fig7_mr, render_table
+
+
+def test_fig7_mr_eviction(benchmark, save_artifact):
+    rows = benchmark.pedantic(fig7_mr, rounds=1, iterations=1)
+    text = render_table(
+        ["workload", "eviction", "engine", "JCT (m)", "completed",
+         "relaunched", "evictions"], [r.as_tuple() for r in rows],
+        title="Figure 7: MR under different eviction rates "
+              "(40 transient + 5 reserved)")
+    save_artifact("fig7_mr_eviction", text)
+
+    # Paper: Spark is fastest without evictions (simple dependencies, all
+    # 45 executors share the reduce work), but degrades significantly at
+    # the high eviction rate, where Pado wins.
+    assert jct_of(rows, "none", "spark") <= jct_of(rows, "none", "pado")
+    assert jct_of(rows, "high", "spark") > \
+        1.5 * jct_of(rows, "high", "pado")
+    # Pado and Spark-checkpoint barely degrade from none to high.
+    assert jct_of(rows, "high", "pado") < 2.0 * jct_of(rows, "none", "pado")
+    assert completed(rows, "high", "spark-checkpoint")
+    # Pado still edges out Spark-checkpoint at high eviction (paper: 1.3x).
+    assert jct_of(rows, "high", "pado") <= \
+        1.1 * jct_of(rows, "high", "spark-checkpoint")

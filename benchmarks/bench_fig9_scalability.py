@@ -1,0 +1,34 @@
+"""Figure 9: Pado's scalability with a fixed 8:1 ratio of transient to
+reserved containers under the high eviction rate."""
+
+from repro.bench.experiments import jct_of
+from repro.bench import fig9_scalability, render_table
+
+
+def test_fig9_scalability(benchmark, save_artifact):
+    rows = benchmark.pedantic(fig9_scalability, rounds=1, iterations=1)
+    text = render_table(
+        ["workload", "cluster", "engine", "JCT (m)", "completed",
+         "relaunched", "evictions"], [r.as_tuple() for r in rows],
+        title="Figure 9: Pado JCT with 27/45/63 containers at a fixed 8:1 "
+              "transient:reserved ratio (high eviction)")
+    save_artifact("fig9_scalability", text)
+
+    small, mid, large = ("27(24T+3R)", "45(40T+5R)", "63(56T+7R)")
+    for workload in ("als", "mlr", "mr"):
+        per = {label: next(r.jct_minutes for r in rows
+                           if r.workload == workload and r.eviction == label)
+               for label in (small, mid, large)}
+        # All workloads scale with more containers (monotone non-increasing
+        # within a small tolerance for scheduling noise).
+        assert per[large] <= per[small] * 1.05, workload
+        assert per[mid] <= per[small] * 1.1, workload
+    # ALS is the most communication-intensive workload and scales worst.
+    def ratio(workload):
+        first = next(r.jct_minutes for r in rows
+                     if r.workload == workload and r.eviction == small)
+        last = next(r.jct_minutes for r in rows
+                    if r.workload == workload and r.eviction == large)
+        return first / last
+
+    assert ratio("als") <= max(ratio("mlr"), ratio("mr")) * 1.5

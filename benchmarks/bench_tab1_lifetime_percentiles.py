@@ -1,0 +1,21 @@
+"""Table 1: lifetime percentiles per safety margin (minutes)."""
+
+from repro.bench import render_table, tab1_lifetime_percentiles
+
+
+def test_tab1_lifetime_percentiles(benchmark, save_artifact):
+    rows = benchmark.pedantic(tab1_lifetime_percentiles, rounds=1,
+                              iterations=1)
+    text = render_table(
+        ["margin", "percentile", "measured (min)", "paper (min)"], rows,
+        title="Table 1: transient container lifetime percentiles")
+    save_artifact("tab1_lifetime_percentiles", text)
+
+    measured = {(m, q): v for m, q, v, _ in rows}
+    # Tighter margins -> shorter lifetimes at every percentile.
+    for q in (50, 90):
+        assert measured[("0.1%", q)] < measured[("1%", q)] \
+            < measured[("5%", q)]
+    # Within ~3.5x of the paper at every anchor.
+    for margin, q, value, paper in rows:
+        assert paper / 3.5 <= value <= paper * 3.5, (margin, q)

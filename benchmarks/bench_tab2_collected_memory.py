@@ -1,0 +1,19 @@
+"""Table 2: collected idle memory over safety margins."""
+
+from repro.bench import render_table, tab2_collected_memory
+
+
+def test_tab2_collected_memory(benchmark, save_artifact):
+    rows = benchmark.pedantic(tab2_collected_memory, rounds=1, iterations=1)
+    text = render_table(
+        ["margin", "measured", "paper"], rows,
+        title="Table 2: collected idle memory (fraction of LC allocation)")
+    save_artifact("tab2_collected_memory", text)
+
+    measured = {m: v for m, v, _ in rows}
+    # Monotone: looser margins collect less.
+    assert measured["baseline"] >= measured["0.1%"] >= measured["1%"] \
+        >= measured["5%"]
+    # Close to the paper's fractions.
+    for margin, value, paper in rows:
+        assert abs(value - paper) < 0.05, margin

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper and saves the
+rendered artifact under ``benchmarks/results/`` so the reproduction can be
+inspected after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_artifact():
+    """Write a rendered table to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quantify the paper's motivating claim: harvested transient resources
+only increase datacenter throughput if the engine doesn't waste them.
+
+Runs MLR on all three engines under the paper's high eviction rate and
+reports resource-time accounting: how much work was wasted on relaunches
+and how much useful work each engine extracted per reserved core-second.
+
+    python examples/datacenter_efficiency.py
+"""
+
+from repro import (ClusterConfig, EvictionRate, PadoEngine,
+                   SparkCheckpointEngine, SparkEngine)
+from repro.bench import render_table
+from repro.metrics import compare_efficiency
+from repro.workloads import mlr_synthetic_program
+
+
+def main() -> None:
+    cluster = ClusterConfig(eviction=EvictionRate.HIGH)
+    results = []
+    for engine in (SparkEngine(), SparkCheckpointEngine(), PadoEngine()):
+        program = mlr_synthetic_program(scale=0.15, iterations=3)
+        results.append(engine.run(program, cluster, seed=11,
+                                  time_limit=150 * 60))
+    reports = compare_efficiency(results, cluster)
+    print(render_table(
+        ["engine", "JCT (m)", "wasted work", "harvested capacity",
+         "useful tasks / reserved core-hour"],
+        [r.as_row() for r in reports],
+        title="MLR on 40 transient + 5 reserved containers, high eviction "
+              "rate"))
+    best = reports[0]
+    print(f"\n{best.engine} extracts the most batch work per reserved "
+          f"core-hour — exactly the datacenter-utilization argument of §1.")
+
+
+if __name__ == "__main__":
+    main()

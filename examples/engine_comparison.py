@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Compare Spark, Spark-checkpoint, and Pado on one of the paper's
+workloads across eviction rates — a miniature of Figures 5-7.
+
+    python examples/engine_comparison.py [als|mlr|mr] [scale]
+"""
+
+import sys
+
+from repro.bench import eviction_rate_sweep, render_table, speedup
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mlr"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else None
+    print(f"Running {workload.upper()} on 40 transient + 5 reserved "
+          f"containers...\n")
+    rows = eviction_rate_sweep(workload, scale=scale)
+    print(render_table(
+        ["workload", "eviction", "engine", "JCT (m)", "completed",
+         "relaunched", "evictions"], [r.as_tuple() for r in rows]))
+
+    def jct(rate, engine):
+        return next(r.jct_minutes for r in rows
+                    if r.eviction == rate and r.engine == engine)
+
+    print()
+    print(f"At the high eviction rate, Pado is "
+          f"{speedup(jct('high', 'spark'), jct('high', 'pado'))} faster "
+          f"than Spark and "
+          f"{speedup(jct('high', 'spark-checkpoint'), jct('high', 'pado'))} "
+          f"faster than checkpoint-enabled Spark.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reference environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with build isolation) cannot
+build. This shim lets ``python setup.py develop`` / legacy editable installs
+work offline; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Reproduction of *Pado: A Data Processing Engine for Harnessing Transient
+Resources in Datacenters* (Yang et al., EuroSys 2017).
+
+Public API tour
+---------------
+* build dataflow programs with :class:`repro.dataflow.Pipeline` (or the raw
+  :class:`repro.dataflow.LogicalDAG`);
+* compile them with :func:`repro.core.compile_program` (Algorithms 1 & 2);
+* run them with :class:`repro.PadoEngine`, :class:`repro.SparkEngine`, or
+  :class:`repro.SparkCheckpointEngine` on a :class:`repro.ClusterConfig`
+  whose eviction regime comes from :class:`repro.EvictionRate` or the
+  Google-trace analysis in :mod:`repro.trace`;
+* regenerate every table and figure of the paper via
+  :mod:`repro.bench.experiments`.
+"""
+
+from repro.core.compiler import CompiledJob, compile_program
+from repro.core.runtime import PadoEngine, PadoRuntimeConfig
+from repro.dataflow import (DependencyType, LocalRunner, LogicalDAG, OpCost,
+                            Operator, Pipeline, Placement, SourceKind)
+from repro.engines import (ClusterConfig, JobResult, Program,
+                           SparkCheckpointEngine, SparkEngine)
+from repro.errors import ReproError
+from repro.trace import EvictionRate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig", "CompiledJob", "DependencyType", "EvictionRate",
+    "JobResult", "LocalRunner", "LogicalDAG", "OpCost", "Operator",
+    "PadoEngine", "PadoRuntimeConfig", "Pipeline", "Placement", "Program",
+    "ReproError", "SourceKind", "SparkCheckpointEngine", "SparkEngine",
+    "__version__", "compile_program",
+]

@@ -1,0 +1,138 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5 [--scale 0.25] [--seed 11]
+    python -m repro all
+
+Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
+for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench import (ablation_aggregation_limits,
+                         ablation_fetch_semantics, ablation_optimizations,
+                         fig1_lifetime_cdfs, fig2_recovery_costs, fig5_als,
+                         fig6_mlr, fig7_mr, fig8_reserved_sweep,
+                         fig9_scalability, render_cdf_series, render_table,
+                         tab1_lifetime_percentiles, tab2_collected_memory)
+
+SWEEP_HEADERS = ["workload", "eviction", "engine", "JCT (m)", "completed",
+                 "relaunched", "evictions"]
+
+
+def _sweep(fn: Callable, title: str, **kwargs) -> str:
+    rows = fn(**kwargs)
+    return render_table(SWEEP_HEADERS, [r.as_tuple() for r in rows],
+                        title=title)
+
+
+def _run_fig1(args) -> str:
+    return render_cdf_series(fig1_lifetime_cdfs(seed=args.seed),
+                             title="Figure 1: lifetime CDFs")
+
+
+def _run_tab1(args) -> str:
+    return render_table(["margin", "percentile", "measured (min)",
+                         "paper (min)"],
+                        tab1_lifetime_percentiles(seed=args.seed),
+                        title="Table 1: lifetime percentiles")
+
+
+def _run_tab2(args) -> str:
+    return render_table(["margin", "measured", "paper"],
+                        tab2_collected_memory(seed=args.seed),
+                        title="Table 2: collected idle memory")
+
+
+def _run_fig2(args) -> str:
+    return render_table(
+        ["engine", "relaunched", "checkpointed (MB)", "JCT (m)",
+         "baseline JCT (m)"], fig2_recovery_costs(seed=args.seed),
+        title="Figure 2: recovery costs")
+
+
+def _run_fig8(args) -> str:
+    parts = []
+    for workload in ("als", "mlr", "mr"):
+        parts.append(_sweep(fig8_reserved_sweep,
+                            f"Figure 8({workload}): reserved sweep",
+                            workload=workload, scale=args.scale,
+                            seed=args.seed))
+    return "\n\n".join(parts)
+
+
+def _run_ablations(args) -> str:
+    parts = [
+        render_table(["variant", "JCT (m)", "pushed (GB)",
+                      "input read (GB)", "shuffled (GB)"],
+                     ablation_optimizations(seed=args.seed),
+                     title="Ablation: Pado optimizations (MLR, high)"),
+        render_table(["max merged tasks", "JCT (m)", "pushed (GB)",
+                      "relaunched"],
+                     ablation_aggregation_limits(seed=args.seed),
+                     title="Ablation: aggregation escape limits"),
+        render_table(["semantics", "JCT (m)", "relaunched",
+                      "shuffled (GB)"],
+                     ablation_fetch_semantics(seed=args.seed),
+                     title="Ablation: Spark fetch-failure semantics"),
+    ]
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig1": ("Figure 1: lifetime CDFs per safety margin", _run_fig1),
+    "tab1": ("Table 1: lifetime percentiles", _run_tab1),
+    "tab2": ("Table 2: collected idle memory", _run_tab2),
+    "fig2": ("Figure 2: recovery cost of an eviction burst", _run_fig2),
+    "fig5": ("Figure 5: ALS vs eviction rate",
+             lambda args: _sweep(fig5_als, "Figure 5: ALS",
+                                 scale=args.scale, seed=args.seed)),
+    "fig6": ("Figure 6: MLR vs eviction rate",
+             lambda args: _sweep(fig6_mlr, "Figure 6: MLR",
+                                 scale=args.scale, seed=args.seed)),
+    "fig7": ("Figure 7: MR vs eviction rate",
+             lambda args: _sweep(fig7_mr, "Figure 7: MR",
+                                 scale=args.scale, seed=args.seed)),
+    "fig8": ("Figure 8: reserved-container sweep", _run_fig8),
+    "fig9": ("Figure 9: scalability at 8:1",
+             lambda args: _sweep(fig9_scalability, "Figure 9",
+                                 scale=args.scale, seed=args.seed)),
+    "ablations": ("Ablations of §3.2.7 design choices", _run_ablations),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Pado paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list", "all"],
+                        help="experiment id, 'list', or 'all'")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale override (default: bench "
+                             "scales)")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"{name:10s} {description}")
+        return 0
+    targets = (sorted(EXPERIMENTS) if args.experiment == "all"
+               else [args.experiment])
+    for name in targets:
+        _, runner = EXPERIMENTS[name]
+        print(runner(args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Benchmark harness: regenerates every table and figure of the paper's
+evaluation (plus ablations) on the simulated cluster."""
+
+from repro.bench.experiments import (BENCH_SCALES, TIME_LIMIT_MINUTES,
+                                     AveragedRow, SweepRow,
+                                     averaged_eviction_sweep, ablation_aggregation_limits,
+                                     ablation_fetch_semantics,
+                                     ablation_lifetime_aware_scheduling,
+                                     ablation_optimizations,
+                                     default_engines, eviction_rate_sweep,
+                                     fig1_lifetime_cdfs, fig2_recovery_costs,
+                                     fig5_als, fig6_mlr, fig7_mr,
+                                     fig8_reserved_sweep, fig9_scalability,
+                                     make_workload, run_one,
+                                     tab1_lifetime_percentiles,
+                                     tab2_collected_memory)
+from repro.bench.tables import render_cdf_series, render_table, speedup
+
+__all__ = [
+    "AveragedRow", "BENCH_SCALES", "SweepRow", "TIME_LIMIT_MINUTES",
+    "averaged_eviction_sweep",
+    "ablation_aggregation_limits", "ablation_fetch_semantics",
+    "ablation_lifetime_aware_scheduling",
+    "ablation_optimizations", "default_engines", "eviction_rate_sweep",
+    "fig1_lifetime_cdfs", "fig2_recovery_costs", "fig5_als", "fig6_mlr",
+    "fig7_mr", "fig8_reserved_sweep", "fig9_scalability", "make_workload",
+    "render_cdf_series", "render_table", "run_one", "speedup",
+    "tab1_lifetime_percentiles", "tab2_collected_memory",
+]

@@ -1,0 +1,442 @@
+"""Experiment registry: one entry per table and figure of the paper.
+
+Each function regenerates the corresponding artifact on the simulated
+cluster and returns structured rows; ``benchmarks/`` wraps them with
+pytest-benchmark and prints the same tables the paper reports. Workloads
+run at a configurable ``scale`` (task counts shrink, per-task sizes stay)
+so a full regeneration remains laptop-friendly; the shapes are scale-stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.runtime.engine import PadoEngine
+from repro.core.runtime.master import PadoRuntimeConfig
+from repro.engines.base import ClusterConfig, EngineBase, JobResult, Program
+from repro.engines.spark import SparkEngine
+from repro.engines.spark_checkpoint import SparkCheckpointEngine
+from repro.trace import (EvictionRate, TraceConfig, analyze_trace,
+                         collected_memory_table, generate_trace,
+                         refine_trace)
+from repro.trace.models import LifetimeModel, TABLE1_LIFETIME_MINUTES
+from repro.workloads import (als_synthetic_program, mlr_synthetic_program,
+                             mr_synthetic_program)
+
+#: Simulated-time cutoff, as in the paper's plots (minutes).
+TIME_LIMIT_MINUTES = 150.0
+
+#: Default workload scales for benchmark runs (wall-time friendly).
+BENCH_SCALES = {"als": 0.25, "mlr": 0.2, "mr": 0.25}
+
+MARGIN_LABELS = {"0.1%": 0.001, "1%": 0.01, "5%": 0.05}
+RATE_OF_MARGIN = {"0.1%": "high", "1%": "medium", "5%": "low"}
+
+
+def make_workload(name: str, scale: Optional[float] = None) -> Program:
+    """Build one of the paper's three workloads at the given scale."""
+    if name not in BENCH_SCALES:
+        raise ValueError(f"unknown workload {name!r}; "
+                         f"choose from {sorted(BENCH_SCALES)}")
+    scale = scale if scale is not None else BENCH_SCALES[name]
+    if name == "als":
+        return als_synthetic_program(scale=scale)
+    if name == "mlr":
+        return mlr_synthetic_program(scale=scale, iterations=3)
+    if name == "mr":
+        return mr_synthetic_program(scale=scale)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def default_engines() -> list[EngineBase]:
+    """The three engines of §5.1.2, in the paper's order."""
+    return [SparkEngine(), SparkCheckpointEngine(), PadoEngine()]
+
+
+# ======================================================================
+# §2.1: Figure 1, Table 1, Table 2 — trace analysis
+
+
+def _refined_trace(seed: int = 0,
+                   config: Optional[TraceConfig] = None):
+    config = config or TraceConfig(num_containers=30, duration_hours=48.0)
+    return refine_trace(generate_trace(config, seed=seed))
+
+
+def fig1_lifetime_cdfs(seed: int = 0) -> dict[str, tuple[list, list]]:
+    """Figure 1: CDFs of transient container lifetimes per safety margin.
+
+    Returns ``{label: (minutes, cdf)}`` curves.
+    """
+    trace = _refined_trace(seed)
+    minutes = np.concatenate([np.arange(0.5, 10.5, 0.5),
+                              np.arange(11.0, 61.0, 1.0)])
+    curves = {}
+    for label, margin in MARGIN_LABELS.items():
+        analysis = analyze_trace(trace, margin)
+        cdf = analysis.cdf(minutes * 60.0)
+        name = f"{RATE_OF_MARGIN[label]} (margin={label})"
+        curves[name] = (minutes.tolist(), cdf.tolist())
+    return curves
+
+
+def tab1_lifetime_percentiles(seed: int = 0) -> list[tuple]:
+    """Table 1: lifetime percentiles (minutes) per safety margin.
+
+    Rows: (margin, percentile, measured_minutes, paper_minutes).
+    """
+    trace = _refined_trace(seed)
+    rows = []
+    for label, margin in MARGIN_LABELS.items():
+        analysis = analyze_trace(trace, margin)
+        for q in (10, 50, 90):
+            measured = analysis.percentile(q) / 60.0
+            paper = TABLE1_LIFETIME_MINUTES[(label, q)]
+            rows.append((label, q, round(measured, 1), paper))
+    return rows
+
+
+def tab2_collected_memory(seed: int = 0) -> list[tuple]:
+    """Table 2: collected idle memory fraction per safety margin.
+
+    Rows: (margin, measured_fraction, paper_fraction).
+    """
+    from repro.trace.models import TABLE2_COLLECTED_MEMORY
+    trace = _refined_trace(seed)
+    table = collected_memory_table(trace)
+    return [(label, round(table[label], 3), TABLE2_COLLECTED_MEMORY[label])
+            for label in ("baseline", "0.1%", "1%", "5%")]
+
+
+# ======================================================================
+# §5.2: Figures 5-7 — JCT and relaunch ratio vs eviction rate
+
+
+@dataclass
+class SweepRow:
+    workload: str
+    eviction: str
+    engine: str
+    jct_minutes: float
+    completed: bool
+    relaunched_ratio: float
+    evictions: int
+
+    def as_tuple(self) -> tuple:
+        return (self.workload, self.eviction, self.engine,
+                round(self.jct_minutes, 1),
+                "yes" if self.completed else "cutoff",
+                f"{self.relaunched_ratio:.0%}", self.evictions)
+
+
+def jct_of(rows: Sequence["SweepRow"], eviction: str, engine: str) -> float:
+    """Pull one JCT (minutes) out of a sweep-row list."""
+    for row in rows:
+        if row.eviction == eviction and row.engine == engine:
+            return row.jct_minutes
+    raise KeyError((eviction, engine))
+
+
+def completed(rows: Sequence["SweepRow"], eviction: str,
+              engine: str) -> bool:
+    """Whether the given run finished within the simulated-time cutoff."""
+    for row in rows:
+        if row.eviction == eviction and row.engine == engine:
+            return row.completed
+    raise KeyError((eviction, engine))
+
+
+def run_one(engine: EngineBase, program: Program,
+            cluster: Optional[ClusterConfig] = None, seed: int = 11,
+            time_limit_minutes: float = TIME_LIMIT_MINUTES) -> JobResult:
+    """Run one job with the experiments' default cluster and cutoff."""
+    cluster = cluster or ClusterConfig()
+    return engine.run(program, cluster, seed=seed,
+                      time_limit=time_limit_minutes * 60.0)
+
+
+def eviction_rate_sweep(workload: str, scale: Optional[float] = None,
+                        seed: int = 11,
+                        rates: Sequence[EvictionRate] = (
+                            EvictionRate.NONE, EvictionRate.LOW,
+                            EvictionRate.MEDIUM, EvictionRate.HIGH),
+                        engines: Optional[Sequence[EngineBase]] = None
+                        ) -> list[SweepRow]:
+    """Figures 5 (ALS), 6 (MLR), 7 (MR): JCT and relaunched-task ratio for
+    each engine under each eviction rate, on 40 transient + 5 reserved."""
+    engines = list(engines) if engines is not None else default_engines()
+    rows = []
+    for rate in rates:
+        for engine in engines:
+            program = make_workload(workload, scale)
+            result = run_one(engine, program,
+                             ClusterConfig(eviction=rate), seed=seed)
+            rows.append(SweepRow(
+                workload=workload, eviction=rate.value, engine=engine.name,
+                jct_minutes=result.jct_minutes, completed=result.completed,
+                relaunched_ratio=result.relaunched_ratio,
+                evictions=result.evictions))
+    return rows
+
+
+@dataclass
+class AveragedRow:
+    """Mean and standard deviation across seeds — the paper runs each
+    configuration five times and reports averages with error bars (§5.1.3).
+    """
+
+    workload: str
+    eviction: str
+    engine: str
+    mean_jct_minutes: float
+    std_jct_minutes: float
+    completed_runs: int
+    total_runs: int
+
+    def as_tuple(self) -> tuple:
+        return (self.workload, self.eviction, self.engine,
+                f"{self.mean_jct_minutes:.1f} ± {self.std_jct_minutes:.1f}",
+                f"{self.completed_runs}/{self.total_runs}")
+
+
+def averaged_eviction_sweep(workload: str, scale: Optional[float] = None,
+                            seeds: Sequence[int] = (11, 12, 13, 14, 15),
+                            rates: Sequence[EvictionRate] = (
+                                EvictionRate.NONE, EvictionRate.HIGH),
+                            engines: Optional[Sequence[EngineBase]] = None
+                            ) -> list[AveragedRow]:
+    """Figures 5-7 with the paper's repetition protocol: average JCT and
+    standard deviation over several seeded runs."""
+    engines = list(engines) if engines is not None else default_engines()
+    rows = []
+    for rate in rates:
+        for engine in engines:
+            jcts = []
+            done = 0
+            for seed in seeds:
+                result = run_one(engine, make_workload(workload, scale),
+                                 ClusterConfig(eviction=rate), seed=seed)
+                jcts.append(result.jct_minutes)
+                done += int(result.completed)
+            rows.append(AveragedRow(
+                workload=workload, eviction=rate.value, engine=engine.name,
+                mean_jct_minutes=float(np.mean(jcts)),
+                std_jct_minutes=float(np.std(jcts)),
+                completed_runs=done, total_runs=len(seeds)))
+    return rows
+
+
+def fig5_als(**kwargs) -> list[SweepRow]:
+    """Figure 5: the ALS eviction-rate sweep."""
+    return eviction_rate_sweep("als", **kwargs)
+
+
+def fig6_mlr(**kwargs) -> list[SweepRow]:
+    """Figure 6: the MLR eviction-rate sweep."""
+    return eviction_rate_sweep("mlr", **kwargs)
+
+
+def fig7_mr(**kwargs) -> list[SweepRow]:
+    """Figure 7: the Map-Reduce eviction-rate sweep."""
+    return eviction_rate_sweep("mr", **kwargs)
+
+
+# ======================================================================
+# §5.3: Figure 8 — ratio of transient to reserved containers
+
+
+def fig8_reserved_sweep(workload: str, scale: Optional[float] = None,
+                        reserved_counts: Sequence[int] = (3, 4, 5, 6, 7),
+                        seed: int = 11) -> list[SweepRow]:
+    """Figure 8: JCT with 3-7 reserved containers plus 40 transient under
+    the high eviction rate; Spark-checkpoint vs Pado (Spark degrades too
+    severely to compare, §5.3)."""
+    rows = []
+    for reserved in reserved_counts:
+        for engine in (SparkCheckpointEngine(), PadoEngine()):
+            program = make_workload(workload, scale)
+            cluster = ClusterConfig(num_reserved=reserved, num_transient=40,
+                                    eviction=EvictionRate.HIGH)
+            result = run_one(engine, program, cluster, seed=seed)
+            rows.append(SweepRow(
+                workload=workload, eviction=f"reserved={reserved}",
+                engine=engine.name, jct_minutes=result.jct_minutes,
+                completed=result.completed,
+                relaunched_ratio=result.relaunched_ratio,
+                evictions=result.evictions))
+    return rows
+
+
+# ======================================================================
+# §5.4: Figure 9 — scalability at a fixed 8:1 ratio
+
+
+def fig9_scalability(workloads: Sequence[str] = ("als", "mlr", "mr"),
+                     sizes: Sequence[tuple[int, int]] = ((24, 3), (40, 5),
+                                                         (56, 7)),
+                     scale: Optional[float] = None,
+                     seed: int = 11) -> list[SweepRow]:
+    """Figure 9: Pado's JCT with 27/45/63 containers at the fixed 8:1
+    transient:reserved ratio under the high eviction rate."""
+    rows = []
+    for workload in workloads:
+        for transient, reserved in sizes:
+            program = make_workload(workload, scale)
+            cluster = ClusterConfig(num_reserved=reserved,
+                                    num_transient=transient,
+                                    eviction=EvictionRate.HIGH)
+            result = run_one(PadoEngine(), program, cluster, seed=seed)
+            label = f"{transient + reserved}({transient}T+{reserved}R)"
+            rows.append(SweepRow(
+                workload=workload, eviction=label, engine="pado",
+                jct_minutes=result.jct_minutes, completed=result.completed,
+                relaunched_ratio=result.relaunched_ratio,
+                evictions=result.evictions))
+    return rows
+
+
+# ======================================================================
+# Figure 2 — recovery cost of one eviction burst
+
+
+class _ScheduledLifetimes(LifetimeModel):
+    """Deterministic lifetimes: the first allocations die at ``first``
+    seconds; replacements live forever."""
+
+    def __init__(self, first: float, count: int) -> None:
+        self._remaining = count
+        self._first = first
+
+    def sample(self, rng) -> float:
+        if self._remaining > 0:
+            self._remaining -= 1
+            return self._first
+        return math.inf
+
+    def cdf(self, t_seconds: float) -> float:  # pragma: no cover
+        return 0.0
+
+
+def fig2_recovery_costs(reduce_phase_fraction: float = 0.85,
+                        seed: int = 0) -> list[tuple]:
+    """Figure 2: all transient containers are evicted while the Reduce
+    operator runs. Plain Spark must recompute maps and reduces (the red
+    arrows), Spark-checkpoint only the reduces, and Pado nothing — its
+    intermediate results already escaped to reserved containers.
+
+    Each engine is first timed without evictions, then re-run with every
+    transient container evicted at ``reduce_phase_fraction`` of that JCT
+    (inside its reduce phase). Rows: (engine, relaunched_tasks,
+    bytes_checkpointed_mb, jct_minutes, baseline_jct_minutes).
+    """
+    rows = []
+    for engine in default_engines():
+        cluster = ClusterConfig(num_reserved=1, num_transient=3)
+        baseline = run_one(engine, mr_synthetic_program(scale=0.02),
+                           cluster, seed=seed)
+        evict_at = reduce_phase_fraction * baseline.jct_seconds
+        cluster = ClusterConfig(
+            num_reserved=1, num_transient=3,
+            eviction=_ScheduledLifetimes(evict_at, count=3))
+        result = run_one(engine, mr_synthetic_program(scale=0.02), cluster,
+                         seed=seed)
+        rows.append((engine.name, result.relaunched_tasks,
+                     round(result.bytes_checkpointed / 2**20),
+                     round(result.jct_minutes, 2),
+                     round(baseline.jct_minutes, 2)))
+    return rows
+
+
+# ======================================================================
+# Ablations (§3.2.7 design choices)
+
+
+def ablation_optimizations(scale: float = 0.2,
+                           seed: int = 11) -> list[tuple]:
+    """Ablate task-input caching and partial aggregation on MLR under the
+    high eviction rate. Rows: (variant, jct_minutes, pushed_gb,
+    input_read_gb, shuffled_gb)."""
+    variants = {
+        "full": PadoRuntimeConfig(),
+        "no-caching": PadoRuntimeConfig(enable_caching=False),
+        "no-partial-agg": PadoRuntimeConfig(
+            enable_partial_aggregation=False),
+        "no-optimizations": PadoRuntimeConfig(
+            enable_caching=False, enable_partial_aggregation=False),
+    }
+    rows = []
+    for name, config in variants.items():
+        program = mlr_synthetic_program(scale=scale, iterations=3)
+        result = run_one(PadoEngine(config), program,
+                         ClusterConfig(eviction=EvictionRate.HIGH),
+                         seed=seed)
+        rows.append((name, round(result.jct_minutes, 1),
+                     round(result.bytes_pushed / 2**30, 1),
+                     round(result.bytes_input_read / 2**30, 1),
+                     round(result.bytes_shuffled / 2**30, 1)))
+    return rows
+
+
+def ablation_fetch_semantics(scale: float = 0.25,
+                             seed: int = 11) -> list[tuple]:
+    """Ablate Spark's fetch-failure semantics (abort vs partition-granular
+    re-fetch) on ALS under the high eviction rate — the workload whose deep
+    lineage makes lazy fetch misses frequent."""
+    rows = []
+    for label, abort in (("abort-attempt", True), ("refetch-missing", False)):
+        program = als_synthetic_program(scale=scale)
+        result = run_one(SparkEngine(abort_on_fetch_failure=abort), program,
+                         ClusterConfig(eviction=EvictionRate.HIGH),
+                         seed=seed)
+        rows.append((label, round(result.jct_minutes, 1),
+                     f"{result.relaunched_ratio:.0%}",
+                     round(result.bytes_shuffled / 2**30, 1)))
+    return rows
+
+
+def ablation_lifetime_aware_scheduling(scale: float = 0.2,
+                                       seed: int = 11) -> list[tuple]:
+    """§6 extension: on a mixed pool of short- and long-lived transient
+    containers, compare default (cache-aware round-robin) placement with
+    lifetime-aware placement of heavy tasks. Rows: (policy, jct_minutes,
+    relaunched_tasks, relaunch_ratio)."""
+    from repro.cluster.manager import TransientPool
+    from repro.core.runtime.scheduler import LifetimeAwarePolicy
+    from repro.trace.models import ExponentialLifetimeModel
+    pools = (
+        TransientPool("short", 20, ExponentialLifetimeModel(90.0), 90.0),
+        TransientPool("long", 20, ExponentialLifetimeModel(3600.0), 3600.0),
+    )
+    rows = []
+    for label, policy in (("default", None),
+                          ("lifetime-aware", LifetimeAwarePolicy())):
+        config = PadoRuntimeConfig(scheduling_policy=policy)
+        program = mlr_synthetic_program(scale=scale, iterations=3)
+        result = run_one(PadoEngine(config), program,
+                         ClusterConfig(transient_pools=pools), seed=seed)
+        rows.append((label, round(result.jct_minutes, 1),
+                     result.relaunched_tasks,
+                     f"{result.relaunched_ratio:.0%}"))
+    return rows
+
+
+def ablation_aggregation_limits(scale: float = 0.2,
+                                seed: int = 11) -> list[tuple]:
+    """Ablate the partial-aggregation escape limits (§3.2.7): larger
+    batches shrink reserved-side load but let data linger on eviction-prone
+    executors. Rows: (max_tasks, jct_minutes, pushed_gb, relaunch_ratio)."""
+    rows = []
+    for max_tasks in (1, 2, 4, 8):
+        config = PadoRuntimeConfig(aggregation_max_tasks=max_tasks)
+        program = mlr_synthetic_program(scale=scale, iterations=3)
+        result = run_one(PadoEngine(config), program,
+                         ClusterConfig(eviction=EvictionRate.HIGH),
+                         seed=seed)
+        rows.append((max_tasks, round(result.jct_minutes, 1),
+                     round(result.bytes_pushed / 2**30, 1),
+                     f"{result.relaunched_ratio:.0%}"))
+    return rows

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results, paper-style.
+
+Every experiment in :mod:`repro.bench.experiments` returns rows that these
+helpers format as the tables/series the paper reports, alongside the
+paper's own numbers where available.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Monospace table with column alignment."""
+    cells = [[str(h) for h in headers]] + \
+        [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_cdf_series(series: dict[str, tuple[Sequence[float],
+                                              Sequence[float]]],
+                      x_label: str = "minutes",
+                      points: Sequence[float] = (1, 2, 5, 10, 20, 30, 60),
+                      title: Optional[str] = None) -> str:
+    """Render CDF curves as rows sampled at fixed x positions (Figure 1)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for x in points:
+        row: list[Any] = [x]
+        for label, (xs, ys) in series.items():
+            value = _interp(x, xs, ys)
+            row.append(f"{value * 100:5.1f}%")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _interp(x: float, xs: Sequence[float], ys: Sequence[float]) -> float:
+    if not xs:
+        return 0.0
+    if x <= xs[0]:
+        return ys[0]
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+        if x0 <= x <= x1:
+            if x1 == x0:
+                return y1
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    return ys[-1]
+
+
+def speedup(base: float, other: float) -> str:
+    """'<base is> Nx <of other>' formatting used in the paper's claims."""
+    if other <= 0:
+        return "inf"
+    return f"{base / other:.1f}x"

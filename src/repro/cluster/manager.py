@@ -1,0 +1,186 @@
+"""Resource manager: allocation, eviction, and re-provisioning of containers.
+
+Mirrors the experimental setup of §5.1.1: a job asks for a fixed number of
+reserved and transient containers; transient containers receive lifetimes
+sampled from a :class:`~repro.trace.models.LifetimeModel`; and whenever a
+transient container is evicted, a replacement with a freshly sampled lifetime
+is provided immediately (each job uses a small share of the datacenter, so
+idle resources are always available somewhere else).
+
+Rare machine faults (§3.2.6) can additionally be injected on reserved
+containers to exercise engines' fault-tolerance paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.events import Simulator
+from repro.cluster.network import EVICTION_PRIORITY
+from repro.cluster.resources import (Container, ContainerKind, NodeSpec,
+                                     RESERVED_NODE, TRANSIENT_NODE)
+from repro.errors import ResourceError
+from repro.trace.models import LifetimeModel
+
+#: Callback invoked when a container comes online.
+ContainerCallback = Callable[[Container], None]
+#: Callback invoked when a container dies; second argument is the
+#: replacement container (None for reserved-container failures).
+EvictionCallback = Callable[[Container, Optional[Container]], None]
+
+
+@dataclass(frozen=True)
+class TransientPool:
+    """A class of transient resources with an estimated lifetime (§6).
+
+    The Harvest-style extension: the resource manager categorizes harvested
+    resources by how long they are expected to survive, letting schedulers
+    place heavy work on the longer-lived classes. ``expected_lifetime`` is
+    the hint exposed to schedulers; actual lifetimes are sampled from
+    ``lifetime_model``.
+    """
+
+    name: str
+    count: int
+    lifetime_model: LifetimeModel
+    expected_lifetime: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ResourceError("pool count must be non-negative")
+        if self.expected_lifetime <= 0:
+            raise ResourceError("expected lifetime must be positive")
+
+
+class ResourceManager:
+    """Allocates containers and drives the eviction schedule."""
+
+    def __init__(self, sim: Simulator, lifetime_model: LifetimeModel,
+                 rng: np.random.Generator,
+                 reserved_spec: NodeSpec = RESERVED_NODE,
+                 transient_spec: NodeSpec = TRANSIENT_NODE,
+                 replace_evicted: bool = True) -> None:
+        self._sim = sim
+        self._lifetimes = lifetime_model
+        self._rng = rng
+        self._reserved_spec = reserved_spec
+        self._transient_spec = transient_spec
+        self._replace_evicted = replace_evicted
+        self._on_container: Optional[ContainerCallback] = None
+        self._on_eviction: Optional[EvictionCallback] = None
+        self.containers: list[Container] = []
+        self._pool_of: dict[int, TransientPool] = {}
+        self.evictions = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    # listener registration
+
+    def on_container(self, callback: ContainerCallback) -> None:
+        """Register the callback fired when any container comes online."""
+        self._on_container = callback
+
+    def on_eviction(self, callback: EvictionCallback) -> None:
+        """Register the callback fired when a container dies."""
+        self._on_eviction = callback
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def allocate(self, num_reserved: int, num_transient: int) -> None:
+        """Bring the requested containers online at the current time."""
+        if num_reserved < 0 or num_transient < 0:
+            raise ResourceError("container counts must be non-negative")
+        for _ in range(num_reserved):
+            self._launch(ContainerKind.RESERVED)
+        for _ in range(num_transient):
+            self._launch(ContainerKind.TRANSIENT)
+
+    def allocate_pools(self, num_reserved: int,
+                       pools: "list[TransientPool]") -> None:
+        """Bring reserved containers plus heterogeneous transient pools
+        online (§6 extension). Replacements stay within their pool."""
+        if num_reserved < 0:
+            raise ResourceError("container counts must be non-negative")
+        for _ in range(num_reserved):
+            self._launch(ContainerKind.RESERVED)
+        for pool in pools:
+            for _ in range(pool.count):
+                self._launch(ContainerKind.TRANSIENT, pool=pool)
+
+    def reserved_containers(self) -> list[Container]:
+        return [c for c in self.containers if c.is_reserved and c.alive]
+
+    def transient_containers(self) -> list[Container]:
+        return [c for c in self.containers if c.is_transient and c.alive]
+
+    def _launch(self, kind: ContainerKind,
+                pool: "Optional[TransientPool]" = None) -> Container:
+        now = self._sim.now
+        if kind is ContainerKind.RESERVED:
+            container = Container(kind=kind, spec=self._reserved_spec,
+                                  launched_at=now)
+        else:
+            model = pool.lifetime_model if pool is not None \
+                else self._lifetimes
+            lifetime = model.sample(self._rng)
+            container = Container(
+                kind=kind, spec=self._transient_spec, lifetime=lifetime,
+                launched_at=now,
+                pool=pool.name if pool is not None else None,
+                expected_lifetime=(pool.expected_lifetime
+                                   if pool is not None else math.inf))
+            if pool is not None:
+                self._pool_of[container.container_id] = pool
+            if math.isfinite(lifetime):
+                self._sim.schedule(lifetime, lambda: self._evict(container),
+                                   priority=EVICTION_PRIORITY)
+        self.containers.append(container)
+        if self._on_container is not None:
+            self._on_container(container)
+        return container
+
+    # ------------------------------------------------------------------
+    # evictions and failures
+
+    def _evict(self, container: Container) -> None:
+        if not container.alive:
+            return
+        container.evict(self._sim.now)
+        self.evictions += 1
+        replacement: Optional[Container] = None
+        if self._replace_evicted:
+            pool = self._pool_of.get(container.container_id)
+            replacement = self._launch(ContainerKind.TRANSIENT, pool=pool)
+        if self._on_eviction is not None:
+            self._on_eviction(container, replacement)
+
+    def inject_failure(self, container: Container,
+                       replace: bool = True) -> Optional[Container]:
+        """Kill a container with a machine fault (§3.2.6).
+
+        Unlike evictions, faults can hit reserved containers. A replacement
+        of the same kind is provisioned when ``replace`` is True.
+        """
+        if not container.alive:
+            raise ResourceError(f"{container!r} is already dead")
+        container.fail(self._sim.now)
+        self.failures += 1
+        replacement = self._launch(container.kind) if replace else None
+        if self._on_eviction is not None:
+            self._on_eviction(container, replacement)
+        return replacement
+
+    def schedule_failure(self, container: Container, delay: float,
+                         replace: bool = True) -> None:
+        """Inject a fault ``delay`` seconds from now (if still alive)."""
+
+        def fire() -> None:
+            if container.alive:
+                self.inject_failure(container, replace=replace)
+
+        self._sim.schedule(delay, fire, priority=EVICTION_PRIORITY)

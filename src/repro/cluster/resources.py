@@ -1,0 +1,141 @@
+"""Cluster resource model: nodes, containers, and their specifications.
+
+The paper's testbed uses one EC2 instance per container: i2.xlarge
+(4 vcores, 30.5 GB, fast SSD) for reserved containers and m3.xlarge
+(4 vcores, 15 GB) for transient containers. We mirror that one-container-
+per-node setup, so a :class:`Container` owns its node's NIC and disk
+bandwidth exclusively.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+class ContainerKind(enum.Enum):
+    """Whether a container is eviction-free or eviction-prone (§2.1)."""
+
+    RESERVED = "reserved"
+    TRANSIENT = "transient"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware specification of the node backing a container.
+
+    Bandwidths are in bytes/second; ``cpu_throughput`` is the per-core data
+    processing rate (bytes/second) used by the cost model to turn task input
+    sizes into compute durations.
+    """
+
+    cores: int = 4
+    memory_bytes: int = 15 * GB
+    disk_bandwidth: float = 200.0 * MB
+    network_bandwidth: float = 120.0 * MB
+    cpu_throughput: float = 40.0 * MB
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("a node needs at least one core")
+        for name in ("memory_bytes", "disk_bandwidth", "network_bandwidth",
+                     "cpu_throughput"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: Specification mirroring the paper's i2.xlarge reserved instances.
+RESERVED_NODE = NodeSpec(cores=4, memory_bytes=int(30.5 * GB),
+                         disk_bandwidth=400.0 * MB,
+                         network_bandwidth=120.0 * MB)
+
+#: Specification mirroring the paper's m3.xlarge transient instances.
+TRANSIENT_NODE = NodeSpec(cores=4, memory_bytes=15 * GB,
+                          disk_bandwidth=150.0 * MB,
+                          network_bandwidth=120.0 * MB)
+
+_container_ids = itertools.count()
+
+
+@dataclass
+class Container:
+    """A slice of node resources hosting one executor (§2.1).
+
+    All state held by a transient container — including data on its local
+    disks — is destroyed upon eviction. ``evicted_at`` records when that
+    happened (None while alive), which the network model uses to fail
+    transfers whose source died mid-flight.
+    """
+
+    kind: ContainerKind
+    spec: NodeSpec
+    container_id: int = field(default_factory=lambda: next(_container_ids))
+    lifetime: Optional[float] = None
+    launched_at: float = 0.0
+    evicted_at: Optional[float] = None
+    failed_at: Optional[float] = None
+    #: Name of the transient pool this container came from (§6 extension:
+    #: resource classes with estimated lifetimes), None for the default pool.
+    pool: Optional[str] = None
+    #: The pool's *estimated* lifetime — a scheduling hint, not the actual
+    #: sampled lifetime (which the scheduler must not peek at).
+    expected_lifetime: float = math.inf
+
+    @property
+    def alive(self) -> bool:
+        return self.evicted_at is None and self.failed_at is None
+
+    @property
+    def is_reserved(self) -> bool:
+        return self.kind is ContainerKind.RESERVED
+
+    @property
+    def is_transient(self) -> bool:
+        return self.kind is ContainerKind.TRANSIENT
+
+    def evict(self, now: float) -> None:
+        """Mark the container evicted; only transient containers evict."""
+        if self.is_reserved:
+            raise ValueError("reserved containers are never evicted (§2.1)")
+        if not self.alive:
+            raise ValueError(f"container {self.container_id} already dead")
+        self.evicted_at = now
+
+    def fail(self, now: float) -> None:
+        """Mark the container failed by a (rare) machine fault (§3.2.6)."""
+        if not self.alive:
+            raise ValueError(f"container {self.container_id} already dead")
+        self.failed_at = now
+
+    def dead_since(self) -> float:
+        """Time at which the container died; raises if still alive."""
+        if self.evicted_at is not None:
+            return self.evicted_at
+        if self.failed_at is not None:
+            return self.failed_at
+        raise ValueError(f"container {self.container_id} is alive")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<Container {self.container_id} {self.kind.value} {state}>"
+
+
+def reserved_container(spec: NodeSpec = RESERVED_NODE) -> Container:
+    """Convenience constructor for an eviction-free container."""
+    return Container(kind=ContainerKind.RESERVED, spec=spec)
+
+
+def transient_container(lifetime: float,
+                        spec: NodeSpec = TRANSIENT_NODE,
+                        launched_at: float = 0.0) -> Container:
+    """Convenience constructor for an eviction-prone container."""
+    if lifetime <= 0:
+        raise ValueError("transient lifetime must be positive")
+    return Container(kind=ContainerKind.TRANSIENT, spec=spec,
+                     lifetime=lifetime, launched_at=launched_at)

@@ -1,0 +1,151 @@
+"""Eviction-free storage services.
+
+Two services back the experiments:
+
+* :class:`InputStore` — the S3-like store holding job input data (§5.1.3).
+  Its aggregate bandwidth dwarfs any single reader, so reads are limited only
+  by the reader's NIC.
+* :class:`StableStore` — the GlusterFS-like non-replicated checkpoint store
+  that Spark-checkpoint runs on reserved containers (§5.1.2). Each file lives
+  on exactly one server, and each server has finite bandwidth; with only a
+  handful of servers this store is the bottleneck the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.events import Simulator
+from repro.cluster.network import (Endpoint, FifoPort, InfiniteEndpoint,
+                                   NetworkModel, TransferResult)
+from repro.errors import ExecutionError
+
+
+class _StorageServer:
+    """One storage node: a full-duplex endpoint of finite bandwidth."""
+
+    def __init__(self, bandwidth: float) -> None:
+        self._out = FifoPort(bandwidth)
+        self._in = FifoPort(bandwidth)
+
+    def outbound(self) -> FifoPort:
+        return self._out
+
+    def inbound(self) -> FifoPort:
+        return self._in
+
+    def is_alive(self) -> bool:
+        return True
+
+
+class InputStore:
+    """S3-like input store: always available, never the bottleneck."""
+
+    def __init__(self, sim: Simulator, net: NetworkModel) -> None:
+        self._sim = sim
+        self._net = net
+        self._endpoint = InfiniteEndpoint()
+        self._files: dict[Any, tuple[int, Any]] = {}
+        self.bytes_read = 0
+
+    def put(self, ref: Any, size_bytes: int, payload: Any = None) -> None:
+        """Register an input file (no simulated cost: inputs pre-exist)."""
+        self._files[ref] = (size_bytes, payload)
+
+    def has(self, ref: Any) -> bool:
+        return ref in self._files
+
+    def size_of(self, ref: Any) -> int:
+        return self._files[ref][0]
+
+    def payload_of(self, ref: Any) -> Any:
+        return self._files[ref][1]
+
+    def read(self, ref: Any, dst: Endpoint,
+             on_done: Callable[[TransferResult], None]) -> None:
+        """Stream a file to ``dst``; limited by the destination's NIC."""
+        if ref not in self._files:
+            raise ExecutionError(f"input file {ref!r} does not exist")
+        size, _ = self._files[ref]
+        self.bytes_read += size
+        self._net.transfer(self._endpoint, dst, size, on_done)
+
+
+class StableStore:
+    """GlusterFS-like non-replicated store on a few reserved nodes.
+
+    Files are spread across servers round-robin at write time (GlusterFS's
+    elastic hash places each file on one brick). Both checkpoint writes and
+    restore reads contend on the owning server's bandwidth.
+    """
+
+    def __init__(self, sim: Simulator, net: NetworkModel, num_servers: int,
+                 server_bandwidth: float) -> None:
+        if num_servers <= 0:
+            raise ValueError("a stable store needs at least one server")
+        self._sim = sim
+        self._net = net
+        self._servers = [_StorageServer(server_bandwidth)
+                         for _ in range(num_servers)]
+        self._placement: dict[Any, int] = {}
+        self._files: dict[Any, tuple[int, Any]] = {}
+        self._next_server = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._servers)
+
+    def has(self, ref: Any) -> bool:
+        return ref in self._files
+
+    def size_of(self, ref: Any) -> int:
+        return self._files[ref][0]
+
+    def payload_of(self, ref: Any) -> Any:
+        return self._files[ref][1]
+
+    def write(self, ref: Any, size_bytes: int, src: Endpoint,
+              on_done: Callable[[TransferResult], None],
+              payload: Any = None) -> None:
+        """Checkpoint a file from ``src``; the file is durable only once the
+        transfer completes successfully."""
+        server_idx = self._placement.get(ref)
+        if server_idx is None:
+            server_idx = self._next_server
+            self._next_server = (self._next_server + 1) % len(self._servers)
+            self._placement[ref] = server_idx
+        server = self._servers[server_idx]
+
+        def complete(result: TransferResult) -> None:
+            if result.ok:
+                self._files[ref] = (size_bytes, payload)
+                self.bytes_written += size_bytes
+            on_done(result)
+
+        self._net.transfer(src, server, size_bytes, complete)
+
+    def read(self, ref: Any, dst: Endpoint,
+             on_done: Callable[[TransferResult], None]) -> None:
+        """Fetch a whole checkpointed file back to ``dst``."""
+        if ref not in self._files:
+            raise ExecutionError(f"stable store has no file {ref!r}")
+        self.read_share(ref, self._files[ref][0], dst, on_done)
+
+    def read_share(self, ref: Any, size_bytes: float, dst: Endpoint,
+                   on_done: Callable[[TransferResult], None]) -> None:
+        """Fetch part of a checkpointed file (one shuffle partition)."""
+        if ref not in self._files:
+            raise ExecutionError(f"stable store has no file {ref!r}")
+        server = self._servers[self._placement[ref]]
+
+        def complete(result: TransferResult) -> None:
+            if result.ok:
+                self.bytes_read += int(size_bytes)
+            on_done(result)
+
+        self._net.transfer(server, dst, size_bytes, complete)
+
+    def delete(self, ref: Any) -> None:
+        self._files.pop(ref, None)

@@ -1,0 +1,7 @@
+"""Pado's core: the compiler (§3.1) and the runtime (§3.2)."""
+
+from repro.core.compiler import CompiledJob, compile_program
+from repro.core.runtime import PadoEngine, PadoRuntimeConfig
+
+__all__ = ["CompiledJob", "PadoEngine", "PadoRuntimeConfig",
+           "compile_program"]

@@ -1,0 +1,19 @@
+"""The Pado Compiler (§3.1): operator placement, stage partitioning,
+operator fusion, and the lifetime-aware placement extension (§6)."""
+
+from repro.core.compiler.fusion import FusedOperator, fuse_operators
+from repro.core.compiler.lifetime_placement import (ResourceClass,
+                                                    place_with_lifetime_classes)
+from repro.core.compiler.partitioning import (Stage, StageDAG,
+                                              check_partitioning,
+                                              partition_stages)
+from repro.core.compiler.pipeline import CompiledJob, compile_program
+from repro.core.compiler.placement import (check_placement, place_operators,
+                                           recomputation_weight)
+
+__all__ = [
+    "CompiledJob", "FusedOperator", "ResourceClass", "Stage", "StageDAG",
+    "check_partitioning", "check_placement", "compile_program",
+    "fuse_operators", "partition_stages", "place_operators",
+    "place_with_lifetime_classes", "recomputation_weight",
+]

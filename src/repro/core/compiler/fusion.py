@@ -1,0 +1,180 @@
+"""Operator fusion (§3.2.2).
+
+The execution plan generator fuses neighbouring operators placed on the same
+container type into a single physical unit — e.g. a chain of transient Map
+operators runs as one task, exploiting data locality. A fused chain is a
+maximal linear run of operators connected by one-to-one edges *within the
+fused set*; members may still receive external inputs (such as a broadcast
+model) which become inputs of the fused task.
+
+The same machinery pipelines narrow operators inside Spark stages, so the
+baselines get the optimization too — matching real Spark semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.dataflow.dag import (DependencyType, Edge, LogicalDAG, Operator,
+                                Placement)
+from repro.errors import CompilerError
+
+
+class FusedOperator:
+    """A chain of operators executed as one physical task per index."""
+
+    def __init__(self, dag: LogicalDAG, ops: Sequence[Operator]) -> None:
+        if not ops:
+            raise CompilerError("a fused chain needs at least one operator")
+        parallelism = ops[0].parallelism
+        for op in ops:
+            if op.parallelism != parallelism:
+                raise CompilerError(
+                    "fused operators must share parallelism "
+                    f"({op.name!r} differs)")
+        self._dag = dag
+        self.ops = list(ops)
+        self._members = {op.name for op in ops}
+
+    @property
+    def name(self) -> str:
+        return "+".join(op.name for op in self.ops)
+
+    @property
+    def head(self) -> Operator:
+        return self.ops[0]
+
+    @property
+    def terminal(self) -> Operator:
+        return self.ops[-1]
+
+    @property
+    def parallelism(self) -> int:
+        return self.head.parallelism
+
+    @property
+    def placement(self) -> Placement:
+        return self.terminal.placement
+
+    @property
+    def combiner(self) -> Optional[Any]:
+        return self.terminal.combiner
+
+    def contains(self, op: Operator) -> bool:
+        return op.name in self._members
+
+    def external_in_edges(self) -> list[Edge]:
+        """Logical edges entering the chain from outside it."""
+        return [e for op in self.ops for e in self._dag.in_edges(op)
+                if e.src.name not in self._members]
+
+    def is_source_chain(self) -> bool:
+        return self.head.is_source
+
+    # ------------------------------------------------------------------
+    # real-data execution
+
+    def apply(self, task_index: int,
+              external_inputs: dict[str, list]) -> list:
+        """Run the whole chain for one task index.
+
+        ``external_inputs`` maps external parent operator names to the
+        records routed to this task index.
+        """
+        produced: dict[str, list] = {}
+        for op in self.ops:
+            if op.fn is None:
+                raise CompilerError(
+                    f"operator {op.name!r} has no function for real-data "
+                    f"execution")
+            inputs: dict[str, list] = {}
+            for edge in self._dag.in_edges(op):
+                parent = edge.src.name
+                if parent in self._members:
+                    inputs[parent] = produced[parent]
+                else:
+                    inputs[parent] = list(external_inputs.get(parent, []))
+            if op.is_source:
+                inputs["__task_index__"] = [task_index]
+            produced[op.name] = list(op.fn(inputs))
+        return produced[self.terminal.name]
+
+    # ------------------------------------------------------------------
+    # synthetic execution
+
+    def synthetic_output_bytes(
+            self, external_bytes: dict[str, float]) -> float:
+        """Flow input byte counts through the chain's cost hints."""
+        produced: dict[str, float] = {}
+        for op in self.ops:
+            if op.is_source:
+                # Source operators' "input" is what they fetched from the
+                # input store (or created), recorded under their own name.
+                in_bytes = external_bytes.get(op.name, 0.0)
+            else:
+                in_bytes = 0.0
+                for edge in self._dag.in_edges(op):
+                    parent = edge.src.name
+                    if parent in self._members:
+                        in_bytes += produced[parent]
+                    else:
+                        in_bytes += external_bytes.get(parent, 0.0)
+            produced[op.name] = float(op.cost.output_bytes(in_bytes))
+        return produced[self.ops[-1].name]
+
+    def compute_seconds(self, total_input_bytes: float,
+                        cpu_throughput: float) -> float:
+        """Simulated compute duration for one task of this chain."""
+        seconds = 0.0
+        remaining = total_input_bytes
+        for op in self.ops:
+            seconds += op.cost.fixed_compute_seconds
+            seconds += remaining * op.cost.compute_factor / cpu_throughput
+            remaining = float(op.cost.output_bytes(remaining))
+        return seconds
+
+    def __repr__(self) -> str:
+        return f"<Fused [{self.name}] x{self.parallelism}>"
+
+
+def fuse_operators(dag: LogicalDAG, ops: Sequence[Operator],
+                   require_same_placement: bool = True
+                   ) -> list[FusedOperator]:
+    """Partition ``ops`` into maximal fusible chains.
+
+    An operator joins its parent's chain when the connecting edge is
+    one-to-one, it is the parent's only consumer within ``ops``, that edge is
+    its only in-edge from within ``ops``, and (if required) both share a
+    placement. Returns chains in topological order of their heads.
+    """
+    members = {op.name for op in ops}
+    order = [op for op in dag.topological_sort() if op.name in members]
+    if len(order) != len(ops):
+        raise CompilerError("fusion set contains duplicate operators")
+
+    chain_of: dict[str, list[Operator]] = {}
+    chains: list[list[Operator]] = []
+    for op in order:
+        internal_in = [e for e in dag.in_edges(op) if e.src.name in members]
+        fusible_parent: Optional[Operator] = None
+        if len(internal_in) == 1:
+            edge = internal_in[0]
+            parent = edge.src
+            parent_internal_out = [
+                e for e in dag.out_edges(parent) if e.dst.name in members]
+            same_placement = (not require_same_placement
+                              or parent.placement is op.placement)
+            if (edge.dep_type is DependencyType.ONE_TO_ONE
+                    and len(parent_internal_out) == 1
+                    and same_placement
+                    and chain_of[parent.name][-1] is parent):
+                fusible_parent = parent
+        if fusible_parent is not None:
+            chain = chain_of[fusible_parent.name]
+            chain.append(op)
+            chain_of[op.name] = chain
+        else:
+            chain = [op]
+            chains.append(chain)
+            chain_of[op.name] = chain
+    return [FusedOperator(dag, chain) for chain in chains]

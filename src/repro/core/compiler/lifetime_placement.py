@@ -1,0 +1,99 @@
+"""Lifetime-aware operator placement — the §6 extension.
+
+The paper's Discussion suggests combining Pado with Harvest-style lifetime
+estimation: rather than a binary reserved/transient split, resources come in
+*classes* with estimated lifetimes, and operators with higher recomputation
+costs are placed on longer-lived classes. This module implements that
+fine-grained placement as an optional alternative to Algorithm 1.
+
+The heuristic: compute each operator's recomputation weight (how many parent
+tasks one eviction forces to re-run — the same intuition as Algorithm 1),
+rank operators by weight, and assign them to resource classes so that weight
+ordering matches lifetime ordering, with eviction-free classes absorbing all
+wide-edge consumers (preserving Algorithm 1's safety guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.compiler.placement import recomputation_weight
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
+                                Placement, SourceKind)
+from repro.errors import CompilerError
+
+
+@dataclass(frozen=True)
+class ResourceClass:
+    """A pool of containers with an estimated lifetime (§6).
+
+    ``expected_lifetime`` of ``math.inf`` marks an eviction-free (reserved)
+    class.
+    """
+
+    name: str
+    expected_lifetime: float
+
+    @property
+    def is_reserved(self) -> bool:
+        return math.isinf(self.expected_lifetime)
+
+
+def place_with_lifetime_classes(
+        dag: LogicalDAG,
+        classes: Sequence[ResourceClass]) -> dict[str, ResourceClass]:
+    """Assign each operator to a resource class.
+
+    Wide-edge consumers and created sources always land on a reserved class
+    (there must be one). Remaining operators are spread across the transient
+    classes by recomputation weight: heavier operators get longer-lived
+    classes. Also mirrors the assignment into ``op.placement`` so the result
+    remains a valid input for Algorithm 2.
+    """
+    if not classes:
+        raise CompilerError("need at least one resource class")
+    reserved = [c for c in classes if c.is_reserved]
+    if not reserved:
+        raise CompilerError("need one eviction-free (reserved) class")
+    reserved_class = reserved[0]
+    transient_classes = sorted(
+        (c for c in classes if not c.is_reserved),
+        key=lambda c: c.expected_lifetime)
+    dag.validate()
+
+    assignment: dict[str, ResourceClass] = {}
+    flexible: list[tuple[int, Operator]] = []
+    for op in dag.topological_sort():
+        in_edges = dag.in_edges(op)
+        if in_edges and any(e.dep_type.is_wide for e in in_edges):
+            assignment[op.name] = reserved_class
+        elif not in_edges and op.source_kind is SourceKind.CREATED:
+            assignment[op.name] = reserved_class
+        elif (in_edges
+              and all(e.dep_type is DependencyType.ONE_TO_ONE
+                      for e in in_edges)
+              and all(assignment.get(e.src.name) is reserved_class
+                      for e in in_edges)):
+            assignment[op.name] = reserved_class  # data locality rule
+        else:
+            flexible.append((recomputation_weight(dag, op), op))
+
+    if flexible and transient_classes:
+        # Heavier operators -> longer-lived classes: split the weight ranking
+        # into as many quantile groups as there are transient classes.
+        flexible.sort(key=lambda pair: pair[0])
+        per_class = max(1, math.ceil(len(flexible) / len(transient_classes)))
+        for rank, (_, op) in enumerate(flexible):
+            class_idx = min(rank // per_class, len(transient_classes) - 1)
+            assignment[op.name] = transient_classes[class_idx]
+    else:
+        for _, op in flexible:
+            assignment[op.name] = reserved_class
+
+    for op in dag.operators:
+        op.placement = (Placement.RESERVED
+                        if assignment[op.name].is_reserved
+                        else Placement.TRANSIENT)
+    return assignment

@@ -1,0 +1,176 @@
+"""Logical DAG partitioning into Pado Stages — Algorithm 2 (§3.1.2).
+
+The compiler traverses the placed DAG in topological order and creates a new
+stage at every operator placed on reserved containers, and at every sink.
+Each stage then recursively absorbs its transient ancestors; a reserved
+parent instead records a stage-level dependency (its stage becomes a parent
+of the new stage).
+
+Consequences the runtime relies on (and tests assert):
+
+* every stage contains at most one reserved operator — the operator that
+  created it — and that operator is the stage's terminal unless the stage is
+  a transient sink;
+* stage outputs always land on reserved containers or the job sink, so an
+  eviction never forces recomputation of a *parent* stage (§3.2.5);
+* a transient operator with several reserved consumers is absorbed into each
+  consumer's stage (its tasks re-run per stage — e.g. the ALS Read operator
+  feeds both aggregation stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.dag import Edge, LogicalDAG, Operator, Placement
+from repro.errors import CompilerError
+
+
+class Stage:
+    """A unit of execution: transient ancestors flowing into one reserved
+    operator (or a transient sink)."""
+
+    def __init__(self, stage_id: int) -> None:
+        self.stage_id = stage_id
+        self.operators: list[Operator] = []   # insertion order; root first
+        self.parents: list["Stage"] = []
+        self.children: list["Stage"] = []
+
+    @property
+    def root_op(self) -> Operator:
+        """The operator that created the stage (its terminal computation)."""
+        return self.operators[0]
+
+    @property
+    def reserved_ops(self) -> list[Operator]:
+        return [op for op in self.operators
+                if op.placement is Placement.RESERVED]
+
+    @property
+    def transient_ops(self) -> list[Operator]:
+        return [op for op in self.operators
+                if op.placement is Placement.TRANSIENT]
+
+    def contains(self, op: Operator) -> bool:
+        return any(member is op for member in self.operators)
+
+    def add(self, op: Operator) -> None:
+        if not self.contains(op):
+            self.operators.append(op)
+
+    def add_child(self, child: "Stage") -> None:
+        if child is self:
+            return
+        if not any(c is child for c in self.children):
+            self.children.append(child)
+            child.parents.append(self)
+
+    def __repr__(self) -> str:
+        names = ",".join(op.name for op in self.operators)
+        return f"<Stage {self.stage_id} [{names}]>"
+
+
+@dataclass
+class StageDAG:
+    """The DAG of Pado Stages handed to the runtime."""
+
+    logical: LogicalDAG
+    stages: list[Stage] = field(default_factory=list)
+
+    def topological(self) -> list[Stage]:
+        """Stages in dependency order (stable w.r.t. creation order)."""
+        indegree = {id(s): len(s.parents) for s in self.stages}
+        ready = [s for s in self.stages if indegree[id(s)] == 0]
+        order: list[Stage] = []
+        while ready:
+            stage = ready.pop(0)
+            order.append(stage)
+            for child in stage.children:
+                indegree[id(child)] -= 1
+                if indegree[id(child)] == 0:
+                    ready.append(child)
+        if len(order) != len(self.stages):
+            raise CompilerError("stage DAG contains a cycle")
+        return order
+
+    def stage_of_root(self, op: Operator) -> Stage:
+        """The stage created at ``op`` (reserved operator or sink)."""
+        for stage in self.stages:
+            if stage.root_op is op:
+                return stage
+        raise CompilerError(f"no stage rooted at operator {op.name!r}")
+
+    def stages_containing(self, op: Operator) -> list[Stage]:
+        return [s for s in self.stages if s.contains(op)]
+
+    def internal_edges(self, stage: Stage) -> list[Edge]:
+        """Logical edges between two members of ``stage``."""
+        return [e for op in stage.operators
+                for e in self.logical.in_edges(op) if stage.contains(e.src)]
+
+    def boundary_in_edges(self, stage: Stage) -> list[Edge]:
+        """Logical edges entering ``stage`` from reserved operators of
+        parent stages (the stage's steady data sources, §3.1.2)."""
+        return [e for op in stage.operators
+                for e in self.logical.in_edges(op)
+                if not stage.contains(e.src)]
+
+
+def partition_stages(dag: LogicalDAG) -> StageDAG:
+    """Partition a placed logical DAG into Pado Stages (Algorithm 2)."""
+    for op in dag.operators:
+        if op.placement is Placement.UNPLACED:
+            raise CompilerError(
+                f"operator {op.name!r} must be placed before partitioning")
+    stage_dag = StageDAG(logical=dag)
+    root_stage: dict[str, Stage] = {}  # reserved op name -> its stage
+
+    def recursive_add(stage: Stage, op: Operator) -> None:
+        stage.add(op)
+        for edge in dag.in_edges(op):
+            parent = edge.src
+            if parent.placement is Placement.TRANSIENT:
+                if not stage.contains(parent):
+                    recursive_add(stage, parent)
+            else:  # reserved parent: link its stage as a parent stage
+                root_stage[parent.name].add_child(stage)
+
+    for op in dag.topological_sort():
+        if op.placement is Placement.RESERVED or not dag.out_edges(op):
+            if op.name in root_stage:
+                continue  # reserved sink: one stage, not two
+            stage = Stage(stage_id=len(stage_dag.stages))
+            stage_dag.stages.append(stage)
+            root_stage[op.name] = stage
+            recursive_add(stage, op)
+    return stage_dag
+
+
+def check_partitioning(stage_dag: StageDAG) -> None:
+    """Verify Algorithm 2's guarantees; raises on violation."""
+    dag = stage_dag.logical
+    covered: set[str] = set()
+    for stage in stage_dag.stages:
+        reserved = stage.reserved_ops
+        if len(reserved) > 1:
+            raise CompilerError(
+                f"stage {stage.stage_id} holds {len(reserved)} reserved "
+                f"operators; expected at most one")
+        root = stage.root_op
+        if reserved and reserved[0] is not root:
+            raise CompilerError(
+                f"stage {stage.stage_id}: reserved operator is not the root")
+        if not reserved and dag.out_edges(root):
+            raise CompilerError(
+                f"stage {stage.stage_id} ends on a non-sink transient "
+                f"operator {root.name!r}")
+        for edge in stage_dag.boundary_in_edges(stage):
+            if edge.src.placement is not Placement.RESERVED:
+                raise CompilerError(
+                    f"stage {stage.stage_id} fetches from transient operator "
+                    f"{edge.src.name!r} outside the stage")
+        covered.update(op.name for op in stage.operators)
+    missing = {op.name for op in dag.operators} - covered
+    if missing:
+        raise CompilerError(f"operators not assigned to any stage: {missing}")
+    stage_dag.topological()  # raises on stage-level cycles

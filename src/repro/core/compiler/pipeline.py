@@ -1,0 +1,47 @@
+"""Compiler entry point: placement + partitioning + validation (§3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler.partitioning import (StageDAG, check_partitioning,
+                                              partition_stages)
+from repro.core.compiler.placement import check_placement, place_operators
+from repro.dataflow.dag import LogicalDAG
+
+
+@dataclass
+class CompiledJob:
+    """A compiled dataflow program ready for the Pado runtime."""
+
+    logical: LogicalDAG
+    stage_dag: StageDAG
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_dag.stages)
+
+    def placement_summary(self) -> dict[str, str]:
+        """Operator name -> placement, handy for tests and examples."""
+        return {op.name: op.placement.value for op in self.logical.operators}
+
+    def describe(self) -> str:
+        """Human-readable compilation report (mirrors Figure 3)."""
+        lines = []
+        for stage in self.stage_dag.topological():
+            ops = ", ".join(
+                f"{op.name}[{op.placement.value}]" for op in stage.operators)
+            parents = ",".join(str(p.stage_id) for p in stage.parents) or "-"
+            lines.append(
+                f"stage {stage.stage_id} (parents: {parents}): {ops}")
+        return "\n".join(lines)
+
+
+def compile_program(dag: LogicalDAG) -> CompiledJob:
+    """Run the full Pado compilation: Algorithm 1 then Algorithm 2,
+    with the invariants of both checked."""
+    place_operators(dag)
+    check_placement(dag)
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+    return CompiledJob(logical=dag, stage_dag=stage_dag)

@@ -1,0 +1,88 @@
+"""Operator placement — Algorithm 1 of the paper (§3.1.1).
+
+The compiler walks the logical DAG in topological order and marks each
+operator to run on reserved or transient containers:
+
+* computational operators with **any** incoming many-to-many or many-to-one
+  dependency are placed on **reserved** containers — a single eviction of
+  such a task would force recomputation of many parent tasks;
+* computational operators whose in-edges are **all** one-to-one **and** all
+  come from reserved operators are placed on **reserved** containers, to
+  exploit data locality on the reserved side;
+* every other computational operator is placed on **transient** containers,
+  aggressively using eviction-prone resources where cascading recomputation
+  risk is low;
+* source operators that read bulk data from storage go to **transient**
+  containers (many containers to load data in parallel); sources that create
+  lightweight data in memory go to **reserved** containers.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
+                                Placement, SourceKind)
+from repro.errors import CompilerError
+
+
+def place_operators(dag: LogicalDAG) -> LogicalDAG:
+    """Mark every operator in ``dag`` with a placement (mutates the DAG).
+
+    Transcription of Algorithm 1. Returns the same DAG for chaining.
+    """
+    dag.validate()
+    for op in dag.topological_sort():
+        in_edges = dag.in_edges(op)
+        if in_edges:  # computational operator
+            if any(e.dep_type.is_wide for e in in_edges):
+                op.placement = Placement.RESERVED
+            elif (all(e.dep_type is DependencyType.ONE_TO_ONE
+                      for e in in_edges)
+                  and all(e.src.placement is Placement.RESERVED
+                          for e in in_edges)):
+                op.placement = Placement.RESERVED
+            else:
+                op.placement = Placement.TRANSIENT
+        else:  # source operator
+            if op.source_kind is SourceKind.READ:
+                op.placement = Placement.TRANSIENT
+            elif op.source_kind is SourceKind.CREATED:
+                op.placement = Placement.RESERVED
+            else:
+                raise CompilerError(
+                    f"source operator {op.name!r} has no source kind")
+    return dag
+
+
+def check_placement(dag: LogicalDAG) -> None:
+    """Verify the invariants Algorithm 1 guarantees; raises on violation.
+
+    Used as a post-condition in tests and before partitioning: every
+    operator is placed, and every wide-edge consumer is on reserved
+    containers (the property that eliminates cascading recomputations).
+    """
+    for op in dag.operators:
+        if op.placement is Placement.UNPLACED:
+            raise CompilerError(f"operator {op.name!r} was never placed")
+        if op.placement is Placement.RESERVED:
+            continue
+        for edge in dag.in_edges(op):
+            if edge.dep_type.is_wide:
+                raise CompilerError(
+                    f"wide-edge consumer {op.name!r} placed on transient "
+                    f"containers")
+
+
+def recomputation_weight(dag: LogicalDAG, op: Operator) -> int:
+    """Number of parent tasks that must be recomputed if one task of ``op``
+    is evicted and all parent outputs are lost (the intuition behind
+    Algorithm 1, §3.1.1). Used by the lifetime-aware placement extension."""
+    weight = 0
+    for edge in dag.in_edges(op):
+        if edge.dep_type in (DependencyType.MANY_TO_MANY,):
+            weight += edge.src.parallelism
+        elif edge.dep_type is DependencyType.MANY_TO_ONE:
+            # Each child task collects a 1/parallelism share of parents.
+            weight += max(1, edge.src.parallelism // op.parallelism)
+        else:
+            weight += 1
+    return weight

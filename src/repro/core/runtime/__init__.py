@@ -1,0 +1,23 @@
+"""The Pado Runtime (§3.2): master, scheduler, executors, eviction/fault
+tolerance, and the caching + partial-aggregation optimizations."""
+
+from repro.core.runtime.aggregation import (AggregationBuffer, Contribution,
+                                            FlushBatch, merge_payloads)
+from repro.core.runtime.cache import LruCache
+from repro.core.runtime.engine import PadoEngine
+from repro.core.runtime.master import PadoMaster, PadoRuntimeConfig
+from repro.core.runtime.plan import (ExecutionPlan, InterChainEdge,
+                                     PhysicalStage, build_execution_plan)
+from repro.core.runtime.scheduler import (CacheAwarePolicy,
+                                          LifetimeAwarePolicy,
+                                          RoundRobinPolicy,
+                                          SchedulingPolicy, TaskScheduler)
+
+__all__ = [
+    "AggregationBuffer", "CacheAwarePolicy", "Contribution", "ExecutionPlan",
+    "FlushBatch", "InterChainEdge", "LruCache", "PadoEngine", "PadoMaster",
+    "LifetimeAwarePolicy", "PadoRuntimeConfig", "PhysicalStage",
+    "RoundRobinPolicy",
+    "SchedulingPolicy", "TaskScheduler", "build_execution_plan",
+    "merge_payloads",
+]

@@ -1,0 +1,67 @@
+"""Task-input caching (§3.2.7).
+
+Tasks of operators the user marks ``cacheable`` keep their fetched input data
+in executor memory; when the cache fills, entries are discarded by LRU. The
+scheduler's cache-aware policy then routes tasks to executors that already
+hold their inputs, so e.g. MLR's model is pushed to each transient executor
+once per iteration instead of once per task.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class LruCache:
+    """Byte-bounded LRU cache of fetched task inputs."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Hashable, tuple[float, Any]]" = \
+            OrderedDict()
+        self._used = 0.0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[tuple[float, Any]]:
+        """Return ``(size, payload)`` and refresh recency, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, size_bytes: float, payload: Any) -> None:
+        """Insert an entry, evicting LRU entries to make room.
+
+        Entries larger than the whole cache are not admitted.
+        """
+        if size_bytes > self.capacity_bytes:
+            return
+        if key in self._entries:
+            old_size, _ = self._entries.pop(key)
+            self._used -= old_size
+        while self._used + size_bytes > self.capacity_bytes and self._entries:
+            _, (evicted_size, _) = self._entries.popitem(last=False)
+            self._used -= evicted_size
+        self._entries[key] = (size_bytes, payload)
+        self._used += size_bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,1207 @@
+"""The Pado master: stage execution, eviction tolerance, fault tolerance.
+
+Orchestrates a compiled job on the simulated cluster (§3.2):
+
+* stages run in topological order; for each stage the reserved-side receiver
+  tasks are set up first, then the transient tasks are scheduled (§3.2.3);
+* transient task outputs are pushed to reserved receivers the moment the
+  task finishes computing — the task slot is released immediately and the
+  push proceeds "on a separate thread" (§3.2.4);
+* a task counts as done only after an output-commit message reaches the
+  master; evictions relaunch exactly the uncommitted tasks of the running
+  stage, never tasks of parent stages (§3.2.5);
+* reserved-executor machine faults re-run the stages whose preserved outputs
+  were lost, discovered lazily when a consumer's fetch misses (§3.2.6);
+* optional task-input caching and task-output partial aggregation reduce the
+  load on the small reserved side (§3.2.7).
+
+Partial aggregation affects simulated transfer sizes through the combiner's
+``merged_size_bytes``; in real-data mode the routed records travel unmerged
+inside the batch (the combine logic is associative, so merging at the
+receiver — which the downstream operator does anyway — is semantically
+identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from repro.cluster.network import InfiniteEndpoint, TransferResult
+from repro.core.compiler.fusion import FusedOperator
+from repro.core.runtime.aggregation import AggregationBuffer, Contribution
+from repro.core.runtime.cache import LruCache
+from repro.core.runtime.plan import (ExecutionPlan, InterChainEdge,
+                                     PhysicalStage)
+from repro.core.runtime.scheduler import SchedulingPolicy, TaskScheduler
+from repro.dataflow.dag import (DependencyType, Edge, route_output,
+                                route_sizes, source_indices)
+from repro.engines.base import Program, SimContext, SimExecutor
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class PadoRuntimeConfig:
+    """Runtime knobs (§3.2.7 optimizations are on by default)."""
+
+    enable_caching: bool = True
+    enable_partial_aggregation: bool = True
+    aggregation_max_tasks: int = 2
+    aggregation_max_delay: float = 30.0
+    cache_fraction: float = 0.3
+    scheduling_policy: Optional[SchedulingPolicy] = None
+    progress_replication_interval: float = 30.0
+
+
+class _OutputRecord:
+    """A stage output partition preserved on a reserved executor."""
+
+    __slots__ = ("executor", "size", "payload", "available")
+
+    def __init__(self, executor: SimExecutor, size: float,
+                 payload: Optional[list]) -> None:
+        self.executor = executor
+        self.size = size
+        self.payload = payload
+        self.available = True
+
+
+class _TransientTask:
+    """State of one transient task across attempts."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    ASSIGNED = "assigned"
+    RUNNING = "running"
+    PUSHING = "pushing"
+    COMMITTED = "committed"
+
+    def __init__(self, stage_run: "_StageRun", chain: FusedOperator,
+                 index: int) -> None:
+        self.stage_run = stage_run
+        self.chain = chain
+        self.index = index
+        self.status = self.PENDING
+        self.executor: Optional[SimExecutor] = None
+        self.attempt = 0
+        self.cache_keys: set = set()
+        # per-attempt scratch:
+        self.outstanding_fetches = 0
+        self.fetch_failed = False
+        self.input_bytes_by_parent: dict[str, float] = {}
+        self.external_inputs: dict[str, list] = {}
+        self.pending_deliveries: set = set()
+        self.delivered_dsts: set = set()
+        self.output_records: Optional[list] = None
+        self.output_bytes = 0.0
+
+    @property
+    def key(self) -> tuple:
+        return (self.chain.name, self.index)
+
+    @property
+    def weight(self) -> float:
+        """Static compute weight of the fused chain — the §6 scheduling
+        hint for lifetime-aware placement (heavier tasks cost more to lose
+        to an eviction)."""
+        return sum(op.cost.fixed_compute_seconds + op.cost.compute_factor
+                   for op in self.chain.ops)
+
+    def assign(self, executor: SimExecutor) -> None:
+        """Called by the scheduler when a slot is acquired for this task."""
+        self.stage_run.master._task_assigned(self, executor)
+
+    def reset(self) -> None:
+        self.attempt += 1
+        self.status = self.PENDING
+        self.executor = None
+        self.outstanding_fetches = 0
+        self.fetch_failed = False
+        self.input_bytes_by_parent = {}
+        self.external_inputs = {}
+        self.pending_deliveries = set()
+        self.delivered_dsts = set()
+        self.output_records = None
+        self.output_bytes = 0.0
+
+
+class _ReservedTask:
+    """State of one reserved receiver/compute task."""
+
+    RECEIVING = "receiving"
+    COMPUTING = "computing"
+    DONE = "done"
+
+    def __init__(self, stage_run: "_StageRun", index: int) -> None:
+        self.stage_run = stage_run
+        self.index = index
+        self.attempt = 0
+        self.executor: Optional[SimExecutor] = None
+        self.status = self.RECEIVING
+        self.expected: set = set()
+        self.committed: set = set()
+        self.arrived: dict[Hashable, tuple[float, Optional[list], str]] = {}
+        self.consumed_keys: set = set()  # producer keys at last DONE
+        self.boundary_outstanding = 0
+        self.boundary_bytes_by_parent: dict[str, float] = {}
+        self.boundary_payloads: dict[str, list] = {}
+
+    @property
+    def key(self) -> tuple:
+        return ("__root__", self.index)
+
+    def reset(self) -> None:
+        self.attempt += 1
+        self.executor = None
+        self.status = self.RECEIVING
+        self.committed = set()
+        self.arrived = {}
+        self.boundary_outstanding = 0
+        self.boundary_bytes_by_parent = {}
+        self.boundary_payloads = {}
+
+
+class _StageRun:
+    """Runtime state of one physical stage."""
+
+    WAITING = "waiting"
+    RUNNING = "running"
+    DONE = "done"
+
+    def __init__(self, master: "PadoMaster", pstage: PhysicalStage) -> None:
+        self.master = master
+        self.pstage = pstage
+        self.status = self.WAITING
+        self.tasks: dict[tuple, _TransientTask] = {}
+        self.root_tasks: list[_ReservedTask] = []
+        self.local_outputs: dict[tuple, tuple[SimExecutor, float,
+                                              Optional[list]]] = {}
+        if pstage.has_reserved_root:
+            for chain in pstage.transient_chains:
+                for i in range(chain.parallelism):
+                    self.tasks[(chain.name, i)] = _TransientTask(
+                        self, chain, i)
+            self.root_tasks = [_ReservedTask(self, i)
+                               for i in range(pstage.root_chain.parallelism)]
+        else:
+            for chain in pstage.chains:
+                for i in range(chain.parallelism):
+                    self.tasks[(chain.name, i)] = _TransientTask(
+                        self, chain, i)
+
+    def chain_by_name(self, name: str) -> FusedOperator:
+        for chain in self.pstage.chains:
+            if chain.name == name:
+                return chain
+        raise ExecutionError(f"no chain {name!r} in stage {self.pstage.index}")
+
+
+class PadoMaster:
+    """Drives one job execution on a :class:`SimContext`."""
+
+    def __init__(self, ctx: SimContext, program: Program,
+                 plan: ExecutionPlan, config: PadoRuntimeConfig) -> None:
+        self.ctx = ctx
+        self.program = program
+        self.plan = plan
+        self.config = config
+        self.sim = ctx.sim
+        self.net = ctx.net
+        self.master_endpoint = InfiniteEndpoint()
+        self.sink_endpoint = InfiniteEndpoint()
+        self.scheduler = TaskScheduler(config.scheduling_policy)
+        self.reserved_executors: list[SimExecutor] = []
+        self._reserved_cursor = 0
+        self.stage_runs = [_StageRun(self, ps) for ps in self.plan.stages]
+        self.outputs: dict[tuple[str, int], _OutputRecord] = {}
+        self._waiters: dict[tuple[str, int], list[Callable[[], None]]] = {}
+        self._agg_buffers: dict[tuple, AggregationBuffer] = {}
+        self._buffers_by_executor: dict[int, list[tuple]] = {}
+        # Repair-time pinning of many-to-one routes: (stage, task key) -> dst.
+        self._forced_mo_dst: dict[tuple, int] = {}
+        # Fetch coalescing for cacheable inputs: concurrent tasks on one
+        # executor share a single in-flight fetch of the same key, so e.g.
+        # the model "only needs to be sent once to the executors" (§3.2.7).
+        self._inflight_fetches: dict[tuple, list] = {}
+        self.job_outputs: dict[str, dict[int, list]] = {}
+        self.completed = False
+        self.jct: Optional[float] = None
+        self.commit_count = 0
+        self.reserved_repairs = 0
+        # Progress metadata "replicated" for master fault tolerance (§3.2.6).
+        self.replicated_done_stages: set[int] = set()
+        self._snapshot_progress()
+
+    # ==================================================================
+    # startup and container management
+
+    def start(self) -> None:
+        self.ctx.rm.on_container(self._on_container)
+        self.ctx.rm.on_eviction(self._on_container_lost)
+        self.ctx.allocate(self.ctx.cluster.num_reserved)
+        if not self.reserved_executors:
+            raise ExecutionError("Pado needs at least one reserved container")
+        for run in self.stage_runs:
+            if not run.pstage.stage.parents:
+                self._start_stage(run)
+
+    def _on_container(self, container) -> None:
+        executor = SimExecutor(container, self.sim)
+        if self.config.enable_caching:
+            capacity = container.spec.memory_bytes * self.config.cache_fraction
+            executor.cache = LruCache(capacity)
+        if container.is_reserved:
+            self.reserved_executors.append(executor)
+        else:
+            self.scheduler.add_executor(executor)
+
+    def _pick_reserved(self) -> SimExecutor:
+        alive = [e for e in self.reserved_executors if e.alive]
+        if not alive:
+            raise ExecutionError("all reserved executors lost")
+        self._reserved_cursor = (self._reserved_cursor + 1) % len(alive)
+        return alive[self._reserved_cursor]
+
+    # ==================================================================
+    # stage lifecycle
+
+    def _start_stage(self, run: _StageRun) -> None:
+        if run.status is not run.WAITING:
+            return
+        run.status = run.RUNNING
+        pstage = run.pstage
+        if pstage.has_reserved_root:
+            # §3.2.3: set up reserved receivers first.
+            for task in run.root_tasks:
+                self._launch_reserved_task(task)
+        for chain in (pstage.transient_chains if pstage.has_reserved_root
+                      else pstage.chains):
+            for i in range(chain.parallelism):
+                self._maybe_submit(run.tasks[(chain.name, i)])
+
+    def _maybe_stage_done(self, run: _StageRun) -> None:
+        if run.status is run.DONE:
+            return
+        pstage = run.pstage
+        if pstage.has_reserved_root:
+            if not all(t.status == _ReservedTask.DONE
+                       for t in run.root_tasks):
+                return
+        else:
+            root = pstage.root_chain
+            for i in range(root.parallelism):
+                if run.tasks[(root.name, i)].status != \
+                        _TransientTask.COMMITTED:
+                    return
+        run.status = run.DONE
+        self._record_sink_outputs(run)
+        for child_run in self.stage_runs:
+            if any(p is run.pstage.stage for p in
+                   child_run.pstage.stage.parents):
+                if all(self._run_of(parent).status == _StageRun.DONE
+                       for parent in child_run.pstage.stage.parents):
+                    self._start_stage(child_run)
+        if all(r.status == _StageRun.DONE for r in self.stage_runs):
+            self.completed = True
+            self.jct = self.sim.now
+
+    def _run_of(self, stage) -> _StageRun:
+        for run in self.stage_runs:
+            if run.pstage.stage is stage:
+                return run
+        raise ExecutionError("unknown stage")
+
+    def _record_sink_outputs(self, run: _StageRun) -> None:
+        root = run.pstage.root_chain
+        terminal = root.terminal
+        if self.plan.compiled.logical.out_edges(terminal):
+            return  # not a job sink
+        parts: dict[int, list] = {}
+        if run.pstage.has_reserved_root:
+            for i in range(root.parallelism):
+                record = self.outputs.get((terminal.name, i))
+                if record is not None and record.payload is not None:
+                    parts[i] = record.payload
+        else:
+            for i in range(root.parallelism):
+                task = run.tasks[(root.name, i)]
+                if task.output_records is not None:
+                    parts[i] = task.output_records
+        if parts:
+            self.job_outputs[terminal.name] = parts
+
+    # ==================================================================
+    # reserved (receiver) tasks
+
+    def _launch_reserved_task(self, task: _ReservedTask) -> None:
+        run = task.stage_run
+        pstage = run.pstage
+        task.executor = self._pick_reserved()
+        task.status = _ReservedTask.RECEIVING
+        self.ctx.tasks_launched += 1
+        # Expected producer commits with *static* routing. Many-to-one
+        # pushes route dynamically by executor affinity (§3.2.7), so their
+        # completion is tracked chain-wide in _maybe_reserved_compute.
+        task.expected = set()
+        for ice in pstage.producers_into(pstage.root_chain):
+            if ice.edge.dep_type is DependencyType.MANY_TO_ONE:
+                continue
+            for pidx in source_indices(ice.edge, task.index):
+                task.expected.add((ice.producer.name, pidx))
+        # Boundary pulls from parent stages' reserved outputs.
+        specs = []
+        for edge in pstage.boundary_edges(pstage.root_chain):
+            for pidx in source_indices(edge, task.index):
+                specs.append((edge, pidx))
+        task.boundary_outstanding = len(specs)
+        attempt = task.attempt
+        for edge, pidx in specs:
+            self._fetch_reserved_output(
+                edge.src.name, pidx, task.executor,
+                lambda result, e=edge, p=pidx: self._reserved_boundary_done(
+                    task, attempt, e, p, result),
+                fraction=self._edge_fraction(edge))
+        self._maybe_reserved_compute(task)
+
+    def _reserved_boundary_done(self, task: _ReservedTask, attempt: int,
+                                edge: Edge, pidx: int,
+                                result: "_FetchResult") -> None:
+        if task.attempt != attempt or task.status != _ReservedTask.RECEIVING:
+            return
+        if not result.ok:
+            # Our own executor died mid-fetch; the failure handler reassigns.
+            return
+        share = route_sizes(edge, pidx, result.size).get(task.index, 0.0)
+        name = edge.src.name
+        task.boundary_bytes_by_parent[name] = \
+            task.boundary_bytes_by_parent.get(name, 0.0) + share
+        if result.payload is not None:
+            routed = route_output(edge, pidx, result.payload).get(
+                task.index, [])
+            task.boundary_payloads.setdefault(name, []).extend(routed)
+        task.boundary_outstanding -= 1
+        self._maybe_reserved_compute(task)
+
+    def _maybe_reserved_compute(self, task: _ReservedTask) -> None:
+        if task.status != _ReservedTask.RECEIVING:
+            return
+        if task.boundary_outstanding > 0:
+            return
+        if not task.expected <= task.committed:
+            return
+        # Affinity-routed (many-to-one) inputs are complete only once every
+        # producer task of the chain has committed somewhere.
+        run = task.stage_run
+        for ice in run.pstage.producers_into(run.pstage.root_chain):
+            if ice.edge.dep_type is not DependencyType.MANY_TO_ONE:
+                continue
+            for i in range(ice.producer.parallelism):
+                if run.tasks[(ice.producer.name, i)].status != \
+                        _TransientTask.COMMITTED:
+                    return
+        task.status = _ReservedTask.COMPUTING
+        run = task.stage_run
+        chain = run.pstage.root_chain
+        spec = task.executor.container.spec
+        input_bytes = sum(task.boundary_bytes_by_parent.values())
+        input_bytes += sum(size for size, _, _ in task.arrived.values())
+        seconds = chain.compute_seconds(input_bytes, spec.cpu_throughput)
+        seconds += self.ctx.cluster.task_overhead_seconds
+        attempt = task.attempt
+        self._reserved_compute(
+            task.executor, seconds,
+            lambda: self._reserved_compute_done(task, attempt, input_bytes))
+
+    def _reserved_compute(self, executor: SimExecutor, seconds: float,
+                          callback: Callable[[], None]) -> None:
+        """Serialize receiver processing through the executor's CPU (the
+        reserved-side bottleneck of §3.2.7 / Figure 8c)."""
+        _, end = executor.cpu.reserve(self.sim.now,
+                                      seconds * executor.cpu.bandwidth)
+        self.sim.schedule_at(end, callback)
+
+    def _reserved_compute_done(self, task: _ReservedTask, attempt: int,
+                               input_bytes: float) -> None:
+        if task.attempt != attempt or task.status != _ReservedTask.COMPUTING:
+            return
+        if not task.executor.alive:
+            return  # failure handler took over
+        run = task.stage_run
+        chain = run.pstage.root_chain
+        payload = self._reserved_real_output(task, chain)
+        if payload is not None:
+            out_bytes = float(len(payload) * chain.terminal.record_bytes)
+        else:
+            external = dict(task.boundary_bytes_by_parent)
+            for size, _, parent in task.arrived.values():
+                external[parent] = external.get(parent, 0.0) + size
+            out_bytes = chain.synthetic_output_bytes(external)
+        task.executor.disk.write(out_bytes)  # preserved on local disk
+        task.status = _ReservedTask.DONE
+        task.consumed_keys = set(task.arrived)
+        self.outputs[(chain.terminal.name, task.index)] = _OutputRecord(
+            task.executor, out_bytes, payload)
+        self._notify_waiters((chain.terminal.name, task.index))
+        self._maybe_stage_done(run)
+
+    def _reserved_real_output(self, task: _ReservedTask,
+                              chain: FusedOperator) -> Optional[list]:
+        if not self.program.is_real():
+            return None
+        external: dict[str, list] = {}
+        for name, records in task.boundary_payloads.items():
+            external.setdefault(name, []).extend(records)
+        for _, payload, parent in task.arrived.values():
+            if payload is None:
+                raise ExecutionError(
+                    "real-data run received a payload-less push")
+            external.setdefault(parent, []).extend(payload)
+        return chain.apply(task.index, external)
+
+    # ==================================================================
+    # transient tasks
+
+    def _maybe_submit(self, task: _TransientTask) -> None:
+        """Submit a task once its intra-stage producer outputs exist."""
+        if task.status != _TransientTask.PENDING:
+            return
+        run = task.stage_run
+        for ice in run.pstage.producers_into(task.chain):
+            for pidx in source_indices(ice.edge, task.index):
+                pkey = (ice.producer.name, pidx)
+                if pkey not in run.local_outputs:
+                    self._ensure_local_output(run, pkey)
+                    return
+        task.status = _TransientTask.QUEUED
+        task.cache_keys = self._cache_keys_for(task)
+        self.scheduler.submit(task)
+
+    def _ensure_local_output(self, run: _StageRun, pkey: tuple) -> None:
+        """Recompute an intra-stage producer whose local output is missing."""
+        producer = run.tasks[pkey]
+        if producer.status in (_TransientTask.PENDING,):
+            self._maybe_submit(producer)
+        elif producer.status in (_TransientTask.COMMITTED,):
+            producer.reset()
+            self._maybe_submit(producer)
+        # QUEUED/ASSIGNED/RUNNING/PUSHING: already on its way.
+
+    def _cache_keys_for(self, task: _TransientTask) -> set:
+        if not self.config.enable_caching:
+            return set()
+        keys: set = set()
+        chain = task.chain
+        head = chain.head
+        if chain.is_source_chain() and head.input_ref is not None \
+                and head.cacheable:
+            keys.add((head.input_ref, task.index))
+        for edge in task.stage_run.pstage.boundary_edges(chain):
+            if edge.dst.cacheable:
+                for pidx in source_indices(edge, task.index):
+                    keys.add((edge.src.name, pidx))
+        return keys
+
+    def _task_assigned(self, task: _TransientTask,
+                       executor: SimExecutor) -> None:
+        if task.status != _TransientTask.QUEUED:
+            # Stale queue entry (the task was reset and resubmitted, or
+            # assigned via an earlier duplicate entry): give the slot back.
+            executor.release_slot()
+            self.scheduler.slot_released()
+            return
+        task.status = _TransientTask.ASSIGNED
+        task.executor = executor
+        task.fetch_failed = False
+        task.input_bytes_by_parent = {}
+        task.external_inputs = {}
+        self.ctx.tasks_launched += 1
+        attempt = task.attempt
+        fetches: list[Callable[[], None]] = []
+        run = task.stage_run
+        chain = task.chain
+        head = chain.head
+
+        # 1. source data from the input store
+        if chain.is_source_chain() and head.input_ref is not None:
+            key = (head.input_ref, task.index)
+            fetches.append(lambda: self._fetch_source(task, attempt, key))
+        # 2. boundary inputs from parent stages' reserved outputs
+        for edge in run.pstage.boundary_edges(chain):
+            for pidx in source_indices(edge, task.index):
+                fetches.append(
+                    lambda e=edge, p=pidx: self._fetch_boundary(
+                        task, attempt, e, p))
+        # 3. intra-stage inputs from other transient chains (local pulls)
+        for ice in run.pstage.producers_into(chain):
+            for pidx in source_indices(ice.edge, task.index):
+                fetches.append(
+                    lambda i=ice, p=pidx: self._fetch_local(
+                        task, attempt, i, p))
+
+        task.outstanding_fetches = len(fetches)
+        if not fetches:
+            self._start_compute(task)
+            return
+        for fetch in fetches:
+            fetch()
+
+    # ------------------------------------------------------------------
+    # fetches
+
+    def _fetch_source(self, task: _TransientTask, attempt: int,
+                      key: tuple) -> None:
+        executor = task.executor
+        head = task.chain.head
+        size = self.ctx.input_store.size_of(key)
+        cached = self._cache_lookup(executor, key)
+        if cached is not None:
+            self._fetch_arrived(task, attempt, head.name, size, None)
+            return
+
+        def done(result: TransferResult) -> None:
+            if not result.ok:
+                self._fetch_broke(task, attempt)
+                return
+            self._cache_store(executor, head, key, size, None)
+            self._fetch_arrived(task, attempt, head.name, size, None)
+
+        self.ctx.input_store.read(key, executor.endpoint, done)
+
+    def _fetch_boundary(self, task: _TransientTask, attempt: int,
+                        edge: Edge, pidx: int) -> None:
+        executor = task.executor
+        key = (edge.src.name, pidx)
+        cached = self._cache_lookup(executor, key)
+        if cached is not None:
+            size, payload = cached
+            self._boundary_arrived(task, attempt, edge, pidx, size, payload)
+            return
+        coalesce = (self.config.enable_caching and edge.dst.cacheable)
+        inflight_key = (executor.executor_id, key)
+        if coalesce:
+            waiters = self._inflight_fetches.get(inflight_key)
+            if waiters is not None:
+                waiters.append((task, attempt, edge, pidx))
+                return
+            self._inflight_fetches[inflight_key] = []
+
+        def done(result: "_FetchResult") -> None:
+            waiters = (self._inflight_fetches.pop(inflight_key, [])
+                       if coalesce else [])
+            if result.ok:
+                self._cache_store(executor, edge.dst, key, result.size,
+                                  result.payload)
+                if task.attempt == attempt:
+                    self._boundary_arrived(task, attempt, edge, pidx,
+                                           result.size, result.payload)
+                for other, a2, e2, p2 in waiters:
+                    self._boundary_arrived(other, a2, e2, p2, result.size,
+                                           result.payload)
+            else:
+                if task.attempt == attempt:
+                    self._fetch_broke(task, attempt)
+                for other, a2, _, _ in waiters:
+                    self._fetch_broke(other, a2)
+
+        self._fetch_reserved_output(edge.src.name, pidx, executor, done,
+                                    fraction=self._edge_fraction(edge))
+
+    def _boundary_arrived(self, task: _TransientTask, attempt: int,
+                          edge: Edge, pidx: int, size: float,
+                          payload: Optional[list]) -> None:
+        share = route_sizes(edge, pidx, size).get(task.index, 0.0)
+        routed_payload = None
+        if payload is not None:
+            routed_payload = route_output(edge, pidx, payload).get(
+                task.index, [])
+        self._fetch_arrived(task, attempt, edge.src.name, share,
+                            routed_payload)
+
+    def _fetch_local(self, task: _TransientTask, attempt: int,
+                     ice: InterChainEdge, pidx: int) -> None:
+        run = task.stage_run
+        pkey = (ice.producer.name, pidx)
+        entry = run.local_outputs.get(pkey)
+        if entry is None:
+            # Producer output lost since submission: abort this attempt and
+            # wait for the producer to be recomputed.
+            self._ensure_local_output(run, pkey)
+            self._fetch_broke(task, attempt)
+            return
+        producer_executor, size, payload = entry
+        share = route_sizes(ice.edge, pidx, size).get(task.index, 0.0)
+        routed_payload = None
+        if payload is not None:
+            routed_payload = route_output(ice.edge, pidx, payload).get(
+                task.index, [])
+        if producer_executor is task.executor:
+            self._fetch_arrived(task, attempt, ice.producer.terminal.name,
+                                share, routed_payload)
+            return
+
+        def done(result: TransferResult) -> None:
+            if task.attempt != attempt:
+                return
+            if not result.ok:
+                if not producer_executor.alive:
+                    run.local_outputs.pop(pkey, None)
+                    self._ensure_local_output(run, pkey)
+                self._fetch_broke(task, attempt)
+                return
+            self.ctx.bytes_shuffled += int(share)
+            self._fetch_arrived(task, attempt, ice.producer.terminal.name,
+                                share, routed_payload)
+
+        self.net.transfer(producer_executor.endpoint, task.executor.endpoint,
+                          share, done)
+
+    def _fetch_arrived(self, task: _TransientTask, attempt: int,
+                       parent_name: str, size: float,
+                       payload: Optional[list]) -> None:
+        if task.attempt != attempt or task.status != _TransientTask.ASSIGNED:
+            return
+        task.input_bytes_by_parent[parent_name] = \
+            task.input_bytes_by_parent.get(parent_name, 0.0) + size
+        if payload is not None:
+            task.external_inputs.setdefault(parent_name, []).extend(payload)
+        task.outstanding_fetches -= 1
+        if task.outstanding_fetches == 0:
+            if task.fetch_failed:
+                self._abort_attempt(task)
+            else:
+                self._start_compute(task)
+
+    def _fetch_broke(self, task: _TransientTask, attempt: int) -> None:
+        if task.attempt != attempt or task.status != _TransientTask.ASSIGNED:
+            return
+        task.fetch_failed = True
+        task.outstanding_fetches -= 1
+        if task.outstanding_fetches == 0:
+            self._abort_attempt(task)
+
+    def _abort_attempt(self, task: _TransientTask) -> None:
+        """Give up on this attempt (input unavailable); try again later."""
+        executor = task.executor
+        task.reset()
+        if executor is not None and executor.alive:
+            executor.release_slot()
+            self.scheduler.slot_released()
+        self._maybe_submit(task)
+
+    def _cache_lookup(self, executor: SimExecutor,
+                      key: tuple) -> Optional[tuple[float, Any]]:
+        if executor.cache is None:
+            return None
+        return executor.cache.get(key)
+
+    def _cache_store(self, executor: SimExecutor, consumer_op, key: tuple,
+                     size: float, payload: Any) -> None:
+        if executor.cache is None or not consumer_op.cacheable:
+            return
+        executor.cache.put(key, size, payload)
+
+    # ------------------------------------------------------------------
+    # compute and push
+
+    def _start_compute(self, task: _TransientTask) -> None:
+        task.status = _TransientTask.RUNNING
+        spec = task.executor.container.spec
+        total = sum(task.input_bytes_by_parent.values())
+        seconds = task.chain.compute_seconds(total, spec.cpu_throughput)
+        seconds += self.ctx.cluster.task_overhead_seconds
+        attempt = task.attempt
+        self.sim.schedule(seconds,
+                          lambda: self._compute_done(task, attempt))
+
+    def _compute_done(self, task: _TransientTask, attempt: int) -> None:
+        if task.attempt != attempt or task.status != _TransientTask.RUNNING:
+            return
+        executor = task.executor
+        if not executor.alive:
+            return  # eviction handler already rescheduled the task
+        if self.program.is_real():
+            task.output_records = task.chain.apply(task.index,
+                                                   task.external_inputs)
+            task.output_bytes = float(
+                len(task.output_records) * task.chain.terminal.record_bytes)
+        else:
+            bytes_in = dict(task.input_bytes_by_parent)
+            if task.chain.is_source_chain():
+                bytes_in.setdefault(
+                    task.chain.head.name,
+                    task.input_bytes_by_parent.get(task.chain.head.name, 0.0))
+            task.output_bytes = task.chain.synthetic_output_bytes(bytes_in)
+        # §3.2.4: the slot frees immediately; pushes ride a separate thread.
+        executor.release_slot()
+        self.scheduler.slot_released()
+        task.status = _TransientTask.PUSHING
+        self._dispatch_output(task)
+        self._maybe_flush_stage(task.stage_run)
+
+    def _dispatch_output(self, task: _TransientTask) -> None:
+        run = task.stage_run
+        pstage = run.pstage
+        chain = task.chain
+        deliveries: set = set()
+        # Local retention for intra-stage transient consumers.
+        consumer_edges = pstage.consumers_of(chain)
+        has_transient_consumer = False
+        for ice in consumer_edges:
+            if pstage.has_reserved_root and ice.consumer is pstage.root_chain:
+                continue
+            has_transient_consumer = True
+        if has_transient_consumer:
+            run.local_outputs[task.key] = (task.executor, task.output_bytes,
+                                           task.output_records)
+        # Pushes into the reserved root.
+        if pstage.has_reserved_root:
+            for ice in consumer_edges:
+                if ice.consumer is not pstage.root_chain:
+                    continue
+                self._push_to_root(task, ice, deliveries)
+        elif chain is pstage.root_chain:
+            # Transient sink: escape to the job sink storage.
+            deliveries.add(("__sink__",))
+            self._write_sink(task)
+        task.pending_deliveries = deliveries
+        # Unblock intra-stage consumers now that the local output exists.
+        if has_transient_consumer:
+            for ice in consumer_edges:
+                if pstage.has_reserved_root and \
+                        ice.consumer is pstage.root_chain:
+                    continue
+                for didx in self._dst_indices(ice.edge, task.index):
+                    self._maybe_submit(run.tasks[(ice.consumer.name, didx)])
+        if not deliveries:
+            # Nothing to commit (purely local output); mark committed so the
+            # stage can finish, but keep local data available.
+            self._send_commit(task)
+
+    def _maybe_flush_stage(self, run: _StageRun) -> None:
+        """Flush aggregation buffers once the stage has no task left that
+        could still contribute — waiting out the timer would only delay the
+        stage without saving any transfer."""
+        for task in run.tasks.values():
+            if task.status in (_TransientTask.PENDING, _TransientTask.QUEUED,
+                               _TransientTask.ASSIGNED,
+                               _TransientTask.RUNNING):
+                return
+        stage_index = run.pstage.index
+        for key, buffer in list(self._agg_buffers.items()):
+            if key[1] == stage_index:
+                buffer.flush()
+
+    def _dst_indices(self, edge: Edge, src_index: int) -> list[int]:
+        from repro.dataflow.dag import destination_indices
+        return destination_indices(edge, src_index)
+
+    def _push_to_root(self, task: _TransientTask, ice: InterChainEdge,
+                      deliveries: set) -> None:
+        run = task.stage_run
+        edge = ice.edge
+        combiner = run.pstage.root_chain.head.combiner
+        use_agg = (self.config.enable_partial_aggregation
+                   and combiner is not None and edge.dep_type.is_wide)
+        if edge.dep_type is DependencyType.MANY_TO_ONE:
+            # Executor-affinity routing (§3.2.7): every task on this
+            # executor feeds the same receiver, maximizing partial
+            # aggregation. Repairs pin routes via _forced_mo_dst.
+            n = run.pstage.root_chain.parallelism
+            forced = self._forced_mo_dst.get((run.pstage.index, task.key))
+            dst = forced if forced is not None else \
+                task.executor.executor_id % n
+            dsts_and_shares = [(dst, task.output_bytes,
+                                task.output_records)]
+        else:
+            shares = route_sizes(edge, task.index, task.output_bytes)
+            routed_payloads: dict[int, list] = {}
+            if task.output_records is not None:
+                routed_payloads = route_output(edge, task.index,
+                                               task.output_records)
+            dsts_and_shares = []
+            for dst in self._dst_indices(edge, task.index):
+                payload = routed_payloads.get(dst)
+                if task.output_records is not None and payload is None:
+                    payload = []
+                dsts_and_shares.append((dst, shares.get(dst, 0.0), payload))
+        for dst, size, payload in dsts_and_shares:
+            delivery = ("root", dst)
+            deliveries.add(delivery)
+            task.delivered_dsts.add(delivery)
+            contribution = Contribution(producer_key=task.key,
+                                        size_bytes=size, payload=payload)
+            if use_agg:
+                self._buffered_push(task, edge, dst, combiner, contribution)
+            else:
+                self._direct_push(task, edge, dst, [contribution], size)
+
+    def _buffered_push(self, task: _TransientTask, edge: Edge, dst: int,
+                       combiner, contribution: Contribution) -> None:
+        run = task.stage_run
+        executor = task.executor
+        key = (executor.executor_id, run.pstage.index, dst)
+        buffer = self._agg_buffers.get(key)
+        if buffer is None:
+            keyed = edge.dep_type is DependencyType.MANY_TO_MANY
+            buffer = AggregationBuffer(
+                self.sim, combiner, keyed,
+                max_tasks=self.config.aggregation_max_tasks,
+                max_delay=self.config.aggregation_max_delay,
+                flush_fn=lambda batch, r=run, e=executor, d=dst:
+                    self._flush_batch(r, e, d, batch))
+            self._agg_buffers[key] = buffer
+            self._buffers_by_executor.setdefault(
+                executor.executor_id, []).append(key)
+        buffer.add(contribution)
+
+    def _flush_batch(self, run: _StageRun, executor: SimExecutor, dst: int,
+                     batch) -> None:
+        root = run.root_tasks[dst]
+
+        def done(result: TransferResult) -> None:
+            if not result.ok:
+                return  # producer evicted; its tasks are being relaunched
+            self.ctx.bytes_pushed += int(batch.merged_size_bytes)
+            share = (batch.merged_size_bytes / len(batch.contributions)
+                     if batch.contributions else 0.0)
+            for contribution in batch.contributions:
+                self._root_received(run, dst, contribution.producer_key,
+                                    share, contribution.payload)
+            for contribution in batch.contributions:
+                self._delivery_done(run, contribution.producer_key,
+                                    ("root", dst))
+
+        self.net.transfer(executor.endpoint, root.executor.endpoint,
+                          batch.merged_size_bytes, done)
+
+    def _direct_push(self, task: _TransientTask, edge: Edge, dst: int,
+                     contributions: list[Contribution], size: float) -> None:
+        run = task.stage_run
+        root = run.root_tasks[dst]
+        attempt = task.attempt
+
+        def done(result: TransferResult) -> None:
+            if not result.ok:
+                return
+            self.ctx.bytes_pushed += int(size)
+            for contribution in contributions:
+                self._root_received(run, dst, contribution.producer_key,
+                                    contribution.size_bytes,
+                                    contribution.payload)
+                self._delivery_done(run, contribution.producer_key,
+                                    ("root", dst))
+
+        self.net.transfer(task.executor.endpoint, root.executor.endpoint,
+                          size, done)
+
+    def _root_received(self, run: _StageRun, dst: int, producer_key: tuple,
+                       size: float, payload: Optional[list]) -> None:
+        root = run.root_tasks[dst]
+        if root.status != _ReservedTask.RECEIVING:
+            return  # late duplicate after the receiver finished
+        if producer_key in root.arrived:
+            return  # exactly-once: ignore duplicate deliveries
+        chain_name = producer_key[0]
+        parent_op = run.chain_by_name(chain_name).terminal.name
+        root.arrived[producer_key] = (size, payload, parent_op)
+
+    def _delivery_done(self, run: _StageRun, producer_key: tuple,
+                       delivery: tuple) -> None:
+        task = run.tasks.get(producer_key)
+        if task is None or task.status != _TransientTask.PUSHING:
+            return
+        task.pending_deliveries.discard(delivery)
+        if not task.pending_deliveries:
+            self._send_commit(task)
+
+    def _write_sink(self, task: _TransientTask) -> None:
+        attempt = task.attempt
+
+        def done(result: TransferResult) -> None:
+            if not result.ok:
+                return
+            self._delivery_done(task.stage_run, task.key, ("__sink__",))
+
+        self.net.transfer(task.executor.endpoint, self.sink_endpoint,
+                          task.output_bytes, done)
+
+    def _send_commit(self, task: _TransientTask) -> None:
+        """Output-commit message through the master (§3.2.5)."""
+        attempt = task.attempt
+
+        def done(result: TransferResult) -> None:
+            if task.attempt != attempt or \
+                    task.status != _TransientTask.PUSHING:
+                return
+            if not result.ok:
+                return  # evicted mid-commit: task will be relaunched
+            self._committed(task)
+
+        self.net.transfer(task.executor.endpoint, self.master_endpoint, 0.0,
+                          done)
+
+    def _committed(self, task: _TransientTask) -> None:
+        task.status = _TransientTask.COMMITTED
+        self.commit_count += 1
+        run = task.stage_run
+        pstage = run.pstage
+        if pstage.has_reserved_root:
+            for ice in pstage.consumers_of(task.chain):
+                if ice.consumer is not pstage.root_chain:
+                    continue
+                if ice.edge.dep_type is DependencyType.MANY_TO_ONE:
+                    # Exactly-once under re-routed attempts: stale arrivals
+                    # of earlier attempts at other receivers are purged.
+                    for root in run.root_tasks:
+                        if ("root", root.index) not in task.delivered_dsts \
+                                and root.status == _ReservedTask.RECEIVING:
+                            root.arrived.pop(task.key, None)
+                    for root in run.root_tasks:
+                        self._maybe_reserved_compute(root)
+                else:
+                    for dst in self._dst_indices(ice.edge, task.index):
+                        root = run.root_tasks[dst]
+                        if root.status == _ReservedTask.RECEIVING:
+                            root.committed.add(task.key)
+                            self._maybe_reserved_compute(root)
+        self._maybe_stage_done(run)
+
+    # ==================================================================
+    # reserved output fetch / repair
+
+    def _fetch_reserved_output(self, op_name: str, pidx: int,
+                               dst_executor: SimExecutor,
+                               on_done: Callable[["_FetchResult"], None],
+                               fraction: float = 1.0) -> None:
+        """Pull a preserved stage output; repairs it first if it was lost
+        to a reserved-executor fault (§3.2.6). ``fraction`` limits the bytes
+        moved (a many-to-many consumer only needs its hash partition)."""
+        key = (op_name, pidx)
+        record = self.outputs.get(key)
+        if record is None or not record.available or \
+                not record.executor.alive:
+            self._waiters.setdefault(key, []).append(
+                lambda: self._fetch_reserved_output(op_name, pidx,
+                                                    dst_executor, on_done,
+                                                    fraction))
+            self._repair_output(op_name, pidx)
+            return
+        if record.executor is dst_executor:
+            on_done(_FetchResult(True, record.size, record.payload))
+            return
+        moved = record.size * fraction
+
+        def done(result: TransferResult) -> None:
+            if not result.ok:
+                if not record.executor.alive:
+                    # Source died mid-transfer: repair and retry.
+                    self._fetch_reserved_output(op_name, pidx, dst_executor,
+                                                on_done, fraction)
+                else:
+                    on_done(_FetchResult(False, 0.0, None))
+                return
+            self.ctx.bytes_shuffled += int(moved)
+            on_done(_FetchResult(True, record.size, record.payload))
+
+        self.net.transfer(record.executor.endpoint, dst_executor.endpoint,
+                          moved, done)
+
+    @staticmethod
+    def _edge_fraction(edge: Edge) -> float:
+        if edge.dep_type is DependencyType.MANY_TO_MANY:
+            return 1.0 / edge.dst.parallelism
+        return 1.0
+
+    def _notify_waiters(self, key: tuple) -> None:
+        waiters = self._waiters.pop(key, [])
+        for waiter in waiters:
+            waiter()
+
+    def _repair_output(self, op_name: str, pidx: int) -> None:
+        """Re-run the reserved task (and its producers) whose preserved
+        output was lost."""
+        record = self.outputs.get((op_name, pidx))
+        if record is not None and record.available and \
+                record.executor.alive:
+            return
+        pstage = self.plan.stage_of_reserved_op(op_name)
+        run = self.stage_runs[pstage.index]
+        root = run.root_tasks[pidx]
+        if root.status != _ReservedTask.DONE and root.executor is not None \
+                and root.executor.alive:
+            return  # already being (re)computed
+        self.outputs.pop((op_name, pidx), None)
+        self.reserved_repairs += 1
+        consumed = set(root.consumed_keys)
+        root.reset()
+        # Relaunch every transient producer routing into this receiver.
+        self._launch_reserved_task(root)
+        to_relaunch = set(root.expected)
+        # Affinity-routed producers: re-run exactly the historical subset
+        # this receiver consumed, pinning their route back to it so the
+        # repaired output matches what downstream consumers already saw.
+        for ice in pstage.producers_into(pstage.root_chain):
+            if ice.edge.dep_type is not DependencyType.MANY_TO_ONE:
+                continue
+            for i in range(ice.producer.parallelism):
+                pkey = (ice.producer.name, i)
+                if pkey in consumed:
+                    self._forced_mo_dst[(pstage.index, pkey)] = root.index
+                    to_relaunch.add(pkey)
+        for pkey in to_relaunch:
+            producer = run.tasks[pkey]
+            if producer.status in (_TransientTask.COMMITTED,
+                                   _TransientTask.PUSHING):
+                producer.reset()
+            if producer.status == _TransientTask.PENDING:
+                self._maybe_submit(producer)
+
+    # ==================================================================
+    # container loss
+
+    def _on_container_lost(self, container, replacement) -> None:
+        if container.is_reserved:
+            self._reserved_lost(container)
+        else:
+            self._transient_lost(container)
+
+    def _transient_lost(self, container) -> None:
+        executor = self._find_executor(container)
+        if executor is None:
+            return
+        self.scheduler.remove_executor(executor)
+        # Drop aggregation buffers (their contents died with the executor).
+        for key in self._buffers_by_executor.pop(executor.executor_id, []):
+            buffer = self._agg_buffers.pop(key, None)
+            if buffer is not None:
+                buffer.discard()
+        for run in self.stage_runs:
+            # Local outputs on the evicted executor are gone.
+            lost = [k for k, (ex, _, _) in run.local_outputs.items()
+                    if ex is executor]
+            for k in lost:
+                run.local_outputs.pop(k, None)
+            # §3.2.5: relaunch only the uncommitted tasks scheduled there.
+            for task in run.tasks.values():
+                if task.executor is executor and task.status in (
+                        _TransientTask.ASSIGNED, _TransientTask.RUNNING,
+                        _TransientTask.PUSHING):
+                    task.reset()
+                    self._maybe_submit(task)
+
+    def _reserved_lost(self, container) -> None:
+        executor = self._find_executor(container)
+        if executor is None:
+            return
+        if executor in self.reserved_executors:
+            self.reserved_executors.remove(executor)
+        if not any(e.alive for e in self.reserved_executors):
+            raise ExecutionError("all reserved executors lost; cannot recover")
+        # Preserved outputs on the failed machine are lost; consumers will
+        # trigger repairs lazily, but receivers of *running* stages must be
+        # reassigned right away.
+        for key, record in list(self.outputs.items()):
+            if record.executor is executor:
+                record.available = False
+        for run in self.stage_runs:
+            if run.status != _StageRun.RUNNING:
+                continue
+            for root in run.root_tasks:
+                if root.executor is executor and \
+                        root.status != _ReservedTask.DONE:
+                    root.reset()
+                    self._launch_reserved_task(root)
+                    to_relaunch = set(root.expected)
+                    # Affinity-routed producers whose deliveries targeted the
+                    # dead receiver must re-push (the stage is still running,
+                    # so any receiver assignment remains valid).
+                    for ice in run.pstage.producers_into(
+                            run.pstage.root_chain):
+                        if ice.edge.dep_type is not \
+                                DependencyType.MANY_TO_ONE:
+                            continue
+                        for i in range(ice.producer.parallelism):
+                            pkey = (ice.producer.name, i)
+                            producer = run.tasks[pkey]
+                            if ("root", root.index) in \
+                                    producer.delivered_dsts:
+                                to_relaunch.add(pkey)
+                    for pkey in to_relaunch:
+                        producer = run.tasks[pkey]
+                        if producer.status in (_TransientTask.COMMITTED,
+                                               _TransientTask.PUSHING):
+                            producer.reset()
+                        if producer.status == _TransientTask.PENDING:
+                            self._maybe_submit(producer)
+
+    def _find_executor(self, container) -> Optional[SimExecutor]:
+        for executor in self.scheduler.executors:
+            if executor.container is container:
+                return executor
+        for executor in self.reserved_executors:
+            if executor.container is container:
+                return executor
+        return None
+
+    # ==================================================================
+    # master fault tolerance (§3.2.6)
+
+    def _snapshot_progress(self) -> None:
+        """Periodically replicate the progress record."""
+        self.replicated_done_stages = {
+            run.pstage.index for run in self.stage_runs
+            if run.status == _StageRun.DONE}
+        if not self.completed:
+            self.sim.schedule(self.config.progress_replication_interval,
+                              self._snapshot_progress)
+
+    def fail_master(self) -> None:
+        """Simulate a master crash + restart from replicated metadata.
+
+        Stages whose completion was not yet replicated are re-run (their
+        preserved data still exists, but the new master has no record of
+        it); the currently running stages restart from scratch.
+        """
+        for run in self.stage_runs:
+            if run.pstage.index in self.replicated_done_stages:
+                continue
+            if run.status == _StageRun.WAITING:
+                continue
+            self._restart_stage(run)
+        for run in self.stage_runs:
+            if run.status == _StageRun.WAITING and all(
+                    self._run_of(p).status == _StageRun.DONE
+                    for p in run.pstage.stage.parents):
+                self._start_stage(run)
+
+    def _restart_stage(self, run: _StageRun) -> None:
+        root_name = run.pstage.root_chain.terminal.name
+        for idx in range(run.pstage.root_chain.parallelism):
+            self.outputs.pop((root_name, idx), None)
+        run.local_outputs.clear()
+        run.status = _StageRun.WAITING
+        for task in run.tasks.values():
+            if task.status != _TransientTask.PENDING:
+                executor = task.executor
+                held_slot = task.status in (_TransientTask.ASSIGNED,
+                                            _TransientTask.RUNNING)
+                task.reset()
+                if held_slot and executor is not None and executor.alive:
+                    executor.release_slot()
+        for root in run.root_tasks:
+            root.reset()
+        if all(self._run_of(p).status == _StageRun.DONE
+               for p in run.pstage.stage.parents):
+            self._start_stage(run)
+
+
+class _FetchResult:
+    """Outcome of a reserved-output fetch."""
+
+    __slots__ = ("ok", "size", "payload")
+
+    def __init__(self, ok: bool, size: float,
+                 payload: Optional[list]) -> None:
+        self.ok = ok
+        self.size = size
+        self.payload = payload

@@ -1,0 +1,128 @@
+"""Execution plan generation (§3.2.2).
+
+Converts the compiler's DAG of Pado Stages into physical structure: within
+each stage, neighbouring operators on the same container type are fused into
+chains, chains expand into parallel tasks, and logical edges become data
+movements — boundary edges are pulls from parent stages' reserved outputs or
+the input store, intra-stage edges into the reserved root are eviction-
+escaping pushes, and (rare) transient-to-transient intra-stage edges are
+local pulls between executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler.fusion import FusedOperator, fuse_operators
+from repro.core.compiler.partitioning import Stage
+from repro.core.compiler.pipeline import CompiledJob
+from repro.dataflow.dag import Edge, Placement
+from repro.errors import CompilerError
+
+
+@dataclass
+class InterChainEdge:
+    """A logical edge between two fused chains of the same stage."""
+
+    producer: FusedOperator
+    edge: Edge                 # producer.terminal -> consumer.head
+    consumer: FusedOperator
+
+
+class PhysicalStage:
+    """One stage's physical structure."""
+
+    def __init__(self, index: int, stage: Stage,
+                 chains: list[FusedOperator]) -> None:
+        self.index = index
+        self.stage = stage
+        self.chains = chains
+        roots = [c for c in chains if c.contains(stage.root_op)]
+        if len(roots) != 1:
+            raise CompilerError(
+                f"stage {stage.stage_id}: root operator belongs to "
+                f"{len(roots)} chains")
+        self.root_chain = roots[0]
+        if self.root_chain.placement is Placement.TRANSIENT:
+            # Transient-sink stage: the root chain itself runs on transient
+            # executors and writes to the job sink.
+            self.transient_chains = list(chains)
+        else:
+            self.transient_chains = [c for c in chains
+                                     if c is not self.root_chain]
+        member_of = {op.name: c for c in chains for op in c.ops}
+        self.inter_chain_edges: list[InterChainEdge] = []
+        for chain in chains:
+            for edge in chain.external_in_edges():
+                producer = member_of.get(edge.src.name)
+                if producer is not None:
+                    self.inter_chain_edges.append(
+                        InterChainEdge(producer=producer, edge=edge,
+                                       consumer=chain))
+
+    @property
+    def has_reserved_root(self) -> bool:
+        return self.root_chain.placement is Placement.RESERVED
+
+    def boundary_edges(self, chain: FusedOperator) -> list[Edge]:
+        """Edges into ``chain`` from reserved operators of parent stages."""
+        member_names = {op.name for c in self.chains for op in c.ops}
+        return [e for e in chain.external_in_edges()
+                if e.src.name not in member_names]
+
+    def consumers_of(self, chain: FusedOperator) -> list[InterChainEdge]:
+        return [ice for ice in self.inter_chain_edges
+                if ice.producer is chain]
+
+    def producers_into(self, chain: FusedOperator) -> list[InterChainEdge]:
+        return [ice for ice in self.inter_chain_edges
+                if ice.consumer is chain]
+
+    @property
+    def task_count(self) -> int:
+        """Physical tasks this stage launches in a failure-free run."""
+        total = self.root_chain.parallelism if self.has_reserved_root else 0
+        total += sum(c.parallelism for c in self.transient_chains)
+        return total
+
+    def __repr__(self) -> str:
+        names = "; ".join(c.name for c in self.chains)
+        return f"<PhysicalStage {self.index} [{names}]>"
+
+
+class ExecutionPlan:
+    """Physical plan for a whole job: stages in topological order."""
+
+    def __init__(self, compiled: CompiledJob,
+                 stages: list[PhysicalStage]) -> None:
+        self.compiled = compiled
+        self.stages = stages
+        self._by_root_op: dict[str, PhysicalStage] = {}
+        for pstage in stages:
+            if pstage.has_reserved_root:
+                self._by_root_op[pstage.stage.root_op.name] = pstage
+
+    def stage_of_reserved_op(self, op_name: str) -> PhysicalStage:
+        """The stage whose reserved root is ``op_name`` (boundary fetches)."""
+        try:
+            return self._by_root_op[op_name]
+        except KeyError:
+            raise CompilerError(
+                f"no stage rooted at reserved operator {op_name!r}") from None
+
+    def parent_indices(self, pstage: PhysicalStage) -> list[int]:
+        order = {id(ps.stage): ps.index for ps in self.stages}
+        return sorted(order[id(parent)] for parent in pstage.stage.parents)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(ps.task_count for ps in self.stages)
+
+
+def build_execution_plan(compiled: CompiledJob) -> ExecutionPlan:
+    """Fuse each stage's operators and index the stages topologically."""
+    stages = []
+    for index, stage in enumerate(compiled.stage_dag.topological()):
+        chains = fuse_operators(compiled.logical, stage.operators)
+        stages.append(PhysicalStage(index=index, stage=stage, chains=chains))
+    return ExecutionPlan(compiled=compiled, stages=stages)

@@ -1,0 +1,161 @@
+"""Task scheduling across transient executors (§3.2.3).
+
+The task scheduler assigns pending transient tasks to executors with free
+task slots. The policy is pluggable; the default mirrors the paper: pick an
+executor that has the task's input data cached (cache-aware), otherwise
+round-robin over executors with free slots, otherwise wait for a slot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional, Protocol
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # avoid a circular import; used in annotations only
+    from repro.engines.base import SimExecutor
+
+
+class SchedulableTask(Protocol):
+    """What the scheduler needs to know about a task."""
+
+    cache_keys: set          # input keys that may be cached on executors
+
+    def assign(self, executor: "SimExecutor") -> None: ...
+
+
+class SchedulingPolicy:
+    """Chooses an executor (with a free slot) for a task."""
+
+    def pick(self, task: SchedulableTask,
+             candidates: list[SimExecutor]) -> Optional[SimExecutor]:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Plain round-robin over executors with free slots."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(self, task: SchedulableTask,
+             candidates: list[SimExecutor]) -> Optional[SimExecutor]:
+        if not candidates:
+            return None
+        self._cursor = (self._cursor + 1) % len(candidates)
+        return candidates[self._cursor]
+
+
+class CacheAwarePolicy(SchedulingPolicy):
+    """Prefer executors holding the task's inputs in cache (§3.2.7),
+    falling back to round-robin."""
+
+    def __init__(self) -> None:
+        self._fallback = RoundRobinPolicy()
+
+    def pick(self, task: SchedulableTask,
+             candidates: list[SimExecutor]) -> Optional[SimExecutor]:
+        if not candidates:
+            return None
+        best: Optional[SimExecutor] = None
+        best_hits = 0
+        for executor in candidates:
+            if executor.cache is None or not task.cache_keys:
+                continue
+            hits = sum(1 for key in task.cache_keys if key in executor.cache)
+            if hits > best_hits:
+                best, best_hits = executor, hits
+        if best is not None:
+            return best
+        return self._fallback.pick(task, candidates)
+
+
+class LifetimeAwarePolicy(SchedulingPolicy):
+    """§6 extension: place heavy tasks on longer-lived resource classes.
+
+    With heterogeneous transient pools, a task whose static compute weight
+    exceeds ``heavy_threshold`` goes to the free executor whose pool has
+    the longest *estimated* lifetime; lighter tasks go to the shortest-
+    lived ones, keeping the durable capacity available for expensive work.
+    Ties and cache affinity fall back to the cache-aware policy.
+    """
+
+    def __init__(self, heavy_threshold: float = 2.0) -> None:
+        self.heavy_threshold = heavy_threshold
+        self._fallback = CacheAwarePolicy()
+
+    def pick(self, task: SchedulableTask,
+             candidates: list["SimExecutor"]) -> Optional["SimExecutor"]:
+        if not candidates:
+            return None
+        weight = getattr(task, "weight", 0.0)
+        lifetimes = {e.container.expected_lifetime for e in candidates}
+        if len(lifetimes) <= 1:
+            # Homogeneous pool in view: nothing to discriminate on.
+            return self._fallback.pick(task, candidates)
+        if weight > self.heavy_threshold:
+            target = max(candidates,
+                         key=lambda e: e.container.expected_lifetime)
+        else:
+            target = min(candidates,
+                         key=lambda e: e.container.expected_lifetime)
+        return target
+
+
+class TaskScheduler:
+    """Queue of pending transient tasks plus the executor pool."""
+
+    def __init__(self, policy: Optional[SchedulingPolicy] = None) -> None:
+        self._policy = policy or CacheAwarePolicy()
+        self._executors: dict[int, SimExecutor] = {}
+        self._queue: deque = deque()
+
+    # ------------------------------------------------------------------
+    # executor pool
+
+    def add_executor(self, executor: SimExecutor) -> None:
+        if executor.executor_id in self._executors:
+            raise SchedulingError(
+                f"executor {executor.executor_id} registered twice")
+        self._executors[executor.executor_id] = executor
+        self.dispatch()
+
+    def remove_executor(self, executor: SimExecutor) -> None:
+        self._executors.pop(executor.executor_id, None)
+
+    @property
+    def executors(self) -> list[SimExecutor]:
+        return list(self._executors.values())
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # task flow
+
+    def submit(self, task: SchedulableTask) -> None:
+        """Enqueue a task; it is assigned as soon as a slot frees up."""
+        self._queue.append(task)
+        self.dispatch()
+
+    def slot_released(self) -> None:
+        """Notify that some executor freed a slot."""
+        self.dispatch()
+
+    def dispatch(self) -> None:
+        """Assign as many queued tasks as free slots allow."""
+        while self._queue:
+            candidates = [e for e in self._executors.values()
+                          if e.alive and e.free_slots > 0]
+            if not candidates:
+                return
+            task = self._queue.popleft()
+            executor = self._policy.pick(task, candidates)
+            if executor is None:
+                self._queue.appendleft(task)
+                return
+            if not executor.acquire_slot():
+                raise SchedulingError("policy picked a full executor")
+            task.assign(executor)

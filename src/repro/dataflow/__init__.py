@@ -1,0 +1,27 @@
+"""Beam-like dataflow programming model (§2.2, §4).
+
+Programs build a :class:`~repro.dataflow.dag.LogicalDAG` of operators joined
+by typed edges (one-to-one, one-to-many, many-to-one, many-to-many) — the
+representation the Pado compiler operates on. A local reference runner
+evaluates real-data programs for ground truth.
+"""
+
+from repro.dataflow.dag import (DependencyType, Edge, LogicalDAG, OpCost,
+                                Operator, Placement, SourceKind,
+                                destination_indices, route_output,
+                                route_sizes, source_indices)
+from repro.dataflow.functions import (CombineFn, FilterFn, FlatMapFn,
+                                      GlobalCombineFn, KeyedReduceFn, MapFn,
+                                      MapWithSideFn, RawFn, SumCombiner,
+                                      binary_combiner, single_parent_records)
+from repro.dataflow.local_runner import LocalResult, LocalRunner
+from repro.dataflow.transforms import PCollection, Pipeline
+
+__all__ = [
+    "CombineFn", "DependencyType", "Edge", "FilterFn", "FlatMapFn",
+    "GlobalCombineFn", "KeyedReduceFn", "LocalResult", "LocalRunner",
+    "LogicalDAG", "MapFn", "MapWithSideFn", "OpCost", "Operator",
+    "PCollection", "Pipeline", "Placement", "RawFn", "SourceKind",
+    "SumCombiner", "binary_combiner", "destination_indices", "route_output",
+    "route_sizes", "single_parent_records", "source_indices",
+]

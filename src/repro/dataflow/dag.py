@@ -1,0 +1,331 @@
+"""Logical DAG model: operators, typed edges, and data routing.
+
+Dataflow programs are represented as logical DAGs in which each vertex is an
+operator and each edge carries one of the paper's four dependency types
+(§2.2): one-to-one, one-to-many, many-to-one, and many-to-many. The Pado
+compiler consumes exactly this representation (Algorithms 1 and 2), and the
+engines expand it into physical tasks.
+
+Routing semantics (shared by the local reference runner and all engines):
+
+* one-to-one    — parent task *i* feeds child task *i* only;
+* one-to-many   — every parent task's output is broadcast to all child tasks;
+* many-to-one   — parent task *i* feeds child task ``i % child_parallelism``
+  (the tree-aggregation pattern);
+* many-to-many  — each parent task hash-partitions its keyed output across
+  all child tasks (a shuffle).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import DagError
+
+
+class DependencyType(enum.Enum):
+    """The four data-flow dependency types of §2.2."""
+
+    ONE_TO_ONE = "one-to-one"
+    ONE_TO_MANY = "one-to-many"
+    MANY_TO_ONE = "many-to-one"
+    MANY_TO_MANY = "many-to-many"
+
+    @property
+    def is_wide(self) -> bool:
+        """True for the dependencies whose eviction forces recomputation of
+        *multiple* parent tasks (many-to-many and many-to-one, §3.1.1)."""
+        return self in (DependencyType.MANY_TO_ONE,
+                        DependencyType.MANY_TO_MANY)
+
+    @property
+    def is_shuffle(self) -> bool:
+        """True for the dependency Spark treats as a stage boundary."""
+        return self.is_wide
+
+
+class Placement(enum.Enum):
+    """Where the compiler decided an operator's tasks run (§3.1.1)."""
+
+    UNPLACED = "unplaced"
+    TRANSIENT = "transient"
+    RESERVED = "reserved"
+
+
+class SourceKind(enum.Enum):
+    """How a source operator obtains its data (Algorithm 1, lines 12-16)."""
+
+    READ = "read"          # reads bulk data from a storage -> transient
+    CREATED = "created"    # creates lightweight data in memory -> reserved
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost hints for synthetic (paper-scale) execution.
+
+    ``output_ratio`` scales input bytes to output bytes; alternatively
+    ``fixed_output_bytes`` pins each task's output size (e.g. a gradient
+    vector is 323 MB regardless of input size, §5.2.2). ``compute_factor``
+    scales the node's base CPU throughput for compute-heavy operators, and
+    ``fixed_compute_seconds`` adds a constant per-task latency.
+    """
+
+    output_ratio: float = 1.0
+    fixed_output_bytes: Optional[int] = None
+    compute_factor: float = 1.0
+    fixed_compute_seconds: float = 0.0
+
+    def output_bytes(self, input_bytes: float) -> int:
+        if self.fixed_output_bytes is not None:
+            return self.fixed_output_bytes
+        return int(input_bytes * self.output_ratio)
+
+
+class Operator:
+    """A vertex of the logical DAG.
+
+    ``fn`` implements real-data execution: it maps ``{parent_name: records}``
+    to this task's output records. Synthetic programs leave ``fn`` None and
+    drive everything from ``cost``. ``combiner`` (a
+    :class:`~repro.dataflow.functions.CombineFn`) enables the runtime's
+    partial-aggregation optimization; ``cacheable`` opts the operator's input
+    into the task-input cache (both §3.2.7).
+    """
+
+    def __init__(self, name: str, parallelism: int,
+                 fn: Optional[Callable[[dict[str, list]], list]] = None,
+                 source_kind: Optional[SourceKind] = None,
+                 input_ref: Optional[str] = None,
+                 partition_bytes: Optional[Sequence[int]] = None,
+                 cost: OpCost = OpCost(),
+                 combiner: Optional[Any] = None,
+                 cacheable: bool = False,
+                 record_bytes: int = 100) -> None:
+        if parallelism <= 0:
+            raise DagError(f"operator {name!r} needs positive parallelism")
+        if partition_bytes is not None and len(partition_bytes) != parallelism:
+            raise DagError(
+                f"operator {name!r}: partition_bytes must have one entry per "
+                f"task ({len(partition_bytes)} != {parallelism})")
+        self.name = name
+        self.parallelism = parallelism
+        self.fn = fn
+        self.source_kind = source_kind
+        self.input_ref = input_ref
+        self.partition_bytes = (None if partition_bytes is None
+                                else list(partition_bytes))
+        self.cost = cost
+        self.combiner = combiner
+        self.cacheable = cacheable
+        self.record_bytes = record_bytes
+        self.placement = Placement.UNPLACED
+
+    @property
+    def is_source(self) -> bool:
+        return self.source_kind is not None
+
+    def __repr__(self) -> str:
+        return (f"<Operator {self.name} x{self.parallelism} "
+                f"{self.placement.value}>")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A typed dependency between two operators.
+
+    ``key_fn`` overrides how many-to-many shuffles extract the partitioning
+    key from a record (default: the first element of a ``(key, value)``
+    tuple) — e.g. ALS shuffles the same rating triples once by user and once
+    by item.
+    """
+
+    src: Operator
+    dst: Operator
+    dep_type: DependencyType
+    key_fn: Optional[Callable[[Any], Any]] = field(default=None,
+                                                   compare=False)
+
+    def __repr__(self) -> str:
+        return f"<Edge {self.src.name} -[{self.dep_type.value}]-> {self.dst.name}>"
+
+
+class LogicalDAG:
+    """A logical DAG of operators with typed edges."""
+
+    def __init__(self) -> None:
+        self._operators: list[Operator] = []
+        self._by_name: dict[str, Operator] = {}
+        self._in_edges: dict[str, list[Edge]] = {}
+        self._out_edges: dict[str, list[Edge]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_operator(self, op: Operator) -> Operator:
+        if op.name in self._by_name:
+            raise DagError(f"duplicate operator name {op.name!r}")
+        self._operators.append(op)
+        self._by_name[op.name] = op
+        self._in_edges[op.name] = []
+        self._out_edges[op.name] = []
+        return op
+
+    def connect(self, src: Operator, dst: Operator,
+                dep_type: DependencyType,
+                key_fn: Optional[Callable[[Any], Any]] = None) -> Edge:
+        for op in (src, dst):
+            if self._by_name.get(op.name) is not op:
+                raise DagError(f"operator {op.name!r} not in this DAG")
+        if any(e.dst is dst for e in self._out_edges[src.name]):
+            raise DagError(
+                f"duplicate edge {src.name!r} -> {dst.name!r}")
+        if dep_type is DependencyType.ONE_TO_ONE and \
+                src.parallelism != dst.parallelism:
+            raise DagError(
+                f"one-to-one edge {src.name!r} -> {dst.name!r} requires equal "
+                f"parallelism ({src.parallelism} != {dst.parallelism})")
+        edge = Edge(src=src, dst=dst, dep_type=dep_type, key_fn=key_fn)
+        self._out_edges[src.name].append(edge)
+        self._in_edges[dst.name].append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # inspection
+
+    @property
+    def operators(self) -> list[Operator]:
+        return list(self._operators)
+
+    def operator(self, name: str) -> Operator:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DagError(f"no operator named {name!r}") from None
+
+    def in_edges(self, op: Operator) -> list[Edge]:
+        return list(self._in_edges[op.name])
+
+    def out_edges(self, op: Operator) -> list[Edge]:
+        return list(self._out_edges[op.name])
+
+    def parents(self, op: Operator) -> list[Operator]:
+        return [e.src for e in self._in_edges[op.name]]
+
+    def children(self, op: Operator) -> list[Operator]:
+        return [e.dst for e in self._out_edges[op.name]]
+
+    def sources(self) -> list[Operator]:
+        return [op for op in self._operators if not self._in_edges[op.name]]
+
+    def sinks(self) -> list[Operator]:
+        return [op for op in self._operators if not self._out_edges[op.name]]
+
+    def topological_sort(self) -> list[Operator]:
+        """Deterministic topological order (stable w.r.t. insertion order)."""
+        indegree = {op.name: len(self._in_edges[op.name])
+                    for op in self._operators}
+        ready = [op for op in self._operators if indegree[op.name] == 0]
+        order: list[Operator] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for edge in self._out_edges[op.name]:
+                indegree[edge.dst.name] -= 1
+                if indegree[edge.dst.name] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._operators):
+            raise DagError("logical DAG contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`DagError` if broken."""
+        self.topological_sort()  # raises on cycles
+        for op in self._operators:
+            if op.is_source and self._in_edges[op.name]:
+                raise DagError(f"source operator {op.name!r} has in-edges")
+            if not op.is_source and not self._in_edges[op.name]:
+                raise DagError(
+                    f"operator {op.name!r} has no in-edges but is not marked "
+                    f"as a source")
+            if op.source_kind is SourceKind.READ and op.input_ref is None \
+                    and op.fn is None:
+                raise DagError(
+                    f"read source {op.name!r} needs an input_ref or fn")
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+
+# ----------------------------------------------------------------------
+# routing
+
+
+def route_output(edge: Edge, src_task_index: int,
+                 records: Sequence[Any]) -> dict[int, list[Any]]:
+    """Split one parent task's output records across child task indices
+    according to the edge's dependency type (real-data mode)."""
+    n = edge.dst.parallelism
+    dep = edge.dep_type
+    if dep is DependencyType.ONE_TO_ONE:
+        return {src_task_index: list(records)}
+    if dep is DependencyType.ONE_TO_MANY:
+        return {j: list(records) for j in range(n)}
+    if dep is DependencyType.MANY_TO_ONE:
+        return {src_task_index % n: list(records)}
+    # many-to-many: hash-partition keyed records.
+    buckets: dict[int, list[Any]] = {j: [] for j in range(n)}
+    for record in records:
+        key = _record_key(edge, record)
+        buckets[hash(key) % n].append(record)
+    return {j: recs for j, recs in buckets.items() if recs}
+
+
+def route_sizes(edge: Edge, src_task_index: int,
+                output_bytes: float) -> dict[int, float]:
+    """Split one parent task's output *bytes* across child task indices
+    (synthetic mode). Mirrors :func:`route_output`."""
+    n = edge.dst.parallelism
+    dep = edge.dep_type
+    if dep is DependencyType.ONE_TO_ONE:
+        return {src_task_index: output_bytes}
+    if dep is DependencyType.ONE_TO_MANY:
+        return {j: output_bytes for j in range(n)}
+    if dep is DependencyType.MANY_TO_ONE:
+        return {src_task_index % n: output_bytes}
+    share = output_bytes / n
+    return {j: share for j in range(n)}
+
+
+def destination_indices(edge: Edge, src_task_index: int) -> list[int]:
+    """Child task indices that receive data from this parent task."""
+    n = edge.dst.parallelism
+    dep = edge.dep_type
+    if dep is DependencyType.ONE_TO_ONE:
+        return [src_task_index]
+    if dep is DependencyType.MANY_TO_ONE:
+        return [src_task_index % n]
+    return list(range(n))
+
+
+def source_indices(edge: Edge, dst_task_index: int) -> list[int]:
+    """Parent task indices whose output a child task depends on."""
+    m = edge.src.parallelism
+    dep = edge.dep_type
+    if dep is DependencyType.ONE_TO_ONE:
+        return [dst_task_index]
+    if dep is DependencyType.MANY_TO_ONE:
+        return [i for i in range(m)
+                if i % edge.dst.parallelism == dst_task_index]
+    return list(range(m))
+
+
+def _record_key(edge: Edge, record: Any) -> Any:
+    if edge.key_fn is not None:
+        return edge.key_fn(record)
+    if isinstance(record, tuple) and len(record) == 2:
+        return record[0]
+    raise DagError(
+        f"many-to-many edge {edge.src.name!r} -> {edge.dst.name!r} requires "
+        f"(key, value) records, got {type(record).__name__}")

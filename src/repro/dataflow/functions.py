@@ -1,0 +1,209 @@
+"""User-defined function wrappers for real-data execution.
+
+Operators carry an ``fn`` mapping ``{parent_name: records}`` to output
+records. The classes here adapt common patterns (map, flat-map, filter,
+keyed reduction, global combination, side inputs) to that signature, in the
+spirit of Beam's ``ParDo`` and ``Combine`` transforms (§4 of the paper).
+
+:class:`CombineFn` is the contract the runtime's partial-aggregation
+optimization relies on (§3.2.7): the combine logic must be commutative and
+associative so that outputs can be merged on transient executors and on
+reserved executors on the fly, and ``merged_size_bytes`` tells the simulator
+how partial aggregation shrinks transfer sizes (e.g. summing gradient vectors
+keeps the size constant instead of growing linearly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import DagError
+
+
+def single_parent_records(inputs: dict[str, list]) -> list:
+    """Flatten the inputs of an operator expected to have one parent."""
+    if len(inputs) != 1:
+        raise DagError(
+            f"expected exactly one parent, got {sorted(inputs)!r}")
+    return next(iter(inputs.values()))
+
+
+class MapFn:
+    """Apply ``f`` to every input record (Beam ``ParDo`` with 1:1 output)."""
+
+    def __init__(self, f: Callable[[Any], Any]) -> None:
+        self._f = f
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        return [self._f(record) for record in single_parent_records(inputs)]
+
+
+class FlatMapFn:
+    """Apply ``f`` to every record and concatenate the iterables it returns."""
+
+    def __init__(self, f: Callable[[Any], Iterable[Any]]) -> None:
+        self._f = f
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        out: list[Any] = []
+        for record in single_parent_records(inputs):
+            out.extend(self._f(record))
+        return out
+
+
+class FilterFn:
+    """Keep the records for which ``predicate`` is true."""
+
+    def __init__(self, predicate: Callable[[Any], bool]) -> None:
+        self._predicate = predicate
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        return [r for r in single_parent_records(inputs) if self._predicate(r)]
+
+
+class MapWithSideFn:
+    """Apply ``f(record, side_value)`` where the side input is the broadcast
+    (one-to-many) parent — e.g. the latest model in MLR (§3.2.7)."""
+
+    def __init__(self, f: Callable[[Any, Any], Any], side: str) -> None:
+        self._f = f
+        self.side = side
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        if self.side not in inputs:
+            raise DagError(f"missing side input {self.side!r}")
+        side_records = inputs[self.side]
+        if len(side_records) != 1:
+            raise DagError(
+                f"side input {self.side!r} must be a single record, got "
+                f"{len(side_records)}")
+        side_value = side_records[0]
+        mains = [recs for name, recs in inputs.items() if name != self.side]
+        if len(mains) != 1:
+            raise DagError("expected exactly one main input")
+        return [self._f(record, side_value) for record in mains[0]]
+
+
+class CombineFn:
+    """Commutative, associative combination — the paper's requirement for
+    task-output partial aggregation (§3.2.7).
+
+    Subclasses (or instances built via :func:`binary_combiner`) must satisfy
+    ``merge(merge(a, b), c) == merge(a, merge(b, c))`` and
+    ``merge(a, b) == merge(b, a)`` up to the semantics of the payload.
+    """
+
+    def create(self) -> Any:
+        """Return the identity accumulator."""
+        raise NotImplementedError
+
+    def add(self, accumulator: Any, value: Any) -> Any:
+        """Fold one input value into the accumulator."""
+        return self.merge(accumulator, value)
+
+    def merge(self, left: Any, right: Any) -> Any:
+        """Merge two accumulators."""
+        raise NotImplementedError
+
+    def extract(self, accumulator: Any) -> Any:
+        """Produce the final output value from an accumulator."""
+        return accumulator
+
+    def merged_size_bytes(self, sizes: Sequence[float]) -> float:
+        """Simulated size of ``merge``-ing payloads of the given sizes.
+
+        The default (max) models fixed-width accumulators such as gradient
+        vectors: merging never grows the payload. Concatenation-like
+        combiners should override this with ``sum``.
+        """
+        return max(sizes) if sizes else 0.0
+
+
+class _BinaryCombiner(CombineFn):
+    def __init__(self, merge_fn: Callable[[Any, Any], Any], identity: Any,
+                 size_mode: str) -> None:
+        self._merge = merge_fn
+        self._identity = identity
+        if size_mode not in ("max", "sum"):
+            raise ValueError("size_mode must be 'max' or 'sum'")
+        self._size_mode = size_mode
+
+    def create(self) -> Any:
+        return self._identity
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return self._merge(left, right)
+
+    def merged_size_bytes(self, sizes: Sequence[float]) -> float:
+        if not sizes:
+            return 0.0
+        return max(sizes) if self._size_mode == "max" else sum(sizes)
+
+
+def binary_combiner(merge_fn: Callable[[Any, Any], Any], identity: Any,
+                    size_mode: str = "max") -> CombineFn:
+    """Build a :class:`CombineFn` from a binary merge function."""
+    return _BinaryCombiner(merge_fn, identity, size_mode)
+
+
+class SumCombiner(CombineFn):
+    """Numeric sum (the canonical commutative/associative combiner)."""
+
+    def create(self) -> Any:
+        return 0
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return left + right
+
+
+class KeyedReduceFn:
+    """Group ``(key, value)`` records by key and reduce each group.
+
+    Used as the operator function of shuffle consumers (Reduce in MR). The
+    output is a sorted list of ``(key, reduced_value)`` so results are
+    deterministic regardless of arrival order — important because engines
+    deliver shuffled partitions in different orders under evictions.
+    """
+
+    def __init__(self, combiner: CombineFn) -> None:
+        self.combiner = combiner
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        groups: dict[Any, Any] = {}
+        for records in inputs.values():
+            for key, value in records:
+                if key in groups:
+                    groups[key] = self.combiner.add(groups[key], value)
+                else:
+                    groups[key] = self.combiner.add(self.combiner.create(),
+                                                    value)
+        return sorted(groups.items(), key=lambda kv: repr(kv[0]))
+
+
+class GlobalCombineFn:
+    """Merge all input values into one accumulator (tree aggregation step).
+
+    The inputs may be raw values or partial accumulators from upstream
+    partial aggregation — indistinguishable by design, since the combine
+    logic is associative.
+    """
+
+    def __init__(self, combiner: CombineFn) -> None:
+        self.combiner = combiner
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        acc = self.combiner.create()
+        for records in inputs.values():
+            for value in records:
+                acc = self.combiner.merge(acc, value)
+        return [self.combiner.extract(acc)]
+
+
+class RawFn:
+    """Escape hatch: run an arbitrary callable over the full input dict."""
+
+    def __init__(self, f: Callable[[dict[str, list]], list]) -> None:
+        self._f = f
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        return self._f(inputs)

@@ -1,0 +1,222 @@
+"""Beam-like pipeline construction API (§4 of the paper).
+
+Programs are written against :class:`Pipeline` / :class:`PCollection` and
+compile down to the :class:`~repro.dataflow.dag.LogicalDAG` the Pado compiler
+consumes. Narrow transforms (``map``, ``flat_map``, ``filter``) create
+one-to-one edges; ``with_side_input`` adds a one-to-many broadcast edge;
+``reduce_by_key`` creates a many-to-many shuffle; ``aggregate`` creates a
+many-to-one tree aggregation.
+
+Example
+-------
+>>> p = Pipeline("wordcount")
+>>> lines = p.read("read", partitions=[["a b", "b"], ["a"]])
+>>> words = lines.flat_map("split", str.split)
+>>> pairs = words.map("pair", lambda w: (w, 1))
+>>> counts = pairs.reduce_by_key("count", SumCombiner(), parallelism=2)
+>>> dag = p.to_dag()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
+                                SourceKind)
+from repro.dataflow.functions import (CombineFn, FilterFn, FlatMapFn,
+                                      GlobalCombineFn, KeyedReduceFn, MapFn,
+                                      MapWithSideFn)
+from repro.errors import DagError
+
+
+class PCollection:
+    """Handle to an operator's output within a pipeline under construction."""
+
+    def __init__(self, pipeline: "Pipeline", op: Operator) -> None:
+        self.pipeline = pipeline
+        self.op = op
+
+    @property
+    def parallelism(self) -> int:
+        return self.op.parallelism
+
+    # ------------------------------------------------------------------
+    # narrow (one-to-one) transforms
+
+    def map(self, name: str, f: Callable[[Any], Any],
+            **op_kwargs: Any) -> "PCollection":
+        return self._narrow(name, MapFn(f), **op_kwargs)
+
+    def flat_map(self, name: str, f: Callable[[Any], Iterable[Any]],
+                 **op_kwargs: Any) -> "PCollection":
+        return self._narrow(name, FlatMapFn(f), **op_kwargs)
+
+    def filter(self, name: str, predicate: Callable[[Any], bool],
+               **op_kwargs: Any) -> "PCollection":
+        return self._narrow(name, FilterFn(predicate), **op_kwargs)
+
+    def _narrow(self, name: str, fn: Callable[[dict[str, list]], list],
+                **op_kwargs: Any) -> "PCollection":
+        op = self.pipeline._add_op(name, parallelism=self.op.parallelism,
+                                   fn=fn, **op_kwargs)
+        self.pipeline.dag.connect(self.op, op, DependencyType.ONE_TO_ONE)
+        return PCollection(self.pipeline, op)
+
+    # ------------------------------------------------------------------
+    # broadcast side inputs
+
+    def map_with_side_input(self, name: str, f: Callable[[Any, Any], Any],
+                            side: "PCollection",
+                            **op_kwargs: Any) -> "PCollection":
+        """Apply ``f(record, side_value)``; the side collection (typically a
+        model created on reserved containers) is broadcast one-to-many."""
+        fn = MapWithSideFn(f, side=side.op.name)
+        op = self.pipeline._add_op(name, parallelism=self.op.parallelism,
+                                   fn=fn, **op_kwargs)
+        self.pipeline.dag.connect(self.op, op, DependencyType.ONE_TO_ONE)
+        self.pipeline.dag.connect(side.op, op, DependencyType.ONE_TO_MANY)
+        return PCollection(self.pipeline, op)
+
+    # ------------------------------------------------------------------
+    # wide transforms
+
+    def reduce_by_key(self, name: str, combiner: CombineFn,
+                      parallelism: Optional[int] = None,
+                      **op_kwargs: Any) -> "PCollection":
+        """Shuffle ``(key, value)`` records and reduce per key (many-to-many)."""
+        parallelism = parallelism or self.op.parallelism
+        op_kwargs.setdefault("combiner", combiner)
+        op = self.pipeline._add_op(name, parallelism=parallelism,
+                                   fn=KeyedReduceFn(combiner), **op_kwargs)
+        self.pipeline.dag.connect(self.op, op, DependencyType.MANY_TO_MANY)
+        return PCollection(self.pipeline, op)
+
+    def group_apply(self, name: str, fn: Callable[[dict[str, list]], list],
+                    parallelism: Optional[int] = None,
+                    **op_kwargs: Any) -> "PCollection":
+        """Shuffle keyed records to a custom consumer (many-to-many)."""
+        parallelism = parallelism or self.op.parallelism
+        op = self.pipeline._add_op(name, parallelism=parallelism, fn=fn,
+                                   **op_kwargs)
+        self.pipeline.dag.connect(self.op, op, DependencyType.MANY_TO_MANY)
+        return PCollection(self.pipeline, op)
+
+    def aggregate(self, name: str, combiner: CombineFn, parallelism: int = 1,
+                  **op_kwargs: Any) -> "PCollection":
+        """Combine all records into ``parallelism`` accumulators
+        (many-to-one tree aggregation, e.g. MLR's gradient sum)."""
+        op_kwargs.setdefault("combiner", combiner)
+        op = self.pipeline._add_op(name, parallelism=parallelism,
+                                   fn=GlobalCombineFn(combiner), **op_kwargs)
+        self.pipeline.dag.connect(self.op, op, DependencyType.MANY_TO_ONE)
+        return PCollection(self.pipeline, op)
+
+    def apply(self, name: str, fn: Callable[[dict[str, list]], list],
+              dep_type: DependencyType, parallelism: Optional[int] = None,
+              **op_kwargs: Any) -> "PCollection":
+        """Generic single-parent transform with an explicit dependency type."""
+        if parallelism is None:
+            parallelism = self.op.parallelism
+        op = self.pipeline._add_op(name, parallelism=parallelism, fn=fn,
+                                   **op_kwargs)
+        self.pipeline.dag.connect(self.op, op, dep_type)
+        return PCollection(self.pipeline, op)
+
+
+class Pipeline:
+    """Builder for a logical DAG."""
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self.name = name
+        self.dag = LogicalDAG()
+
+    # ------------------------------------------------------------------
+    # sources
+
+    def read(self, name: str, partitions: Optional[Sequence[list]] = None,
+             input_ref: Optional[str] = None,
+             parallelism: Optional[int] = None,
+             partition_bytes: Optional[Sequence[int]] = None,
+             **op_kwargs: Any) -> PCollection:
+        """Source reading bulk data from storage — placed on transient
+        containers by Algorithm 1 (ISREAD).
+
+        Real-data programs pass ``partitions`` (a list of record lists);
+        synthetic programs pass an ``input_ref`` naming the dataset plus
+        per-partition sizes in ``partition_bytes``.
+        """
+        if partitions is not None:
+            parallelism = len(partitions)
+            payload = [list(part) for part in partitions]
+            fn = _ReadPartitionFn(payload)
+        elif input_ref is not None:
+            if partition_bytes is None:
+                raise DagError("synthetic read needs partition_bytes")
+            if parallelism is None:
+                parallelism = len(partition_bytes)
+            fn = None
+        else:
+            raise DagError("read needs either partitions or input_ref")
+        if input_ref is None:
+            input_ref = name
+        op = self._add_op(name, parallelism=parallelism, fn=fn,
+                          source_kind=SourceKind.READ, input_ref=input_ref,
+                          partition_bytes=partition_bytes, **op_kwargs)
+        return PCollection(self, op)
+
+    def create(self, name: str, values: Optional[list] = None,
+               parallelism: int = 1, **op_kwargs: Any) -> PCollection:
+        """Source creating lightweight in-memory data — placed on reserved
+        containers by Algorithm 1 (ISCREATED)."""
+        fn = None
+        if values is not None:
+            if parallelism != 1:
+                raise DagError("created sources hold one partition")
+            fn = _ReadPartitionFn([list(values)])
+        op = self._add_op(name, parallelism=parallelism, fn=fn,
+                          source_kind=SourceKind.CREATED, **op_kwargs)
+        return PCollection(self, op)
+
+    # ------------------------------------------------------------------
+    # multi-parent transforms
+
+    def apply_multi(self, name: str, fn: Callable[[dict[str, list]], list],
+                    inputs: Sequence[tuple[PCollection, DependencyType]],
+                    parallelism: int, **op_kwargs: Any) -> PCollection:
+        """Transform with several parents of possibly different edge types
+        (needed for ALS, where factor computation joins aggregated data with
+        broadcast factors)."""
+        if not inputs:
+            raise DagError("apply_multi needs at least one input")
+        op = self._add_op(name, parallelism=parallelism, fn=fn, **op_kwargs)
+        for pcoll, dep_type in inputs:
+            self.dag.connect(pcoll.op, op, dep_type)
+        return PCollection(self, op)
+
+    # ------------------------------------------------------------------
+    # finalization
+
+    def to_dag(self) -> LogicalDAG:
+        """Validate and return the logical DAG."""
+        self.dag.validate()
+        return self.dag
+
+    def _add_op(self, name: str, **kwargs: Any) -> Operator:
+        return self.dag.add_operator(Operator(name=name, **kwargs))
+
+
+class _ReadPartitionFn:
+    """Source function yielding one pre-materialized partition per task.
+
+    The task index is injected by the executor via the reserved input key
+    ``"__task_index__"``.
+    """
+
+    def __init__(self, partitions: list[list]) -> None:
+        self.partitions = partitions
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        index_records = inputs.get("__task_index__")
+        if not index_records:
+            raise DagError("source function needs the task index input")
+        return list(self.partitions[index_records[0]])

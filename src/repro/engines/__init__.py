@@ -1,0 +1,15 @@
+"""Data processing engines compared in the paper (§5.1.2): the shared
+engine substrate plus the Spark and Spark-checkpoint baselines. The Pado
+engine itself lives in :mod:`repro.core.runtime`."""
+
+from repro.engines.base import (ClusterConfig, EngineBase, JobResult,
+                                Program, SimContext, SimExecutor)
+from repro.engines.spark import SparkEngine, SparkMaster
+from repro.engines.spark_checkpoint import (CheckpointMaster,
+                                            SparkCheckpointEngine)
+
+__all__ = [
+    "CheckpointMaster", "ClusterConfig", "EngineBase", "JobResult",
+    "Program", "SimContext", "SimExecutor", "SparkCheckpointEngine",
+    "SparkEngine", "SparkMaster",
+]

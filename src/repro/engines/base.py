@@ -1,0 +1,264 @@
+"""Shared engine infrastructure.
+
+All three engines (Pado, Spark, Spark-checkpoint) run on the same simulated
+cluster substrate so that JCT differences come only from engine mechanisms,
+mirroring the paper's single-testbed comparison (§5.1). This module provides
+the cluster/program/result types, executor bookkeeping, and the template
+``run()`` flow engines plug into.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.cluster.events import Simulator
+from repro.cluster.manager import ResourceManager
+from repro.cluster.network import (ContainerEndpoint, DiskModel, FifoPort,
+                                   NetworkModel)
+from repro.cluster.resources import (Container, NodeSpec, RESERVED_NODE,
+                                     TRANSIENT_NODE)
+from repro.cluster.storage import InputStore
+from repro.dataflow.dag import LogicalDAG, SourceKind
+from repro.errors import ExecutionError
+from repro.trace.models import EvictionRate, LifetimeModel
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The simulated cluster a job runs on (§5.1.1).
+
+    The paper's default setup is 40 transient plus 5 reserved containers
+    (the engine master runs on one additional reserved node, which we do not
+    simulate except in master-failure tests).
+    """
+
+    num_reserved: int = 5
+    num_transient: int = 40
+    eviction: Union[EvictionRate, LifetimeModel] = EvictionRate.NONE
+    reserved_spec: NodeSpec = RESERVED_NODE
+    transient_spec: NodeSpec = TRANSIENT_NODE
+    task_overhead_seconds: float = 0.2
+    #: §6 extension: heterogeneous transient pools with estimated lifetimes
+    #: (overrides ``num_transient``/``eviction`` for the transient side).
+    transient_pools: Optional[tuple] = None
+
+    def lifetime_model(self) -> LifetimeModel:
+        if isinstance(self.eviction, EvictionRate):
+            return self.eviction.lifetime_model()
+        return self.eviction
+
+    @property
+    def effective_num_transient(self) -> int:
+        if self.transient_pools is not None:
+            return sum(pool.count for pool in self.transient_pools)
+        return self.num_transient
+
+
+@dataclass
+class Program:
+    """A dataflow program submitted to an engine."""
+
+    dag: LogicalDAG
+    name: str = "job"
+
+    def __post_init__(self) -> None:
+        self.dag.validate()
+
+    def is_real(self) -> bool:
+        """True when every operator carries an executable function."""
+        return all(op.fn is not None for op in self.dag.operators)
+
+
+@dataclass
+class JobResult:
+    """Metrics of one job execution — the quantities Figures 5-9 plot."""
+
+    engine: str
+    workload: str
+    completed: bool
+    jct_seconds: float
+    original_tasks: int
+    launched_tasks: int
+    evictions: int
+    bytes_input_read: int = 0
+    bytes_shuffled: int = 0
+    bytes_pushed: int = 0
+    bytes_checkpointed: int = 0
+    outputs: Optional[dict[str, dict[int, list]]] = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def relaunched_tasks(self) -> int:
+        return max(0, self.launched_tasks - self.original_tasks)
+
+    @property
+    def relaunched_ratio(self) -> float:
+        """Relaunched tasks over original tasks (bottom panels of Figs 5-7)."""
+        if self.original_tasks == 0:
+            return 0.0
+        return self.relaunched_tasks / self.original_tasks
+
+    @property
+    def jct_minutes(self) -> float:
+        return self.jct_seconds / 60.0
+
+    def collected(self, op_name: str) -> list:
+        """All output records of an operator (real-data runs only)."""
+        if self.outputs is None or op_name not in self.outputs:
+            raise ExecutionError(f"no recorded output for {op_name!r}")
+        parts = self.outputs[op_name]
+        return [record for idx in sorted(parts) for record in parts[idx]]
+
+
+class SimExecutor:
+    """Executor process bound to one container (§3.2.4).
+
+    Transient-task execution occupies task slots (one per core); reserved
+    receivers additionally serialize their processing through the ``cpu``
+    FIFO, modelling the limited computational resources of the few reserved
+    executors that §3.2.7 worries about.
+    """
+
+    def __init__(self, container: Container, sim: Simulator,
+                 slots: Optional[int] = None) -> None:
+        self.container = container
+        self.endpoint = ContainerEndpoint(container)
+        self.disk = DiskModel(sim, container)
+        self.cpu = FifoPort(container.spec.cores
+                            * container.spec.cpu_throughput)
+        self.slots = slots if slots is not None else container.spec.cores
+        self.free_slots = self.slots
+        self.cache: Optional[Any] = None  # attached by engines that cache
+
+    @property
+    def executor_id(self) -> int:
+        return self.container.container_id
+
+    @property
+    def alive(self) -> bool:
+        return self.container.alive
+
+    @property
+    def is_reserved(self) -> bool:
+        return self.container.is_reserved
+
+    def acquire_slot(self) -> bool:
+        if self.free_slots <= 0:
+            return False
+        self.free_slots -= 1
+        return True
+
+    def release_slot(self) -> None:
+        if self.free_slots >= self.slots:
+            raise ExecutionError("slot released twice")
+        self.free_slots += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "R" if self.is_reserved else "T"
+        return f"<Executor {self.executor_id}{kind}>"
+
+
+class SimContext:
+    """Everything a single job execution shares: simulator, cluster, stores,
+    and byte counters."""
+
+    def __init__(self, cluster: ClusterConfig, seed: int) -> None:
+        self.cluster = cluster
+        self.sim = Simulator()
+        self.rng = np.random.default_rng(seed)
+        self.net = NetworkModel(self.sim)
+        self.input_store = InputStore(self.sim, self.net)
+        self.rm = ResourceManager(self.sim, cluster.lifetime_model(),
+                                  self.rng,
+                                  reserved_spec=cluster.reserved_spec,
+                                  transient_spec=cluster.transient_spec)
+        self.tasks_launched = 0
+        self.bytes_pushed = 0
+        self.bytes_shuffled = 0
+        self.bytes_checkpointed = 0
+
+    def allocate(self, num_reserved: int) -> None:
+        """Bring the configured cluster online (homogeneous transient pool
+        or the §6 heterogeneous pools)."""
+        if self.cluster.transient_pools is not None:
+            self.rm.allocate_pools(num_reserved,
+                                   list(self.cluster.transient_pools))
+        else:
+            self.rm.allocate(num_reserved, self.cluster.num_transient)
+
+    def register_inputs(self, program: Program) -> None:
+        """Materialize every READ source's partitions in the input store."""
+        for op in program.dag.operators:
+            if op.source_kind is not SourceKind.READ:
+                continue
+            partitions = getattr(op.fn, "partitions", None)
+            if partitions is not None:
+                for index, records in enumerate(partitions):
+                    size = len(records) * op.record_bytes
+                    self.input_store.put((op.input_ref, index), size,
+                                         payload=list(records))
+            elif op.partition_bytes is not None:
+                for index, size in enumerate(op.partition_bytes):
+                    self.input_store.put((op.input_ref, index), size)
+            else:
+                raise ExecutionError(
+                    f"read source {op.name!r} has neither real partitions "
+                    f"nor partition sizes")
+
+
+class EngineBase:
+    """Template for engines; subclasses implement :meth:`_start`."""
+
+    name = "engine"
+
+    def run(self, program: Program, cluster: ClusterConfig,
+            seed: int = 0, time_limit: Optional[float] = None,
+            max_events: int = 20_000_000) -> JobResult:
+        """Execute ``program`` on a fresh simulated cluster.
+
+        ``time_limit`` caps simulated time (the paper cuts Spark's ALS runs
+        at 90 minutes); a job still running at the limit is reported with
+        ``completed=False`` and ``jct_seconds=time_limit``.
+        """
+        ctx = SimContext(cluster, seed)
+        ctx.register_inputs(program)
+        state = self._start(ctx, program)
+        # The eviction/replacement schedule keeps the event heap non-empty
+        # forever, so we step until the job reports completion (or the
+        # simulated-time limit / event budget runs out).
+        executed = 0
+        while not self._is_done(state):
+            next_time = ctx.sim.peek_time()
+            if math.isinf(next_time):
+                break  # no more events: the job cannot make progress
+            if time_limit is not None and next_time > time_limit:
+                break
+            ctx.sim.step()
+            executed += 1
+            if executed > max_events:
+                raise ExecutionError(
+                    f"{self.name}: exceeded {max_events} events; "
+                    f"likely livelock")
+        return self._finish(ctx, program, state, time_limit)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+
+    def _start(self, ctx: SimContext, program: Program) -> Any:
+        raise NotImplementedError
+
+    def _is_done(self, state: Any) -> bool:
+        raise NotImplementedError
+
+    def _finish(self, ctx: SimContext, program: Program, state: Any,
+                time_limit: Optional[float]) -> JobResult:
+        raise NotImplementedError
+
+
+def partition_payload_size(records: list, record_bytes: int) -> int:
+    """Simulated byte size of a real partition."""
+    return len(records) * record_bytes

@@ -1,0 +1,635 @@
+"""Spark 2.0.0 baseline (§5.1.2).
+
+Models the execution semantics that drive the paper's Spark numbers:
+
+* the logical DAG is pipelined into stages cut at wide (shuffle) edges;
+  parallelism-1 operators (model creation/update in MLR) run on the
+  never-evicted driver, matching MLlib's collect-to-driver aggregation;
+* tasks run on executors placed on *both* transient and reserved containers;
+* map outputs are preserved on the producing executor's local disk and
+  pulled by the consuming tasks (pull-based shuffle);
+* an eviction destroys the container's local map outputs; a consumer's
+  fetch failure triggers recomputation of the missing parent tasks, which
+  recursively triggers their parents — the cascading critical chain (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.cluster.network import TransferResult
+from repro.cluster.resources import Container, ContainerKind
+from repro.core.compiler.fusion import FusedOperator, fuse_operators
+from repro.core.runtime.cache import LruCache
+from repro.core.runtime.scheduler import RoundRobinPolicy, TaskScheduler
+from repro.dataflow.dag import (DependencyType, Edge, route_output,
+                                route_sizes, source_indices)
+from repro.engines.base import (ClusterConfig, EngineBase, JobResult,
+                                Program, SimContext, SimExecutor)
+
+
+def transfer_share(edge: Edge, output_size: float) -> float:
+    """Bytes actually moved when one consumer task pulls one parent output:
+    many-to-many moves only the consumer's hash partition."""
+    if edge.dep_type is DependencyType.MANY_TO_MANY:
+        return output_size / edge.dst.parallelism
+    return output_size
+
+
+class _Output:
+    """One task's output: where it lives and whether it is still there."""
+
+    __slots__ = ("executor", "size", "payload", "available",
+                 "checkpointed", "checkpoint_inflight")
+
+    def __init__(self, executor: Optional[SimExecutor], size: float,
+                 payload: Optional[list]) -> None:
+        self.executor = executor          # None = lives on the driver
+        self.size = size
+        self.payload = payload
+        self.available = True
+        self.checkpointed = False
+        self.checkpoint_inflight = False
+
+
+class _SparkTask:
+    PENDING = "pending"
+    QUEUED = "queued"
+    ASSIGNED = "assigned"
+    RUNNING = "running"
+    WRITING = "writing"
+    DONE = "done"
+
+    def __init__(self, chain: FusedOperator, index: int) -> None:
+        self.chain = chain
+        self.index = index
+        self.status = self.PENDING
+        self.executor: Optional[SimExecutor] = None
+        self.attempt = 0
+        self.cache_keys: set = set()
+        self.outstanding = 0
+        self.fetch_failed = False
+        self.failed_parents: set = set()
+        self.input_bytes_by_parent: dict[str, float] = {}
+        self.external_inputs: dict[str, list] = {}
+        self.master: Optional["SparkMaster"] = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.chain.name, self.index)
+
+    def assign(self, executor: SimExecutor) -> None:
+        self.master._task_assigned(self, executor)
+
+    def reset(self) -> None:
+        self.attempt += 1
+        self.status = self.PENDING
+        self.executor = None
+        self.outstanding = 0
+        self.fetch_failed = False
+        self.failed_parents = set()
+        self.input_bytes_by_parent = {}
+        self.external_inputs = {}
+
+
+class _ChainRun:
+    def __init__(self, chain: FusedOperator, on_driver: bool,
+                 is_sink: bool) -> None:
+        self.chain = chain
+        self.on_driver = on_driver
+        self.is_sink = is_sink
+        self.started = False
+        self.tasks = [_SparkTask(chain, i) for i in range(chain.parallelism)]
+
+
+class SparkMaster:
+    """Drives one Spark job on the shared simulator substrate."""
+
+    def __init__(self, ctx: SimContext, program: Program,
+                 engine: "SparkEngine") -> None:
+        self.ctx = ctx
+        self.program = program
+        self.engine = engine
+        self.sim = ctx.sim
+        self.net = ctx.net
+        dag = program.dag
+        self.dag = dag
+        self.chains = fuse_operators(dag, dag.operators,
+                                     require_same_placement=False)
+        self._chain_of_op = {op.name: c for c in self.chains for op in c.ops}
+        self.runs: dict[str, _ChainRun] = {}
+        sink_names = {op.name for op in dag.sinks()}
+        for chain in self.chains:
+            on_driver = chain.parallelism == 1
+            is_sink = chain.terminal.name in sink_names
+            self.runs[chain.name] = _ChainRun(chain, on_driver, is_sink)
+        self.scheduler = TaskScheduler(RoundRobinPolicy())
+        self.driver = self._make_driver()
+        self.outputs: dict[tuple, _Output] = {}
+        self._waiters: dict[tuple, list[Callable[[], None]]] = {}
+        # Per-executor coalescing of broadcast fetches (TorrentBroadcast
+        # fetches each block once per executor).
+        self._inflight_bcast: dict[tuple, list] = {}
+        self.job_outputs: dict[str, dict[int, list]] = {}
+        self.completed = False
+        self.jct: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def _make_driver(self) -> SimExecutor:
+        """The Spark driver runs on its own reserved container (§5.2)."""
+        container = Container(kind=ContainerKind.RESERVED,
+                              spec=self.ctx.cluster.reserved_spec)
+        return SimExecutor(container, self.sim)
+
+    def start(self) -> None:
+        self.ctx.rm.on_container(self._on_container)
+        self.ctx.rm.on_eviction(self._on_container_lost)
+        self.ctx.allocate(self.engine.reserved_executor_count(
+            self.ctx.cluster))
+        for run in self.runs.values():
+            self._maybe_start_chain(run)
+
+    def _on_container(self, container: Container) -> None:
+        executor = SimExecutor(container, self.sim)
+        # Broadcast blocks are cached per executor (TorrentBroadcast).
+        executor.cache = LruCache(container.spec.memory_bytes * 0.3)
+        self.scheduler.add_executor(executor)
+
+    # ------------------------------------------------------------------
+    # chain (stage) scheduling
+
+    def _parents_of(self, chain: FusedOperator) -> list[FusedOperator]:
+        return [self._chain_of_op[e.src.name]
+                for e in chain.external_in_edges()]
+
+    def _maybe_start_chain(self, run: _ChainRun) -> None:
+        """Submit a stage once every parent stage has fully completed."""
+        if run.started:
+            return
+        for parent in self._parents_of(run.chain):
+            parent_run = self.runs[parent.name]
+            if not all(t.status == _SparkTask.DONE
+                       for t in parent_run.tasks):
+                return
+        run.started = True
+        for task in run.tasks:
+            task.master = self
+            self._submit(task)
+
+    def _submit(self, task: _SparkTask) -> None:
+        if task.status != _SparkTask.PENDING:
+            return
+        run = self.runs[task.chain.name]
+        task.status = _SparkTask.QUEUED
+        if run.on_driver:
+            # Driver-resident work starts immediately (no slot needed).
+            self._task_assigned(task, self.driver)
+        else:
+            self.scheduler.submit(task)
+
+    # ------------------------------------------------------------------
+    # task execution
+
+    def _task_assigned(self, task: _SparkTask, executor: SimExecutor) -> None:
+        if task.status != _SparkTask.QUEUED:
+            if executor is not self.driver:
+                executor.release_slot()
+                self.scheduler.slot_released()
+            return
+        task.status = _SparkTask.ASSIGNED
+        task.executor = executor
+        self.ctx.tasks_launched += 1
+        attempt = task.attempt
+        fetches: list[Callable[[], None]] = []
+        chain = task.chain
+        head = chain.head
+        if chain.is_source_chain() and head.input_ref is not None:
+            fetches.append(lambda: self._fetch_source(task, attempt))
+        for edge in chain.external_in_edges():
+            for pidx in source_indices(edge, task.index):
+                fetches.append(lambda e=edge, p=pidx:
+                               self._fetch_edge(task, attempt, e, p))
+        task.outstanding = len(fetches)
+        if not fetches:
+            self._start_compute(task)
+            return
+        for fetch in fetches:
+            fetch()
+
+    def _fetch_source(self, task: _SparkTask, attempt: int) -> None:
+        key = (task.chain.head.input_ref, task.index)
+        size = self.ctx.input_store.size_of(key)
+
+        def done(result: TransferResult) -> None:
+            if not result.ok:
+                self._fetch_broke(task, attempt)
+                return
+            self._fetch_arrived(task, attempt, task.chain.head.name, size,
+                                None)
+
+        self.ctx.input_store.read(key, task.executor.endpoint, done)
+
+    def _fetch_edge(self, task: _SparkTask, attempt: int, edge: Edge,
+                    pidx: int) -> None:
+        if task.attempt != attempt or task.status != _SparkTask.ASSIGNED:
+            return  # stale re-fetch after the task was reset
+        producer_chain = self._chain_of_op[edge.src.name]
+        pkey = (producer_chain.name, pidx)
+        is_broadcast = edge.dep_type is DependencyType.ONE_TO_MANY
+        if is_broadcast and task.executor.cache is not None:
+            cached = task.executor.cache.get(pkey)
+            if cached is not None:
+                size, payload = cached
+                self._edge_arrived(task, attempt, edge, pidx, size, payload)
+                return
+        output = self.outputs.get(pkey)
+        if output is None or not self._output_reachable(output):
+            # Fetch failure: the parent output is gone — recompute it (the
+            # critical chain). Depending on engine semantics either the
+            # whole task attempt fails (real Spark's FetchFailed handling)
+            # or only this fetch is re-issued once the output is back.
+            if self.engine.abort_on_fetch_failure:
+                task.failed_parents.add(pkey)
+                self._recompute(pkey)
+                self._fetch_broke(task, attempt)
+            else:
+                self._refetch_later(task, attempt, edge, pidx, pkey)
+            return
+        if is_broadcast and task.executor.cache is not None:
+            inflight_key = (task.executor.executor_id, pkey)
+            waiters = self._inflight_bcast.get(inflight_key)
+            if waiters is not None:
+                waiters.append((task, attempt, edge, pidx))
+                return
+            self._inflight_bcast[inflight_key] = []
+        self.engine.fetch_output(self, task, attempt, edge, pidx, output)
+
+    def _output_reachable(self, output: _Output) -> bool:
+        if output.checkpointed:
+            return True  # durable on the stable store
+        if not output.available:
+            return False
+        if output.executor is None:
+            return True  # driver-resident
+        return output.executor.alive
+
+    def _deliver_edge_fetch(self, task: _SparkTask, attempt: int, edge: Edge,
+                            pidx: int, output: _Output,
+                            src_endpoint: Any) -> None:
+        """Pull one parent output over the network. Shuffle (many-to-many)
+        fetches only move this task's partition of the output."""
+        producer_chain = self._chain_of_op[edge.src.name]
+        pkey = (producer_chain.name, pidx)
+        moved = transfer_share(edge, output.size)
+        coalesced = (edge.dep_type is DependencyType.ONE_TO_MANY
+                     and task.executor.cache is not None)
+        inflight_key = (task.executor.executor_id, pkey)
+
+        def done(result: TransferResult) -> None:
+            waiters = (self._inflight_bcast.pop(inflight_key, [])
+                       if coalesced else [])
+            if not result.ok:
+                if task.attempt == attempt:
+                    if not self._output_reachable(output):
+                        # Source died mid-transfer.
+                        output.available = output.checkpointed
+                        if self.engine.abort_on_fetch_failure:
+                            task.failed_parents.add(pkey)
+                            self._recompute(pkey)
+                            self._fetch_broke(task, attempt)
+                        else:
+                            self._refetch_later(task, attempt, edge, pidx,
+                                                pkey)
+                    # else: we died; the eviction handler reset the task.
+                for other, a2, e2, p2 in waiters:
+                    self._fetch_edge(other, a2, e2, p2)
+                return
+            self.ctx.bytes_shuffled += int(moved)
+            if coalesced:
+                task.executor.cache.put(pkey, output.size, output.payload)
+            if task.attempt == attempt:
+                self._edge_arrived(task, attempt, edge, pidx, output.size,
+                                   output.payload)
+            for other, a2, e2, p2 in waiters:
+                self._edge_arrived(other, a2, e2, p2, output.size,
+                                   output.payload)
+
+        if output.executor is task.executor:
+            done(TransferResult(True, self.sim.now, int(moved)))
+            return
+        self.net.transfer(src_endpoint, task.executor.endpoint, moved, done)
+
+    def _edge_arrived(self, task: _SparkTask, attempt: int, edge: Edge,
+                      pidx: int, size: float,
+                      payload: Optional[list]) -> None:
+        share = route_sizes(edge, pidx, size).get(task.index, 0.0)
+        routed = None
+        if payload is not None:
+            routed = route_output(edge, pidx, payload).get(task.index, [])
+        self._fetch_arrived(task, attempt, edge.src.name, share, routed)
+
+    def _fetch_arrived(self, task: _SparkTask, attempt: int,
+                       parent_name: str, size: float,
+                       payload: Optional[list]) -> None:
+        if task.attempt != attempt or task.status != _SparkTask.ASSIGNED:
+            return
+        task.input_bytes_by_parent[parent_name] = \
+            task.input_bytes_by_parent.get(parent_name, 0.0) + size
+        if payload is not None:
+            task.external_inputs.setdefault(parent_name, []).extend(payload)
+        task.outstanding -= 1
+        if task.outstanding == 0:
+            if task.fetch_failed:
+                self._abort_attempt(task)
+            else:
+                self._start_compute(task)
+
+    def _fetch_broke(self, task: _SparkTask, attempt: int) -> None:
+        if task.attempt != attempt or task.status != _SparkTask.ASSIGNED:
+            return
+        task.fetch_failed = True
+        task.outstanding -= 1
+        if task.outstanding == 0:
+            self._abort_attempt(task)
+
+    def _abort_attempt(self, task: _SparkTask) -> None:
+        executor = task.executor
+        failed = set(task.failed_parents)
+        task.reset()
+        if executor is not None and executor is not self.driver \
+                and executor.alive:
+            executor.release_slot()
+            self.scheduler.slot_released()
+        # Re-check the parents that broke this attempt *now*: any of them
+        # may have been recomputed while the other fetches were draining.
+        missing = []
+        for pkey in failed:
+            output = self.outputs.get(pkey)
+            if output is None or not self._output_reachable(output):
+                missing.append(pkey)
+        if not missing:
+            self._submit(task)
+            return
+        for pkey in missing:
+            self._waiters.setdefault(pkey, []).append(
+                lambda: self._retry_task(task))
+            self._recompute(pkey)
+
+    def _retry_task(self, task: _SparkTask) -> None:
+        if task.status == _SparkTask.PENDING:
+            self._submit(task)
+
+    def _refetch_later(self, task: _SparkTask, attempt: int, edge: Edge,
+                       pidx: int, pkey: tuple) -> None:
+        """Recompute a lost parent output, then re-issue one fetch.
+
+        The attempt's other fetched partitions are kept, so one eviction does
+        not force re-pulling the whole shuffle input (real Spark retries
+        batch lost map outputs similarly at stage granularity).
+        """
+        self._waiters.setdefault(pkey, []).append(
+            lambda: self._fetch_edge(task, attempt, edge, pidx))
+        self._recompute(pkey)
+
+    def _start_compute(self, task: _SparkTask) -> None:
+        task.status = _SparkTask.RUNNING
+        spec = task.executor.container.spec
+        total = sum(task.input_bytes_by_parent.values())
+        seconds = task.chain.compute_seconds(total, spec.cpu_throughput)
+        seconds += self.ctx.cluster.task_overhead_seconds
+        attempt = task.attempt
+        if task.executor is self.driver:
+            _, end = self.driver.cpu.reserve(
+                self.sim.now, seconds * self.driver.cpu.bandwidth)
+            self.sim.schedule_at(
+                end, lambda: self._compute_done(task, attempt))
+        else:
+            self.sim.schedule(seconds,
+                              lambda: self._compute_done(task, attempt))
+
+    def _compute_done(self, task: _SparkTask, attempt: int) -> None:
+        if task.attempt != attempt or task.status != _SparkTask.RUNNING:
+            return
+        executor = task.executor
+        if executor is not self.driver and not executor.alive:
+            return
+        chain = task.chain
+        if self.program.is_real():
+            records = chain.apply(task.index, task.external_inputs)
+            out_bytes = float(len(records) * chain.terminal.record_bytes)
+        else:
+            records = None
+            bytes_in = dict(task.input_bytes_by_parent)
+            out_bytes = chain.synthetic_output_bytes(bytes_in)
+        task.status = _SparkTask.WRITING
+        run = self.runs[chain.name]
+        if executor is self.driver:
+            self._finish_task(task, attempt, None, out_bytes, records)
+        elif run.is_sink:
+            # Final results stream to the job sink storage (S3).
+            self.net.transfer(
+                executor.endpoint, self.engine.sink_endpoint(self),
+                out_bytes,
+                lambda result: self._sink_written(task, attempt, result,
+                                                  out_bytes, records))
+        else:
+            # Shuffle write: map outputs land on the local disk (§2.2).
+            executor.disk.write(
+                out_bytes,
+                lambda ok: self._local_written(task, attempt, ok, executor,
+                                               out_bytes, records))
+
+    def _sink_written(self, task: _SparkTask, attempt: int,
+                      result: TransferResult, out_bytes: float,
+                      records: Optional[list]) -> None:
+        if task.attempt != attempt or task.status != _SparkTask.WRITING:
+            return
+        if not result.ok:
+            return  # evicted mid-write; eviction handler relaunches
+        self._finish_task(task, attempt, task.executor, out_bytes, records)
+
+    def _local_written(self, task: _SparkTask, attempt: int, ok: bool,
+                       executor: SimExecutor, out_bytes: float,
+                       records: Optional[list]) -> None:
+        if task.attempt != attempt or task.status != _SparkTask.WRITING:
+            return
+        if not ok:
+            return
+        self._finish_task(task, attempt, executor, out_bytes, records)
+
+    def _finish_task(self, task: _SparkTask, attempt: int,
+                     executor: Optional[SimExecutor], out_bytes: float,
+                     records: Optional[list]) -> None:
+        task.status = _SparkTask.DONE
+        location = None if executor is self.driver else executor
+        output = _Output(location, out_bytes, records)
+        self.outputs[task.key] = output
+        if executor is not None and executor is not self.driver:
+            executor.release_slot()
+            self.scheduler.slot_released()
+        self.engine.on_output_produced(self, task, output)
+        self._notify_waiters(task.key)
+        run = self.runs[task.chain.name]
+        if all(t.status == _SparkTask.DONE for t in run.tasks):
+            for child in self.runs.values():
+                self._maybe_start_chain(child)
+            self._maybe_job_done()
+
+    def _notify_waiters(self, key: tuple) -> None:
+        for waiter in self._waiters.pop(key, []):
+            waiter()
+
+    def _maybe_job_done(self) -> None:
+        if self.completed:
+            return
+        for run in self.runs.values():
+            if not run.is_sink:
+                continue
+            if not all(t.status == _SparkTask.DONE for t in run.tasks):
+                return
+        self.completed = True
+        self.jct = self.sim.now
+        if self.program.is_real():
+            for run in self.runs.values():
+                if not run.is_sink:
+                    continue
+                parts = {}
+                for task in run.tasks:
+                    output = self.outputs.get(task.key)
+                    if output is not None and output.payload is not None:
+                        parts[task.index] = output.payload
+                self.job_outputs[run.chain.terminal.name] = parts
+
+    # ------------------------------------------------------------------
+    # recomputation (the critical chain)
+
+    def _recompute(self, pkey: tuple) -> None:
+        """Re-run the task producing ``pkey`` (recursively re-fetching its
+        own inputs, which may trigger further recomputations)."""
+        chain_name, pidx = pkey
+        run = self.runs[chain_name]
+        task = run.tasks[pidx]
+        if task.status == _SparkTask.DONE:
+            output = self.outputs.get(pkey)
+            if output is not None and self._output_reachable(output):
+                self._notify_waiters(pkey)
+                return
+            task.reset()
+            self._submit(task)
+        elif task.status == _SparkTask.PENDING:
+            self._submit(task)
+        # QUEUED/ASSIGNED/RUNNING/WRITING: already in flight.
+
+    # ------------------------------------------------------------------
+    # evictions
+
+    def _on_container_lost(self, container: Container,
+                           replacement: Optional[Container]) -> None:
+        executor = None
+        for candidate in self.scheduler.executors:
+            if candidate.container is container:
+                executor = candidate
+                break
+        if executor is None:
+            return
+        self.scheduler.remove_executor(executor)
+        # All local state — including local-disk map outputs — is destroyed.
+        lost_outputs = []
+        for key, output in self.outputs.items():
+            if output.executor is executor and not output.checkpointed:
+                output.available = False
+                lost_outputs.append(key)
+        for run in self.runs.values():
+            for task in run.tasks:
+                if task.executor is executor and task.status in (
+                        _SparkTask.ASSIGNED, _SparkTask.RUNNING,
+                        _SparkTask.WRITING):
+                    task.reset()
+                    self._submit(task)
+        # Spark's ExecutorLost handling: map outputs lost while their stage
+        # is still running are resubmitted right away, overlapping with the
+        # remaining tasks; outputs of *completed* stages are recomputed
+        # reactively when a consumer's fetch fails.
+        for key in lost_outputs:
+            chain_name, _ = key
+            run = self.runs[chain_name]
+            if not all(t.status == _SparkTask.DONE for t in run.tasks):
+                self._recompute(key)
+
+
+class SparkEngine(EngineBase):
+    """Spark 2.0.0: lineage recomputation, no checkpointing.
+
+    ``abort_on_fetch_failure`` selects the fetch-failure semantics: True
+    (default) fails the whole task attempt, as Spark's FetchFailed handling
+    does; False keeps fetched partitions and re-pulls only the lost ones
+    (an optimistic variant, used as an ablation).
+    """
+
+    name = "spark"
+
+    def __init__(self, abort_on_fetch_failure: bool = True) -> None:
+        self.abort_on_fetch_failure = abort_on_fetch_failure
+
+    def reserved_executor_count(self, cluster: ClusterConfig) -> int:
+        """Spark runs executors on the reserved containers too (§5.1.2)."""
+        return cluster.num_reserved
+
+    def sink_endpoint(self, master: SparkMaster):
+        return master.ctx.input_store._endpoint
+
+    def fetch_output(self, master: SparkMaster, task: _SparkTask,
+                     attempt: int, edge: Edge, pidx: int,
+                     output: _Output) -> None:
+        """Pull a parent output from wherever it lives (driver or a peer
+        executor's local disk)."""
+        src = master.driver.endpoint if output.executor is None \
+            else output.executor.endpoint
+        if output.executor is not None:
+            output.executor.disk.read(transfer_share(edge, output.size))
+        master._deliver_edge_fetch(task, attempt, edge, pidx, output, src)
+
+    def on_output_produced(self, master: SparkMaster, task: _SparkTask,
+                           output: _Output) -> None:
+        """Hook for the checkpointing subclass."""
+
+    # ------------------------------------------------------------------
+    # EngineBase plumbing
+
+    def _make_master(self, ctx: SimContext, program: Program) -> SparkMaster:
+        return SparkMaster(ctx, program, self)
+
+    def _start(self, ctx: SimContext, program: Program) -> SparkMaster:
+        master = self._make_master(ctx, program)
+        master.start()
+        return master
+
+    def _is_done(self, master: SparkMaster) -> bool:
+        return master.completed
+
+    def _finish(self, ctx: SimContext, program: Program,
+                master: SparkMaster,
+                time_limit: Optional[float]) -> JobResult:
+        completed = master.completed
+        if completed:
+            jct = master.jct
+        else:
+            jct = time_limit if time_limit is not None else ctx.sim.now
+        original = sum(run.chain.parallelism for run in master.runs.values())
+        return JobResult(
+            engine=self.name,
+            workload=program.name,
+            completed=completed,
+            jct_seconds=float(jct if jct is not None else ctx.sim.now),
+            original_tasks=original,
+            launched_tasks=ctx.tasks_launched,
+            evictions=ctx.rm.evictions,
+            bytes_input_read=ctx.input_store.bytes_read,
+            bytes_shuffled=ctx.bytes_shuffled,
+            bytes_pushed=0,
+            bytes_checkpointed=ctx.bytes_checkpointed,
+            outputs=master.job_outputs if program.is_real() else None,
+            extras={"stages": len(master.chains)},
+        )

@@ -1,0 +1,168 @@
+"""Spark-checkpoint: Flint-style checkpointing at shuffle boundaries (§5.1.2).
+
+The paper's modified Spark checkpoints compressed map outputs to a
+non-replicated GlusterFS cluster running on the reserved containers:
+
+* executors run only on transient containers; the reserved containers serve
+  as stable storage;
+* every task output crossed by a shuffle (wide) edge is checkpointed
+  asynchronously, on a separate thread, as soon as it is produced;
+* shuffle consumers pull their data from the stable store — this removes
+  cascading recomputation, but funnels all shuffle traffic through the few
+  storage nodes' bandwidth (the degradation measured in §5.2.1 and Fig. 8);
+* an eviction only loses outputs whose checkpoint had not finished; those
+  tasks are recomputed, everything else restores from the store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.network import TransferResult
+from repro.cluster.storage import StableStore
+from repro.dataflow.dag import Edge
+from repro.engines.base import ClusterConfig, Program, SimContext
+from repro.engines.spark import (SparkEngine, SparkMaster, _Output,
+                                 _SparkTask, transfer_share)
+
+
+class CheckpointMaster(SparkMaster):
+    """Spark master extended with a stable store and checkpoint tracking."""
+
+    def __init__(self, ctx: SimContext, program: Program,
+                 engine: "SparkCheckpointEngine") -> None:
+        super().__init__(ctx, program, engine)
+        server_bw = min(ctx.cluster.reserved_spec.network_bandwidth,
+                        ctx.cluster.reserved_spec.disk_bandwidth)
+        server_bw *= engine.store_bandwidth_factor
+        self.stable_store = StableStore(ctx.sim, ctx.net,
+                                        num_servers=ctx.cluster.num_reserved,
+                                        server_bandwidth=server_bw)
+        self.ckpt_waiters: dict[tuple, list[Callable[[], None]]] = {}
+        # Chains whose outputs feed a shuffle get checkpointed.
+        self._wide_producers = set()
+        for chain in self.chains:
+            for edge in chain.external_in_edges():
+                if edge.dep_type.is_wide:
+                    producer = self._chain_of_op[edge.src.name]
+                    self._wide_producers.add(producer.name)
+
+    def notify_checkpoint_done(self, pkey: tuple) -> None:
+        for waiter in self.ckpt_waiters.pop(pkey, []):
+            waiter()
+
+
+class SparkCheckpointEngine(SparkEngine):
+    """Checkpoint-enabled Spark (encompassing Flint's ideas, §5.1.2).
+
+    ``store_bandwidth_factor`` scales each GlusterFS server's effective
+    throughput relative to the node's line rate (FUSE-based user-space
+    filesystems deliver well below raw NIC/disk bandwidth).
+    """
+
+    name = "spark-checkpoint"
+
+    def __init__(self, abort_on_fetch_failure: bool = True,
+                 store_bandwidth_factor: float = 0.6) -> None:
+        super().__init__(abort_on_fetch_failure)
+        if store_bandwidth_factor <= 0:
+            raise ValueError("store bandwidth factor must be positive")
+        self.store_bandwidth_factor = store_bandwidth_factor
+
+    def _make_master(self, ctx: SimContext,
+                     program: Program) -> CheckpointMaster:
+        return CheckpointMaster(ctx, program, self)
+
+    def reserved_executor_count(self, cluster: ClusterConfig) -> int:
+        """Reserved containers host the stable store, not executors."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def on_output_produced(self, master: CheckpointMaster, task: _SparkTask,
+                           output: _Output) -> None:
+        if task.chain.name not in master._wide_producers:
+            return
+        if output.executor is None:
+            return  # driver outputs are already durable
+        pkey = task.key
+        output.checkpoint_inflight = True
+
+        def done(result: TransferResult) -> None:
+            output.checkpoint_inflight = False
+            if not result.ok:
+                # The producer was evicted mid-checkpoint; waiters will
+                # trigger recomputation through the normal fetch path.
+                master.notify_checkpoint_done(pkey)
+                return
+            output.checkpointed = True
+            master.ctx.bytes_checkpointed += int(output.size)
+            master.notify_checkpoint_done(pkey)
+
+        master.stable_store.write(pkey, int(output.size),
+                                  output.executor.endpoint, done,
+                                  payload=output.payload)
+
+    # ------------------------------------------------------------------
+    # fetching
+
+    def fetch_output(self, master: CheckpointMaster, task: _SparkTask,
+                     attempt: int, edge: Edge, pidx: int,
+                     output: _Output) -> None:
+        if not edge.dep_type.is_wide or output.executor is None:
+            # Narrow and broadcast fetches behave like plain Spark.
+            super().fetch_output(master, task, attempt, edge, pidx, output)
+            return
+        producer_chain = master._chain_of_op[edge.src.name]
+        pkey = (producer_chain.name, pidx)
+        if output.checkpointed:
+            self._fetch_from_store(master, task, attempt, edge, pidx,
+                                   output, pkey)
+        elif output.checkpoint_inflight:
+            # §5.2.1: children can only start after parents checkpoint.
+            master.ckpt_waiters.setdefault(pkey, []).append(
+                lambda: self._after_checkpoint(master, task, attempt, edge,
+                                               pidx, pkey))
+            # Account the pending fetch so the attempt is not considered
+            # complete until the checkpoint resolves.
+        else:
+            # Output exists locally but is not (being) checkpointed — the
+            # producer is not a shuffle parent we track; pull directly.
+            super().fetch_output(master, task, attempt, edge, pidx, output)
+
+    def _after_checkpoint(self, master: CheckpointMaster, task: _SparkTask,
+                          attempt: int, edge: Edge, pidx: int,
+                          pkey: tuple) -> None:
+        if task.attempt != attempt:
+            return
+        output = master.outputs.get(pkey)
+        if output is not None and output.checkpointed:
+            self._fetch_from_store(master, task, attempt, edge, pidx,
+                                   output, pkey)
+            return
+        # Checkpoint failed (producer evicted): recompute the parent.
+        if self.abort_on_fetch_failure:
+            task.failed_parents.add(pkey)
+            master._recompute(pkey)
+            master._fetch_broke(task, attempt)
+        else:
+            master._refetch_later(task, attempt, edge, pidx, pkey)
+
+    def _fetch_from_store(self, master: CheckpointMaster, task: _SparkTask,
+                          attempt: int, edge: Edge, pidx: int,
+                          output: _Output, pkey: tuple) -> None:
+        moved = transfer_share(edge, output.size)
+
+        def done(result: TransferResult) -> None:
+            if task.attempt != attempt:
+                return
+            if not result.ok:
+                master._fetch_broke(task, attempt)
+                return
+            master.ctx.bytes_shuffled += int(moved)
+            master._edge_arrived(task, attempt, edge, pidx, output.size,
+                                 output.payload)
+
+        master.stable_store.read_share(pkey, moved, task.executor.endpoint,
+                                       done)

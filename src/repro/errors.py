@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Pado reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DagError(ReproError):
+    """A logical DAG is malformed (cycle, dangling edge, bad parallelism)."""
+
+
+class CompilerError(ReproError):
+    """The Pado compiler could not place or partition a logical DAG."""
+
+
+class SchedulingError(ReproError):
+    """The task scheduler reached an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ResourceError(ReproError):
+    """Container allocation or resource accounting failed."""
+
+
+class ExecutionError(ReproError):
+    """A job could not make progress (e.g. unrecoverable data loss)."""
+
+
+class WorkloadError(ReproError):
+    """A workload builder received invalid parameters."""

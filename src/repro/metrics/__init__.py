@@ -1,0 +1,5 @@
+"""Job metrics beyond raw JCT: datacenter-utilization accounting."""
+
+from repro.metrics.utilization import EfficiencyReport, compare_efficiency
+
+__all__ = ["EfficiencyReport", "compare_efficiency"]

@@ -1,0 +1,73 @@
+"""Datacenter-utilization accounting.
+
+The paper's motivation is utilization: transient containers turn wasted
+idle memory into throughput, but only if the engine doesn't burn the
+harvested resources on recomputation. This module turns a
+:class:`~repro.engines.base.JobResult` into the efficiency quantities that
+argument rests on:
+
+* how much reserved (expensive, dedicated) capacity the job held;
+* how much harvested (free, transient) capacity it used;
+* how much of the work was wasted on relaunched tasks;
+* the effective datacenter gain: useful work done per reserved core-second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engines.base import ClusterConfig, JobResult
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Resource-time accounting for one job execution."""
+
+    engine: str
+    workload: str
+    jct_seconds: float
+    reserved_core_seconds: float
+    transient_core_seconds: float
+    wasted_work_ratio: float
+    harvested_fraction: float
+    useful_per_reserved_core_second: float
+
+    @classmethod
+    def from_result(cls, result: JobResult,
+                    cluster: ClusterConfig) -> "EfficiencyReport":
+        reserved_cs = (cluster.num_reserved * cluster.reserved_spec.cores
+                       * result.jct_seconds)
+        transient_cs = (cluster.num_transient
+                        * cluster.transient_spec.cores
+                        * result.jct_seconds)
+        wasted = (result.relaunched_tasks / result.launched_tasks
+                  if result.launched_tasks else 0.0)
+        total_cs = reserved_cs + transient_cs
+        harvested = transient_cs / total_cs if total_cs else 0.0
+        useful_tasks = result.original_tasks if result.completed else 0
+        per_reserved = useful_tasks / reserved_cs if reserved_cs else 0.0
+        return cls(
+            engine=result.engine,
+            workload=result.workload,
+            jct_seconds=result.jct_seconds,
+            reserved_core_seconds=reserved_cs,
+            transient_core_seconds=transient_cs,
+            wasted_work_ratio=wasted,
+            harvested_fraction=harvested,
+            useful_per_reserved_core_second=per_reserved,
+        )
+
+    def as_row(self) -> tuple:
+        return (self.engine, round(self.jct_seconds / 60.0, 1),
+                f"{self.wasted_work_ratio:.0%}",
+                f"{self.harvested_fraction:.0%}",
+                round(self.useful_per_reserved_core_second * 3600.0, 2))
+
+
+def compare_efficiency(results: list[JobResult],
+                       cluster: ClusterConfig) -> list[EfficiencyReport]:
+    """Efficiency reports for several engines on the same cluster, sorted
+    by reserved-resource efficiency (best first)."""
+    reports = [EfficiencyReport.from_result(r, cluster) for r in results]
+    return sorted(reports,
+                  key=lambda rep: -rep.useful_per_reserved_core_second)

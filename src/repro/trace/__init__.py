@@ -1,0 +1,31 @@
+"""Google-trace analysis substrate (§2.1 of the paper).
+
+Synthesizes LC-job memory usage traces, refines them from 5-minute to
+1-minute granularity with B-splines, derives transient-container lifetimes
+under Borg-style safety margins, and provides the lifetime models that drive
+every engine experiment.
+"""
+
+from repro.trace.bspline import (REFINED_INTERVAL, refine_container,
+                                 refine_series, refine_trace)
+from repro.trace.google_trace import (GoogleTrace, LCContainerUsage,
+                                      TraceConfig, generate_trace)
+from repro.trace.lifetimes import (LifetimeAnalysis, TransientInterval,
+                                   analyze_container, analyze_trace,
+                                   collected_memory_table,
+                                   lifetime_percentile_table)
+from repro.trace.models import (EmpiricalLifetimeModel, EvictionRate,
+                                ExponentialLifetimeModel, LifetimeModel,
+                                NoEvictionModel, PercentileLifetimeModel,
+                                TABLE1_LIFETIME_MINUTES,
+                                TABLE2_COLLECTED_MEMORY)
+
+__all__ = [
+    "EmpiricalLifetimeModel", "EvictionRate", "ExponentialLifetimeModel",
+    "GoogleTrace", "LCContainerUsage", "LifetimeAnalysis", "LifetimeModel",
+    "NoEvictionModel", "PercentileLifetimeModel", "REFINED_INTERVAL",
+    "TABLE1_LIFETIME_MINUTES", "TABLE2_COLLECTED_MEMORY", "TraceConfig",
+    "TransientInterval", "analyze_container", "analyze_trace",
+    "collected_memory_table", "generate_trace", "lifetime_percentile_table",
+    "refine_container", "refine_series", "refine_trace",
+]

@@ -1,0 +1,19 @@
+"""The paper's three evaluation workloads (§5.1.3): Map-Reduce, Multinomial
+Logistic Regression, and Alternating Least Squares — each in an executable
+real-data variant (correctness) and a paper-scale synthetic variant
+(benchmarks)."""
+
+from repro.workloads.als import als_real_program, als_synthetic_program
+from repro.workloads.datasets import (music_ratings, pageview_records,
+                                      partition, training_samples)
+from repro.workloads.map_reduce import (ShuffleCombiner, mr_real_program,
+                                        mr_synthetic_program)
+from repro.workloads.mlr import (VectorSumCombiner, mlr_real_program,
+                                 mlr_synthetic_program)
+
+__all__ = [
+    "ShuffleCombiner", "VectorSumCombiner", "als_real_program",
+    "als_synthetic_program", "mlr_real_program", "mlr_synthetic_program",
+    "mr_real_program", "mr_synthetic_program", "music_ratings",
+    "pageview_records", "partition", "training_samples",
+]

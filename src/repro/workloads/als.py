@@ -1,0 +1,262 @@
+"""Alternating Least Squares workload (Figure 3(c), §5.1.3).
+
+Block ALS over user-item ratings (the paper uses 717M Yahoo! music ratings,
+rank 50, 10 iterations). The DAG alternates between computing and
+aggregating user and item factors:
+
+* ``read`` (transient) loads rating triples;
+* ``agg_user`` / ``agg_item`` (reserved, many-to-many in-edges) group the
+  ratings into user and item blocks; ``agg_item`` additionally emits the
+  per-item rating summaries that seed the initial item factors;
+* ``user_factor_i`` (transient) solves each user's factor from its ratings
+  block (one-to-one from ``agg_user``) and the broadcast item factors
+  (one-to-many) — for the first iteration the broadcast side is
+  ``agg_item``'s summary output;
+* ``agg_user_factor_i`` (reserved) shuffles ``(item, (user_factor, rating))``
+  pairs into item blocks (many-to-many);
+* ``item_factor_i`` (reserved) has a *single one-to-one in-edge* from the
+  aggregated user factors and is therefore placed on reserved containers for
+  data locality — exactly the case §3.1.3 calls out.
+
+ALS has the longest and most complex dependencies of the three workloads,
+making it the most vulnerable to critical chains of cascading
+recomputations (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.resources import GB, MB
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                SourceKind)
+from repro.engines.base import Program
+from repro.errors import WorkloadError
+from repro.workloads.datasets import music_ratings, partition
+from repro.workloads.map_reduce import ShuffleCombiner
+
+
+class _ReadRatingsFn:
+    """Source yielding ``(user, (item, rating))`` keyed rating triples."""
+
+    def __init__(self, parts: list[list]) -> None:
+        self.partitions = parts
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        index = inputs["__task_index__"][0]
+        return list(self.partitions[index])
+
+
+class _GroupByUserFn:
+    """Group ratings into ``(user, [(item, rating), ...])`` blocks."""
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        groups: dict[int, list] = {}
+        for records in inputs.values():
+            for user, (item, rating) in records:
+                groups.setdefault(user, []).append((item, rating))
+        return sorted((u, sorted(rs)) for u, rs in groups.items())
+
+
+class _ItemSummaryFn:
+    """Group by item and emit ``(item, (count, mean_rating))`` summaries —
+    the seed for the initial item factors."""
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        sums: dict[int, tuple[int, float]] = {}
+        for records in inputs.values():
+            for user, (item, rating) in records:
+                count, total = sums.get(item, (0, 0.0))
+                sums[item] = (count + 1, total + rating)
+        return sorted((item, (count, total / count))
+                      for item, (count, total) in sums.items())
+
+
+class _UserFactorFn:
+    """Solve each user's factor; emit ``(item, (user_factor, rating))``."""
+
+    def __init__(self, block_op: str, side_op: str, rank: int,
+                 reg: float, side_is_summary: bool) -> None:
+        self.block_op = block_op
+        self.side_op = side_op
+        self.rank = rank
+        self.reg = reg
+        self.side_is_summary = side_is_summary
+
+    def _item_vectors(self, side_records: list) -> dict[int, np.ndarray]:
+        vectors: dict[int, np.ndarray] = {}
+        if self.side_is_summary:
+            for item, (count, mean) in side_records:
+                vec = np.full(self.rank, mean / np.sqrt(self.rank))
+                vectors[item] = vec
+        else:
+            for item, vec in side_records:
+                vectors[item] = vec
+        return vectors
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        item_vecs = self._item_vectors(inputs[self.side_op])
+        out = []
+        for user, ratings in inputs[self.block_op]:
+            a = self.reg * np.eye(self.rank)
+            b = np.zeros(self.rank)
+            for item, rating in ratings:
+                q = item_vecs.get(item)
+                if q is None:
+                    continue
+                a += np.outer(q, q)
+                b += rating * q
+            factor = np.linalg.solve(a, b)
+            for item, rating in ratings:
+                out.append((item, (user, tuple(factor), rating)))
+        return out
+
+
+class _GroupUserFactorsFn:
+    """Group ``(item, (user, factor, rating))`` into item blocks."""
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        groups: dict[int, list] = {}
+        for records in inputs.values():
+            for item, payload in records:
+                groups.setdefault(item, []).append(payload)
+        return sorted((item, sorted(group))
+                      for item, group in groups.items())
+
+
+class _ItemFactorFn:
+    """Solve each item's factor from its aggregated user factors."""
+
+    def __init__(self, agg_op: str, rank: int, reg: float) -> None:
+        self.agg_op = agg_op
+        self.rank = rank
+        self.reg = reg
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        out = []
+        for item, pairs in inputs[self.agg_op]:
+            a = self.reg * np.eye(self.rank)
+            b = np.zeros(self.rank)
+            for user, factor, rating in pairs:
+                p = np.asarray(factor)
+                a += np.outer(p, p)
+                b += rating * p
+            out.append((item, np.linalg.solve(a, b)))
+        return out
+
+
+def als_real_program(num_users: int = 40, num_items: int = 15,
+                     num_ratings: int = 400, num_partitions: int = 4,
+                     num_blocks: int = 3, rank: int = 3, iterations: int = 2,
+                     reg: float = 0.1, seed: int = 0) -> Program:
+    """Executable block ALS: engines must match the local runner's factors."""
+    ratings = music_ratings(num_users, num_items, num_ratings, seed)
+    keyed = [(u, (i, r)) for u, i, r in ratings]
+    parts = partition(keyed, num_partitions)
+
+    dag = LogicalDAG()
+    read = dag.add_operator(Operator(
+        "read", parallelism=num_partitions, fn=_ReadRatingsFn(parts),
+        source_kind=SourceKind.READ, input_ref="ratings", record_bytes=24,
+        cacheable=True))
+    agg_user = dag.add_operator(Operator(
+        "agg_user", parallelism=num_blocks, fn=_GroupByUserFn(),
+        record_bytes=64))
+    dag.connect(read, agg_user, DependencyType.MANY_TO_MANY)
+    agg_item = dag.add_operator(Operator(
+        "agg_item", parallelism=num_blocks, fn=_ItemSummaryFn(),
+        record_bytes=24))
+    dag.connect(read, agg_item, DependencyType.MANY_TO_MANY,
+                key_fn=lambda rec: rec[1][0])  # shuffle ratings by item
+
+    side = agg_item
+    side_is_summary = True
+    item_factor: Optional[Operator] = None
+    for i in range(1, iterations + 1):
+        user_factor = dag.add_operator(Operator(
+            f"user_factor_{i}", parallelism=num_blocks,
+            fn=_UserFactorFn("agg_user", side.name, rank, reg,
+                             side_is_summary),
+            record_bytes=16 + rank * 8, cacheable=True))
+        dag.connect(agg_user, user_factor, DependencyType.ONE_TO_ONE)
+        dag.connect(side, user_factor, DependencyType.ONE_TO_MANY)
+        agg_uf = dag.add_operator(Operator(
+            f"agg_user_factor_{i}", parallelism=num_blocks,
+            fn=_GroupUserFactorsFn(), record_bytes=16 + rank * 8,
+            combiner=ShuffleCombiner(overlap=0.0)))
+        dag.connect(user_factor, agg_uf, DependencyType.MANY_TO_MANY)
+        item_factor = dag.add_operator(Operator(
+            f"item_factor_{i}", parallelism=num_blocks,
+            fn=_ItemFactorFn(agg_uf.name, rank, reg),
+            record_bytes=8 + rank * 8))
+        dag.connect(agg_uf, item_factor, DependencyType.ONE_TO_ONE)
+        side = item_factor
+        side_is_summary = False
+    dag.validate()
+    return Program(dag, name="als")
+
+
+def als_synthetic_program(iterations: int = 10, num_blocks: int = 40,
+                          read_partitions: int = 80,
+                          input_gb: float = 10.0,
+                          factor_shuffle_gb: float = 8.0,
+                          item_factor_mb: float = 54.0,
+                          compute_factor: float = 9.0,
+                          item_compute_factor: float = 1.0,
+                          scale: float = 1.0) -> Program:
+    """Paper-scale ALS byte model (Figure 5): 10 GB of ratings, rank 50,
+    10 iterations, with ~12 GB of user-factor shuffle per iteration.
+
+    The user-side solve dominates compute (1.8M users vs 136K items), so
+    ``compute_factor`` applies to the transient user-factor tasks and the
+    lighter ``item_compute_factor`` to the reserved item-factor tasks —
+    consistent with Figure 8(a), where reserved containers are not ALS's
+    bottleneck. ``scale`` shrinks task counts while keeping per-task sizes.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    num_blocks = max(2, int(round(num_blocks * scale)))
+    read_partitions = max(2, int(round(read_partitions * scale)))
+    part_bytes = int(input_gb * GB / (read_partitions / scale))
+    block_bytes = int(input_gb * GB * scale / num_blocks)
+    factor_bytes = int(factor_shuffle_gb * GB * scale / num_blocks)
+    item_bytes = int(item_factor_mb * MB * scale / num_blocks)
+
+    dag = LogicalDAG()
+    read = dag.add_operator(Operator(
+        "read", parallelism=read_partitions, source_kind=SourceKind.READ,
+        input_ref="ratings", partition_bytes=[part_bytes] * read_partitions,
+        cacheable=True))
+    agg_user = dag.add_operator(Operator(
+        "agg_user", parallelism=num_blocks,
+        cost=OpCost(fixed_output_bytes=block_bytes)))
+    dag.connect(read, agg_user, DependencyType.MANY_TO_MANY)
+    agg_item = dag.add_operator(Operator(
+        "agg_item", parallelism=num_blocks,
+        cost=OpCost(fixed_output_bytes=item_bytes)))
+    dag.connect(read, agg_item, DependencyType.MANY_TO_MANY)
+
+    side = agg_item
+    for i in range(1, iterations + 1):
+        user_factor = dag.add_operator(Operator(
+            f"user_factor_{i}", parallelism=num_blocks,
+            cost=OpCost(fixed_output_bytes=factor_bytes,
+                        compute_factor=compute_factor),
+            cacheable=True))
+        dag.connect(agg_user, user_factor, DependencyType.ONE_TO_ONE)
+        dag.connect(side, user_factor, DependencyType.ONE_TO_MANY)
+        agg_uf = dag.add_operator(Operator(
+            f"agg_user_factor_{i}", parallelism=num_blocks,
+            cost=OpCost(output_ratio=1.0),
+            combiner=ShuffleCombiner(overlap=0.0)))
+        dag.connect(user_factor, agg_uf, DependencyType.MANY_TO_MANY)
+        item_factor = dag.add_operator(Operator(
+            f"item_factor_{i}", parallelism=num_blocks,
+            cost=OpCost(fixed_output_bytes=item_bytes,
+                        compute_factor=item_compute_factor)))
+        dag.connect(agg_uf, item_factor, DependencyType.ONE_TO_ONE)
+        side = item_factor
+    dag.validate()
+    return Program(dag, name="als")

@@ -1,0 +1,70 @@
+"""Synthetic dataset generators for the real-data workload variants.
+
+The paper's datasets (Yahoo! music ratings, a Petuum-generated sparse
+training matrix, Wikipedia page-view dumps, §5.1.3) are not redistributable,
+so the executable examples and correctness tests run on small synthetic
+datasets with the same record structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def partition(records: list, num_partitions: int) -> list[list]:
+    """Split records into ``num_partitions`` round-robin partitions."""
+    if num_partitions <= 0:
+        raise ValueError("need at least one partition")
+    parts: list[list] = [[] for _ in range(num_partitions)]
+    for i, record in enumerate(records):
+        parts[i % num_partitions].append(record)
+    return parts
+
+
+def music_ratings(num_users: int = 60, num_items: int = 20,
+                  num_ratings: int = 600,
+                  seed: int = 0) -> list[tuple[int, int, float]]:
+    """Yahoo!-style ``(user, item, rating)`` triples with a low-rank
+    structure so ALS has something to recover."""
+    rng = np.random.default_rng(seed)
+    rank = 3
+    users = rng.normal(0.0, 1.0, size=(num_users, rank))
+    items = rng.normal(0.0, 1.0, size=(num_items, rank))
+    ratings = []
+    for _ in range(num_ratings):
+        u = int(rng.integers(num_users))
+        i = int(rng.integers(num_items))
+        score = float(users[u] @ items[i] + rng.normal(0.0, 0.1))
+        ratings.append((u, i, score))
+    return ratings
+
+
+def training_samples(num_samples: int = 200, num_features: int = 12,
+                     num_classes: int = 3,
+                     seed: int = 0) -> list[tuple[np.ndarray, int]]:
+    """Petuum-style classification samples ``(feature_vector, label)``."""
+    rng = np.random.default_rng(seed)
+    true_weights = rng.normal(0.0, 1.0, size=(num_classes, num_features))
+    samples = []
+    for _ in range(num_samples):
+        x = rng.normal(0.0, 1.0, size=num_features)
+        logits = true_weights @ x
+        label = int(np.argmax(logits + rng.normal(0.0, 0.3,
+                                                  size=num_classes)))
+        samples.append((x, label))
+    return samples
+
+
+def pageview_records(num_docs: int = 40, num_records: int = 800,
+                     seed: int = 0) -> list[tuple[str, int]]:
+    """Wikipedia-style hourly ``(document, view_count)`` records with a
+    Zipf-like popularity skew."""
+    rng = np.random.default_rng(seed)
+    popularity = 1.0 / np.arange(1, num_docs + 1)
+    popularity /= popularity.sum()
+    records = []
+    for _ in range(num_records):
+        doc = int(rng.choice(num_docs, p=popularity))
+        views = int(rng.integers(1, 100))
+        records.append((f"doc{doc}", views))
+    return records

@@ -1,0 +1,110 @@
+"""Map-Reduce workload (Figure 3(a), §5.1.3).
+
+The paper sums a month of hourly Wikipedia page-view counts per document
+over a 280 GB dump: ``Read -> Map`` on transient containers, shuffled
+many-to-many into ``Reduce`` on reserved containers.
+
+Two variants:
+
+* :func:`mr_real_program` — small executable program whose output every
+  engine must reproduce exactly (correctness tests, examples);
+* :func:`mr_synthetic_program` — paper-scale byte model driving the Figure 7
+  benchmarks. MR has the simplest dependencies of the three workloads and
+  imposes the heaviest load on Pado's reserved containers because partial
+  aggregation barely shrinks a shuffle whose keys rarely collide (§5.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.resources import GB, MB
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                SourceKind)
+from repro.dataflow.functions import CombineFn
+from repro.dataflow.transforms import Pipeline
+from repro.engines.base import Program
+from repro.errors import WorkloadError
+from repro.workloads.datasets import pageview_records, partition
+
+
+class ShuffleCombiner(CombineFn):
+    """Synthetic combiner for shuffle data with mostly-distinct keys.
+
+    Page-view keys rarely collide within one executor's window, so merging
+    ``n`` pieces only saves a small ``overlap`` fraction — this is why MR
+    keeps Pado's reserved containers busy (§5.2.3).
+    """
+
+    def __init__(self, overlap: float = 0.15) -> None:
+        if not 0.0 <= overlap < 1.0:
+            raise ValueError("overlap must be a fraction in [0, 1)")
+        self.overlap = overlap
+
+    def create(self):
+        return 0
+
+    def merge(self, left, right):
+        return left + right
+
+    def merged_size_bytes(self, sizes: Sequence[float]) -> float:
+        if not sizes:
+            return 0.0
+        total = sum(sizes)
+        saved = self.overlap * (total - max(sizes))
+        return total - saved
+
+
+def mr_real_program(num_docs: int = 40, num_records: int = 800,
+                    num_partitions: int = 6, reduce_parallelism: int = 3,
+                    seed: int = 0) -> Program:
+    """Executable page-view summation over a small synthetic dump."""
+    records = pageview_records(num_docs, num_records, seed)
+    parts = partition(records, num_partitions)
+    p = Pipeline("mr")
+    lines = p.read("read", partitions=parts, cacheable=True)
+    pairs = lines.map("map", lambda rec: (rec[0], rec[1]))
+    pairs.reduce_by_key("reduce", ShuffleCombiner(),
+                        parallelism=reduce_parallelism)
+    return Program(p.to_dag(), name="mr")
+
+
+def mr_synthetic_program(input_gb: float = 280.0,
+                         map_partition_mb: float = 128.0,
+                         reduce_parallelism: int = 48,
+                         map_output_ratio: float = 0.45,
+                         map_compute_factor: float = 4.0,
+                         reduce_output_ratio: float = 0.3,
+                         reduce_compute_factor: float = 0.3,
+                         scale: float = 1.0) -> Program:
+    """Paper-scale MR byte model (Figure 7).
+
+    Parsing dominates the map phase (``map_compute_factor``), matching the
+    paper's map-heavy 280 GB job. ``scale`` shrinks the input proportionally
+    for faster simulation while keeping per-task sizes (and therefore
+    per-task timings) fixed.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    total_bytes = input_gb * GB * scale
+    part_bytes = int(map_partition_mb * MB)
+    num_parts = max(1, int(round(total_bytes / part_bytes)))
+
+    dag = LogicalDAG()
+    read = dag.add_operator(Operator(
+        "read", parallelism=num_parts, source_kind=SourceKind.READ,
+        input_ref="pageviews", partition_bytes=[part_bytes] * num_parts,
+        cost=OpCost(output_ratio=1.0), cacheable=True))
+    map_op = dag.add_operator(Operator(
+        "map", parallelism=num_parts,
+        cost=OpCost(output_ratio=map_output_ratio,
+                    compute_factor=map_compute_factor)))
+    reduce_op = dag.add_operator(Operator(
+        "reduce", parallelism=reduce_parallelism,
+        cost=OpCost(output_ratio=reduce_output_ratio,
+                    compute_factor=reduce_compute_factor),
+        combiner=ShuffleCombiner()))
+    dag.connect(read, map_op, DependencyType.ONE_TO_ONE)
+    dag.connect(map_op, reduce_op, DependencyType.MANY_TO_MANY)
+    dag.validate()
+    return Program(dag, name="mr")

@@ -1,0 +1,199 @@
+"""Multinomial Logistic Regression workload (Figure 3(b), §5.1.3).
+
+Each iteration computes per-partition gradients against the latest model
+(550 map tasks over a 31 GB training matrix in the paper), tree-aggregates
+the 323 MB gradient vectors, and updates the model. The model is broadcast
+one-to-many to the gradient tasks; gradients flow many-to-one into the
+aggregators. MLR is where Pado's partial aggregation shines: gradient
+vectors merge without growing (§5.2.2).
+
+Compilation (asserted in tests, matching Figure 3(b)): the created model
+source and every aggregate/update operator land on reserved containers;
+reads and gradient computation land on transient containers; one stage per
+reserved operator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.resources import GB, MB
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                SourceKind)
+from repro.dataflow.functions import CombineFn
+from repro.engines.base import Program
+from repro.errors import WorkloadError
+from repro.workloads.datasets import partition, training_samples
+
+
+class VectorSumCombiner(CombineFn):
+    """Sum of fixed-width gradient vectors: merging never grows the data."""
+
+    def create(self):
+        return 0.0
+
+    def merge(self, left, right):
+        return left + right
+
+    def merged_size_bytes(self, sizes: Sequence[float]) -> float:
+        return max(sizes) if sizes else 0.0
+
+
+class _CreateModelFn:
+    """Source function producing the initial model matrix."""
+
+    def __init__(self, num_classes: int, num_features: int) -> None:
+        self.shape = (num_classes, num_features)
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        return [np.zeros(self.shape)]
+
+
+class _GradientFn:
+    """Softmax-regression gradient over one training partition."""
+
+    def __init__(self, read_op: str, model_op: str) -> None:
+        self.read_op = read_op
+        self.model_op = model_op
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        models = inputs[self.model_op]
+        if len(models) != 1:
+            raise WorkloadError(f"expected one model, got {len(models)}")
+        weights = models[0]
+        samples = inputs[self.read_op]
+        grad = np.zeros_like(weights)
+        for x, label in samples:
+            logits = weights @ x
+            logits -= logits.max()
+            probs = np.exp(logits)
+            probs /= probs.sum()
+            probs[label] -= 1.0
+            grad += np.outer(probs, x)
+        return [grad]
+
+
+class _AggregateFn:
+    """Partial sum of incoming gradient contributions."""
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        acc = None
+        for records in inputs.values():
+            for grad in records:
+                acc = grad if acc is None else acc + grad
+        return [] if acc is None else [acc]
+
+
+class _UpdateModelFn:
+    """Gradient-descent step from the previous model."""
+
+    def __init__(self, agg_op: str, prev_model_op: str,
+                 learning_rate: float) -> None:
+        self.agg_op = agg_op
+        self.prev_model_op = prev_model_op
+        self.learning_rate = learning_rate
+
+    def __call__(self, inputs: dict[str, list]) -> list:
+        prev = inputs[self.prev_model_op]
+        if len(prev) != 1:
+            raise WorkloadError("expected exactly one previous model")
+        total = None
+        for grad in inputs[self.agg_op]:
+            total = grad if total is None else total + grad
+        if total is None:
+            return [prev[0]]
+        return [prev[0] - self.learning_rate * total]
+
+
+def mlr_real_program(num_samples: int = 120, num_features: int = 8,
+                     num_classes: int = 3, num_partitions: int = 5,
+                     agg_parallelism: int = 2, iterations: int = 3,
+                     learning_rate: float = 0.05, seed: int = 0) -> Program:
+    """Executable MLR: engines must converge to the local runner's model."""
+    samples = training_samples(num_samples, num_features, num_classes, seed)
+    parts = partition(samples, num_partitions)
+    record_bytes = num_features * 8 + 8
+
+    dag = LogicalDAG()
+    from repro.dataflow.transforms import _ReadPartitionFn
+    read = dag.add_operator(Operator(
+        "read", parallelism=num_partitions, fn=_ReadPartitionFn(parts),
+        source_kind=SourceKind.READ, input_ref="train",
+        record_bytes=record_bytes, cacheable=True))
+    model_bytes = num_classes * num_features * 8
+    prev = dag.add_operator(Operator(
+        "model_0", parallelism=1,
+        fn=_CreateModelFn(num_classes, num_features),
+        source_kind=SourceKind.CREATED, record_bytes=model_bytes))
+    for i in range(1, iterations + 1):
+        grad = dag.add_operator(Operator(
+            f"grad_{i}", parallelism=num_partitions,
+            fn=_GradientFn("read", prev.name), cacheable=True,
+            record_bytes=model_bytes))
+        dag.connect(read, grad, DependencyType.ONE_TO_ONE)
+        dag.connect(prev, grad, DependencyType.ONE_TO_MANY)
+        agg = dag.add_operator(Operator(
+            f"agg_{i}", parallelism=agg_parallelism, fn=_AggregateFn(),
+            combiner=VectorSumCombiner(), record_bytes=model_bytes))
+        dag.connect(grad, agg, DependencyType.MANY_TO_ONE)
+        model = dag.add_operator(Operator(
+            f"model_{i}", parallelism=1,
+            fn=_UpdateModelFn(agg.name, prev.name, learning_rate),
+            record_bytes=model_bytes))
+        dag.connect(agg, model, DependencyType.MANY_TO_ONE)
+        dag.connect(prev, model, DependencyType.ONE_TO_ONE)
+        prev = model
+    dag.validate()
+    return Program(dag, name="mlr")
+
+
+def mlr_synthetic_program(iterations: int = 5, num_map_tasks: int = 550,
+                          agg_parallelism: int = 22,
+                          input_gb: float = 31.0,
+                          gradient_mb: float = 323.0,
+                          compute_factor: float = 8.0,
+                          scale: float = 1.0) -> Program:
+    """Paper-scale MLR byte model (Figure 6): 5 iterations, 550 map tasks,
+    323 MB compressed gradient vectors, tree aggregation into 22 tasks.
+
+    ``scale`` shrinks task counts (not per-task sizes), keeping per-task
+    timing behaviour while making simulation faster.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    num_map_tasks = max(2, int(round(num_map_tasks * scale)))
+    agg_parallelism = max(1, int(round(agg_parallelism * scale)))
+    part_bytes = int(input_gb * GB / (num_map_tasks / scale))
+    grad_bytes = int(gradient_mb * MB)
+
+    dag = LogicalDAG()
+    read = dag.add_operator(Operator(
+        "read", parallelism=num_map_tasks, source_kind=SourceKind.READ,
+        input_ref="train", partition_bytes=[part_bytes] * num_map_tasks,
+        cacheable=True))
+    prev = dag.add_operator(Operator(
+        "model_0", parallelism=1, source_kind=SourceKind.CREATED,
+        cost=OpCost(fixed_output_bytes=grad_bytes)))
+    for i in range(1, iterations + 1):
+        grad = dag.add_operator(Operator(
+            f"grad_{i}", parallelism=num_map_tasks,
+            cost=OpCost(fixed_output_bytes=grad_bytes,
+                        compute_factor=compute_factor),
+            cacheable=True))
+        dag.connect(read, grad, DependencyType.ONE_TO_ONE)
+        dag.connect(prev, grad, DependencyType.ONE_TO_MANY)
+        agg = dag.add_operator(Operator(
+            f"agg_{i}", parallelism=agg_parallelism,
+            cost=OpCost(fixed_output_bytes=grad_bytes),
+            combiner=VectorSumCombiner()))
+        dag.connect(grad, agg, DependencyType.MANY_TO_ONE)
+        model = dag.add_operator(Operator(
+            f"model_{i}", parallelism=1,
+            cost=OpCost(fixed_output_bytes=grad_bytes)))
+        dag.connect(agg, model, DependencyType.MANY_TO_ONE)
+        dag.connect(prev, model, DependencyType.ONE_TO_ONE)
+        prev = model
+    dag.validate()
+    return Program(dag, name="mlr")

@@ -1,0 +1,44 @@
+"""Unit tests for the table/CDF renderers."""
+
+from repro.bench.tables import (render_cdf_series, render_table, speedup,
+                                _interp)
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1.5], ["bbbb", 22.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    # Columns align: the separator matches the header width.
+    assert len(lines[1]) == len(lines[0])
+
+
+def test_render_table_with_title():
+    text = render_table(["x"], [[1]], title="Table 42")
+    assert text.splitlines()[0] == "Table 42"
+
+
+def test_float_formatting():
+    text = render_table(["v"], [[123.456], [1.23456]])
+    assert "123" in text
+    assert "1.23" in text
+
+
+def test_render_cdf_series():
+    series = {"a": ([0.0, 10.0], [0.0, 1.0])}
+    text = render_cdf_series(series, points=[0, 5, 10])
+    assert "50.0%" in text
+    assert "100.0%" in text
+
+
+def test_interp_boundaries():
+    xs, ys = [1.0, 2.0, 4.0], [0.1, 0.5, 0.9]
+    assert _interp(0.5, xs, ys) == 0.1     # below range clamps
+    assert _interp(5.0, xs, ys) == 0.9     # above range clamps
+    assert _interp(3.0, xs, ys) == 0.7     # linear between
+    assert _interp(1.0, [], []) == 0.0     # empty series
+
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == "2.0x"
+    assert speedup(1.0, 0.0) == "inf"

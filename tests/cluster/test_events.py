@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import math
+
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.errors import SimulationError
+
+
+def test_starts_at_time_zero():
+    assert Simulator().now == 0.0
+
+
+def test_runs_event_at_scheduled_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, lambda lab=label: order.append(lab))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("normal"), priority=0)
+    sim.schedule(1.0, lambda: order.append("urgent"), priority=-10)
+    sim.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(2))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+
+
+def test_run_until_resumes_cleanly():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(2))
+    sim.run(until=5.0)
+    sim.run()
+    assert fired == [2]
+    assert sim.now == 10.0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_peek_time():
+    sim = Simulator()
+    assert math.isinf(sim.peek_time())
+    handle = sim.schedule(4.0, lambda: None)
+    assert sim.peek_time() == 4.0
+    handle.cancel()
+    assert math.isinf(sim.peek_time())
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False

@@ -1,0 +1,130 @@
+"""Unit tests for the resource manager: allocation, eviction schedule,
+re-provisioning, and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.cluster.manager import ResourceManager
+from repro.errors import ResourceError
+from repro.trace.models import (ExponentialLifetimeModel, NoEvictionModel,
+                                PercentileLifetimeModel)
+
+
+def make_rm(lifetime_model=None, seed=0, replace=True):
+    sim = Simulator()
+    rm = ResourceManager(sim, lifetime_model or NoEvictionModel(),
+                         np.random.default_rng(seed),
+                         replace_evicted=replace)
+    return sim, rm
+
+
+def test_allocate_counts():
+    sim, rm = make_rm()
+    rm.allocate(2, 5)
+    assert len(rm.reserved_containers()) == 2
+    assert len(rm.transient_containers()) == 5
+
+
+def test_negative_counts_rejected():
+    _, rm = make_rm()
+    with pytest.raises(ResourceError):
+        rm.allocate(-1, 0)
+
+
+def test_no_eviction_model_never_evicts():
+    sim, rm = make_rm()
+    rm.allocate(1, 4)
+    sim.run(until=1e6)
+    assert rm.evictions == 0
+
+
+def test_transient_evicted_at_sampled_lifetime():
+    sim, rm = make_rm(ExponentialLifetimeModel(10.0))
+    events = []
+    rm.on_eviction(lambda c, r: events.append((sim.now, c, r)))
+    rm.allocate(0, 1)
+    lifetime = rm.containers[0].lifetime
+    sim.run(until=lifetime + 0.1)
+    assert rm.evictions == 1
+    when, dead, replacement = events[0]
+    assert when == pytest.approx(lifetime)
+    assert not dead.alive
+    assert replacement is not None and replacement.alive
+
+
+def test_replacement_gets_fresh_lifetime_and_eviction():
+    sim, rm = make_rm(ExponentialLifetimeModel(5.0))
+    rm.allocate(0, 1)
+    sim.run(until=200.0)
+    # With a 5-second mean lifetime, many eviction/replacement rounds fire.
+    assert rm.evictions > 5
+    assert len(rm.transient_containers()) == 1
+
+
+def test_replace_evicted_false_shrinks_pool():
+    sim, rm = make_rm(ExponentialLifetimeModel(5.0), replace=False)
+    rm.allocate(0, 3)
+    sim.run(until=1000.0)
+    assert rm.evictions == 3
+    assert rm.transient_containers() == []
+
+
+def test_on_container_callback_fires_for_every_launch():
+    sim, rm = make_rm(ExponentialLifetimeModel(5.0))
+    seen = []
+    rm.on_container(seen.append)
+    rm.allocate(1, 2)
+    assert len(seen) == 3
+    sim.run(until=100.0)
+    assert len(seen) == 3 + rm.evictions
+
+
+def test_inject_failure_on_reserved():
+    sim, rm = make_rm()
+    rm.allocate(2, 0)
+    victim = rm.reserved_containers()[0]
+    events = []
+    rm.on_eviction(lambda c, r: events.append((c, r)))
+    replacement = rm.inject_failure(victim)
+    assert not victim.alive and victim.failed_at is not None
+    assert replacement.is_reserved and replacement.alive
+    assert rm.failures == 1
+    assert events == [(victim, replacement)]
+
+
+def test_inject_failure_without_replacement():
+    sim, rm = make_rm()
+    rm.allocate(1, 0)
+    assert rm.inject_failure(rm.reserved_containers()[0],
+                             replace=False) is None
+
+
+def test_inject_failure_on_dead_container_rejected():
+    sim, rm = make_rm()
+    rm.allocate(1, 0)
+    victim = rm.reserved_containers()[0]
+    rm.inject_failure(victim, replace=False)
+    with pytest.raises(ResourceError):
+        rm.inject_failure(victim)
+
+
+def test_schedule_failure_fires_later():
+    sim, rm = make_rm()
+    rm.allocate(1, 0)
+    victim = rm.reserved_containers()[0]
+    rm.schedule_failure(victim, delay=50.0, replace=False)
+    sim.run(until=49.0)
+    assert victim.alive
+    sim.run()
+    assert not victim.alive
+
+
+def test_determinism_same_seed_same_lifetimes():
+    def lifetimes(seed):
+        sim, rm = make_rm(ExponentialLifetimeModel(7.0), seed=seed)
+        rm.allocate(0, 10)
+        return [c.lifetime for c in rm.containers]
+
+    assert lifetimes(3) == lifetimes(3)
+    assert lifetimes(3) != lifetimes(4)

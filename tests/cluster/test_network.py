@@ -1,0 +1,151 @@
+"""Unit tests for the bandwidth/network model."""
+
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.cluster.network import (ContainerEndpoint, DiskModel, FifoPort,
+                                   InfiniteEndpoint, NetworkModel)
+from repro.cluster.resources import (NodeSpec, reserved_container,
+                                     transient_container)
+
+MB = 1024 * 1024
+
+
+def make_endpoint(bandwidth=100 * MB, transient=False, lifetime=1e9):
+    spec = NodeSpec(network_bandwidth=bandwidth)
+    container = (transient_container(lifetime, spec=spec) if transient
+                 else reserved_container(spec))
+    return ContainerEndpoint(container)
+
+
+def test_fifo_port_serializes_requests():
+    port = FifoPort(bandwidth=10.0)
+    assert port.reserve(0.0, 100.0) == (0.0, 10.0)
+    assert port.reserve(0.0, 50.0) == (10.0, 15.0)
+    # A request arriving after the port frees starts immediately.
+    assert port.reserve(20.0, 10.0) == (20.0, 21.0)
+
+
+def test_fifo_port_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        FifoPort(0.0)
+
+
+def test_transfer_time_is_size_over_bandwidth():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src, dst = make_endpoint(), make_endpoint()
+    results = []
+    net.transfer(src, dst, 100 * MB, results.append)
+    sim.run()
+    assert len(results) == 1
+    assert results[0].ok
+    assert results[0].finished_at == pytest.approx(1.0)
+
+
+def test_transfer_bottlenecked_by_slower_endpoint():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(bandwidth=100 * MB)
+    dst = make_endpoint(bandwidth=10 * MB)
+    results = []
+    net.transfer(src, dst, 100 * MB, results.append)
+    sim.run()
+    assert results[0].finished_at == pytest.approx(10.0)
+
+
+def test_concurrent_transfers_queue_on_shared_source():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(bandwidth=100 * MB)
+    done = []
+    for _ in range(3):
+        net.transfer(src, make_endpoint(), 100 * MB,
+                     lambda r: done.append(r.finished_at))
+    sim.run()
+    assert done == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_transfer_fails_if_source_evicted_midway():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(transient=True)
+    dst = make_endpoint()
+    results = []
+    net.transfer(src, dst, 100 * MB, results.append)  # takes 1 s
+    sim.schedule(0.5, lambda: src.container.evict(sim.now))
+    sim.run()
+    assert not results[0].ok
+    assert net.transfers_failed == 1
+
+
+def test_transfer_to_dead_endpoint_fails_immediately():
+    sim = Simulator()
+    net = NetworkModel(sim)
+    src = make_endpoint(transient=True)
+    src.container.evict(0.0)
+    results = []
+    net.transfer(src, make_endpoint(), 10.0, results.append)
+    sim.run()
+    assert results and not results[0].ok
+
+
+def test_zero_byte_transfer_pays_latency_only():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.01)
+    results = []
+    net.transfer(make_endpoint(), make_endpoint(), 0.0, results.append)
+    sim.run()
+    assert results[0].ok
+    assert results[0].finished_at == pytest.approx(0.01)
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    net = NetworkModel(sim)
+    with pytest.raises(ValueError):
+        net.transfer(make_endpoint(), make_endpoint(), -1.0, lambda r: None)
+
+
+def test_bytes_transferred_accounting():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    net.transfer(make_endpoint(), make_endpoint(), 1000.0, lambda r: None)
+    sim.run()
+    assert net.bytes_transferred == 1000
+
+
+def test_infinite_endpoint_never_bottlenecks():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    dst = make_endpoint(bandwidth=100 * MB)
+    done = []
+    net.transfer(InfiniteEndpoint(), dst, 100 * MB,
+                 lambda r: done.append(r.finished_at))
+    sim.run()
+    assert done == pytest.approx([1.0])
+
+
+def test_disk_write_and_read_share_bandwidth():
+    sim = Simulator()
+    spec = NodeSpec(disk_bandwidth=100 * MB)
+    container = reserved_container(spec)
+    disk = DiskModel(sim, container)
+    times = []
+    disk.write(100 * MB, lambda ok: times.append(sim.now))
+    disk.read(100 * MB, lambda ok: times.append(sim.now))
+    sim.run()
+    assert times == pytest.approx([1.0, 2.0])
+    assert disk.bytes_written == 100 * MB
+    assert disk.bytes_read == 100 * MB
+
+
+def test_disk_io_on_dead_container_reports_failure():
+    sim = Simulator()
+    container = transient_container(lifetime=10.0)
+    disk = DiskModel(sim, container)
+    outcomes = []
+    disk.write(100 * MB, outcomes.append)
+    container.evict(0.1)
+    sim.run()
+    assert outcomes == [False]

@@ -1,0 +1,75 @@
+"""Unit tests for nodes and containers."""
+
+import pytest
+
+from repro.cluster.resources import (Container, ContainerKind, NodeSpec,
+                                     RESERVED_NODE, TRANSIENT_NODE,
+                                     reserved_container, transient_container)
+
+
+def test_default_specs_match_paper_instances():
+    # i2.xlarge: 4 vcores, 30.5 GB; m3.xlarge: 4 vcores, 15 GB (§5.1.1).
+    assert RESERVED_NODE.cores == 4
+    assert round(RESERVED_NODE.memory_bytes / 2**30, 1) == 30.5
+    assert TRANSIENT_NODE.cores == 4
+    assert TRANSIENT_NODE.memory_bytes / 2**30 == 15
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(cores=0)
+    with pytest.raises(ValueError):
+        NodeSpec(memory_bytes=-1)
+    with pytest.raises(ValueError):
+        NodeSpec(network_bandwidth=0)
+
+
+def test_container_ids_unique():
+    a, b = reserved_container(), reserved_container()
+    assert a.container_id != b.container_id
+
+
+def test_reserved_container_cannot_be_evicted():
+    container = reserved_container()
+    with pytest.raises(ValueError):
+        container.evict(now=1.0)
+    assert container.alive
+
+
+def test_transient_container_eviction():
+    container = transient_container(lifetime=60.0)
+    assert container.alive and container.is_transient
+    container.evict(now=60.0)
+    assert not container.alive
+    assert container.evicted_at == 60.0
+    assert container.dead_since() == 60.0
+
+
+def test_double_eviction_rejected():
+    container = transient_container(lifetime=60.0)
+    container.evict(now=60.0)
+    with pytest.raises(ValueError):
+        container.evict(now=61.0)
+
+
+def test_machine_fault_can_hit_reserved():
+    container = reserved_container()
+    container.fail(now=5.0)
+    assert not container.alive
+    assert container.failed_at == 5.0
+
+
+def test_dead_since_requires_dead_container():
+    with pytest.raises(ValueError):
+        reserved_container().dead_since()
+
+
+def test_transient_requires_positive_lifetime():
+    with pytest.raises(ValueError):
+        transient_container(lifetime=0.0)
+
+
+def test_kind_predicates():
+    assert reserved_container().is_reserved
+    assert not reserved_container().is_transient
+    assert transient_container(1.0).is_transient

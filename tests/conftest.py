@@ -1,0 +1,53 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# Property tests must be reproducible run-to-run (the simulator itself is
+# deterministic; keep the example generation deterministic too).
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")
+
+
+def records_equal(left: list, right: list, atol: float = 1e-8) -> bool:
+    """Order-insensitive record-list equality that tolerates numpy payloads
+    and the float-summation-order differences between engines."""
+    if len(left) != len(right):
+        return False
+    key = lambda r: repr(_round(r))[:200]
+    for a, b in zip(sorted(left, key=key), sorted(right, key=key)):
+        if not _one_equal(a, b, atol):
+            return False
+    return True
+
+
+def _round(record):
+    if isinstance(record, float):
+        return round(record, 6)
+    if isinstance(record, np.ndarray):
+        return np.round(record, 6).tolist()
+    if isinstance(record, tuple):
+        return tuple(_round(x) for x in record)
+    if isinstance(record, list):
+        return [_round(x) for x in record]
+    return record
+
+
+def _one_equal(a, b, atol) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (np.asarray(a).shape == np.asarray(b).shape
+                and np.allclose(a, b, atol=atol))
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            _one_equal(x, y, atol) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return abs(a - b) <= atol + 1e-6 * abs(b)
+    return a == b
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

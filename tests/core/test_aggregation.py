@@ -1,0 +1,135 @@
+"""Unit tests for task-output partial aggregation (§3.2.7)."""
+
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.core.runtime.aggregation import (AggregationBuffer, Contribution,
+                                            FlushBatch, merge_payloads)
+from repro.dataflow.functions import SumCombiner, binary_combiner
+from repro.workloads.mlr import VectorSumCombiner
+
+
+def make_buffer(sim, flushes, max_tasks=3, max_delay=5.0, keyed=False,
+                combiner=None):
+    return AggregationBuffer(sim, combiner or VectorSumCombiner(), keyed,
+                             max_tasks=max_tasks, max_delay=max_delay,
+                             flush_fn=flushes.append)
+
+
+def contribution(key, size, payload=None):
+    return Contribution(producer_key=key, size_bytes=size, payload=payload)
+
+
+def test_flushes_at_max_tasks():
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes, max_tasks=2)
+    buffer.add(contribution("t0", 100.0))
+    assert flushes == []
+    buffer.add(contribution("t1", 100.0))
+    assert len(flushes) == 1
+    assert len(flushes[0].contributions) == 2
+
+
+def test_flushes_on_timer():
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes, max_tasks=10, max_delay=5.0)
+    buffer.add(contribution("t0", 100.0))
+    sim.run(until=4.9)
+    assert flushes == []
+    sim.run(until=5.1)
+    assert len(flushes) == 1
+
+
+def test_vector_sum_merged_size_is_max():
+    """Gradient vectors merge without growing (§3.2.7 / §5.2.2)."""
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes, max_tasks=3)
+    for i in range(3):
+        buffer.add(contribution(f"t{i}", 323.0))
+    assert flushes[0].merged_size_bytes == 323.0
+
+
+def test_manual_flush_and_empty_flush():
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes)
+    buffer.flush()  # empty: no-op
+    assert flushes == []
+    buffer.add(contribution("t0", 1.0))
+    buffer.flush()
+    assert len(flushes) == 1
+    assert buffer.pending_count == 0
+
+
+def test_discard_drops_pending_and_cancels_timer():
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes)
+    buffer.add(contribution("t0", 1.0))
+    lost = buffer.discard()
+    assert [c.producer_key for c in lost] == ["t0"]
+    sim.run()
+    assert flushes == []
+
+
+def test_real_payloads_merged_globally():
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes, max_tasks=2,
+                         combiner=SumCombiner())
+    buffer.add(contribution("t0", 8.0, payload=[3]))
+    buffer.add(contribution("t1", 8.0, payload=[4]))
+    assert flushes[0].merged_payload == [7]
+
+
+def test_real_payloads_merged_per_key():
+    sim = Simulator()
+    flushes = []
+    buffer = AggregationBuffer(sim, SumCombiner(), keyed=True, max_tasks=2,
+                               max_delay=5.0, flush_fn=flushes.append)
+    buffer.add(contribution("t0", 8.0, payload=[("a", 1), ("b", 2)]))
+    buffer.add(contribution("t1", 8.0, payload=[("a", 10)]))
+    assert flushes[0].merged_payload == [("a", 11), ("b", 2)]
+
+
+def test_payloadless_contribution_skips_merge():
+    sim = Simulator()
+    flushes = []
+    buffer = make_buffer(sim, flushes, max_tasks=2)
+    buffer.add(contribution("t0", 8.0, payload=[1]))
+    buffer.add(contribution("t1", 8.0, payload=None))
+    assert flushes[0].merged_payload is None
+
+
+def test_merge_payloads_global_and_keyed():
+    combiner = SumCombiner()
+    assert merge_payloads(combiner, [[1, 2], [3]], keyed=False) == [6]
+    assert merge_payloads(combiner, [], keyed=False) == []
+    keyed = merge_payloads(combiner, [[("x", 1)], [("x", 2), ("y", 5)]],
+                           keyed=True)
+    assert keyed == [("x", 3), ("y", 5)]
+
+
+def test_merge_payloads_associativity_property():
+    """Partial aggregation must commute with the final aggregation."""
+    combiner = SumCombiner()
+    parts = [[("a", 1), ("b", 2)], [("a", 3)], [("b", 4), ("c", 5)]]
+    once = merge_payloads(combiner, parts, keyed=True)
+    staged = merge_payloads(
+        combiner,
+        [merge_payloads(combiner, parts[:2], keyed=True), parts[2]],
+        keyed=True)
+    assert once == staged
+
+
+def test_bad_limits_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AggregationBuffer(sim, SumCombiner(), False, max_tasks=0,
+                          max_delay=1.0, flush_fn=lambda b: None)
+    with pytest.raises(ValueError):
+        AggregationBuffer(sim, SumCombiner(), False, max_tasks=1,
+                          max_delay=0.0, flush_fn=lambda b: None)

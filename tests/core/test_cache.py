@@ -1,0 +1,73 @@
+"""Unit tests for the task-input LRU cache (§3.2.7)."""
+
+import pytest
+
+from repro.core.runtime.cache import LruCache
+
+
+def test_miss_then_hit():
+    cache = LruCache(100.0)
+    assert cache.get("a") is None
+    cache.put("a", 10.0, payload="data")
+    assert cache.get("a") == (10.0, "data")
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_contains_and_len():
+    cache = LruCache(100.0)
+    cache.put("a", 1.0, None)
+    assert "a" in cache and "b" not in cache
+    assert len(cache) == 1
+
+
+def test_lru_eviction_order():
+    cache = LruCache(30.0)
+    cache.put("a", 10.0, 1)
+    cache.put("b", 10.0, 2)
+    cache.put("c", 10.0, 3)
+    cache.get("a")              # refresh a; b is now LRU
+    cache.put("d", 10.0, 4)     # evicts b
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache and "d" in cache
+
+
+def test_oversized_entry_not_admitted():
+    cache = LruCache(10.0)
+    cache.put("big", 11.0, None)
+    assert "big" not in cache
+    assert len(cache) == 0
+
+
+def test_replacing_entry_updates_size():
+    cache = LruCache(20.0)
+    cache.put("a", 10.0, 1)
+    cache.put("a", 5.0, 2)
+    assert cache.used_bytes == 5.0
+    assert cache.get("a") == (5.0, 2)
+
+
+def test_eviction_frees_enough_space():
+    cache = LruCache(25.0)
+    cache.put("a", 10.0, None)
+    cache.put("b", 10.0, None)
+    cache.put("c", 20.0, None)  # must evict both a and b
+    assert "a" not in cache and "b" not in cache and "c" in cache
+    assert cache.used_bytes == 20.0
+
+
+def test_clear():
+    cache = LruCache(100.0)
+    cache.put("a", 10.0, None)
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0.0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LruCache(-1.0)
+
+
+def test_zero_capacity_admits_nothing():
+    cache = LruCache(0.0)
+    cache.put("a", 1.0, None)
+    assert "a" not in cache

@@ -1,0 +1,101 @@
+"""Figure 3: compilation results of the three evaluation workloads.
+
+These tests assert the *exact* placements and stage structure the paper
+shows for Map-Reduce, Multinomial Logistic Regression, and Alternating
+Least Squares (§3.1.3).
+"""
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.dataflow.dag import Placement
+from repro.workloads import (als_real_program, als_synthetic_program,
+                             mlr_real_program, mlr_synthetic_program,
+                             mr_real_program, mr_synthetic_program)
+
+R = Placement.RESERVED.value
+T = Placement.TRANSIENT.value
+
+
+@pytest.mark.parametrize("make", [mr_real_program,
+                                  lambda: mr_synthetic_program(scale=0.05)])
+def test_figure3a_map_reduce(make):
+    job = compile_program(make().dag)
+    assert job.placement_summary() == {
+        "read": T, "map": T, "reduce": R}
+    # One stage: {Read, Map} on transient flowing into Reduce on reserved.
+    assert job.num_stages == 1
+    stage = job.stage_dag.stages[0]
+    assert stage.root_op.name == "reduce"
+    assert {op.name for op in stage.operators} == {"read", "map", "reduce"}
+
+
+@pytest.mark.parametrize("make", [
+    lambda: mlr_real_program(iterations=1),
+    lambda: mlr_synthetic_program(iterations=1, scale=0.05)])
+def test_figure3b_mlr_one_iteration(make):
+    job = compile_program(make().dag)
+    placements = job.placement_summary()
+    assert placements["model_0"] == R        # Create 1st Model
+    assert placements["read"] == T           # Read Training Data
+    assert placements["grad_1"] == T         # Compute Gradient
+    assert placements["agg_1"] == R          # Aggregate Gradients
+    assert placements["model_1"] == R        # Compute 2nd Model
+    # "there are three stages for the three operators on reserved
+    # containers" (§3.1.3).
+    assert job.num_stages == 3
+    roots = [s.root_op.name for s in job.stage_dag.topological()]
+    assert roots == ["model_0", "agg_1", "model_1"]
+    agg_stage = job.stage_dag.stage_of_root(job.logical.operator("agg_1"))
+    assert {op.name for op in agg_stage.operators} == \
+        {"read", "grad_1", "agg_1"}
+
+
+@pytest.mark.parametrize("make", [
+    lambda: als_real_program(iterations=1),
+    lambda: als_synthetic_program(iterations=1, scale=0.1)])
+def test_figure3c_als_one_iteration(make):
+    job = compile_program(make().dag)
+    placements = job.placement_summary()
+    assert placements["read"] == T
+    assert placements["agg_user"] == R
+    assert placements["agg_item"] == R
+    assert placements["user_factor_1"] == T
+    assert placements["agg_user_factor_1"] == R
+    # "Compute 1st Item Factor operator only has a single one-to-one
+    # incoming edge from reserved containers and is placed on reserved
+    # containers to ensure data locality" (§3.1.3).
+    assert placements["item_factor_1"] == R
+    dag = job.logical
+    item_edges = dag.in_edges(dag.operator("item_factor_1"))
+    assert len(item_edges) == 1
+    assert item_edges[0].dep_type.value == "one-to-one"
+    # Four stages c-1..c-4, as in Figure 3(c).
+    assert job.num_stages == 4
+    roots = {s.root_op.name for s in job.stage_dag.stages}
+    assert roots == {"agg_user", "agg_item", "agg_user_factor_1",
+                     "item_factor_1"}
+    # Read is absorbed into both aggregation stages.
+    read_stages = job.stage_dag.stages_containing(dag.operator("read"))
+    assert len(read_stages) == 2
+
+
+def test_mlr_stage_count_grows_with_iterations():
+    for k in (1, 2, 4):
+        job = compile_program(
+            mlr_synthetic_program(iterations=k, scale=0.05).dag)
+        assert job.num_stages == 1 + 2 * k
+
+
+def test_als_stage_count_grows_with_iterations():
+    for k in (1, 2, 4):
+        job = compile_program(
+            als_synthetic_program(iterations=k, scale=0.1).dag)
+        assert job.num_stages == 2 + 2 * k
+
+
+def test_describe_mentions_every_operator():
+    job = compile_program(mlr_real_program(iterations=1).dag)
+    text = job.describe()
+    for op in job.logical.operators:
+        assert op.name in text

@@ -1,0 +1,159 @@
+"""Unit tests for operator fusion (§3.2.2)."""
+
+import pytest
+
+from repro.core.compiler.fusion import FusedOperator, fuse_operators
+from repro.core.compiler.placement import place_operators
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                Placement, SourceKind)
+from repro.dataflow.functions import MapFn
+from repro.errors import CompilerError
+
+OO = DependencyType.ONE_TO_ONE
+OM = DependencyType.ONE_TO_MANY
+MM = DependencyType.MANY_TO_MANY
+
+
+def read_source(name="read", parallelism=3, partitions=None):
+    from repro.dataflow.transforms import _ReadPartitionFn
+    fn = _ReadPartitionFn(partitions) if partitions is not None else None
+    if partitions is not None:
+        parallelism = len(partitions)
+    return Operator(name, parallelism=parallelism, fn=fn,
+                    source_kind=SourceKind.READ, input_ref=name,
+                    partition_bytes=None if partitions else [1] * parallelism)
+
+
+def test_fuses_one_to_one_chain():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    a = dag.add_operator(Operator("a", parallelism=3))
+    b = dag.add_operator(Operator("b", parallelism=3))
+    dag.connect(read, a, OO)
+    dag.connect(a, b, OO)
+    place_operators(dag)
+    chains = fuse_operators(dag, dag.operators)
+    assert len(chains) == 1
+    assert chains[0].name == "read+a+b"
+    assert chains[0].head is read and chains[0].terminal is b
+
+
+def test_wide_edge_breaks_chain():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    red = dag.add_operator(Operator("red", parallelism=2))
+    dag.connect(read, red, MM)
+    place_operators(dag)
+    chains = fuse_operators(dag, dag.operators)
+    assert sorted(c.name for c in chains) == ["read", "red"]
+
+
+def test_branching_breaks_chain():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    a = dag.add_operator(Operator("a", parallelism=3))
+    b = dag.add_operator(Operator("b", parallelism=3))
+    dag.connect(read, a, OO)
+    dag.connect(read, b, OO)
+    place_operators(dag)
+    chains = fuse_operators(dag, dag.operators)
+    assert sorted(c.name for c in chains) == ["a", "b", "read"]
+
+
+def test_placement_mismatch_breaks_chain():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    a = dag.add_operator(Operator("a", parallelism=3))
+    dag.connect(read, a, OO)
+    place_operators(dag)
+    a.placement = Placement.RESERVED  # pretend
+    assert len(fuse_operators(dag, dag.operators)) == 2
+    assert len(fuse_operators(dag, dag.operators,
+                              require_same_placement=False)) == 1
+
+
+def test_external_inputs_allowed_mid_chain():
+    """A broadcast side input does not break fusion (MLR's Read+Gradient)."""
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    model = dag.add_operator(Operator(
+        "model", parallelism=1, source_kind=SourceKind.CREATED,
+        cost=OpCost(fixed_output_bytes=10)))
+    grad = dag.add_operator(Operator("grad", parallelism=3))
+    dag.connect(read, grad, OO)
+    dag.connect(model, grad, OM)
+    place_operators(dag)
+    chains = fuse_operators(dag, [read, grad])
+    assert len(chains) == 1
+    chain = chains[0]
+    assert chain.name == "read+grad"
+    assert [e.src.name for e in chain.external_in_edges()] == ["model"]
+
+
+def test_apply_runs_whole_chain():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source(partitions=[[1, 2], [3]]))
+    double = dag.add_operator(Operator("double", parallelism=2,
+                                       fn=MapFn(lambda x: x * 2)))
+    inc = dag.add_operator(Operator("inc", parallelism=2,
+                                    fn=MapFn(lambda x: x + 1)))
+    dag.connect(read, double, OO)
+    dag.connect(double, inc, OO)
+    place_operators(dag)
+    chain = fuse_operators(dag, dag.operators)[0]
+    assert chain.apply(0, {}) == [3, 5]
+    assert chain.apply(1, {}) == [7]
+
+
+def test_apply_requires_functions():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    place_operators(dag)
+    chain = fuse_operators(dag, dag.operators)[0]
+    with pytest.raises(CompilerError):
+        chain.apply(0, {})
+
+
+def test_synthetic_output_bytes_flows_through_cost():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source(parallelism=2))
+    half = dag.add_operator(Operator("half", parallelism=2,
+                                     cost=OpCost(output_ratio=0.5)))
+    fixed = dag.add_operator(Operator("fixed", parallelism=2,
+                                      cost=OpCost(fixed_output_bytes=7)))
+    dag.connect(read, half, OO)
+    dag.connect(half, fixed, OO)
+    place_operators(dag)
+    chain = fuse_operators(dag, dag.operators)[0]
+    # Source bytes enter under the source op's own name.
+    assert chain.synthetic_output_bytes({"read": 100.0}) == 7.0
+    mid = fuse_operators(dag, [read, half])[0]
+    assert mid.synthetic_output_bytes({"read": 100.0}) == 50.0
+
+
+def test_compute_seconds_accumulates_along_chain():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source(parallelism=1))
+    work = dag.add_operator(Operator(
+        "work", parallelism=1,
+        cost=OpCost(compute_factor=2.0, fixed_compute_seconds=1.0)))
+    dag.connect(read, work, OO)
+    place_operators(dag)
+    chain = fuse_operators(dag, dag.operators)[0]
+    # read: 100 bytes at 10 B/s = 10 s; work: 100 bytes * 2 / 10 + 1 = 21 s.
+    assert chain.compute_seconds(100.0, 10.0) == pytest.approx(31.0)
+
+
+def test_mixed_parallelism_rejected():
+    dag = LogicalDAG()
+    a = dag.add_operator(read_source("a", parallelism=2))
+    b = dag.add_operator(read_source("b", parallelism=3))
+    with pytest.raises(CompilerError):
+        FusedOperator(dag, [a, b])
+
+
+def test_duplicate_ops_rejected():
+    dag = LogicalDAG()
+    a = dag.add_operator(read_source("a"))
+    with pytest.raises(CompilerError):
+        fuse_operators(dag, [a, a])

@@ -1,0 +1,69 @@
+"""Unit tests for the §6 lifetime-aware placement extension."""
+
+import math
+
+import pytest
+
+from repro.core.compiler.lifetime_placement import (ResourceClass,
+                                                    place_with_lifetime_classes)
+from repro.core.compiler.partitioning import (check_partitioning,
+                                              partition_stages)
+from repro.dataflow.dag import Placement
+from repro.errors import CompilerError
+from repro.workloads import als_synthetic_program, mlr_synthetic_program
+
+RESERVED = ResourceClass("reserved", math.inf)
+LONG = ResourceClass("long-lived", 3600.0)
+SHORT = ResourceClass("short-lived", 120.0)
+
+
+def test_requires_a_reserved_class():
+    dag = mlr_synthetic_program(iterations=1, scale=0.05).dag
+    with pytest.raises(CompilerError):
+        place_with_lifetime_classes(dag, [LONG, SHORT])
+    with pytest.raises(CompilerError):
+        place_with_lifetime_classes(dag, [])
+
+
+def test_wide_consumers_always_reserved():
+    dag = mlr_synthetic_program(iterations=2, scale=0.05).dag
+    assignment = place_with_lifetime_classes(dag, [RESERVED, LONG, SHORT])
+    for op in dag.operators:
+        if any(e.dep_type.is_wide for e in dag.in_edges(op)):
+            assert assignment[op.name].is_reserved, op.name
+
+
+def test_heavier_operators_get_longer_lifetimes():
+    dag = als_synthetic_program(iterations=2, scale=0.1).dag
+    assignment = place_with_lifetime_classes(dag, [RESERVED, LONG, SHORT])
+    from repro.core.compiler.placement import recomputation_weight
+    flexible = [(recomputation_weight(dag, op), assignment[op.name])
+                for op in dag.operators
+                if not assignment[op.name].is_reserved]
+    assert flexible, "expected some transient assignments"
+    # No light operator may sit on a longer-lived class than a heavier one.
+    for w1, c1 in flexible:
+        for w2, c2 in flexible:
+            if w1 < w2:
+                assert c1.expected_lifetime <= c2.expected_lifetime
+
+
+def test_result_remains_valid_for_partitioning():
+    dag = mlr_synthetic_program(iterations=2, scale=0.05).dag
+    place_with_lifetime_classes(dag, [RESERVED, LONG, SHORT])
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+
+
+def test_single_reserved_class_degenerates_to_algorithm1():
+    from repro.core.compiler.placement import place_operators
+    dag_a = mlr_synthetic_program(iterations=2, scale=0.05).dag
+    dag_b = mlr_synthetic_program(iterations=2, scale=0.05).dag
+    place_with_lifetime_classes(dag_a, [RESERVED])
+    place_operators(dag_b)
+    # With no transient classes, everything must be reserved-safe: wide
+    # consumers and created sources match Algorithm 1 exactly; the rest
+    # collapse onto the reserved class.
+    for op_a, op_b in zip(dag_a.operators, dag_b.operators):
+        if op_b.placement is Placement.RESERVED:
+            assert op_a.placement is Placement.RESERVED

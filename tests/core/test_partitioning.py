@@ -1,0 +1,163 @@
+"""Unit tests for Algorithm 2 (stage partitioning)."""
+
+import pytest
+
+from repro.core.compiler.partitioning import (Stage, check_partitioning,
+                                              partition_stages)
+from repro.core.compiler.placement import place_operators
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                Placement, SourceKind)
+from repro.errors import CompilerError
+
+OO = DependencyType.ONE_TO_ONE
+OM = DependencyType.ONE_TO_MANY
+MO = DependencyType.MANY_TO_ONE
+MM = DependencyType.MANY_TO_MANY
+
+
+def read_source(name="read", parallelism=4):
+    return Operator(name, parallelism=parallelism,
+                    source_kind=SourceKind.READ, input_ref=name,
+                    partition_bytes=[1] * parallelism)
+
+
+def build_map_reduce():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    mapper = dag.add_operator(Operator("map", parallelism=4))
+    reducer = dag.add_operator(Operator("reduce", parallelism=2))
+    dag.connect(read, mapper, OO)
+    dag.connect(mapper, reducer, MM)
+    place_operators(dag)
+    return dag
+
+
+def test_requires_placed_dag():
+    dag = LogicalDAG()
+    dag.add_operator(read_source())
+    with pytest.raises(CompilerError):
+        partition_stages(dag)
+
+
+def test_map_reduce_single_stage():
+    dag = build_map_reduce()
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+    assert len(stage_dag.stages) == 1
+    stage = stage_dag.stages[0]
+    assert stage.root_op.name == "reduce"
+    assert {op.name for op in stage.operators} == {"read", "map", "reduce"}
+
+
+def test_stage_absorbs_transient_ancestors_recursively():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    a = dag.add_operator(Operator("a", parallelism=4))
+    b = dag.add_operator(Operator("b", parallelism=4))
+    agg = dag.add_operator(Operator("agg", parallelism=1))
+    dag.connect(read, a, OO)
+    dag.connect(a, b, OO)
+    dag.connect(b, agg, MO)
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    assert len(stage_dag.stages) == 1
+    assert {op.name for op in stage_dag.stages[0].operators} == \
+        {"read", "a", "b", "agg"}
+
+
+def test_reserved_parent_creates_stage_dependency():
+    dag = build_map_reduce()
+    follow = dag.add_operator(Operator("follow", parallelism=2))
+    dag.connect(dag.operator("reduce"), follow, OO)
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+    assert len(stage_dag.stages) == 2
+    first, second = stage_dag.topological()
+    assert first.root_op.name == "reduce"
+    assert second.root_op.name == "follow"
+    assert second.parents == [first]
+    assert first.children == [second]
+
+
+def test_transient_sink_gets_its_own_stage():
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    mapper = dag.add_operator(Operator("map", parallelism=4))
+    dag.connect(read, mapper, OO)
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    assert len(stage_dag.stages) == 1
+    stage = stage_dag.stages[0]
+    assert stage.root_op.name == "map"
+    assert stage.reserved_ops == []
+
+
+def test_reserved_sink_creates_one_stage_not_two():
+    dag = build_map_reduce()  # reduce is both reserved and a sink
+    stage_dag = partition_stages(dag)
+    assert len(stage_dag.stages) == 1
+
+
+def test_transient_op_shared_by_two_stages():
+    """A transient operator with two reserved consumers is absorbed into
+    both stages (the ALS Read case, §3.1.3)."""
+    dag = LogicalDAG()
+    read = dag.add_operator(read_source())
+    agg_a = dag.add_operator(Operator("agg_a", parallelism=2))
+    agg_b = dag.add_operator(Operator("agg_b", parallelism=2))
+    dag.connect(read, agg_a, MM)
+    dag.connect(read, agg_b, MM)
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+    assert len(stage_dag.stages) == 2
+    stages_with_read = stage_dag.stages_containing(dag.operator("read"))
+    assert len(stages_with_read) == 2
+
+
+def test_every_stage_has_at_most_one_reserved_op():
+    dag = build_map_reduce()
+    follow = dag.add_operator(Operator("follow", parallelism=2))
+    more = dag.add_operator(Operator("more", parallelism=2))
+    dag.connect(dag.operator("reduce"), follow, OO)
+    dag.connect(follow, more, OO)
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+    for stage in stage_dag.stages:
+        assert len(stage.reserved_ops) <= 1
+
+
+def test_boundary_in_edges_come_from_reserved():
+    dag = build_map_reduce()
+    follow = dag.add_operator(Operator("follow", parallelism=2))
+    dag.connect(dag.operator("reduce"), follow, OO)
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    follow_stage = stage_dag.stage_of_root(dag.operator("follow"))
+    boundary = stage_dag.boundary_in_edges(follow_stage)
+    assert [e.src.name for e in boundary] == ["reduce"]
+    assert all(e.src.placement is Placement.RESERVED for e in boundary)
+
+
+def test_internal_edges_exclude_boundary():
+    dag = build_map_reduce()
+    stage_dag = partition_stages(dag)
+    internal = stage_dag.internal_edges(stage_dag.stages[0])
+    assert {(e.src.name, e.dst.name) for e in internal} == \
+        {("read", "map"), ("map", "reduce")}
+
+
+def test_stage_of_root_missing():
+    dag = build_map_reduce()
+    stage_dag = partition_stages(dag)
+    with pytest.raises(CompilerError):
+        stage_dag.stage_of_root(dag.operator("map"))
+
+
+def test_stage_repr_and_contains():
+    dag = build_map_reduce()
+    stage = partition_stages(dag).stages[0]
+    assert stage.contains(dag.operator("map"))
+    assert "reduce" in repr(stage)

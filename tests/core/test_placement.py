@@ -1,0 +1,163 @@
+"""Unit tests for Algorithm 1 (operator placement)."""
+
+import pytest
+
+from repro.core.compiler.placement import (check_placement, place_operators,
+                                           recomputation_weight)
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
+                                Placement, SourceKind)
+from repro.errors import CompilerError
+
+OO = DependencyType.ONE_TO_ONE
+OM = DependencyType.ONE_TO_MANY
+MO = DependencyType.MANY_TO_ONE
+MM = DependencyType.MANY_TO_MANY
+
+
+def read_source(name="read", parallelism=4):
+    return Operator(name, parallelism=parallelism,
+                    source_kind=SourceKind.READ, input_ref=name,
+                    partition_bytes=[1] * parallelism)
+
+
+def created_source(name="created", parallelism=1):
+    from repro.dataflow.dag import OpCost
+    return Operator(name, parallelism=parallelism,
+                    source_kind=SourceKind.CREATED,
+                    cost=OpCost(fixed_output_bytes=1))
+
+
+def test_read_source_goes_transient():
+    dag = LogicalDAG()
+    dag.add_operator(read_source())
+    place_operators(dag)
+    assert dag.operator("read").placement is Placement.TRANSIENT
+
+
+def test_created_source_goes_reserved():
+    dag = LogicalDAG()
+    dag.add_operator(created_source())
+    place_operators(dag)
+    assert dag.operator("created").placement is Placement.RESERVED
+
+
+@pytest.mark.parametrize("dep", [MM, MO])
+def test_wide_consumer_goes_reserved(dep):
+    dag = LogicalDAG()
+    src = dag.add_operator(read_source())
+    consumer = dag.add_operator(Operator("c", parallelism=2))
+    dag.connect(src, consumer, dep)
+    place_operators(dag)
+    assert consumer.placement is Placement.RESERVED
+
+
+def test_any_wide_edge_forces_reserved():
+    """ANYMATCH: one wide edge among several narrow ones is enough."""
+    dag = LogicalDAG()
+    a = dag.add_operator(read_source("a"))
+    b = dag.add_operator(read_source("b", parallelism=2))
+    consumer = dag.add_operator(Operator("c", parallelism=2))
+    dag.connect(a, consumer, MM)
+    dag.connect(b, consumer, OO)
+    place_operators(dag)
+    assert consumer.placement is Placement.RESERVED
+
+
+def test_narrow_consumer_of_transient_goes_transient():
+    dag = LogicalDAG()
+    src = dag.add_operator(read_source())
+    mapper = dag.add_operator(Operator("map", parallelism=4))
+    dag.connect(src, mapper, OO)
+    place_operators(dag)
+    assert mapper.placement is Placement.TRANSIENT
+
+
+def test_locality_rule_all_one_to_one_from_reserved():
+    """ALLMATCH o-o + ALLFROM reserved -> reserved (data locality)."""
+    dag = LogicalDAG()
+    src = dag.add_operator(read_source())
+    agg = dag.add_operator(Operator("agg", parallelism=2))
+    follow = dag.add_operator(Operator("follow", parallelism=2))
+    dag.connect(src, agg, MM)
+    dag.connect(agg, follow, OO)
+    place_operators(dag)
+    assert follow.placement is Placement.RESERVED
+
+
+def test_locality_rule_needs_all_edges_one_to_one():
+    """A broadcast edge alongside the o-o edge breaks the locality rule."""
+    dag = LogicalDAG()
+    src = dag.add_operator(read_source())
+    agg = dag.add_operator(Operator("agg", parallelism=2))
+    model = dag.add_operator(created_source("model"))
+    follow = dag.add_operator(Operator("follow", parallelism=2))
+    dag.connect(src, agg, MM)
+    dag.connect(agg, follow, OO)
+    dag.connect(model, follow, OM)
+    place_operators(dag)
+    assert follow.placement is Placement.TRANSIENT
+
+
+def test_locality_rule_needs_all_parents_reserved():
+    dag = LogicalDAG()
+    a = dag.add_operator(read_source("a", parallelism=2))
+    agg = dag.add_operator(Operator("agg", parallelism=2))
+    other = dag.add_operator(read_source("other", parallelism=2))
+    follow = dag.add_operator(Operator("follow", parallelism=2))
+    dag.connect(a, agg, MM)
+    dag.connect(agg, follow, OO)
+    dag.connect(other, follow, OO)
+    place_operators(dag)
+    assert follow.placement is Placement.TRANSIENT
+
+
+def test_broadcast_consumer_stays_transient():
+    """o-m in-edges alone never force reserved placement."""
+    dag = LogicalDAG()
+    model = dag.add_operator(created_source("model"))
+    data = dag.add_operator(read_source("data"))
+    worker = dag.add_operator(Operator("worker", parallelism=4))
+    dag.connect(data, worker, OO)
+    dag.connect(model, worker, OM)
+    place_operators(dag)
+    assert worker.placement is Placement.TRANSIENT
+
+
+def test_source_without_kind_rejected():
+    from repro.errors import ReproError
+    dag = LogicalDAG()
+    dag.add_operator(Operator("mystery", parallelism=1, fn=lambda i: []))
+    with pytest.raises(ReproError):
+        place_operators(dag)
+
+
+def test_check_placement_catches_unplaced():
+    dag = LogicalDAG()
+    dag.add_operator(read_source())
+    with pytest.raises(CompilerError):
+        check_placement(dag)
+
+
+def test_check_placement_catches_transient_wide_consumer():
+    dag = LogicalDAG()
+    src = dag.add_operator(read_source())
+    consumer = dag.add_operator(Operator("c", parallelism=2))
+    dag.connect(src, consumer, MM)
+    place_operators(dag)
+    consumer.placement = Placement.TRANSIENT  # corrupt
+    with pytest.raises(CompilerError):
+        check_placement(dag)
+
+
+def test_recomputation_weight():
+    dag = LogicalDAG()
+    src = dag.add_operator(read_source(parallelism=6))
+    narrow = dag.add_operator(Operator("n", parallelism=6))
+    wide = dag.add_operator(Operator("w", parallelism=3))
+    collect = dag.add_operator(Operator("m", parallelism=2))
+    dag.connect(src, narrow, OO)
+    dag.connect(narrow, wide, MM)
+    dag.connect(narrow, collect, MO)
+    assert recomputation_weight(dag, narrow) == 1
+    assert recomputation_weight(dag, wide) == 6
+    assert recomputation_weight(dag, collect) == 3

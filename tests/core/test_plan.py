@@ -1,0 +1,91 @@
+"""Unit tests for execution-plan generation (§3.2.2)."""
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.core.runtime.plan import build_execution_plan
+from repro.dataflow.dag import Placement
+from repro.workloads import (als_synthetic_program, mlr_synthetic_program,
+                             mr_synthetic_program)
+
+
+def plan_for(program):
+    return build_execution_plan(compile_program(program.dag))
+
+
+def test_mr_plan_structure():
+    plan = plan_for(mr_synthetic_program(scale=0.05))
+    assert len(plan.stages) == 1
+    stage = plan.stages[0]
+    assert stage.has_reserved_root
+    # Read and Map fuse into one transient chain.
+    assert [c.name for c in stage.transient_chains] == ["read+map"]
+    assert stage.root_chain.name == "reduce"
+    # One inter-chain edge: the shuffle into the root.
+    assert len(stage.inter_chain_edges) == 1
+    ice = stage.inter_chain_edges[0]
+    assert ice.producer.name == "read+map"
+    assert ice.consumer is stage.root_chain
+
+
+def test_mlr_plan_fuses_read_with_gradient():
+    plan = plan_for(mlr_synthetic_program(iterations=2, scale=0.05))
+    grad_stages = [ps for ps in plan.stages
+                   if ps.root_chain.name.startswith("agg_")]
+    assert len(grad_stages) == 2
+    for ps in grad_stages:
+        assert len(ps.transient_chains) == 1
+        chain = ps.transient_chains[0]
+        assert chain.name.startswith("read+grad_")
+        # The broadcast model is a boundary input of the fused chain.
+        boundary = ps.boundary_edges(chain)
+        assert len(boundary) == 1
+        assert boundary[0].src.name.startswith("model_")
+
+
+def test_model_stage_has_no_transient_chains():
+    plan = plan_for(mlr_synthetic_program(iterations=1, scale=0.05))
+    model_stage = [ps for ps in plan.stages
+                   if ps.root_chain.name == "model_1"][0]
+    assert model_stage.transient_chains == []
+    boundary = model_stage.boundary_edges(model_stage.root_chain)
+    assert sorted(e.src.name for e in boundary) == ["agg_1", "model_0"]
+
+
+def test_task_counts():
+    program = mr_synthetic_program(scale=0.05)
+    plan = plan_for(program)
+    num_maps = program.dag.operator("read").parallelism
+    reduce_par = program.dag.operator("reduce").parallelism
+    assert plan.stages[0].task_count == num_maps + reduce_par
+    assert plan.total_tasks == num_maps + reduce_par
+
+
+def test_parent_indices_topological():
+    plan = plan_for(als_synthetic_program(iterations=1, scale=0.1))
+    for ps in plan.stages:
+        for parent_idx in plan.parent_indices(ps):
+            assert parent_idx < ps.index
+
+
+def test_stage_of_reserved_op_lookup():
+    plan = plan_for(mr_synthetic_program(scale=0.05))
+    assert plan.stage_of_reserved_op("reduce") is plan.stages[0]
+    from repro.errors import CompilerError
+    with pytest.raises(CompilerError):
+        plan.stage_of_reserved_op("map")
+
+
+def test_transient_sink_stage():
+    """A DAG ending on transient operators forms a transient-root stage."""
+    from repro.dataflow import Pipeline
+    p = Pipeline()
+    data = p.read("r", partitions=[[1], [2]])
+    data.map("m", lambda x: x)
+    from repro.engines.base import Program
+    plan = plan_for(Program(p.to_dag(), "maponly"))
+    assert len(plan.stages) == 1
+    stage = plan.stages[0]
+    assert not stage.has_reserved_root
+    assert stage.root_chain.placement is Placement.TRANSIENT
+    assert stage.task_count == 2

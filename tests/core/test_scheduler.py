@@ -1,0 +1,147 @@
+"""Unit tests for the task scheduler and its policies (§3.2.3)."""
+
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.cluster.resources import NodeSpec, transient_container
+from repro.core.runtime.cache import LruCache
+from repro.core.runtime.scheduler import (CacheAwarePolicy, RoundRobinPolicy,
+                                          TaskScheduler)
+from repro.engines.base import SimExecutor
+from repro.errors import SchedulingError
+
+
+class FakeTask:
+    def __init__(self, cache_keys=()):
+        self.cache_keys = set(cache_keys)
+        self.assigned_to = None
+
+    def assign(self, executor):
+        self.assigned_to = executor
+
+
+def make_executor(sim, slots=2, cache_keys=()):
+    executor = SimExecutor(transient_container(1e9), sim, slots=slots)
+    executor.cache = LruCache(1e9)
+    for key in cache_keys:
+        executor.cache.put(key, 1.0, None)
+    return executor
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_task_waits_until_executor_available(sim):
+    scheduler = TaskScheduler()
+    task = FakeTask()
+    scheduler.submit(task)
+    assert task.assigned_to is None
+    assert scheduler.pending_count == 1
+    executor = make_executor(sim)
+    scheduler.add_executor(executor)
+    assert task.assigned_to is executor
+    assert scheduler.pending_count == 0
+
+
+def test_slots_limit_concurrency(sim):
+    scheduler = TaskScheduler()
+    executor = make_executor(sim, slots=1)
+    scheduler.add_executor(executor)
+    first, second = FakeTask(), FakeTask()
+    scheduler.submit(first)
+    scheduler.submit(second)
+    assert first.assigned_to is executor
+    assert second.assigned_to is None
+    executor.release_slot()
+    scheduler.slot_released()
+    assert second.assigned_to is executor
+
+
+def test_round_robin_spreads_tasks(sim):
+    scheduler = TaskScheduler(RoundRobinPolicy())
+    executors = [make_executor(sim, slots=4) for _ in range(3)]
+    for executor in executors:
+        scheduler.add_executor(executor)
+    tasks = [FakeTask() for _ in range(6)]
+    for task in tasks:
+        scheduler.submit(task)
+    counts = {id(e): 0 for e in executors}
+    for task in tasks:
+        counts[id(task.assigned_to)] += 1
+    assert sorted(counts.values()) == [2, 2, 2]
+
+
+def test_cache_aware_prefers_executor_with_inputs(sim):
+    scheduler = TaskScheduler(CacheAwarePolicy())
+    plain = make_executor(sim)
+    warm = make_executor(sim, cache_keys=[("model", 0)])
+    scheduler.add_executor(plain)
+    scheduler.add_executor(warm)
+    task = FakeTask(cache_keys=[("model", 0)])
+    scheduler.submit(task)
+    assert task.assigned_to is warm
+
+
+def test_cache_aware_falls_back_to_round_robin(sim):
+    scheduler = TaskScheduler(CacheAwarePolicy())
+    executors = [make_executor(sim, slots=4) for _ in range(2)]
+    for executor in executors:
+        scheduler.add_executor(executor)
+    tasks = [FakeTask() for _ in range(4)]
+    for task in tasks:
+        scheduler.submit(task)
+    assert {t.assigned_to for t in tasks} == set(executors)
+
+
+def test_cache_aware_skips_full_warm_executor(sim):
+    scheduler = TaskScheduler(CacheAwarePolicy())
+    warm = make_executor(sim, slots=1, cache_keys=[("k", 0)])
+    cold = make_executor(sim, slots=1)
+    scheduler.add_executor(warm)
+    scheduler.add_executor(cold)
+    a, b = FakeTask({("k", 0)}), FakeTask({("k", 0)})
+    scheduler.submit(a)
+    scheduler.submit(b)
+    assert a.assigned_to is warm
+    assert b.assigned_to is cold
+
+
+def test_removed_executor_not_scheduled(sim):
+    scheduler = TaskScheduler()
+    executor = make_executor(sim)
+    scheduler.add_executor(executor)
+    scheduler.remove_executor(executor)
+    task = FakeTask()
+    scheduler.submit(task)
+    assert task.assigned_to is None
+
+
+def test_dead_executor_not_scheduled(sim):
+    scheduler = TaskScheduler()
+    executor = make_executor(sim)
+    scheduler.add_executor(executor)
+    executor.container.evict(0.0)
+    task = FakeTask()
+    scheduler.submit(task)
+    assert task.assigned_to is None
+
+
+def test_duplicate_executor_rejected(sim):
+    scheduler = TaskScheduler()
+    executor = make_executor(sim)
+    scheduler.add_executor(executor)
+    with pytest.raises(SchedulingError):
+        scheduler.add_executor(executor)
+
+
+def test_slot_accounting_on_executor(sim):
+    executor = make_executor(sim, slots=2)
+    assert executor.acquire_slot() and executor.acquire_slot()
+    assert not executor.acquire_slot()
+    executor.release_slot()
+    assert executor.free_slots == 1
+    executor.release_slot()
+    with pytest.raises(Exception):
+        executor.release_slot()

@@ -1,0 +1,146 @@
+"""Unit tests for the logical DAG model."""
+
+import pytest
+
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                Placement, SourceKind)
+from repro.errors import DagError
+
+
+def op(name, parallelism=2, **kwargs):
+    return Operator(name, parallelism=parallelism, **kwargs)
+
+
+def source(name, parallelism=2, **kwargs):
+    kwargs.setdefault("source_kind", SourceKind.READ)
+    kwargs.setdefault("input_ref", name)
+    kwargs.setdefault("partition_bytes", [100] * parallelism)
+    return Operator(name, parallelism=parallelism, **kwargs)
+
+
+class TestDependencyType:
+    def test_wide_types(self):
+        assert DependencyType.MANY_TO_MANY.is_wide
+        assert DependencyType.MANY_TO_ONE.is_wide
+        assert not DependencyType.ONE_TO_ONE.is_wide
+        assert not DependencyType.ONE_TO_MANY.is_wide
+
+    def test_shuffle_matches_wide(self):
+        for dep in DependencyType:
+            assert dep.is_shuffle == dep.is_wide
+
+
+class TestOperator:
+    def test_rejects_non_positive_parallelism(self):
+        with pytest.raises(DagError):
+            Operator("x", parallelism=0)
+
+    def test_partition_bytes_length_checked(self):
+        with pytest.raises(DagError):
+            Operator("x", parallelism=3, partition_bytes=[1, 2])
+
+    def test_starts_unplaced(self):
+        assert op("x").placement is Placement.UNPLACED
+
+
+class TestOpCost:
+    def test_ratio_output(self):
+        assert OpCost(output_ratio=0.5).output_bytes(100.0) == 50
+
+    def test_fixed_output_overrides_ratio(self):
+        cost = OpCost(output_ratio=0.5, fixed_output_bytes=7)
+        assert cost.output_bytes(1e9) == 7
+
+
+class TestLogicalDAG:
+    def test_duplicate_names_rejected(self):
+        dag = LogicalDAG()
+        dag.add_operator(op("a"))
+        with pytest.raises(DagError):
+            dag.add_operator(op("a"))
+
+    def test_connect_unknown_operator_rejected(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(op("a"))
+        with pytest.raises(DagError):
+            dag.connect(a, op("b"), DependencyType.ONE_TO_ONE)
+
+    def test_duplicate_edge_rejected(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(source("a"))
+        b = dag.add_operator(op("b"))
+        dag.connect(a, b, DependencyType.ONE_TO_ONE)
+        with pytest.raises(DagError):
+            dag.connect(a, b, DependencyType.MANY_TO_MANY)
+
+    def test_one_to_one_requires_equal_parallelism(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(source("a", parallelism=2))
+        b = dag.add_operator(op("b", parallelism=3))
+        with pytest.raises(DagError):
+            dag.connect(a, b, DependencyType.ONE_TO_ONE)
+
+    def test_parents_children_sources_sinks(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(source("a"))
+        b = dag.add_operator(op("b"))
+        c = dag.add_operator(op("c"))
+        dag.connect(a, b, DependencyType.ONE_TO_ONE)
+        dag.connect(b, c, DependencyType.MANY_TO_MANY)
+        assert dag.parents(c) == [b]
+        assert dag.children(a) == [b]
+        assert dag.sources() == [a]
+        assert dag.sinks() == [c]
+        assert dag.in_edges(b)[0].src is a
+        assert dag.out_edges(b)[0].dst is c
+
+    def test_topological_sort_order(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(source("a"))
+        b = dag.add_operator(op("b"))
+        c = dag.add_operator(op("c"))
+        d = dag.add_operator(op("d"))
+        dag.connect(a, b, DependencyType.ONE_TO_ONE)
+        dag.connect(a, c, DependencyType.ONE_TO_MANY)
+        dag.connect(b, d, DependencyType.MANY_TO_MANY)
+        dag.connect(c, d, DependencyType.MANY_TO_MANY)
+        order = [o.name for o in dag.topological_sort()]
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(op("a"))
+        b = dag.add_operator(op("b"))
+        dag.connect(a, b, DependencyType.ONE_TO_ONE)
+        dag.connect(b, a, DependencyType.ONE_TO_ONE)
+        with pytest.raises(DagError):
+            dag.topological_sort()
+
+    def test_validate_requires_sources_marked(self):
+        dag = LogicalDAG()
+        dag.add_operator(op("a"))  # no in-edges, not a source
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_validate_rejects_source_with_in_edges(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(source("a"))
+        b = dag.add_operator(source("b"))
+        dag.connect(a, b, DependencyType.ONE_TO_ONE)
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_validate_read_source_needs_data(self):
+        dag = LogicalDAG()
+        dag.add_operator(Operator("a", parallelism=1,
+                                  source_kind=SourceKind.READ))
+        with pytest.raises(DagError):
+            dag.validate()
+
+    def test_operator_lookup(self):
+        dag = LogicalDAG()
+        a = dag.add_operator(source("a"))
+        assert dag.operator("a") is a
+        with pytest.raises(DagError):
+            dag.operator("missing")

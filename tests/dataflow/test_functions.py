@@ -1,0 +1,98 @@
+"""Unit tests for user-function wrappers and combiners."""
+
+import pytest
+
+from repro.dataflow.functions import (CombineFn, FilterFn, FlatMapFn,
+                                      GlobalCombineFn, KeyedReduceFn, MapFn,
+                                      MapWithSideFn, RawFn, SumCombiner,
+                                      binary_combiner,
+                                      single_parent_records)
+from repro.errors import DagError
+
+
+def test_single_parent_records():
+    assert single_parent_records({"p": [1, 2]}) == [1, 2]
+    with pytest.raises(DagError):
+        single_parent_records({"p": [], "q": []})
+
+
+def test_map_fn():
+    fn = MapFn(lambda x: x * 2)
+    assert fn({"p": [1, 2, 3]}) == [2, 4, 6]
+
+
+def test_flat_map_fn():
+    fn = FlatMapFn(str.split)
+    assert fn({"p": ["a b", "c"]}) == ["a", "b", "c"]
+
+
+def test_filter_fn():
+    fn = FilterFn(lambda x: x > 1)
+    assert fn({"p": [0, 1, 2, 3]}) == [2, 3]
+
+
+def test_map_with_side_fn():
+    fn = MapWithSideFn(lambda x, side: x + side, side="model")
+    assert fn({"data": [1, 2], "model": [10]}) == [11, 12]
+
+
+def test_map_with_side_fn_errors():
+    fn = MapWithSideFn(lambda x, s: x, side="model")
+    with pytest.raises(DagError):
+        fn({"data": [1]})
+    with pytest.raises(DagError):
+        fn({"data": [1], "model": [1, 2]})
+    with pytest.raises(DagError):
+        fn({"a": [1], "b": [2], "model": [1]})
+
+
+def test_sum_combiner():
+    combiner = SumCombiner()
+    assert combiner.create() == 0
+    assert combiner.merge(2, 3) == 5
+    assert combiner.add(combiner.create(), 4) == 4
+
+
+def test_combiner_default_merged_size_is_max():
+    assert SumCombiner().merged_size_bytes([10.0, 20.0, 5.0]) == 20.0
+    assert SumCombiner().merged_size_bytes([]) == 0.0
+
+
+def test_binary_combiner_sum_size_mode():
+    combiner = binary_combiner(lambda a, b: a + b, identity=0,
+                               size_mode="sum")
+    assert combiner.merge(1, 2) == 3
+    assert combiner.merged_size_bytes([10.0, 20.0]) == 30.0
+    with pytest.raises(ValueError):
+        binary_combiner(lambda a, b: a, 0, size_mode="bogus")
+
+
+def test_keyed_reduce_fn_groups_and_sorts():
+    fn = KeyedReduceFn(SumCombiner())
+    out = fn({"p": [("b", 1), ("a", 2)], "q": [("a", 3)]})
+    assert out == [("a", 5), ("b", 1)]
+
+
+def test_keyed_reduce_fn_order_insensitive():
+    fn = KeyedReduceFn(SumCombiner())
+    a = fn({"p": [("x", 1), ("y", 2), ("x", 3)]})
+    b = fn({"p": [("x", 3), ("x", 1), ("y", 2)]})
+    assert a == b
+
+
+def test_global_combine_fn():
+    fn = GlobalCombineFn(SumCombiner())
+    assert fn({"p": [1, 2], "q": [3]}) == [6]
+    assert fn({"p": []}) == [0]
+
+
+def test_raw_fn_passthrough():
+    fn = RawFn(lambda inputs: sorted(inputs))
+    assert fn({"b": [], "a": []}) == ["a", "b"]
+
+
+def test_combine_fn_base_is_abstract():
+    with pytest.raises(NotImplementedError):
+        CombineFn().merge(1, 2)
+    with pytest.raises(NotImplementedError):
+        CombineFn().create()

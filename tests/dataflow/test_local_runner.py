@@ -1,0 +1,95 @@
+"""Unit tests for the reference local evaluator."""
+
+import pytest
+
+from repro.dataflow import (DependencyType, LocalRunner, LogicalDAG,
+                            Operator, Pipeline, SourceKind, SumCombiner)
+from repro.errors import ExecutionError
+
+
+def test_collect_concatenates_partitions():
+    p = Pipeline()
+    p.read("r", partitions=[[1, 2], [3]])
+    result = LocalRunner().run(p.to_dag())
+    assert result.collect("r") == [1, 2, 3]
+    assert result.partitions("r") == [[1, 2], [3]]
+
+
+def test_unknown_operator_in_result():
+    p = Pipeline()
+    p.read("r", partitions=[[1]])
+    result = LocalRunner().run(p.to_dag())
+    with pytest.raises(ExecutionError):
+        result.collect("nope")
+
+
+def test_synthetic_program_rejected():
+    dag = LogicalDAG()
+    dag.add_operator(Operator("r", parallelism=1,
+                              source_kind=SourceKind.READ, input_ref="r",
+                              partition_bytes=[10]))
+    with pytest.raises(ExecutionError):
+        LocalRunner().run(dag)
+
+
+def test_shuffle_groups_all_values_for_a_key_in_one_task():
+    p = Pipeline()
+    pairs = p.read("r", partitions=[[("k", 1), ("j", 2)],
+                                    [("k", 3)], [("j", 4)]])
+    reduced = pairs.reduce_by_key("red", SumCombiner(), parallelism=3)
+    result = LocalRunner().run(p.to_dag())
+    assert sorted(result.collect("red")) == [("j", 6), ("k", 4)]
+    # Each key appears in exactly one output partition.
+    seen = {}
+    for idx, part in enumerate(result.partitions("red")):
+        for key, _ in part:
+            assert key not in seen
+            seen[key] = idx
+
+
+def test_broadcast_side_input_reaches_all_tasks():
+    p = Pipeline()
+    data = p.read("r", partitions=[[1], [2], [3]])
+    model = p.create("m", values=[100])
+    out = data.map_with_side_input("add", lambda x, m: x + m, side=model)
+    result = LocalRunner().run(p.to_dag())
+    assert sorted(result.collect("add")) == [101, 102, 103]
+
+
+def test_many_to_one_collects_modulo_assignment():
+    p = Pipeline()
+    data = p.read("r", partitions=[[0], [1], [2], [3]])
+    agg = data.aggregate("agg", SumCombiner(), parallelism=2)
+    result = LocalRunner().run(p.to_dag())
+    parts = result.partitions("agg")
+    assert parts[0] == [0 + 2]
+    assert parts[1] == [1 + 3]
+
+
+def test_empty_parent_inputs_still_provided():
+    p = Pipeline()
+    data = p.read("r", partitions=[[]])
+    seen = {}
+
+    def probe(inputs):
+        seen.update(inputs)
+        return []
+
+    data.apply("probe", probe, DependencyType.ONE_TO_ONE)
+    LocalRunner().run(p.to_dag())
+    assert seen == {"r": []}
+
+
+def test_diamond_dag():
+    p = Pipeline()
+    data = p.read("r", partitions=[[1, 2], [3, 4]])
+    evens = data.filter("evens", lambda x: x % 2 == 0)
+    odds = data.filter("odds", lambda x: x % 2 == 1)
+    total = p.apply_multi(
+        "join",
+        lambda inputs: [sum(inputs["evens"]) * 100 + sum(inputs["odds"])],
+        inputs=[(evens, DependencyType.MANY_TO_ONE),
+                (odds, DependencyType.MANY_TO_ONE)],
+        parallelism=1)
+    result = LocalRunner().run(p.to_dag())
+    assert result.collect("join") == [600 + 4]

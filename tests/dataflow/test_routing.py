@@ -1,0 +1,95 @@
+"""Unit tests for data routing semantics shared by all engines (§2.2)."""
+
+import pytest
+
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
+                                SourceKind, destination_indices,
+                                route_output, route_sizes, source_indices)
+from repro.errors import DagError
+
+
+def make_edge(dep_type, src_par=3, dst_par=2, key_fn=None):
+    dag = LogicalDAG()
+    src = dag.add_operator(Operator(
+        "src", parallelism=src_par, source_kind=SourceKind.READ,
+        partition_bytes=[1] * src_par, input_ref="src"))
+    dst = dag.add_operator(Operator("dst", parallelism=dst_par))
+    return dag.connect(src, dst, dep_type, key_fn=key_fn)
+
+
+class TestRouteOutput:
+    def test_one_to_one(self):
+        edge = make_edge(DependencyType.ONE_TO_ONE, src_par=2, dst_par=2)
+        assert route_output(edge, 1, ["x", "y"]) == {1: ["x", "y"]}
+
+    def test_one_to_many_broadcasts(self):
+        edge = make_edge(DependencyType.ONE_TO_MANY, dst_par=3)
+        routed = route_output(edge, 0, ["m"])
+        assert routed == {0: ["m"], 1: ["m"], 2: ["m"]}
+
+    def test_many_to_one_collects_by_modulo(self):
+        edge = make_edge(DependencyType.MANY_TO_ONE, src_par=5, dst_par=2)
+        assert route_output(edge, 3, ["v"]) == {1: ["v"]}
+
+    def test_many_to_many_hash_partitions_keyed_records(self):
+        edge = make_edge(DependencyType.MANY_TO_MANY, dst_par=4)
+        records = [(k, 1) for k in "abcdefgh"]
+        routed = route_output(edge, 0, records)
+        flattened = [r for bucket in routed.values() for r in bucket]
+        assert sorted(flattened) == sorted(records)
+        # Same key always lands in the same bucket.
+        for bucket_idx, bucket in routed.items():
+            for key, _ in bucket:
+                assert hash(key) % 4 == bucket_idx
+
+    def test_many_to_many_requires_keyed_records(self):
+        edge = make_edge(DependencyType.MANY_TO_MANY)
+        with pytest.raises(DagError):
+            route_output(edge, 0, ["unkeyed"])
+
+    def test_custom_key_fn(self):
+        edge = make_edge(DependencyType.MANY_TO_MANY, dst_par=2,
+                         key_fn=lambda rec: rec[1])
+        records = [("u1", 7), ("u2", 7), ("u3", 8)]
+        routed = route_output(edge, 0, records)
+        bucket_of_7 = hash(7) % 2
+        assert ("u1", 7) in routed[bucket_of_7]
+        assert ("u2", 7) in routed[bucket_of_7]
+
+
+class TestRouteSizes:
+    def test_many_to_many_splits_evenly(self):
+        edge = make_edge(DependencyType.MANY_TO_MANY, dst_par=4)
+        shares = route_sizes(edge, 0, 100.0)
+        assert shares == {0: 25.0, 1: 25.0, 2: 25.0, 3: 25.0}
+
+    def test_one_to_many_copies_full_size(self):
+        edge = make_edge(DependencyType.ONE_TO_MANY, dst_par=3)
+        assert route_sizes(edge, 0, 10.0) == {0: 10.0, 1: 10.0, 2: 10.0}
+
+    def test_one_to_one_and_many_to_one(self):
+        edge = make_edge(DependencyType.ONE_TO_ONE, src_par=2, dst_par=2)
+        assert route_sizes(edge, 1, 5.0) == {1: 5.0}
+        edge = make_edge(DependencyType.MANY_TO_ONE, src_par=4, dst_par=2)
+        assert route_sizes(edge, 2, 5.0) == {0: 5.0}
+
+
+class TestIndexMaps:
+    def test_destination_and_source_indices_are_inverse(self):
+        for dep in DependencyType:
+            edge = make_edge(dep, src_par=4, dst_par=4)
+            for src_idx in range(4):
+                for dst_idx in destination_indices(edge, src_idx):
+                    assert src_idx in source_indices(edge, dst_idx)
+            for dst_idx in range(4):
+                for src_idx in source_indices(edge, dst_idx):
+                    assert dst_idx in destination_indices(edge, src_idx)
+
+    def test_many_to_one_source_indices(self):
+        edge = make_edge(DependencyType.MANY_TO_ONE, src_par=6, dst_par=2)
+        assert source_indices(edge, 0) == [0, 2, 4]
+        assert source_indices(edge, 1) == [1, 3, 5]
+
+    def test_wide_edges_touch_every_destination(self):
+        edge = make_edge(DependencyType.MANY_TO_MANY, src_par=3, dst_par=5)
+        assert destination_indices(edge, 1) == list(range(5))

@@ -1,0 +1,92 @@
+"""Edge cases of the transform API not covered by the main tests."""
+
+import pytest
+
+from repro.dataflow import (DependencyType, LocalRunner, Pipeline,
+                            SumCombiner)
+from repro.errors import DagError
+
+
+def test_group_apply_custom_consumer():
+    p = Pipeline()
+    pairs = p.read("r", partitions=[[("a", 1), ("b", 2)], [("a", 3)]])
+
+    def keys_only(inputs):
+        return sorted({k for records in inputs.values()
+                       for k, _ in records})
+
+    grouped = pairs.group_apply("keys", keys_only, parallelism=2)
+    result = LocalRunner().run(p.to_dag())
+    assert sorted(result.collect("keys")) == ["a", "b"]
+
+
+def test_group_apply_defaults_parallelism():
+    p = Pipeline()
+    pairs = p.read("r", partitions=[[("a", 1)], [("b", 2)], [("c", 3)]])
+    grouped = pairs.group_apply("g", lambda i: [])
+    assert grouped.parallelism == 3
+
+
+def test_generic_apply_with_explicit_dep():
+    p = Pipeline()
+    data = p.read("r", partitions=[[1], [2], [3]])
+    total = data.apply(
+        "total", lambda inputs: [sum(inputs["r"])],
+        DependencyType.MANY_TO_ONE, parallelism=1)
+    result = LocalRunner().run(p.to_dag())
+    assert result.collect("total") == [6]
+
+
+def test_create_without_values_is_synthetic():
+    p = Pipeline()
+    from repro.dataflow.dag import OpCost
+    model = p.create("m", cost=OpCost(fixed_output_bytes=10))
+    assert model.op.fn is None
+    assert model.op.source_kind.value == "created"
+
+
+def test_pipeline_rejects_duplicate_operator_names():
+    p = Pipeline()
+    p.read("same", partitions=[[1]])
+    with pytest.raises(DagError):
+        p.read("same", partitions=[[2]])
+
+
+def test_chained_shuffles():
+    """Two shuffles back to back: word count then count-of-counts."""
+    p = Pipeline()
+    words = p.read("r", partitions=[["a a b"], ["b c b"]])
+    counts = (words.flat_map("split", str.split)
+                   .map("pair", lambda w: (w, 1))
+                   .reduce_by_key("count", SumCombiner(), parallelism=2))
+    freq = (counts.map("invert", lambda kv: (kv[1], 1))
+                  .reduce_by_key("freq", SumCombiner(), parallelism=2))
+    result = LocalRunner().run(p.to_dag())
+    # a:2, b:3, c:1 -> one word each of count 1, 2, 3.
+    assert sorted(result.collect("freq")) == [(1, 1), (2, 1), (3, 1)]
+
+
+def test_chained_shuffles_on_engines():
+    from repro import ClusterConfig, PadoEngine, SparkEngine
+    from repro.engines.base import Program
+    from repro.trace.models import ExponentialLifetimeModel
+
+    def build():
+        p = Pipeline()
+        words = p.read("r", partitions=[["a a b"], ["b c b"], ["a c"]])
+        counts = (words.flat_map("split", str.split)
+                       .map("pair", lambda w: (w, 1))
+                       .reduce_by_key("count", SumCombiner(),
+                                      parallelism=2))
+        (counts.map("invert", lambda kv: (kv[1], 1))
+               .reduce_by_key("freq", SumCombiner(), parallelism=2))
+        return Program(p.to_dag(), "freq")
+
+    expected = sorted(LocalRunner().run(build().dag).collect("freq"))
+    for engine in (PadoEngine(), SparkEngine()):
+        result = engine.run(
+            build(), ClusterConfig(num_reserved=2, num_transient=3,
+                                   eviction=ExponentialLifetimeModel(4.0)),
+            seed=2, time_limit=3600)
+        assert result.completed
+        assert sorted(result.collected("freq")) == expected

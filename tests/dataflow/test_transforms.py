@@ -1,0 +1,106 @@
+"""Unit tests for the Beam-like pipeline API."""
+
+import pytest
+
+from repro.dataflow import (DependencyType, LocalRunner, Pipeline,
+                            SumCombiner)
+from repro.dataflow.functions import GlobalCombineFn
+from repro.errors import DagError
+
+
+def test_read_with_partitions_sets_parallelism():
+    p = Pipeline()
+    pc = p.read("r", partitions=[[1], [2], [3]])
+    assert pc.parallelism == 3
+    assert pc.op.input_ref == "r"
+
+
+def test_read_synthetic_needs_partition_bytes():
+    p = Pipeline()
+    with pytest.raises(DagError):
+        p.read("r", input_ref="data")
+    pc = p.read("r2", input_ref="data", partition_bytes=[10, 20])
+    assert pc.parallelism == 2
+
+
+def test_read_needs_some_input():
+    with pytest.raises(DagError):
+        Pipeline().read("r")
+
+
+def test_narrow_chain_preserves_parallelism():
+    p = Pipeline()
+    pc = p.read("r", partitions=[[1], [2]])
+    mapped = pc.map("m", lambda x: x + 1)
+    filtered = mapped.filter("f", lambda x: x > 0)
+    assert filtered.parallelism == 2
+    dag = p.to_dag()
+    assert all(e.dep_type is DependencyType.ONE_TO_ONE
+               for op in dag.operators for e in dag.in_edges(op))
+
+
+def test_reduce_by_key_creates_many_to_many():
+    p = Pipeline()
+    pc = p.read("r", partitions=[[("a", 1)]])
+    reduced = pc.reduce_by_key("red", SumCombiner(), parallelism=4)
+    dag = p.to_dag()
+    edge = dag.in_edges(reduced.op)[0]
+    assert edge.dep_type is DependencyType.MANY_TO_MANY
+    assert reduced.parallelism == 4
+    assert reduced.op.combiner is not None
+
+
+def test_aggregate_creates_many_to_one():
+    p = Pipeline()
+    pc = p.read("r", partitions=[[1], [2], [3]])
+    agg = pc.aggregate("agg", SumCombiner())
+    dag = p.to_dag()
+    assert dag.in_edges(agg.op)[0].dep_type is DependencyType.MANY_TO_ONE
+    assert agg.parallelism == 1
+    assert isinstance(agg.op.fn, GlobalCombineFn)
+
+
+def test_side_input_edges():
+    p = Pipeline()
+    data = p.read("r", partitions=[[1], [2]])
+    model = p.create("model", values=[10])
+    out = data.map_with_side_input("add", lambda x, m: x + m, side=model)
+    dag = p.to_dag()
+    deps = {e.src.name: e.dep_type for e in dag.in_edges(out.op)}
+    assert deps == {"r": DependencyType.ONE_TO_ONE,
+                    "model": DependencyType.ONE_TO_MANY}
+
+
+def test_create_single_partition_only():
+    p = Pipeline()
+    with pytest.raises(DagError):
+        p.create("c", values=[1], parallelism=2)
+
+
+def test_apply_multi():
+    p = Pipeline()
+    a = p.read("a", partitions=[[1], [2]])
+    b = p.create("b", values=[5])
+    joined = p.apply_multi(
+        "join", lambda inputs: [sum(inputs["a"]) + sum(inputs["b"])],
+        inputs=[(a, DependencyType.MANY_TO_ONE),
+                (b, DependencyType.ONE_TO_MANY)],
+        parallelism=1)
+    result = LocalRunner().run(p.to_dag())
+    assert result.collect("join") == [8]
+
+
+def test_apply_multi_requires_inputs():
+    p = Pipeline()
+    with pytest.raises(DagError):
+        p.apply_multi("x", lambda i: [], inputs=[], parallelism=1)
+
+
+def test_wordcount_end_to_end():
+    p = Pipeline()
+    lines = p.read("read", partitions=[["a b", "b"], ["a a"]])
+    counts = (lines.flat_map("split", str.split)
+                   .map("pair", lambda w: (w, 1))
+                   .reduce_by_key("count", SumCombiner(), parallelism=2))
+    result = LocalRunner().run(p.to_dag())
+    assert sorted(result.collect("count")) == [("a", 3), ("b", 2)]

@@ -1,0 +1,124 @@
+"""Unit tests for the shared engine substrate."""
+
+import pytest
+
+from repro.cluster.events import Simulator
+from repro.cluster.resources import (NodeSpec, reserved_container,
+                                     transient_container)
+from repro.dataflow import Pipeline
+from repro.engines.base import (ClusterConfig, JobResult, Program,
+                                SimContext, SimExecutor)
+from repro.errors import ExecutionError
+from repro.trace.models import (EvictionRate, ExponentialLifetimeModel,
+                                NoEvictionModel)
+from repro.workloads import mr_real_program, mr_synthetic_program
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper_setup(self):
+        config = ClusterConfig()
+        assert config.num_reserved == 5
+        assert config.num_transient == 40
+
+    def test_eviction_rate_resolves_to_model(self):
+        assert isinstance(ClusterConfig().lifetime_model(), NoEvictionModel)
+        model = ClusterConfig(eviction=EvictionRate.HIGH).lifetime_model()
+        assert not isinstance(model, NoEvictionModel)
+
+    def test_explicit_model_passthrough(self):
+        model = ExponentialLifetimeModel(10.0)
+        assert ClusterConfig(eviction=model).lifetime_model() is model
+
+
+class TestProgram:
+    def test_validates_dag_on_construction(self):
+        from repro.dataflow.dag import LogicalDAG, Operator
+        dag = LogicalDAG()
+        dag.add_operator(Operator("orphan", parallelism=1))
+        with pytest.raises(Exception):
+            Program(dag)
+
+    def test_is_real(self):
+        assert mr_real_program().is_real()
+        assert not mr_synthetic_program(scale=0.02).is_real()
+
+
+class TestJobResult:
+    def make(self, **overrides):
+        defaults = dict(engine="e", workload="w", completed=True,
+                        jct_seconds=120.0, original_tasks=10,
+                        launched_tasks=13, evictions=2)
+        defaults.update(overrides)
+        return JobResult(**defaults)
+
+    def test_relaunch_accounting(self):
+        result = self.make()
+        assert result.relaunched_tasks == 3
+        assert result.relaunched_ratio == pytest.approx(0.3)
+        assert result.jct_minutes == pytest.approx(2.0)
+
+    def test_relaunch_never_negative(self):
+        result = self.make(launched_tasks=8)
+        assert result.relaunched_tasks == 0
+
+    def test_zero_original_tasks(self):
+        assert self.make(original_tasks=0).relaunched_ratio == 0.0
+
+    def test_collected_requires_outputs(self):
+        with pytest.raises(ExecutionError):
+            self.make().collected("sink")
+        result = self.make(outputs={"sink": {1: ["b"], 0: ["a"]}})
+        assert result.collected("sink") == ["a", "b"]
+
+
+class TestSimExecutor:
+    def test_slots_default_to_cores(self):
+        sim = Simulator()
+        executor = SimExecutor(reserved_container(), sim)
+        assert executor.slots == 4
+
+    def test_cpu_port_aggregates_cores(self):
+        sim = Simulator()
+        spec = NodeSpec(cores=4, cpu_throughput=10.0)
+        executor = SimExecutor(reserved_container(spec), sim)
+        assert executor.cpu.bandwidth == 40.0
+
+    def test_alive_tracks_container(self):
+        sim = Simulator()
+        container = transient_container(5.0)
+        executor = SimExecutor(container, sim)
+        assert executor.alive
+        container.evict(1.0)
+        assert not executor.alive
+
+
+class TestSimContext:
+    def test_registers_real_partitions(self):
+        ctx = SimContext(ClusterConfig(), seed=0)
+        ctx.register_inputs(mr_real_program(num_partitions=3))
+        assert ctx.input_store.has(("read", 0))
+        assert ctx.input_store.has(("read", 2))
+        assert ctx.input_store.payload_of(("read", 0))
+
+    def test_registers_synthetic_sizes(self):
+        ctx = SimContext(ClusterConfig(), seed=0)
+        program = mr_synthetic_program(scale=0.02)
+        ctx.register_inputs(program)
+        read = program.dag.operator("read")
+        assert ctx.input_store.size_of((read.input_ref, 0)) == \
+            read.partition_bytes[0]
+
+    def test_rejects_read_without_data(self):
+        from repro.dataflow.dag import LogicalDAG, Operator, SourceKind
+        dag = LogicalDAG()
+        op = Operator("read", parallelism=1, source_kind=SourceKind.READ,
+                      input_ref="x", fn=lambda i: [])
+        dag.add_operator(op)
+        ctx = SimContext(ClusterConfig(), seed=0)
+        with pytest.raises(ExecutionError):
+            ctx.register_inputs(Program(dag))
+
+    def test_seeded_rng_deterministic(self):
+        a = SimContext(ClusterConfig(), seed=5).rng.random()
+        b = SimContext(ClusterConfig(), seed=5).rng.random()
+        assert a == b

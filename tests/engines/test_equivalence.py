@@ -1,0 +1,88 @@
+"""Integration: exactly-once output equivalence across engines (§3.2.5).
+
+For every engine and workload, the job output must equal the local
+reference runner's output — with no evictions, under the paper's eviction
+regimes, and under brutal synthetic churn. This is the strongest end-to-end
+correctness property of the reproduction.
+"""
+
+import pytest
+
+from repro import (ClusterConfig, EvictionRate, LocalRunner, PadoEngine,
+                   SparkCheckpointEngine, SparkEngine)
+from repro.trace.models import ExponentialLifetimeModel
+from repro.workloads import (als_real_program, mlr_real_program,
+                             mr_real_program)
+from tests.conftest import records_equal
+
+ENGINES = [PadoEngine, SparkEngine, SparkCheckpointEngine]
+WORKLOADS = {
+    "mr": (mr_real_program, "reduce"),
+    "mlr": (mlr_real_program, "model_3"),
+    "als": (als_real_program, "item_factor_2"),
+}
+EVICTION_REGIMES = {
+    "none": EvictionRate.NONE,
+    "harsh": ExponentialLifetimeModel(6.0),
+    "brutal": ExponentialLifetimeModel(2.5),
+}
+
+
+def expected_output(workload):
+    make, sink = WORKLOADS[workload]
+    return LocalRunner().run(make().dag).collect(sink), sink
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("regime", sorted(EVICTION_REGIMES))
+def test_engine_matches_local_runner(engine_cls, workload, regime):
+    make, sink = WORKLOADS[workload]
+    expected, _ = expected_output(workload)
+    engine = engine_cls()
+    result = engine.run(make(),
+                        ClusterConfig(num_reserved=2, num_transient=5,
+                                      eviction=EVICTION_REGIMES[regime]),
+                        seed=42, time_limit=4 * 3600)
+    assert result.completed, (engine.name, workload, regime)
+    assert records_equal(result.collected(sink), expected), \
+        (engine.name, workload, regime)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_no_relaunches_without_evictions(engine_cls):
+    make, sink = WORKLOADS["mr"]
+    result = engine_cls().run(
+        make(), ClusterConfig(num_reserved=2, num_transient=4), seed=0)
+    assert result.completed
+    assert result.relaunched_tasks == 0
+    assert result.evictions == 0
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_mr_exactly_once_across_eviction_schedules(engine_cls, seed):
+    """Different seeds produce different eviction schedules; the output
+    must never change."""
+    make, sink = WORKLOADS["mr"]
+    expected, _ = expected_output("mr")
+    result = engine_cls().run(
+        make(), ClusterConfig(num_reserved=2, num_transient=4,
+                              eviction=ExponentialLifetimeModel(3.0)),
+        seed=seed, time_limit=4 * 3600)
+    assert result.completed
+    assert records_equal(result.collected(sink), expected), seed
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_deterministic_given_seed(engine_cls):
+    make, sink = WORKLOADS["mr"]
+    runs = []
+    for _ in range(2):
+        result = engine_cls().run(
+            make(), ClusterConfig(num_reserved=2, num_transient=4,
+                                  eviction=ExponentialLifetimeModel(5.0)),
+            seed=9, time_limit=4 * 3600)
+        runs.append((result.jct_seconds, result.launched_tasks,
+                     result.evictions))
+    assert runs[0] == runs[1]

@@ -1,0 +1,135 @@
+"""Unit/behaviour tests for the Pado engine and runtime (§3.2)."""
+
+import pytest
+
+from repro import (ClusterConfig, EvictionRate, LocalRunner, PadoEngine,
+                   PadoRuntimeConfig)
+from repro.engines.base import Program
+from repro.dataflow import Pipeline, SumCombiner
+from repro.trace.models import ExponentialLifetimeModel
+from repro.workloads import (mlr_real_program, mlr_synthetic_program,
+                             mr_real_program, mr_synthetic_program)
+from tests.conftest import records_equal
+
+
+def small_cluster(eviction=EvictionRate.NONE, reserved=2, transient=4):
+    return ClusterConfig(num_reserved=reserved, num_transient=transient,
+                         eviction=eviction)
+
+
+def test_runs_synthetic_program():
+    result = PadoEngine().run(mr_synthetic_program(scale=0.02),
+                              small_cluster(), seed=0)
+    assert result.completed
+    assert result.outputs is None  # synthetic runs carry no payloads
+    assert result.jct_seconds > 0
+    assert result.original_tasks == result.launched_tasks
+
+
+def test_eviction_relaunches_only_uncommitted_tasks():
+    """§3.2.5: evictions never trigger parent-stage recomputation, so the
+    relaunch ratio stays small compared to Spark under identical churn."""
+    result = PadoEngine().run(
+        mlr_synthetic_program(iterations=2, scale=0.05),
+        small_cluster(eviction=ExponentialLifetimeModel(240.0)), seed=3,
+        time_limit=48 * 3600)
+    assert result.completed
+    assert result.evictions > 0
+    assert result.relaunched_ratio < 2.0
+
+
+def test_commit_counter_tracks_transient_tasks():
+    result = PadoEngine().run(mr_synthetic_program(scale=0.02),
+                              small_cluster(), seed=0)
+    assert result.extras["commits"] >= 1
+
+
+def test_transient_only_cluster_rejected():
+    from repro.errors import ExecutionError
+    with pytest.raises(ExecutionError):
+        PadoEngine().run(mr_synthetic_program(scale=0.02),
+                         ClusterConfig(num_reserved=0, num_transient=4),
+                         seed=0)
+
+
+def test_transient_sink_program():
+    """A DAG ending on transient operators writes results to the sink and
+    still completes (outputs escape via the sink store)."""
+    p = Pipeline()
+    data = p.read("r", partitions=[[1, 2], [3]])
+    data.map("m", lambda x: x * 10)
+    result = PadoEngine().run(Program(p.to_dag(), "maponly"),
+                              small_cluster(), seed=0)
+    assert result.completed
+    assert sorted(result.collected("m")) == [10, 20, 30]
+
+
+def test_transient_sink_survives_evictions():
+    p = Pipeline()
+    data = p.read("r", partitions=[[i] for i in range(12)])
+    data.map("m", lambda x: x * 10)
+    result = PadoEngine().run(
+        Program(p.to_dag(), "maponly"),
+        small_cluster(eviction=ExponentialLifetimeModel(2.0)), seed=5,
+        time_limit=3600)
+    assert result.completed
+    assert sorted(result.collected("m")) == sorted(i * 10 for i in range(12))
+
+
+def test_caching_reduces_boundary_traffic():
+    """With input caching on, repeated iterations fetch the training data
+    and model far less (§3.2.7)."""
+    program = mlr_synthetic_program(iterations=4, scale=0.05)
+    cluster = small_cluster(reserved=2, transient=4)
+    cached = PadoEngine(PadoRuntimeConfig(enable_caching=True)).run(
+        program, cluster, seed=1)
+    uncached = PadoEngine(PadoRuntimeConfig(enable_caching=False)).run(
+        mlr_synthetic_program(iterations=4, scale=0.05), cluster, seed=1)
+    assert cached.completed and uncached.completed
+    assert cached.bytes_input_read < uncached.bytes_input_read
+    assert cached.bytes_shuffled < uncached.bytes_shuffled
+    assert cached.jct_seconds <= uncached.jct_seconds
+
+
+def test_partial_aggregation_reduces_pushed_bytes():
+    """Partial aggregation shrinks what reserved executors receive
+    (§3.2.7 / §5.2.2)."""
+    cluster = small_cluster(reserved=2, transient=6)
+    on = PadoEngine(PadoRuntimeConfig(enable_partial_aggregation=True)).run(
+        mlr_synthetic_program(iterations=2, scale=0.1), cluster, seed=1)
+    off = PadoEngine(PadoRuntimeConfig(enable_partial_aggregation=False)).run(
+        mlr_synthetic_program(iterations=2, scale=0.1), cluster, seed=1)
+    assert on.completed and off.completed
+    assert on.bytes_pushed < 0.7 * off.bytes_pushed
+
+
+def test_partial_aggregation_preserves_results():
+    expected = LocalRunner().run(mlr_real_program().dag).collect("model_3")
+    for enabled in (True, False):
+        config = PadoRuntimeConfig(enable_partial_aggregation=enabled,
+                                   aggregation_max_tasks=2)
+        result = PadoEngine(config).run(
+            mlr_real_program(),
+            small_cluster(eviction=ExponentialLifetimeModel(5.0)),
+            seed=2, time_limit=4 * 3600)
+        assert result.completed
+        assert records_equal(result.collected("model_3"), expected)
+
+
+def test_result_metrics_consistency():
+    result = PadoEngine().run(
+        mr_real_program(),
+        small_cluster(eviction=ExponentialLifetimeModel(4.0)), seed=8,
+        time_limit=3600)
+    assert result.completed
+    assert result.launched_tasks >= result.original_tasks
+    assert result.relaunched_tasks == \
+        result.launched_tasks - result.original_tasks
+    assert result.jct_minutes == pytest.approx(result.jct_seconds / 60.0)
+
+
+def test_time_limit_reports_incomplete():
+    result = PadoEngine().run(mr_synthetic_program(scale=0.05),
+                              small_cluster(), seed=0, time_limit=1.0)
+    assert not result.completed
+    assert result.jct_seconds == 1.0

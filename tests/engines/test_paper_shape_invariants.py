@@ -1,0 +1,93 @@
+"""Integration: the paper's qualitative claims hold at tiny test scales.
+
+These duplicate (at much smaller scale and runtime) the shape assertions
+the benchmark suite makes, so plain ``pytest tests/`` already guards the
+headline behaviour.
+"""
+
+import pytest
+
+from repro import (ClusterConfig, EvictionRate, PadoEngine,
+                   SparkCheckpointEngine, SparkEngine)
+from repro.workloads import (als_synthetic_program, mlr_synthetic_program,
+                             mr_synthetic_program)
+
+CLUSTER_HIGH = ClusterConfig(eviction=EvictionRate.HIGH)
+CLUSTER_NONE = ClusterConfig()
+LIMIT = 150 * 60.0
+
+
+@pytest.fixture(scope="module")
+def als_high():
+    return {
+        engine.name: engine.run(als_synthetic_program(scale=0.15),
+                                CLUSTER_HIGH, seed=11, time_limit=LIMIT)
+        for engine in (SparkEngine(), SparkCheckpointEngine(), PadoEngine())}
+
+
+def test_als_high_ordering(als_high):
+    """Figure 5 at high eviction: pado <= checkpoint <= spark."""
+    assert als_high["pado"].jct_seconds <= \
+        als_high["spark-checkpoint"].jct_seconds
+    assert als_high["spark-checkpoint"].jct_seconds < \
+        als_high["spark"].jct_seconds
+
+
+def test_als_high_relaunch_ordering(als_high):
+    """Relaunch ratios mirror the bottom panels of Figure 5."""
+    assert als_high["pado"].relaunched_ratio < \
+        als_high["spark-checkpoint"].relaunched_ratio
+    assert als_high["spark-checkpoint"].relaunched_ratio < \
+        als_high["spark"].relaunched_ratio
+
+
+def test_pado_als_barely_degrades():
+    none = PadoEngine().run(als_synthetic_program(scale=0.15), CLUSTER_NONE,
+                            seed=11, time_limit=LIMIT)
+    high = PadoEngine().run(als_synthetic_program(scale=0.15), CLUSTER_HIGH,
+                            seed=11, time_limit=LIMIT)
+    assert high.jct_seconds < 1.8 * none.jct_seconds
+
+
+def test_mlr_pado_beats_checkpoint_at_high():
+    """Figure 6: partial aggregation widens Pado's margin on MLR."""
+    results = {}
+    for engine in (SparkCheckpointEngine(), PadoEngine()):
+        results[engine.name] = engine.run(
+            mlr_synthetic_program(scale=0.1, iterations=2), CLUSTER_HIGH,
+            seed=11, time_limit=LIMIT)
+    assert results["pado"].jct_seconds < \
+        results["spark-checkpoint"].jct_seconds
+
+
+def test_mr_spark_fastest_without_evictions():
+    """Figure 7: with no evictions Spark's 45-executor reduce wins."""
+    spark = SparkEngine().run(mr_synthetic_program(scale=0.1), CLUSTER_NONE,
+                              seed=11, time_limit=LIMIT)
+    pado = PadoEngine().run(mr_synthetic_program(scale=0.1), CLUSTER_NONE,
+                            seed=11, time_limit=LIMIT)
+    assert spark.jct_seconds <= pado.jct_seconds
+
+
+def test_mr_spark_collapses_at_high():
+    spark = SparkEngine().run(mr_synthetic_program(scale=0.1), CLUSTER_HIGH,
+                              seed=11, time_limit=LIMIT)
+    pado = PadoEngine().run(mr_synthetic_program(scale=0.1), CLUSTER_HIGH,
+                            seed=11, time_limit=LIMIT)
+    assert spark.jct_seconds > 1.3 * pado.jct_seconds
+    assert spark.relaunched_ratio > 3 * pado.relaunched_ratio
+
+
+def test_pado_scales_with_cluster_size():
+    """Figure 9: more containers at 8:1 never hurt."""
+    small = PadoEngine().run(
+        mr_synthetic_program(scale=0.1),
+        ClusterConfig(num_reserved=3, num_transient=24,
+                      eviction=EvictionRate.HIGH), seed=11,
+        time_limit=LIMIT)
+    large = PadoEngine().run(
+        mr_synthetic_program(scale=0.1),
+        ClusterConfig(num_reserved=7, num_transient=56,
+                      eviction=EvictionRate.HIGH), seed=11,
+        time_limit=LIMIT)
+    assert large.jct_seconds <= small.jct_seconds * 1.05

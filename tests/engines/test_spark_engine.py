@@ -1,0 +1,129 @@
+"""Unit/behaviour tests for the Spark baseline (§2.2, §5.1.2)."""
+
+import pytest
+
+from repro import ClusterConfig, EvictionRate, LocalRunner, SparkEngine
+from repro.trace.models import ExponentialLifetimeModel
+from repro.workloads import (als_synthetic_program, mlr_real_program,
+                             mlr_synthetic_program, mr_real_program,
+                             mr_synthetic_program)
+from tests.conftest import records_equal
+
+
+def small_cluster(eviction=EvictionRate.NONE, reserved=2, transient=4):
+    return ClusterConfig(num_reserved=reserved, num_transient=transient,
+                         eviction=eviction)
+
+
+def test_runs_synthetic_program():
+    result = SparkEngine().run(mr_synthetic_program(scale=0.02),
+                               small_cluster(), seed=0)
+    assert result.completed
+    assert result.bytes_shuffled > 0
+    assert result.bytes_pushed == 0  # Spark is pull-based
+
+
+def test_parallelism_one_operators_run_on_driver():
+    """MLlib-style: model creation/update happens at the never-evicted
+    driver, so MLR's critical chain never crosses an iteration (§5.2.2)."""
+    result = SparkEngine().run(
+        mlr_synthetic_program(iterations=2, scale=0.05),
+        small_cluster(eviction=ExponentialLifetimeModel(200.0)), seed=4,
+        time_limit=48 * 3600)
+    assert result.completed
+
+
+def test_cascading_recomputation_under_eviction():
+    """Evictions destroy local map outputs, forcing recomputation —
+    the relaunch ratio grows well past Pado's under identical churn."""
+    from repro import PadoEngine
+    program = lambda: als_synthetic_program(iterations=3, scale=0.15)
+    cluster = small_cluster(eviction=ExponentialLifetimeModel(120.0),
+                            reserved=2, transient=6)
+    spark = SparkEngine().run(program(), cluster, seed=7,
+                              time_limit=48 * 3600)
+    pado = PadoEngine().run(program(), cluster, seed=7,
+                            time_limit=48 * 3600)
+    assert spark.completed and pado.completed
+    assert spark.relaunched_tasks > pado.relaunched_tasks
+    assert spark.jct_seconds > pado.jct_seconds
+
+
+def test_eviction_during_map_phase_resubmits_lost_outputs():
+    result = SparkEngine().run(
+        mr_synthetic_program(scale=0.1),
+        small_cluster(eviction=ExponentialLifetimeModel(60.0),
+                      reserved=2, transient=6),
+        seed=3, time_limit=48 * 3600)
+    assert result.completed
+    assert result.evictions > 0
+    assert result.relaunched_tasks > 0
+
+
+def test_real_output_matches_local_runner_under_churn():
+    expected = LocalRunner().run(mr_real_program().dag).collect("reduce")
+    result = SparkEngine().run(
+        mr_real_program(),
+        small_cluster(eviction=ExponentialLifetimeModel(3.0)), seed=13,
+        time_limit=4 * 3600)
+    assert result.completed
+    assert records_equal(result.collected("reduce"), expected)
+
+
+def test_optimistic_fetch_variant_completes():
+    engine = SparkEngine(abort_on_fetch_failure=False)
+    result = engine.run(
+        mr_synthetic_program(scale=0.1),
+        small_cluster(eviction=ExponentialLifetimeModel(60.0),
+                      reserved=2, transient=6),
+        seed=3, time_limit=48 * 3600)
+    assert result.completed
+
+
+def test_abort_and_optimistic_semantics_both_complete():
+    """The two fetch-failure semantics differ in relaunch behaviour but both
+    must terminate correctly under churn (the ablation of §5's baselines)."""
+    cluster = small_cluster(eviction=ExponentialLifetimeModel(60.0),
+                            reserved=2, transient=6)
+    abort = SparkEngine(abort_on_fetch_failure=True).run(
+        mr_synthetic_program(scale=0.1), cluster, seed=3,
+        time_limit=48 * 3600)
+    optimistic = SparkEngine(abort_on_fetch_failure=False).run(
+        mr_synthetic_program(scale=0.1), cluster, seed=3,
+        time_limit=48 * 3600)
+    assert abort.completed and optimistic.completed
+    # Optimistic fetches never abort attempts, so they re-pull less data.
+    assert optimistic.bytes_shuffled <= abort.bytes_shuffled
+
+
+def test_broadcast_fetched_once_per_executor():
+    """TorrentBroadcast-style caching + coalescing: a broadcast value moves
+    to each executor once, not once per task."""
+    from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost,
+                                    Operator, SourceKind)
+    from repro.engines.base import Program
+    model_bytes = 100 * 1024 * 1024
+    dag = LogicalDAG()
+    model = dag.add_operator(Operator(
+        "model", parallelism=1, source_kind=SourceKind.CREATED,
+        cost=OpCost(fixed_output_bytes=model_bytes)))
+    work = dag.add_operator(Operator("work", parallelism=12,
+                                     cost=OpCost(fixed_output_bytes=1)))
+    dag.connect(model, work, DependencyType.ONE_TO_MANY)
+    result = SparkEngine().run(
+        Program(dag, "broadcast"),
+        ClusterConfig(num_reserved=0, num_transient=3), seed=0)
+    assert result.completed
+    # 3 executors -> ~3 broadcast fetches, far below the 12 naive ones.
+    assert result.bytes_shuffled <= 4 * model_bytes
+
+
+def test_no_driver_work_costs_counted_twice():
+    result = SparkEngine().run(mr_synthetic_program(scale=0.02),
+                               small_cluster(), seed=0)
+    original = result.original_tasks
+    # read+map fused chain plus reduce chain.
+    program = mr_synthetic_program(scale=0.02)
+    expected = (program.dag.operator("read").parallelism
+                + program.dag.operator("reduce").parallelism)
+    assert original == expected

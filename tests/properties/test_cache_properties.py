@@ -1,0 +1,57 @@
+"""Property-based tests for the LRU cache."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.runtime.cache import LruCache
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 20),
+                  st.floats(1.0, 40.0)),
+        st.tuples(st.just("get"), st.integers(0, 20), st.just(0.0)),
+    ),
+    max_size=200)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops, st.floats(10.0, 100.0))
+def test_capacity_never_exceeded(operations, capacity):
+    cache = LruCache(capacity)
+    for op, key, size in operations:
+        if op == "put":
+            cache.put(key, size, payload=key)
+        else:
+            cache.get(key)
+        assert cache.used_bytes <= capacity + 1e-9
+        assert cache.used_bytes >= 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops, st.floats(10.0, 100.0))
+def test_used_bytes_matches_entries(operations, capacity):
+    cache = LruCache(capacity)
+    shadow = {}
+    for op, key, size in operations:
+        if op == "put":
+            cache.put(key, size, payload=key)
+            if size <= capacity:
+                shadow[key] = size
+        else:
+            cache.get(key)
+        # Entries in the cache always return exactly what was stored.
+        for key2 in list(shadow):
+            entry = cache.get(key2) if key2 in cache else None
+            if entry is not None:
+                assert entry == (shadow[key2], key2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=100))
+def test_most_recent_key_always_retained(keys):
+    """After any access sequence, the most recently inserted key (that
+    fits) is still cached."""
+    cache = LruCache(50.0)
+    for key in keys:
+        cache.put(key, 10.0, payload=None)
+        assert key in cache

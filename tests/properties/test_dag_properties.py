@@ -1,0 +1,143 @@
+"""Property-based tests on logical DAGs, placement, and partitioning.
+
+Random DAGs are generated with hypothesis; the invariants of Algorithms 1
+and 2 must hold for all of them.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.compiler.partitioning import (check_partitioning,
+                                              partition_stages)
+from repro.core.compiler.placement import check_placement, place_operators
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                Placement, SourceKind)
+
+DEP_TYPES = list(DependencyType)
+
+
+@st.composite
+def random_dag(draw):
+    """A random valid logical DAG: sources feed a layered set of
+    computational operators with random edge types."""
+    num_sources = draw(st.integers(1, 3))
+    num_ops = draw(st.integers(1, 8))
+    dag = LogicalDAG()
+    operators = []
+    for i in range(num_sources):
+        kind = draw(st.sampled_from([SourceKind.READ, SourceKind.CREATED]))
+        parallelism = 1 if kind is SourceKind.CREATED else \
+            draw(st.integers(1, 4))
+        op = Operator(
+            f"src{i}", parallelism=parallelism, source_kind=kind,
+            input_ref=f"src{i}" if kind is SourceKind.READ else None,
+            partition_bytes=([10] * parallelism
+                             if kind is SourceKind.READ else None),
+            cost=OpCost(fixed_output_bytes=10))
+        operators.append(dag.add_operator(op))
+    for i in range(num_ops):
+        parallelism = draw(st.integers(1, 4))
+        op = dag.add_operator(Operator(f"op{i}", parallelism=parallelism))
+        operators.append(op)
+        # Connect to 1-2 random earlier operators (acyclic by construction).
+        num_parents = draw(st.integers(1, min(2, len(operators) - 1)))
+        candidates = operators[:-1]
+        parents = draw(st.permutations(candidates))[:num_parents]
+        for parent in parents:
+            legal = [d for d in DEP_TYPES
+                     if d is not DependencyType.ONE_TO_ONE
+                     or parent.parallelism == op.parallelism]
+            dep = draw(st.sampled_from(legal))
+            dag.connect(parent, op, dep)
+    # Drop computational operators that ended up parentless.
+    return _prune_orphans(dag)
+
+
+def _prune_orphans(dag):
+    pruned = LogicalDAG()
+    keep = [op for op in dag.operators
+            if op.is_source or dag.in_edges(op)]
+    clones = {}
+    for op in keep:
+        clone = Operator(op.name, parallelism=op.parallelism,
+                         source_kind=op.source_kind, input_ref=op.input_ref,
+                         partition_bytes=op.partition_bytes, cost=op.cost)
+        clones[op.name] = pruned.add_operator(clone)
+    for op in keep:
+        for edge in dag.in_edges(op):
+            if edge.src.name in clones:
+                pruned.connect(clones[edge.src.name], clones[op.name],
+                               edge.dep_type)
+    return pruned
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_placement_invariants(dag):
+    place_operators(dag)
+    check_placement(dag)  # raises if any invariant is broken
+    for op in dag.operators:
+        assert op.placement in (Placement.RESERVED, Placement.TRANSIENT)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_every_wide_consumer_on_reserved(dag):
+    place_operators(dag)
+    for op in dag.operators:
+        if any(e.dep_type.is_wide for e in dag.in_edges(op)):
+            assert op.placement is Placement.RESERVED
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_partitioning_invariants(dag):
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    check_partitioning(stage_dag)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_partitioning_covers_and_roots(dag):
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    # Every operator appears in >= 1 stage; every reserved operator roots
+    # exactly one stage.
+    for op in dag.operators:
+        stages = stage_dag.stages_containing(op)
+        assert stages, op.name
+        if op.placement is Placement.RESERVED:
+            assert sum(1 for s in stage_dag.stages
+                       if s.root_op is op) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_stage_dag_acyclic_and_consistent(dag):
+    place_operators(dag)
+    stage_dag = partition_stages(dag)
+    order = stage_dag.topological()
+    position = {id(s): i for i, s in enumerate(order)}
+    for stage in stage_dag.stages:
+        for child in stage.children:
+            assert position[id(stage)] < position[id(child)]
+        for parent in stage.parents:
+            assert position[id(parent)] < position[id(stage)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_fusion_partitions_operators(dag):
+    from repro.core.compiler.fusion import fuse_operators
+    place_operators(dag)
+    chains = fuse_operators(dag, dag.operators,
+                            require_same_placement=False)
+    names = [op.name for chain in chains for op in chain.ops]
+    assert sorted(names) == sorted(op.name for op in dag.operators)
+    for chain in chains:
+        # Chain-internal edges are all one-to-one.
+        for prev, nxt in zip(chain.ops, chain.ops[1:]):
+            edges = [e for e in dag.in_edges(nxt) if e.src is prev]
+            assert len(edges) == 1
+            assert edges[0].dep_type is DependencyType.ONE_TO_ONE

@@ -1,0 +1,90 @@
+"""Property-based tests of the routing layer: records and byte shares must
+stay consistent for every dependency type, parallelism, and record set."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
+                                SourceKind, destination_indices,
+                                route_output, route_sizes, source_indices)
+
+keyed_records = st.lists(
+    st.tuples(st.integers(-5, 5), st.integers(0, 100)), max_size=30)
+
+
+def make_edge(dep, src_par, dst_par):
+    dag = LogicalDAG()
+    src = dag.add_operator(Operator(
+        "s", parallelism=src_par, source_kind=SourceKind.READ,
+        input_ref="s", partition_bytes=[1] * src_par))
+    dst = dag.add_operator(Operator("d", parallelism=dst_par))
+    return dag.connect(src, dst, dep)
+
+
+@settings(max_examples=100, deadline=None)
+@given(dep=st.sampled_from(list(DependencyType)),
+       par=st.integers(1, 6), dst_par=st.integers(1, 6),
+       src_idx=st.integers(0, 5), records=keyed_records)
+def test_no_record_lost_or_duplicated(dep, par, dst_par, src_idx, records):
+    if dep is DependencyType.ONE_TO_ONE:
+        dst_par = par
+    src_idx = src_idx % par
+    edge = make_edge(dep, par, dst_par)
+    routed = route_output(edge, src_idx, records)
+    flattened = [r for bucket in routed.values() for r in bucket]
+    if dep is DependencyType.ONE_TO_MANY:
+        assert flattened == records * dst_par
+    else:
+        assert sorted(flattened) == sorted(records)
+
+
+@settings(max_examples=100, deadline=None)
+@given(dep=st.sampled_from(list(DependencyType)),
+       par=st.integers(1, 6), dst_par=st.integers(1, 6),
+       src_idx=st.integers(0, 5),
+       size=st.floats(0.0, 1e9, allow_nan=False))
+def test_size_shares_conserve_bytes(dep, par, dst_par, src_idx, size):
+    if dep is DependencyType.ONE_TO_ONE:
+        dst_par = par
+    src_idx = src_idx % par
+    edge = make_edge(dep, par, dst_par)
+    shares = route_sizes(edge, src_idx, size)
+    if dep is DependencyType.ONE_TO_MANY:
+        assert all(v == size for v in shares.values())
+        assert len(shares) == dst_par
+    else:
+        assert sum(shares.values()) == pytest.approx(size)
+
+
+@settings(max_examples=100, deadline=None)
+@given(dep=st.sampled_from(list(DependencyType)),
+       par=st.integers(1, 6), dst_par=st.integers(1, 6),
+       src_idx=st.integers(0, 5), records=keyed_records)
+def test_routed_buckets_within_destination_indices(dep, par, dst_par,
+                                                   src_idx, records):
+    if dep is DependencyType.ONE_TO_ONE:
+        dst_par = par
+    src_idx = src_idx % par
+    edge = make_edge(dep, par, dst_par)
+    allowed = set(destination_indices(edge, src_idx))
+    routed = route_output(edge, src_idx, records)
+    assert set(routed) <= allowed
+
+
+@settings(max_examples=100, deadline=None)
+@given(dep=st.sampled_from(list(DependencyType)),
+       par=st.integers(1, 6), dst_par=st.integers(1, 6))
+def test_every_parent_has_a_destination(dep, par, dst_par):
+    if dep is DependencyType.ONE_TO_ONE:
+        dst_par = par
+    edge = make_edge(dep, par, dst_par)
+    covered = set()
+    for src_idx in range(par):
+        dsts = destination_indices(edge, src_idx)
+        assert dsts, "every parent must feed someone"
+        covered.update(dsts)
+    # And conversely every destination index is fed by someone.
+    fed = {dst for dst in range(dst_par) if source_indices(edge, dst)}
+    if dep in (DependencyType.ONE_TO_MANY, DependencyType.MANY_TO_MANY):
+        assert fed == set(range(dst_par))

@@ -1,0 +1,34 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_exits_zero(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_tab2(capsys):
+    assert main(["tab2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_fig2(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "pado" in out and "spark" in out
+
+
+def test_fig7_with_tiny_scale(capsys):
+    assert main(["fig7", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "high" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "compile_workloads.py",
+    "ml_training.py",
+])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_engine_comparison_example_small_scale():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "engine_comparison.py"),
+         "mr", "0.05"],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Pado is" in result.stdout
+
+
+def test_trace_analysis_example():
+    result = subprocess.run(
+        [sys.executable,
+         str(EXAMPLES_DIR / "transient_datacenter_analysis.py")],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Table 2" in result.stdout
+    assert "Figure 1" in result.stdout

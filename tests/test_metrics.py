@@ -1,0 +1,65 @@
+"""Unit tests for the utilization/efficiency metrics."""
+
+import pytest
+
+from repro.engines.base import ClusterConfig, JobResult
+from repro.metrics import EfficiencyReport, compare_efficiency
+
+
+def result(engine="pado", completed=True, jct=600.0, original=100,
+           launched=120):
+    return JobResult(engine=engine, workload="w", completed=completed,
+                     jct_seconds=jct, original_tasks=original,
+                     launched_tasks=launched, evictions=5)
+
+
+def test_core_second_accounting():
+    cluster = ClusterConfig(num_reserved=5, num_transient=40)
+    report = EfficiencyReport.from_result(result(), cluster)
+    assert report.reserved_core_seconds == 5 * 4 * 600.0
+    assert report.transient_core_seconds == 40 * 4 * 600.0
+    assert report.harvested_fraction == pytest.approx(40 / 45)
+
+
+def test_wasted_work_ratio():
+    cluster = ClusterConfig()
+    report = EfficiencyReport.from_result(result(launched=150), cluster)
+    assert report.wasted_work_ratio == pytest.approx(50 / 150)
+
+
+def test_incomplete_job_has_zero_useful_work():
+    cluster = ClusterConfig()
+    report = EfficiencyReport.from_result(result(completed=False), cluster)
+    assert report.useful_per_reserved_core_second == 0.0
+
+
+def test_zero_launched_tasks_edge_case():
+    cluster = ClusterConfig()
+    report = EfficiencyReport.from_result(
+        result(original=0, launched=0), cluster)
+    assert report.wasted_work_ratio == 0.0
+
+
+def test_compare_sorts_best_first():
+    cluster = ClusterConfig()
+    fast = result(engine="pado", jct=300.0)
+    slow = result(engine="spark", jct=900.0)
+    reports = compare_efficiency([slow, fast], cluster)
+    assert [r.engine for r in reports] == ["pado", "spark"]
+
+
+def test_as_row_shape():
+    cluster = ClusterConfig()
+    row = EfficiencyReport.from_result(result(), cluster).as_row()
+    assert row[0] == "pado"
+    assert len(row) == 5
+
+
+def test_efficiency_from_real_run():
+    from repro import PadoEngine
+    from repro.workloads import mr_synthetic_program
+    cluster = ClusterConfig(num_reserved=2, num_transient=4)
+    job = PadoEngine().run(mr_synthetic_program(scale=0.02), cluster, seed=0)
+    report = EfficiencyReport.from_result(job, cluster)
+    assert report.useful_per_reserved_core_second > 0
+    assert 0.0 <= report.wasted_work_ratio <= 1.0

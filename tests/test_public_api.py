@@ -1,0 +1,51 @@
+"""The public API surface: everything README documents must exist."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("module", [
+    "repro.cluster", "repro.trace", "repro.dataflow", "repro.core",
+    "repro.core.compiler", "repro.core.runtime", "repro.engines",
+    "repro.workloads", "repro.bench", "repro.metrics",
+])
+def test_subpackage_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_public_item_documented():
+    """Every exported class/function carries a docstring."""
+    import inspect
+    for module_name in ("repro.cluster", "repro.trace", "repro.dataflow",
+                        "repro.core.compiler", "repro.core.runtime",
+                        "repro.engines", "repro.workloads", "repro.bench",
+                        "repro.metrics"):
+        mod = importlib.import_module(module_name)
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+def test_errors_hierarchy():
+    from repro.errors import (CompilerError, DagError, ExecutionError,
+                              ReproError, ResourceError, SchedulingError,
+                              SimulationError, WorkloadError)
+    for exc in (CompilerError, DagError, ExecutionError, ResourceError,
+                SchedulingError, SimulationError, WorkloadError):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)

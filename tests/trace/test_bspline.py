@@ -1,0 +1,77 @@
+"""Unit tests for B-spline trace refinement (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.bspline import (REFINED_INTERVAL, refine_container,
+                                 refine_series, refine_trace)
+from repro.trace.google_trace import TraceConfig, generate_trace
+
+
+def test_refines_5min_to_1min():
+    times = np.arange(0, 3600.1, 300.0)
+    values = np.sin(times / 1000.0)
+    fine_t, fine_v = refine_series(times, values)
+    assert fine_t[1] - fine_t[0] == REFINED_INTERVAL
+    assert fine_t[0] == times[0]
+    assert fine_t[-1] <= times[-1] + 1e-9
+    assert len(fine_t) == len(fine_v) == 61
+
+
+def test_spline_interpolates_original_samples():
+    times = np.arange(0, 3000.1, 300.0)
+    values = np.cos(times / 500.0)
+    fine_t, fine_v = refine_series(times, values)
+    for t, v in zip(times, values):
+        idx = int(round((t - times[0]) / REFINED_INTERVAL))
+        assert fine_v[idx] == pytest.approx(v, abs=1e-9)
+
+
+def test_spline_tracks_smooth_signal_between_samples():
+    times = np.arange(0, 6000.1, 300.0)
+    values = np.sin(times / 2000.0)
+    fine_t, fine_v = refine_series(times, values)
+    np.testing.assert_allclose(fine_v, np.sin(fine_t / 2000.0), atol=1e-3)
+
+
+def test_short_series_degrades_spline_degree():
+    times = np.array([0.0, 300.0])
+    values = np.array([1.0, 2.0])
+    fine_t, fine_v = refine_series(times, values)
+    # Linear interpolation between the two points.
+    np.testing.assert_allclose(fine_v, 1.0 + fine_t / 300.0, atol=1e-9)
+
+
+def test_single_point_passthrough():
+    t, v = refine_series(np.array([0.0]), np.array([5.0]))
+    assert list(t) == [0.0] and list(v) == [5.0]
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        refine_series(np.arange(3), np.arange(4))
+
+
+def test_bad_interval_rejected():
+    with pytest.raises(ValueError):
+        refine_series(np.arange(3.0), np.arange(3.0), target_interval=0.0)
+
+
+def test_refine_container_clips_to_capacity():
+    trace = generate_trace(TraceConfig(num_containers=2, duration_hours=6.0),
+                           seed=5)
+    refined = refine_container(trace.containers[0])
+    assert np.all(refined.usage_bytes >= 0)
+    assert np.all(refined.usage_bytes <= refined.capacity_bytes)
+    assert refined.capacity_bytes == trace.containers[0].capacity_bytes
+
+
+def test_refine_trace_updates_interval():
+    trace = generate_trace(TraceConfig(num_containers=2, duration_hours=6.0),
+                           seed=6)
+    refined = refine_trace(trace)
+    assert refined.interval_seconds == REFINED_INTERVAL
+    assert len(refined.containers) == 2
+    ratio = (len(refined.containers[0].times) - 1) / \
+        (len(trace.containers[0].times) - 1)
+    assert ratio == pytest.approx(5.0, rel=0.01)

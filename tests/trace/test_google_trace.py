@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic Google-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.google_trace import (GoogleTrace, LCContainerUsage,
+                                      TraceConfig, generate_trace)
+
+
+def small_config(**overrides):
+    defaults = dict(num_containers=6, duration_hours=12.0)
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+def test_trace_shape():
+    config = small_config()
+    trace = generate_trace(config, seed=1)
+    assert len(trace.containers) == 6
+    expected_steps = int(12 * 3600 / config.interval_seconds) + 1
+    for container in trace.containers:
+        assert len(container.times) == expected_steps
+        assert container.times[1] - container.times[0] == \
+            config.interval_seconds
+
+
+def test_usage_within_physical_bounds():
+    trace = generate_trace(small_config(), seed=2)
+    for container in trace.containers:
+        assert np.all(container.usage_bytes >= 0)
+        assert np.all(container.usage_bytes <= container.capacity_bytes)
+
+
+def test_idle_bytes_complement_usage():
+    trace = generate_trace(small_config(), seed=3)
+    container = trace.containers[0]
+    np.testing.assert_allclose(
+        container.idle_bytes + container.usage_bytes,
+        container.capacity_bytes)
+
+
+def test_deterministic_given_seed():
+    a = generate_trace(small_config(), seed=7)
+    b = generate_trace(small_config(), seed=7)
+    for ca, cb in zip(a.containers, b.containers):
+        np.testing.assert_array_equal(ca.usage_bytes, cb.usage_bytes)
+
+
+def test_different_seeds_differ():
+    a = generate_trace(small_config(), seed=7)
+    b = generate_trace(small_config(), seed=8)
+    assert not np.array_equal(a.containers[0].usage_bytes,
+                              b.containers[0].usage_bytes)
+
+
+def test_mean_idle_fraction_near_configured_overprovisioning():
+    """LC jobs leave roughly (1 - mean_usage) of their allocation idle —
+    the source of Table 2's ~26% baseline."""
+    trace = generate_trace(TraceConfig(num_containers=30,
+                                       duration_hours=48.0), seed=4)
+    assert 0.15 < trace.mean_idle_fraction() < 0.40
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(num_containers=0)
+    with pytest.raises(ValueError):
+        TraceConfig(duration_hours=-1.0)
+    with pytest.raises(ValueError):
+        TraceConfig(mean_usage=1.5)
+
+
+def test_usage_series_alignment_checked():
+    with pytest.raises(ValueError):
+        LCContainerUsage(capacity_bytes=1.0, times=np.arange(3),
+                         usage_bytes=np.arange(4))

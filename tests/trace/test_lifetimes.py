@@ -1,0 +1,122 @@
+"""Unit tests for the safety-margin lifetime derivation (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.google_trace import LCContainerUsage
+from repro.trace.lifetimes import (analyze_container, analyze_trace,
+                                   collected_memory_table,
+                                   lifetime_percentile_table)
+from repro.trace.google_trace import GoogleTrace
+
+GB = 2**30
+
+
+def make_container(usage_fractions, capacity=10 * GB, interval=60.0):
+    usage = np.asarray(usage_fractions, dtype=float) * capacity
+    times = np.arange(len(usage)) * interval
+    return LCContainerUsage(capacity_bytes=capacity, times=times,
+                            usage_bytes=usage)
+
+
+def test_flat_usage_yields_one_uninterrupted_container():
+    container = make_container([0.5] * 10)
+    intervals, _ = analyze_container(container, safety_margin=0.01)
+    assert len(intervals) == 1
+    assert not intervals[0].evicted  # right-censored at trace end
+
+
+def test_usage_spike_evicts():
+    # Idle = 50% initially; spike to 95% usage leaves less than the
+    # transient allocation + buffer -> eviction at the spike.
+    container = make_container([0.5, 0.5, 0.95, 0.5, 0.5])
+    intervals, _ = analyze_container(container, safety_margin=0.01)
+    evicted = [iv for iv in intervals if iv.evicted]
+    assert len(evicted) == 1
+    assert evicted[0].start == 0.0
+    assert evicted[0].end == 2 * 60.0
+    assert evicted[0].lifetime == 2 * 60.0
+    # A replacement starts once idle memory reappears.
+    assert len(intervals) == 2
+
+
+def test_allocation_grows_when_lc_usage_decreases():
+    container = make_container([0.6, 0.4, 0.2])
+    intervals, _ = analyze_container(container, safety_margin=0.0,
+                                     min_allocation_fraction=0.0)
+    assert intervals[0].allocation_bytes == pytest.approx(0.8 * 10 * GB)
+
+
+def test_tighter_margin_evicts_more():
+    rng = np.random.default_rng(0)
+    usage = 0.6 + 0.04 * rng.standard_normal(500)
+    container = make_container(np.clip(usage, 0.05, 0.99))
+    tight, _ = analyze_container(container, safety_margin=0.001)
+    loose, _ = analyze_container(container, safety_margin=0.10)
+    tight_evictions = sum(1 for iv in tight if iv.evicted)
+    loose_evictions = sum(1 for iv in loose if iv.evicted)
+    assert tight_evictions > loose_evictions
+
+
+def test_invalid_margin_rejected():
+    container = make_container([0.5])
+    with pytest.raises(ValueError):
+        analyze_container(container, safety_margin=1.0)
+    with pytest.raises(ValueError):
+        analyze_container(container, safety_margin=-0.1)
+
+
+def test_replacement_respects_min_allocation():
+    # After the spike, idle is only 4% of capacity: below the 10% minimum,
+    # so no replacement container starts.
+    container = make_container([0.5, 0.96, 0.96])
+    intervals, _ = analyze_container(container, safety_margin=0.01,
+                                     min_allocation_fraction=0.10)
+    assert len(intervals) == 1
+    assert intervals[0].evicted
+
+
+def test_collected_fraction_accounting():
+    # Constant 50% usage, zero margin, no minimum: the transient container
+    # holds exactly the idle half for the whole trace.
+    container = make_container([0.5] * 11)
+    analysis = analyze_trace(
+        GoogleTrace(containers=[container], interval_seconds=60.0),
+        safety_margin=0.0, min_allocation_fraction=0.0)
+    assert analysis.collected_fraction == pytest.approx(0.5)
+
+
+def test_analysis_percentiles_and_cdf():
+    container = make_container([0.5, 0.95, 0.5, 0.95, 0.5, 0.95])
+    analysis = analyze_trace(
+        GoogleTrace(containers=[container], interval_seconds=60.0),
+        safety_margin=0.01)
+    # Each spike evicts; a small replacement starts at each spike since 4%
+    # of capacity is still collectable after the 1% buffer.
+    assert analysis.eviction_count == 3
+    lifetimes = analysis.lifetimes
+    assert all(l > 0 for l in lifetimes)
+    cdf = analysis.cdf(np.array([0.0, 1e9]))
+    assert cdf[0] == 0.0 and cdf[-1] == 1.0
+    model = analysis.to_lifetime_model()
+    assert model.percentile(50) > 0
+
+
+def test_collected_memory_table_shape():
+    containers = [make_container([0.7] * 30) for _ in range(3)]
+    trace = GoogleTrace(containers=containers, interval_seconds=60.0)
+    table = collected_memory_table(trace)
+    assert set(table) == {"baseline", "0.1%", "1%", "5%"}
+    # Baseline (all idle memory) collects the most.
+    assert table["baseline"] >= table["0.1%"] >= table["1%"] >= table["5%"]
+
+
+def test_lifetime_percentile_table_keys():
+    rng = np.random.default_rng(1)
+    usage = np.clip(0.6 + 0.05 * rng.standard_normal(2000), 0.05, 0.99)
+    trace = GoogleTrace(containers=[make_container(usage)],
+                        interval_seconds=60.0)
+    table = lifetime_percentile_table(trace, margins=(0.001, 0.01),
+                                      percentiles=(10, 50))
+    assert set(table) == {("0.1%", 10), ("0.1%", 50), ("1%", 10), ("1%", 50)}
+    assert table[("0.1%", 50)] <= table[("1%", 50)]

@@ -1,0 +1,118 @@
+"""Unit tests for lifetime models and the paper's eviction regimes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace.models import (EmpiricalLifetimeModel, EvictionRate,
+                                ExponentialLifetimeModel, NoEvictionModel,
+                                PercentileLifetimeModel,
+                                TABLE1_LIFETIME_MINUTES, MINUTES)
+
+
+def test_no_eviction_model_samples_infinity(rng):
+    model = NoEvictionModel()
+    assert math.isinf(model.sample(rng))
+    assert model.cdf(1e12) == 0.0
+
+
+def test_exponential_model_mean(rng):
+    model = ExponentialLifetimeModel(100.0)
+    samples = [model.sample(rng) for _ in range(5000)]
+    assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+    assert model.cdf(100.0) == pytest.approx(1 - math.exp(-1))
+
+
+def test_exponential_model_rejects_bad_mean():
+    with pytest.raises(ValueError):
+        ExponentialLifetimeModel(0.0)
+
+
+class TestPercentileModel:
+    def make(self):
+        return PercentileLifetimeModel(
+            [(0.10, 60.0), (0.50, 120.0), (0.90, 19 * 60.0)])
+
+    def test_quantile_hits_anchors_exactly(self):
+        model = self.make()
+        assert model.quantile(0.10) == pytest.approx(60.0)
+        assert model.quantile(0.50) == pytest.approx(120.0)
+        assert model.quantile(0.90) == pytest.approx(19 * 60.0)
+
+    def test_quantile_monotone(self):
+        model = self.make()
+        values = [model.quantile(u) for u in np.linspace(0, 1, 101)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_cdf_inverts_quantile(self):
+        model = self.make()
+        for u in (0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95):
+            assert model.cdf(model.quantile(u)) == pytest.approx(u, abs=1e-9)
+
+    def test_sampled_percentiles_match_anchors(self, rng):
+        model = self.make()
+        samples = sorted(model.sample(rng) for _ in range(20000))
+        assert np.percentile(samples, 50) == pytest.approx(120.0, rel=0.1)
+        assert np.percentile(samples, 90) == pytest.approx(19 * 60, rel=0.1)
+
+    def test_rejects_bad_anchors(self):
+        with pytest.raises(ValueError):
+            PercentileLifetimeModel([])
+        with pytest.raises(ValueError):
+            PercentileLifetimeModel([(1.5, 60.0)])
+        with pytest.raises(ValueError):
+            PercentileLifetimeModel([(0.1, 100.0), (0.5, 50.0)])
+        with pytest.raises(ValueError):
+            PercentileLifetimeModel([(0.5, -1.0)])
+
+
+class TestEvictionRate:
+    def test_safety_margins_match_paper(self):
+        assert EvictionRate.HIGH.safety_margin == 0.001
+        assert EvictionRate.MEDIUM.safety_margin == 0.01
+        assert EvictionRate.LOW.safety_margin == 0.05
+        assert EvictionRate.NONE.safety_margin is None
+
+    def test_none_rate_yields_no_eviction_model(self):
+        assert isinstance(EvictionRate.NONE.lifetime_model(),
+                          NoEvictionModel)
+
+    @pytest.mark.parametrize("rate,margin", [
+        (EvictionRate.HIGH, "0.1%"),
+        (EvictionRate.MEDIUM, "1%"),
+        (EvictionRate.LOW, "5%"),
+    ])
+    def test_models_pinned_to_table1(self, rate, margin, rng):
+        """The engine experiments run on lifetime CDFs whose 10/50/90th
+        percentiles equal Table 1 of the paper."""
+        model = rate.lifetime_model()
+        samples = sorted(model.sample(rng) for _ in range(20000))
+        for q in (10, 50, 90):
+            expected = TABLE1_LIFETIME_MINUTES[(margin, q)] * MINUTES
+            measured = np.percentile(samples, q)
+            assert measured == pytest.approx(expected, rel=0.12)
+
+    def test_high_rate_mostly_evicts_within_half_hour(self, rng):
+        """§2.1: under the 0.1% margin most transient containers are
+        evicted within half an hour."""
+        model = EvictionRate.HIGH.lifetime_model()
+        assert model.cdf(30 * MINUTES) > 0.9
+
+
+class TestEmpiricalModel:
+    def test_resamples_observed_values(self, rng):
+        model = EmpiricalLifetimeModel([10.0, 20.0, 30.0])
+        for _ in range(50):
+            assert model.sample(rng) in (10.0, 20.0, 30.0)
+
+    def test_cdf_and_percentile(self):
+        model = EmpiricalLifetimeModel([10.0, 20.0, 30.0, 40.0])
+        assert model.cdf(25.0) == 0.5
+        assert model.percentile(50) == pytest.approx(25.0)
+
+    def test_rejects_empty_or_negative(self):
+        with pytest.raises(ValueError):
+            EmpiricalLifetimeModel([])
+        with pytest.raises(ValueError):
+            EmpiricalLifetimeModel([1.0, -2.0])

@@ -1,0 +1,51 @@
+"""Full-pipeline integration: trace analysis feeds engine experiments.
+
+The paper's §5 setup: lifetimes derived from the (Google) trace drive the
+eviction schedule of the engine cluster. We run the whole chain on the
+synthetic trace — generate, refine, analyze, package as a lifetime model,
+execute a job against it.
+"""
+
+import pytest
+
+from repro import ClusterConfig, PadoEngine
+from repro.trace import (TraceConfig, analyze_trace, generate_trace,
+                         refine_trace)
+from repro.workloads import mr_synthetic_program
+
+
+@pytest.fixture(scope="module")
+def trace_model():
+    config = TraceConfig(num_containers=10, duration_hours=24.0)
+    trace = refine_trace(generate_trace(config, seed=3))
+    analysis = analyze_trace(trace, safety_margin=0.001)
+    return analysis.to_lifetime_model("from-trace")
+
+
+def test_trace_derived_model_drives_engine(trace_model):
+    cluster = ClusterConfig(num_reserved=2, num_transient=4,
+                            eviction=trace_model)
+    result = PadoEngine().run(mr_synthetic_program(scale=0.05), cluster,
+                              seed=4, time_limit=48 * 3600)
+    assert result.completed
+    assert result.evictions > 0
+
+
+def test_trace_model_is_sampleable_and_positive(trace_model, rng):
+    for _ in range(100):
+        assert trace_model.sample(rng) > 0
+
+
+def test_tighter_margin_gives_harder_engine_conditions():
+    config = TraceConfig(num_containers=10, duration_hours=24.0)
+    trace = refine_trace(generate_trace(config, seed=3))
+    results = {}
+    for margin in (0.001, 0.05):
+        model = analyze_trace(trace, margin).to_lifetime_model()
+        cluster = ClusterConfig(num_reserved=2, num_transient=4,
+                                eviction=model)
+        results[margin] = PadoEngine().run(
+            mr_synthetic_program(scale=0.05), cluster, seed=4,
+            time_limit=48 * 3600)
+    assert results[0.001].completed and results[0.05].completed
+    assert results[0.001].evictions >= results[0.05].evictions

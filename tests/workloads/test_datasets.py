@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (music_ratings, pageview_records,
+                                      partition, training_samples)
+
+
+def test_partition_round_robin():
+    parts = partition(list(range(7)), 3)
+    assert parts == [[0, 3, 6], [1, 4], [2, 5]]
+
+
+def test_partition_rejects_zero():
+    with pytest.raises(ValueError):
+        partition([1], 0)
+
+
+def test_music_ratings_shape_and_ranges():
+    ratings = music_ratings(num_users=10, num_items=5, num_ratings=50,
+                            seed=1)
+    assert len(ratings) == 50
+    for user, item, score in ratings:
+        assert 0 <= user < 10
+        assert 0 <= item < 5
+        assert isinstance(score, float)
+
+
+def test_music_ratings_deterministic():
+    assert music_ratings(seed=3) == music_ratings(seed=3)
+    assert music_ratings(seed=3) != music_ratings(seed=4)
+
+
+def test_music_ratings_low_rank_structure():
+    """Ratings come from a rank-3 model plus small noise, so ALS can
+    recover them: the rating variance is far above the noise level."""
+    ratings = music_ratings(num_users=50, num_items=20, num_ratings=500,
+                            seed=0)
+    scores = np.array([r for _, _, r in ratings])
+    assert scores.std() > 0.5
+
+
+def test_training_samples_labels_in_range():
+    samples = training_samples(num_samples=40, num_features=6,
+                               num_classes=4, seed=2)
+    assert len(samples) == 40
+    for x, label in samples:
+        assert x.shape == (6,)
+        assert 0 <= label < 4
+    assert len({label for _, label in samples}) > 1
+
+
+def test_pageview_records_skewed():
+    records = pageview_records(num_docs=20, num_records=500, seed=1)
+    assert len(records) == 500
+    counts = {}
+    for doc, views in records:
+        assert views >= 1
+        counts[doc] = counts.get(doc, 0) + 1
+    # Zipf-ish: the most popular doc appears far more often than the rarest.
+    assert max(counts.values()) > 3 * min(counts.values())
