@@ -3,13 +3,23 @@
 Every benchmark regenerates one table or figure of the paper and saves the
 rendered artifact under ``benchmarks/results/`` so the reproduction can be
 inspected after ``pytest benchmarks/ --benchmark-only``.
+
+Setting the ``REPRO_TRACE_DIR`` environment variable additionally records a
+structured event trace (see docs/OBSERVABILITY.md) for every simulated job a
+benchmark runs, dumped as ``<dir>/<test-name>/<run-label>.jsonl`` plus a
+Chrome/Perfetto-loadable ``.trace.json``::
+
+    REPRO_TRACE_DIR=traces PYTHONPATH=src python -m pytest benchmarks/ -q
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
+
+from repro.obs.tracer import collecting
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -24,3 +34,18 @@ def save_artifact():
         path.write_text(text + "\n")
 
     return _save
+
+
+@pytest.fixture(autouse=True)
+def trace_runs(request):
+    """Dump per-run traces when REPRO_TRACE_DIR is set (no-op otherwise)."""
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        yield
+        return
+    with collecting() as collector:
+        yield
+    safe = "".join(c if c.isalnum() or c in "-._" else "_"
+                   for c in request.node.name)
+    if collector.runs:
+        collector.dump(pathlib.Path(trace_dir) / safe)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Documentation lint, run as part of the tier-1 test suite.
+
+Checks two things, with zero dependencies beyond the standard library:
+
+* every package under ``src/repro/`` (every directory with an
+  ``__init__.py``) is mentioned by its dotted name in
+  ``docs/ARCHITECTURE.md`` — adding a package without documenting it
+  fails the build;
+* every fenced ``python`` code block in ``README.md`` and ``docs/*.md``
+  is syntactically valid (``compile()`` succeeds), so documented
+  examples cannot rot into syntax errors silently.
+
+Exit status 0 when clean; prints each problem and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def repro_packages() -> list[str]:
+    """Dotted names of every package under src/repro, sorted."""
+    names = []
+    for init in sorted(SRC.rglob("__init__.py")):
+        relative = init.parent.relative_to(SRC.parent)
+        names.append(".".join(relative.parts))
+    return names
+
+
+def check_architecture_mentions() -> list[str]:
+    problems = []
+    if not ARCHITECTURE.exists():
+        return [f"{ARCHITECTURE.relative_to(REPO)} does not exist"]
+    text = ARCHITECTURE.read_text()
+    for package in repro_packages():
+        if package not in text:
+            problems.append(
+                f"docs/ARCHITECTURE.md never mentions package `{package}`")
+    return problems
+
+
+def check_code_blocks() -> list[str]:
+    problems = []
+    documents = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    for document in documents:
+        if not document.exists():
+            continue
+        text = document.read_text()
+        for i, match in enumerate(FENCE.finditer(text), start=1):
+            snippet = match.group(1)
+            line = text[:match.start()].count("\n") + 2
+            try:
+                compile(snippet, f"{document.name}:block{i}", "exec")
+            except SyntaxError as exc:
+                problems.append(
+                    f"{document.relative_to(REPO)} python block {i} "
+                    f"(line {line}) does not parse: {exc}")
+    return problems
+
+
+def main() -> int:
+    problems = check_architecture_mentions() + check_code_blocks()
+    for problem in problems:
+        print(f"check_docs: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    packages = repro_packages()
+    print(f"check_docs: OK ({len(packages)} packages documented, "
+          f"code blocks parse)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

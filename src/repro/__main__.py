@@ -4,17 +4,24 @@ Usage::
 
     python -m repro list
     python -m repro fig5 [--scale 0.25] [--seed 11]
+    python -m repro fig2 --trace traces/
     python -m repro all
 
 Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
-for the paper-vs-measured comparison.
+for the paper-vs-measured comparison. With ``--trace DIR`` every simulated
+job additionally records a structured event trace (see docs/OBSERVABILITY.md)
+and dumps one ``<label>.jsonl`` plus one Chrome/Perfetto-loadable
+``<label>.trace.json`` per run into DIR.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Callable
+
+from repro.obs.tracer import collecting
 
 from repro.bench import (ablation_aggregation_limits,
                          ablation_fetch_semantics, ablation_optimizations,
@@ -119,6 +126,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload scale override (default: bench "
                              "scales)")
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="record per-run event traces and write "
+                             "JSONL + Chrome trace files into DIR")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -129,7 +139,15 @@ def main(argv: list[str] | None = None) -> int:
                else [args.experiment])
     for name in targets:
         _, runner = EXPERIMENTS[name]
-        print(runner(args))
+        if args.trace is None:
+            print(runner(args))
+        else:
+            with collecting() as collector:
+                print(runner(args))
+            trace_dir = pathlib.Path(args.trace) / name
+            written = collector.dump(trace_dir)
+            print(f"[trace] {len(collector.runs)} run(s) -> "
+                  f"{len(written)} file(s) under {trace_dir}")
         print()
     return 0
 

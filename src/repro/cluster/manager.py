@@ -24,6 +24,8 @@ from repro.cluster.network import EVICTION_PRIORITY
 from repro.cluster.resources import (Container, ContainerKind, NodeSpec,
                                      RESERVED_NODE, TRANSIENT_NODE)
 from repro.errors import ResourceError
+from repro.obs.events import Eviction
+from repro.obs.tracer import Tracer
 from repro.trace.models import LifetimeModel
 
 #: Callback invoked when a container comes online.
@@ -63,10 +65,12 @@ class ResourceManager:
                  rng: np.random.Generator,
                  reserved_spec: NodeSpec = RESERVED_NODE,
                  transient_spec: NodeSpec = TRANSIENT_NODE,
-                 replace_evicted: bool = True) -> None:
+                 replace_evicted: bool = True,
+                 tracer: Optional[Tracer] = None) -> None:
         self._sim = sim
         self._lifetimes = lifetime_model
         self._rng = rng
+        self.tracer = tracer
         self._reserved_spec = reserved_spec
         self._transient_spec = transient_spec
         self._replace_evicted = replace_evicted
@@ -152,6 +156,11 @@ class ResourceManager:
             return
         container.evict(self._sim.now)
         self.evictions += 1
+        if self.tracer is not None:
+            self.tracer.emit(Eviction(
+                time=self._sim.now, container=container.container_id,
+                resource="transient", cause="eviction",
+                lifetime=container.lifetime))
         replacement: Optional[Container] = None
         if self._replace_evicted:
             pool = self._pool_of.get(container.container_id)
@@ -170,6 +179,12 @@ class ResourceManager:
             raise ResourceError(f"{container!r} is already dead")
         container.fail(self._sim.now)
         self.failures += 1
+        if self.tracer is not None:
+            self.tracer.emit(Eviction(
+                time=self._sim.now, container=container.container_id,
+                resource=("reserved" if container.is_reserved
+                          else "transient"),
+                cause="fault", lifetime=container.lifetime))
         replacement = self._launch(container.kind) if replace else None
         if self._on_eviction is not None:
             self._on_eviction(container, replacement)

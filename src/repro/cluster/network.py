@@ -22,10 +22,22 @@ from typing import Callable, Optional, Protocol
 
 from repro.cluster.events import Simulator
 from repro.cluster.resources import Container
+from repro.obs.events import Transfer
+from repro.obs.tracer import Tracer
 
 #: Event priority used for container evictions/failures so that they are
 #: processed before transfer and task completions at the same timestamp.
 EVICTION_PRIORITY = -10
+
+
+def endpoint_label(endpoint: "Endpoint") -> str:
+    """Trace label for an endpoint: ``reserved:<id>``, ``transient:<id>``,
+    or ``ext`` for infinite endpoints (stores, the master, the sink)."""
+    container = getattr(endpoint, "container", None)
+    if container is None:
+        return "ext"
+    kind = "reserved" if container.is_reserved else "transient"
+    return f"{kind}:{container.container_id}"
 
 
 class FifoPort:
@@ -126,9 +138,11 @@ class TransferResult:
 class NetworkModel:
     """Schedules point-to-point transfers on the simulator."""
 
-    def __init__(self, sim: Simulator, latency: float = 0.001) -> None:
+    def __init__(self, sim: Simulator, latency: float = 0.001,
+                 tracer: Optional[Tracer] = None) -> None:
         self._sim = sim
         self.latency = latency
+        self.tracer = tracer
         self.bytes_transferred = 0
         self.transfers_failed = 0
 
@@ -144,8 +158,14 @@ class NetworkModel:
         if size_bytes < 0:
             raise ValueError("transfer size must be non-negative")
         now = self._sim.now
+        tracer = self.tracer
         if not src.is_alive() or not dst.is_alive():
             self.transfers_failed += 1
+            if tracer is not None:
+                tracer.emit(Transfer(time=now, src=endpoint_label(src),
+                                     dst=endpoint_label(dst),
+                                     size_bytes=float(size_bytes),
+                                     requested_at=now, ok=False))
             self._sim.schedule(
                 0.0, lambda: on_done(TransferResult(False, now, int(size_bytes))))
             return
@@ -159,6 +179,12 @@ class NetworkModel:
                 self.bytes_transferred += int(size_bytes)
             else:
                 self.transfers_failed += 1
+            if tracer is not None:
+                tracer.emit(Transfer(time=self._sim.now,
+                                     src=endpoint_label(src),
+                                     dst=endpoint_label(dst),
+                                     size_bytes=float(size_bytes),
+                                     requested_at=now, ok=ok))
             on_done(TransferResult(ok, self._sim.now, int(size_bytes)))
 
         self._sim.schedule_at(finish, complete)

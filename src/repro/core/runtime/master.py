@@ -38,6 +38,8 @@ from repro.dataflow.dag import (DependencyType, Edge, route_output,
                                 route_sizes, source_indices)
 from repro.engines.base import Program, SimContext, SimExecutor
 from repro.errors import ExecutionError
+from repro.obs.events import (FetchMiss, Relaunch, StageEnd, StageStart,
+                              TaskCommitted, TaskPushed, TaskStart)
 
 
 @dataclass(frozen=True)
@@ -209,7 +211,9 @@ class PadoMaster:
         self.net = ctx.net
         self.master_endpoint = InfiniteEndpoint()
         self.sink_endpoint = InfiniteEndpoint()
+        self.tracer = ctx.tracer
         self.scheduler = TaskScheduler(config.scheduling_policy)
+        self.scheduler.attach_tracer(ctx.tracer, self.sim)
         self.reserved_executors: list[SimExecutor] = []
         self._reserved_cursor = 0
         self.stage_runs = [_StageRun(self, ps) for ps in self.plan.stages]
@@ -265,11 +269,26 @@ class PadoMaster:
     # ==================================================================
     # stage lifecycle
 
+    def _trace_relaunch(self, task, cause: str,
+                        cause_ref: Optional[int] = None) -> None:
+        """Emit a Relaunch for the attempt being abandoned (call *before*
+        ``task.reset()`` so the attempt number still names it)."""
+        if self.tracer is not None:
+            name, index = task.key
+            self.tracer.emit(Relaunch(
+                time=self.sim.now, stage=task.stage_run.pstage.index,
+                task=name, index=index, attempt=task.attempt, cause=cause,
+                cause_ref=cause_ref))
+
     def _start_stage(self, run: _StageRun) -> None:
         if run.status is not run.WAITING:
             return
         run.status = run.RUNNING
         pstage = run.pstage
+        if self.tracer is not None:
+            self.tracer.emit(StageStart(time=self.sim.now,
+                                        stage=pstage.index,
+                                        name=pstage.root_chain.name))
         if pstage.has_reserved_root:
             # §3.2.3: set up reserved receivers first.
             for task in run.root_tasks:
@@ -294,6 +313,10 @@ class PadoMaster:
                         _TransientTask.COMMITTED:
                     return
         run.status = run.DONE
+        if self.tracer is not None:
+            self.tracer.emit(StageEnd(time=self.sim.now,
+                                      stage=pstage.index,
+                                      name=pstage.root_chain.name))
         self._record_sink_outputs(run)
         for child_run in self.stage_runs:
             if any(p is run.pstage.stage for p in
@@ -339,6 +362,11 @@ class PadoMaster:
         task.executor = self._pick_reserved()
         task.status = _ReservedTask.RECEIVING
         self.ctx.tasks_launched += 1
+        if self.tracer is not None:
+            self.tracer.emit(TaskStart(
+                time=self.sim.now, stage=pstage.index, task="__root__",
+                index=task.index, attempt=task.attempt,
+                executor=task.executor.executor_id, resource="reserved"))
         # Expected producer commits with *static* routing. Many-to-one
         # pushes route dynamically by executor affinity (§3.2.7), so their
         # completion is tracked chain-wide in _maybe_reserved_compute.
@@ -438,6 +466,11 @@ class PadoMaster:
             out_bytes = chain.synthetic_output_bytes(external)
         task.executor.disk.write(out_bytes)  # preserved on local disk
         task.status = _ReservedTask.DONE
+        if self.tracer is not None:
+            self.tracer.emit(TaskCommitted(
+                time=self.sim.now, stage=run.pstage.index, task="__root__",
+                index=task.index, attempt=attempt,
+                executor=task.executor.executor_id))
         task.consumed_keys = set(task.arrived)
         self.outputs[(chain.terminal.name, task.index)] = _OutputRecord(
             task.executor, out_bytes, payload)
@@ -482,6 +515,12 @@ class PadoMaster:
         if producer.status in (_TransientTask.PENDING,):
             self._maybe_submit(producer)
         elif producer.status in (_TransientTask.COMMITTED,):
+            lost_on = producer.executor
+            self._trace_relaunch(
+                producer, "local-output-lost",
+                cause_ref=(lost_on.container.container_id
+                           if lost_on is not None and not lost_on.alive
+                           else None))
             producer.reset()
             self._maybe_submit(producer)
         # QUEUED/ASSIGNED/RUNNING/PUSHING: already on its way.
@@ -515,6 +554,11 @@ class PadoMaster:
         task.input_bytes_by_parent = {}
         task.external_inputs = {}
         self.ctx.tasks_launched += 1
+        if self.tracer is not None:
+            self.tracer.emit(TaskStart(
+                time=self.sim.now, stage=task.stage_run.pstage.index,
+                task=task.chain.name, index=task.index, attempt=task.attempt,
+                executor=executor.executor_id, resource="transient"))
         attempt = task.attempt
         fetches: list[Callable[[], None]] = []
         run = task.stage_run
@@ -682,6 +726,7 @@ class PadoMaster:
     def _abort_attempt(self, task: _TransientTask) -> None:
         """Give up on this attempt (input unavailable); try again later."""
         executor = task.executor
+        self._trace_relaunch(task, "fetch-failed")
         task.reset()
         if executor is not None and executor.alive:
             executor.release_slot()
@@ -735,6 +780,12 @@ class PadoMaster:
         executor.release_slot()
         self.scheduler.slot_released()
         task.status = _TransientTask.PUSHING
+        if self.tracer is not None:
+            self.tracer.emit(TaskPushed(
+                time=self.sim.now, stage=task.stage_run.pstage.index,
+                task=task.chain.name, index=task.index, attempt=attempt,
+                executor=executor.executor_id,
+                size_bytes=task.output_bytes))
         self._dispatch_output(task)
         self._maybe_flush_stage(task.stage_run)
 
@@ -945,6 +996,12 @@ class PadoMaster:
         self.commit_count += 1
         run = task.stage_run
         pstage = run.pstage
+        if self.tracer is not None:
+            self.tracer.emit(TaskCommitted(
+                time=self.sim.now, stage=pstage.index,
+                task=task.chain.name, index=task.index,
+                attempt=task.attempt,
+                executor=task.executor.executor_id))
         if pstage.has_reserved_root:
             for ice in pstage.consumers_of(task.chain):
                 if ice.consumer is not pstage.root_chain:
@@ -980,6 +1037,9 @@ class PadoMaster:
         record = self.outputs.get(key)
         if record is None or not record.available or \
                 not record.executor.alive:
+            if self.tracer is not None:
+                self.tracer.emit(FetchMiss(time=self.sim.now, op=op_name,
+                                           index=pidx))
             self._waiters.setdefault(key, []).append(
                 lambda: self._fetch_reserved_output(op_name, pidx,
                                                     dst_executor, on_done,
@@ -1033,6 +1093,9 @@ class PadoMaster:
         self.outputs.pop((op_name, pidx), None)
         self.reserved_repairs += 1
         consumed = set(root.consumed_keys)
+        lost_ref = (record.executor.container.container_id
+                    if record is not None else None)
+        self._trace_relaunch(root, "repair", cause_ref=lost_ref)
         root.reset()
         # Relaunch every transient producer routing into this receiver.
         self._launch_reserved_task(root)
@@ -1052,6 +1115,7 @@ class PadoMaster:
             producer = run.tasks[pkey]
             if producer.status in (_TransientTask.COMMITTED,
                                    _TransientTask.PUSHING):
+                self._trace_relaunch(producer, "repair", cause_ref=lost_ref)
                 producer.reset()
             if producer.status == _TransientTask.PENDING:
                 self._maybe_submit(producer)
@@ -1086,6 +1150,9 @@ class PadoMaster:
                 if task.executor is executor and task.status in (
                         _TransientTask.ASSIGNED, _TransientTask.RUNNING,
                         _TransientTask.PUSHING):
+                    self._trace_relaunch(
+                        task, "eviction",
+                        cause_ref=container.container_id)
                     task.reset()
                     self._maybe_submit(task)
 
@@ -1109,6 +1176,9 @@ class PadoMaster:
             for root in run.root_tasks:
                 if root.executor is executor and \
                         root.status != _ReservedTask.DONE:
+                    self._trace_relaunch(
+                        root, "reserved-fault",
+                        cause_ref=container.container_id)
                     root.reset()
                     self._launch_reserved_task(root)
                     to_relaunch = set(root.expected)
@@ -1130,6 +1200,9 @@ class PadoMaster:
                         producer = run.tasks[pkey]
                         if producer.status in (_TransientTask.COMMITTED,
                                                _TransientTask.PUSHING):
+                            self._trace_relaunch(
+                                producer, "reserved-fault",
+                                cause_ref=container.container_id)
                             producer.reset()
                         if producer.status == _TransientTask.PENDING:
                             self._maybe_submit(producer)
@@ -1185,10 +1258,12 @@ class PadoMaster:
                 executor = task.executor
                 held_slot = task.status in (_TransientTask.ASSIGNED,
                                             _TransientTask.RUNNING)
+                self._trace_relaunch(task, "master-restart")
                 task.reset()
                 if held_slot and executor is not None and executor.alive:
                     executor.release_slot()
         for root in run.root_tasks:
+            self._trace_relaunch(root, "master-restart")
             root.reset()
         if all(self._run_of(p).status == _StageRun.DONE
                for p in run.pstage.stage.parents):

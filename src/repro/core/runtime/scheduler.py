@@ -12,9 +12,12 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.errors import SchedulingError
+from repro.obs.events import TaskQueued
 
 if TYPE_CHECKING:  # avoid a circular import; used in annotations only
+    from repro.cluster.events import Simulator
     from repro.engines.base import SimExecutor
+    from repro.obs.tracer import Tracer
 
 
 class SchedulableTask(Protocol):
@@ -110,6 +113,15 @@ class TaskScheduler:
         self._policy = policy or CacheAwarePolicy()
         self._executors: dict[int, SimExecutor] = {}
         self._queue: deque = deque()
+        self._tracer: "Optional[Tracer]" = None
+        self._sim: "Optional[Simulator]" = None
+
+    def attach_tracer(self, tracer: "Optional[Tracer]",
+                      sim: "Simulator") -> None:
+        """Emit :class:`~repro.obs.events.TaskQueued` events (queue-depth
+        visibility) on ``tracer``, timestamped with ``sim`` time."""
+        self._tracer = tracer
+        self._sim = sim
 
     # ------------------------------------------------------------------
     # executor pool
@@ -138,6 +150,12 @@ class TaskScheduler:
     def submit(self, task: SchedulableTask) -> None:
         """Enqueue a task; it is assigned as soon as a slot frees up."""
         self._queue.append(task)
+        if self._tracer is not None:
+            name, index = getattr(task, "key", ("?", -1))
+            self._tracer.emit(TaskQueued(
+                time=self._sim.now, task=name, index=index,
+                attempt=getattr(task, "attempt", 0),
+                queue_depth=len(self._queue)))
         self.dispatch()
 
     def slot_released(self) -> None:

@@ -24,6 +24,7 @@ from repro.cluster.resources import (Container, NodeSpec, RESERVED_NODE,
 from repro.cluster.storage import InputStore
 from repro.dataflow.dag import LogicalDAG, SourceKind
 from repro.errors import ExecutionError
+from repro.obs.tracer import Tracer, active_collector
 from repro.trace.models import EvictionRate, LifetimeModel
 
 
@@ -166,16 +167,19 @@ class SimContext:
     """Everything a single job execution shares: simulator, cluster, stores,
     and byte counters."""
 
-    def __init__(self, cluster: ClusterConfig, seed: int) -> None:
+    def __init__(self, cluster: ClusterConfig, seed: int,
+                 tracer: Optional[Tracer] = None) -> None:
         self.cluster = cluster
         self.sim = Simulator()
         self.rng = np.random.default_rng(seed)
-        self.net = NetworkModel(self.sim)
+        self.tracer = tracer
+        self.net = NetworkModel(self.sim, tracer=tracer)
         self.input_store = InputStore(self.sim, self.net)
         self.rm = ResourceManager(self.sim, cluster.lifetime_model(),
                                   self.rng,
                                   reserved_spec=cluster.reserved_spec,
-                                  transient_spec=cluster.transient_spec)
+                                  transient_spec=cluster.transient_spec,
+                                  tracer=tracer)
         self.tasks_launched = 0
         self.bytes_pushed = 0
         self.bytes_shuffled = 0
@@ -217,14 +221,25 @@ class EngineBase:
 
     def run(self, program: Program, cluster: ClusterConfig,
             seed: int = 0, time_limit: Optional[float] = None,
-            max_events: int = 20_000_000) -> JobResult:
+            max_events: int = 20_000_000,
+            tracer: Optional[Tracer] = None) -> JobResult:
         """Execute ``program`` on a fresh simulated cluster.
 
         ``time_limit`` caps simulated time (the paper cuts Spark's ALS runs
         at 90 minutes); a job still running at the limit is reported with
         ``completed=False`` and ``jct_seconds=time_limit``.
+
+        ``tracer`` records structured events (see :mod:`repro.obs`); when
+        omitted and a trace collector is installed, a fresh labelled tracer
+        is drawn from it, otherwise the run is untraced and the hot path
+        pays only null checks.
         """
-        ctx = SimContext(cluster, seed)
+        if tracer is None:
+            collector = active_collector()
+            if collector is not None:
+                tracer = collector.new_tracer(
+                    f"{self.name}-{program.name}-seed{seed}")
+        ctx = SimContext(cluster, seed, tracer=tracer)
         ctx.register_inputs(program)
         state = self._start(ctx, program)
         # The eviction/replacement schedule keeps the event heap non-empty

@@ -26,6 +26,8 @@ from repro.dataflow.dag import (DependencyType, Edge, route_output,
                                 route_sizes, source_indices)
 from repro.engines.base import (ClusterConfig, EngineBase, JobResult,
                                 Program, SimContext, SimExecutor)
+from repro.obs.events import (FetchMiss, Relaunch, StageEnd, StageStart,
+                              TaskCommitted, TaskStart)
 
 
 def transfer_share(edge: Edge, output_size: float) -> float:
@@ -99,6 +101,7 @@ class _ChainRun:
         self.on_driver = on_driver
         self.is_sink = is_sink
         self.started = False
+        self.trace_open = False   # StageStart emitted, StageEnd pending
         self.tasks = [_SparkTask(chain, i) for i in range(chain.parallelism)]
 
 
@@ -123,7 +126,11 @@ class SparkMaster:
             on_driver = chain.parallelism == 1
             is_sink = chain.terminal.name in sink_names
             self.runs[chain.name] = _ChainRun(chain, on_driver, is_sink)
+        self.tracer = ctx.tracer
+        self._stage_index = {chain.name: i
+                             for i, chain in enumerate(self.chains)}
         self.scheduler = TaskScheduler(RoundRobinPolicy())
+        self.scheduler.attach_tracer(ctx.tracer, self.sim)
         self.driver = self._make_driver()
         self.outputs: dict[tuple, _Output] = {}
         self._waiters: dict[tuple, list[Callable[[], None]]] = {}
@@ -174,6 +181,12 @@ class SparkMaster:
                        for t in parent_run.tasks):
                 return
         run.started = True
+        if self.tracer is not None:
+            run.trace_open = True
+            self.tracer.emit(StageStart(
+                time=self.sim.now,
+                stage=self._stage_index[run.chain.name],
+                name=run.chain.name))
         for task in run.tasks:
             task.master = self
             self._submit(task)
@@ -201,6 +214,15 @@ class SparkMaster:
         task.status = _SparkTask.ASSIGNED
         task.executor = executor
         self.ctx.tasks_launched += 1
+        if self.tracer is not None:
+            resource = "driver" if executor is self.driver else \
+                ("reserved" if executor.is_reserved else "transient")
+            self.tracer.emit(TaskStart(
+                time=self.sim.now,
+                stage=self._stage_index[task.chain.name],
+                task=task.chain.name, index=task.index,
+                attempt=task.attempt, executor=executor.executor_id,
+                resource=resource))
         attempt = task.attempt
         fetches: list[Callable[[], None]] = []
         chain = task.chain
@@ -250,6 +272,9 @@ class SparkMaster:
             # critical chain). Depending on engine semantics either the
             # whole task attempt fails (real Spark's FetchFailed handling)
             # or only this fetch is re-issued once the output is back.
+            if self.tracer is not None:
+                self.tracer.emit(FetchMiss(time=self.sim.now,
+                                           op=edge.src.name, index=pidx))
             if self.engine.abort_on_fetch_failure:
                 task.failed_parents.add(pkey)
                 self._recompute(pkey)
@@ -295,6 +320,10 @@ class SparkMaster:
                     if not self._output_reachable(output):
                         # Source died mid-transfer.
                         output.available = output.checkpointed
+                        if self.tracer is not None:
+                            self.tracer.emit(FetchMiss(
+                                time=self.sim.now,
+                                op=edge.src.name, index=pidx))
                         if self.engine.abort_on_fetch_failure:
                             task.failed_parents.add(pkey)
                             self._recompute(pkey)
@@ -354,9 +383,19 @@ class SparkMaster:
         if task.outstanding == 0:
             self._abort_attempt(task)
 
+    def _trace_relaunch(self, task: _SparkTask, cause: str,
+                        cause_ref: Optional[int] = None) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(Relaunch(
+                time=self.sim.now,
+                stage=self._stage_index[task.chain.name],
+                task=task.chain.name, index=task.index,
+                attempt=task.attempt, cause=cause, cause_ref=cause_ref))
+
     def _abort_attempt(self, task: _SparkTask) -> None:
         executor = task.executor
         failed = set(task.failed_parents)
+        self._trace_relaunch(task, "fetch-failed")
         task.reset()
         if executor is not None and executor is not self.driver \
                 and executor.alive:
@@ -463,6 +502,13 @@ class SparkMaster:
                      executor: Optional[SimExecutor], out_bytes: float,
                      records: Optional[list]) -> None:
         task.status = _SparkTask.DONE
+        if self.tracer is not None:
+            self.tracer.emit(TaskCommitted(
+                time=self.sim.now,
+                stage=self._stage_index[task.chain.name],
+                task=task.chain.name, index=task.index, attempt=attempt,
+                executor=(executor.executor_id if executor is not None
+                          else self.driver.executor_id)))
         location = None if executor is self.driver else executor
         output = _Output(location, out_bytes, records)
         self.outputs[task.key] = output
@@ -473,6 +519,12 @@ class SparkMaster:
         self._notify_waiters(task.key)
         run = self.runs[task.chain.name]
         if all(t.status == _SparkTask.DONE for t in run.tasks):
+            if self.tracer is not None and run.trace_open:
+                run.trace_open = False
+                self.tracer.emit(StageEnd(
+                    time=self.sim.now,
+                    stage=self._stage_index[run.chain.name],
+                    name=run.chain.name))
             for child in self.runs.values():
                 self._maybe_start_chain(child)
             self._maybe_job_done()
@@ -516,6 +568,14 @@ class SparkMaster:
             if output is not None and self._output_reachable(output):
                 self._notify_waiters(pkey)
                 return
+            self._trace_relaunch(task, "lineage-recompute")
+            if self.tracer is not None and not run.trace_open:
+                # A completed stage reopens to re-run the lost producer.
+                run.trace_open = True
+                self.tracer.emit(StageStart(
+                    time=self.sim.now,
+                    stage=self._stage_index[run.chain.name],
+                    name=run.chain.name))
             task.reset()
             self._submit(task)
         elif task.status == _SparkTask.PENDING:
@@ -546,6 +606,8 @@ class SparkMaster:
                 if task.executor is executor and task.status in (
                         _SparkTask.ASSIGNED, _SparkTask.RUNNING,
                         _SparkTask.WRITING):
+                    self._trace_relaunch(task, "eviction",
+                                         cause_ref=container.container_id)
                     task.reset()
                     self._submit(task)
         # Spark's ExecutorLost handling: map outputs lost while their stage

@@ -1,0 +1,47 @@
+"""Structured simulation observability (see docs/OBSERVABILITY.md).
+
+A zero-dependency event tracer for the engines: typed events
+(:mod:`repro.obs.events`), a nullable :class:`Tracer` that costs nothing
+when absent (:mod:`repro.obs.tracer`), JSONL and Chrome ``trace_event``
+export (:mod:`repro.obs.export`), eviction-lineage attribution
+(:mod:`repro.obs.lineage`), and time-breakdown summaries
+(:mod:`repro.obs.report`).
+
+Quick use::
+
+    from repro import ClusterConfig, EvictionRate, PadoEngine
+    from repro.obs import Tracer, analyze_eviction_lineage
+
+    tracer = Tracer()
+    result = engine.run(program, ClusterConfig(eviction=EvictionRate.HIGH),
+                        tracer=tracer)
+    lineage = analyze_eviction_lineage(tracer.events)
+    lineage.verify_against(result)   # trace reconciles with JobResult
+"""
+
+from repro.obs.events import (EVENT_TYPES, Eviction, FetchMiss, Relaunch,
+                              StageEnd, StageStart, TaskCommitted,
+                              TaskPushed, TaskQueued, TaskStart, TraceEvent,
+                              Transfer, event_from_dict, event_to_dict)
+from repro.obs.export import (events_from_jsonl, to_chrome_trace, to_jsonl,
+                              write_chrome_trace, write_jsonl)
+from repro.obs.lineage import (AttemptRecord, EvictionImpact, LineageReport,
+                               analyze_eviction_lineage)
+from repro.obs.report import (DURATION_BUCKETS, ClassBreakdown, ObsReport,
+                              build_report, efficiency_with_breakdown)
+from repro.obs.tracer import (TraceCollector, Tracer, active_collector,
+                              collecting, install_collector,
+                              uninstall_collector)
+
+__all__ = [
+    "DURATION_BUCKETS", "EVENT_TYPES", "AttemptRecord", "ClassBreakdown",
+    "Eviction",
+    "EvictionImpact", "FetchMiss", "LineageReport", "ObsReport", "Relaunch",
+    "StageEnd", "StageStart", "TaskCommitted", "TaskPushed", "TaskQueued",
+    "TaskStart", "TraceCollector", "TraceEvent", "Tracer", "Transfer",
+    "active_collector", "analyze_eviction_lineage", "build_report",
+    "collecting", "efficiency_with_breakdown", "event_from_dict",
+    "event_to_dict", "events_from_jsonl", "install_collector",
+    "to_chrome_trace", "to_jsonl", "uninstall_collector",
+    "write_chrome_trace", "write_jsonl",
+]

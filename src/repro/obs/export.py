@@ -1,0 +1,167 @@
+"""Trace serialization: JSONL for analysis, Chrome ``trace_event`` for eyes.
+
+JSONL is the archival format: one :func:`~repro.obs.events.event_to_dict`
+object per line, lossless (``events_from_jsonl`` rebuilds the typed
+events). The Chrome format is a *view*: task attempts become complete
+(``"X"``) duration events grouped by stage (pid) and executor (tid),
+evictions/relaunches/fetch-misses become instant (``"i"``) markers, and
+network transfers get their own synthetic process lane. Load the file in
+``chrome://tracing`` or https://ui.perfetto.dev to scrub through a run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.obs.events import (Eviction, FetchMiss, Relaunch, StageEnd,
+                              StageStart, TaskCommitted, TaskPushed,
+                              TaskStart, TraceEvent, Transfer, event_from_dict,
+                              event_to_dict)
+
+__all__ = ["to_jsonl", "write_jsonl", "events_from_jsonl",
+           "to_chrome_trace", "write_chrome_trace"]
+
+#: pid of the synthetic "network" process lane in Chrome traces.
+NETWORK_PID = 9999
+
+_US = 1_000_000  # trace_event timestamps are microseconds
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One compact JSON object per line, in emission order."""
+    return "\n".join(json.dumps(event_to_dict(e), sort_keys=True)
+                     for e in events)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path) -> pathlib.Path:
+    """Write :func:`to_jsonl` output to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    text = to_jsonl(events)
+    path.write_text(text + "\n" if text else "")
+    return path
+
+
+def events_from_jsonl(text: str) -> list[TraceEvent]:
+    """Rebuild typed events from JSONL text (inverse of :func:`to_jsonl`)."""
+    return [event_from_dict(json.loads(line))
+            for line in text.splitlines() if line.strip()]
+
+
+def to_chrome_trace(events: list[TraceEvent]) -> dict:
+    """Convert a trace to the Chrome ``trace_event`` JSON object format."""
+    out: list[dict] = []
+    horizon = max((e.time for e in events), default=0.0)
+    stages_seen: set[int] = set()
+
+    # Pair each TaskStart with the end of its attempt: committed, pushed
+    # (slot released — the compute portion), relaunched, or still open at
+    # the trace horizon.
+    open_attempts: dict[tuple, TaskStart] = {}
+
+    def close(key: tuple, end_time: float, outcome: str) -> None:
+        start = open_attempts.pop(key, None)
+        if start is None:
+            return
+        out.append({
+            "name": f"{start.task}[{start.index}]#a{start.attempt}",
+            "cat": f"task,{outcome}",
+            "ph": "X",
+            "ts": start.time * _US,
+            "dur": max(0.0, end_time - start.time) * _US,
+            "pid": start.stage,
+            "tid": start.executor,
+            "args": {"resource": start.resource, "attempt": start.attempt,
+                     "outcome": outcome},
+        })
+
+    for event in events:
+        if isinstance(event, TaskStart):
+            stages_seen.add(event.stage)
+            key = (event.stage, event.task, event.index, event.attempt)
+            # A lost start (no terminal event) closes at the horizon below.
+            open_attempts[key] = event
+        elif isinstance(event, TaskCommitted):
+            close((event.stage, event.task, event.index, event.attempt),
+                  event.time, "committed")
+        elif isinstance(event, Relaunch):
+            close((event.stage, event.task, event.index, event.attempt),
+                  event.time, "relaunched")
+            out.append({
+                "name": f"relaunch {event.task}[{event.index}]"
+                        f" ({event.cause})",
+                "cat": "relaunch", "ph": "i", "s": "g",
+                "ts": event.time * _US, "pid": event.stage, "tid": 0,
+                "args": {"cause": event.cause,
+                         "cause_ref": event.cause_ref},
+            })
+        elif isinstance(event, TaskPushed):
+            out.append({
+                "name": f"push {event.task}[{event.index}]",
+                "cat": "push", "ph": "i", "s": "t",
+                "ts": event.time * _US,
+                "pid": event.stage, "tid": event.executor,
+                "args": {"size_bytes": event.size_bytes},
+            })
+        elif isinstance(event, (StageStart, StageEnd)):
+            stages_seen.add(event.stage)
+            out.append({
+                "name": f"stage {event.stage} ({event.name})",
+                "cat": "stage",
+                "ph": "B" if isinstance(event, StageStart) else "E",
+                "ts": event.time * _US, "pid": event.stage, "tid": 0,
+            })
+        elif isinstance(event, Eviction):
+            out.append({
+                "name": f"{event.cause} {event.resource}:{event.container}",
+                "cat": "eviction", "ph": "i", "s": "g",
+                "ts": event.time * _US, "pid": NETWORK_PID, "tid": 0,
+                "args": {"container": event.container,
+                         "resource": event.resource,
+                         "lifetime": event.lifetime},
+            })
+        elif isinstance(event, FetchMiss):
+            out.append({
+                "name": f"fetch miss {event.op}[{event.index}]",
+                "cat": "fetch-miss", "ph": "i", "s": "g",
+                "ts": event.time * _US, "pid": NETWORK_PID, "tid": 0,
+            })
+        elif isinstance(event, Transfer):
+            out.append({
+                "name": f"{event.src} -> {event.dst}",
+                "cat": "transfer" if event.ok else "transfer,failed",
+                "ph": "X",
+                "ts": event.requested_at * _US,
+                "dur": max(0.0, event.time - event.requested_at) * _US,
+                "pid": NETWORK_PID,
+                "tid": _lane(event.src),
+                "args": {"size_bytes": event.size_bytes, "ok": event.ok},
+            })
+
+    for key in list(open_attempts):
+        close(key, horizon, "open")
+
+    meta = [{"ph": "M", "name": "process_name", "pid": NETWORK_PID,
+             "args": {"name": "network + cluster events"}}]
+    for stage in sorted(stages_seen):
+        meta.append({"ph": "M", "name": "process_name", "pid": stage,
+                     "args": {"name": f"stage {stage}"}})
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def _lane(label: str) -> int:
+    """Stable small tid for a transfer source label."""
+    if ":" in label:
+        try:
+            return int(label.rsplit(":", 1)[1]) + 1
+        except ValueError:
+            pass
+    return 0
+
+
+def write_chrome_trace(events: list[TraceEvent], path) -> pathlib.Path:
+    """Write :func:`to_chrome_trace` output to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_chrome_trace(events)))
+    return path

@@ -1,0 +1,175 @@
+"""Eviction-lineage analysis: which eviction cost how much recomputation.
+
+The paper's Figure 2 argues that conventional engines waste enormous work
+recomputing after evictions while Pado relaunches only the uncommitted
+tasks of the running stage (§3.2.5). This module turns a recorded event
+stream into that argument *as measured data*: every abandoned task attempt
+is paired with the :class:`~repro.obs.events.Relaunch` that killed it, and
+every relaunch is attributed — through its ``cause_ref`` — to the eviction
+or fault responsible.
+
+The accounting reconciles exactly with the engine's own
+:class:`~repro.engines.base.JobResult` counters:
+
+* the number of ``TaskStart`` events equals ``launched_tasks``;
+* for a completed run, ``starts - unique_tasks`` (each task's extra starts)
+  equals ``relaunched_tasks = launched_tasks - original_tasks``.
+
+:meth:`LineageReport.verify_against` asserts both, making traces
+trustworthy inputs for cost analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.events import (Eviction, Relaunch, TaskCommitted, TaskStart,
+                              TraceEvent)
+
+__all__ = ["AttemptRecord", "EvictionImpact", "LineageReport",
+           "analyze_eviction_lineage"]
+
+
+@dataclass
+class AttemptRecord:
+    """One task attempt reconstructed from the event stream.
+
+    ``busy_seconds`` is the time the attempt actively occupied resources:
+    start to commit for committed attempts, start to abandonment for
+    relaunched ones. For an attempt that committed and was *later* reset
+    (a reserved-side repair re-running preserved work), the busy time stays
+    start-to-commit — that is the work that must be redone.
+    """
+
+    stage: int
+    task: str
+    index: int
+    attempt: int
+    resource: str
+    start: float
+    end: Optional[float] = None
+    outcome: str = "open"          # open | committed | relaunched
+    cause: Optional[str] = None
+    cause_ref: Optional[int] = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.stage, self.task, self.index)
+
+    @property
+    def busy_seconds(self) -> float:
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+
+@dataclass
+class EvictionImpact:
+    """Everything one eviction (or fault) cost the job."""
+
+    container: int
+    time: Optional[float] = None
+    relaunched_tasks: int = 0
+    recompute_seconds: float = 0.0
+    tasks: list[tuple] = field(default_factory=list)
+
+
+@dataclass
+class LineageReport:
+    """Aggregated lineage over one run's trace."""
+
+    attempts: list[AttemptRecord]
+    starts: int
+    unique_tasks: int
+    by_eviction: dict[int, EvictionImpact]
+    by_cause: dict[str, EvictionImpact]
+
+    @property
+    def relaunched_tasks(self) -> int:
+        """Task launches beyond the first per task — matches
+        ``JobResult.relaunched_tasks`` on completed runs."""
+        return self.starts - self.unique_tasks
+
+    @property
+    def recompute_seconds(self) -> float:
+        """Total task-seconds of work that had to be redone."""
+        return sum(a.busy_seconds for a in self.attempts
+                   if a.outcome == "relaunched")
+
+    def verify_against(self, result) -> None:
+        """Check the trace against a ``JobResult``; raises ``ValueError``
+        on any mismatch (duck-typed to avoid importing the engines)."""
+        if self.starts != result.launched_tasks:
+            raise ValueError(
+                f"trace has {self.starts} TaskStart events but the engine "
+                f"counted {result.launched_tasks} launched tasks")
+        if result.completed and \
+                self.relaunched_tasks != result.relaunched_tasks:
+            raise ValueError(
+                f"lineage attributes {self.relaunched_tasks} relaunches but "
+                f"the engine counted {result.relaunched_tasks}")
+
+
+def analyze_eviction_lineage(events: list[TraceEvent]) -> LineageReport:
+    """Reconstruct attempts and attribute each relaunch to its cause."""
+    attempts: list[AttemptRecord] = []
+    open_by_key: dict[tuple, AttemptRecord] = {}
+    unique: set = set()
+    starts = 0
+    eviction_times: dict[int, float] = {}
+
+    for event in events:
+        if isinstance(event, TaskStart):
+            starts += 1
+            record = AttemptRecord(
+                stage=event.stage, task=event.task, index=event.index,
+                attempt=event.attempt, resource=event.resource,
+                start=event.time)
+            unique.add(record.key)
+            attempts.append(record)
+            open_by_key[(record.key, event.attempt)] = record
+        elif isinstance(event, TaskCommitted):
+            key = ((event.stage, event.task, event.index), event.attempt)
+            record = open_by_key.get(key)
+            if record is not None and record.outcome == "open":
+                record.end = event.time
+                record.outcome = "committed"
+        elif isinstance(event, Relaunch):
+            key = ((event.stage, event.task, event.index), event.attempt)
+            record = open_by_key.pop(key, None)
+            if record is None:
+                continue  # reset before ever starting: costs nothing
+            if record.outcome == "open":
+                record.end = event.time
+            # committed-then-reset keeps its commit end: that much work
+            # is being thrown away and redone.
+            record.outcome = "relaunched"
+            record.cause = event.cause
+            record.cause_ref = event.cause_ref
+        elif isinstance(event, Eviction):
+            eviction_times[event.container] = event.time
+
+    by_eviction: dict[int, EvictionImpact] = {}
+    by_cause: dict[str, EvictionImpact] = {}
+    for record in attempts:
+        if record.outcome != "relaunched":
+            continue
+        ident = (record.stage, record.task, record.index, record.attempt)
+        if record.cause_ref is not None:
+            impact = by_eviction.setdefault(
+                record.cause_ref,
+                EvictionImpact(container=record.cause_ref,
+                               time=eviction_times.get(record.cause_ref)))
+            impact.relaunched_tasks += 1
+            impact.recompute_seconds += record.busy_seconds
+            impact.tasks.append(ident)
+        cause = record.cause or "unknown"
+        tally = by_cause.setdefault(cause, EvictionImpact(container=-1))
+        tally.relaunched_tasks += 1
+        tally.recompute_seconds += record.busy_seconds
+        tally.tasks.append(ident)
+
+    return LineageReport(attempts=attempts, starts=starts,
+                         unique_tasks=len(unique),
+                         by_eviction=by_eviction, by_cause=by_cause)

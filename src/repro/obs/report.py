@@ -1,0 +1,132 @@
+"""Run summaries over a trace: where the time went, per container class.
+
+Extends the :mod:`repro.metrics.utilization` accounting (which only sees a
+:class:`~repro.engines.base.JobResult`) with measured time breakdowns from
+the event stream: task-compute, recompute (work redone after evictions),
+transfer, and idle seconds for the reserved and transient sides — the
+quantities behind the paper's Figure 8c reserved-side-bottleneck argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.events import TraceEvent, Transfer
+from repro.obs.lineage import LineageReport, analyze_eviction_lineage
+
+__all__ = ["ClassBreakdown", "ObsReport", "build_report",
+           "efficiency_with_breakdown", "DURATION_BUCKETS"]
+
+#: Upper bounds (seconds) of the task-duration histogram buckets.
+DURATION_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0, math.inf)
+
+
+@dataclass
+class ClassBreakdown:
+    """Second-level accounting for one resource class."""
+
+    resource: str
+    compute_seconds: float = 0.0      # committed attempts
+    recompute_seconds: float = 0.0    # relaunched (wasted) attempts
+    transfer_seconds: float = 0.0     # NIC busy time on either end
+    idle_seconds: Optional[float] = None  # capacity - busy, if known
+
+    def as_row(self) -> tuple:
+        idle = "-" if self.idle_seconds is None \
+            else f"{self.idle_seconds:.1f}"
+        return (self.resource, f"{self.compute_seconds:.1f}",
+                f"{self.recompute_seconds:.1f}",
+                f"{self.transfer_seconds:.1f}", idle)
+
+
+@dataclass
+class ObsReport:
+    """Trace-derived summary of one run."""
+
+    breakdowns: dict[str, ClassBreakdown]
+    duration_histogram: list[tuple[float, int]]
+    lineage: LineageReport
+    evictions_with_cost: int = 0
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = ["time breakdown (task-seconds)",
+                 f"{'class':<10} {'compute':>10} {'recompute':>10} "
+                 f"{'transfer':>10} {'idle':>10}"]
+        for name in sorted(self.breakdowns):
+            b = self.breakdowns[name]
+            row = b.as_row()
+            lines.append(f"{row[0]:<10} {row[1]:>10} {row[2]:>10} "
+                         f"{row[3]:>10} {row[4]:>10}")
+        lines.append("")
+        lines.append("committed task duration histogram (s)")
+        for bound, count in self.duration_histogram:
+            label = f"<= {bound:g}" if math.isfinite(bound) else "> rest"
+            lines.append(f"  {label:<10} {count}")
+        lines.append("")
+        lines.append(
+            f"relaunches: {self.lineage.relaunched_tasks} "
+            f"({self.lineage.recompute_seconds:.1f} task-seconds redone, "
+            f"{self.evictions_with_cost} evictions with attributed cost)")
+        return "\n".join(lines)
+
+
+def build_report(events: list[TraceEvent], result=None,
+                 cluster=None) -> ObsReport:
+    """Summarize a trace; ``result``/``cluster`` (a ``JobResult`` and
+    ``ClusterConfig``, duck-typed) unlock the idle-time columns."""
+    lineage = analyze_eviction_lineage(events)
+    breakdowns: dict[str, ClassBreakdown] = {}
+
+    def of(resource: str) -> ClassBreakdown:
+        return breakdowns.setdefault(resource, ClassBreakdown(resource))
+
+    histogram = [0] * len(DURATION_BUCKETS)
+    for attempt in lineage.attempts:
+        if attempt.outcome == "committed":
+            of(attempt.resource).compute_seconds += attempt.busy_seconds
+            for i, bound in enumerate(DURATION_BUCKETS):
+                if attempt.busy_seconds <= bound:
+                    histogram[i] += 1
+                    break
+        elif attempt.outcome == "relaunched":
+            of(attempt.resource).recompute_seconds += attempt.busy_seconds
+
+    for event in events:
+        if not isinstance(event, Transfer) or not event.ok:
+            continue
+        duration = max(0.0, event.time - event.requested_at)
+        for label in (event.src, event.dst):
+            resource = label.split(":", 1)[0]
+            if resource in ("reserved", "transient"):
+                of(resource).transfer_seconds += duration
+
+    if result is not None and cluster is not None:
+        capacity = {
+            "reserved": (cluster.num_reserved * cluster.reserved_spec.cores
+                         * result.jct_seconds),
+            "transient": (cluster.effective_num_transient
+                          * cluster.transient_spec.cores
+                          * result.jct_seconds),
+        }
+        for resource, total in capacity.items():
+            b = of(resource)
+            busy = b.compute_seconds + b.recompute_seconds
+            b.idle_seconds = max(0.0, total - busy)
+
+    return ObsReport(
+        breakdowns=breakdowns,
+        duration_histogram=list(zip(DURATION_BUCKETS, histogram)),
+        lineage=lineage,
+        evictions_with_cost=len(lineage.by_eviction))
+
+
+def efficiency_with_breakdown(result, cluster, events: list[TraceEvent]):
+    """The :class:`~repro.metrics.utilization.EfficiencyReport` a
+    ``JobResult`` yields, paired with the measured :class:`ObsReport` —
+    model-level and trace-level accounting side by side."""
+    from repro.metrics.utilization import EfficiencyReport
+    report = build_report(events, result=result, cluster=cluster)
+    return EfficiencyReport.from_result(result, cluster), report

@@ -1,0 +1,135 @@
+"""The structured event tracer and the per-process trace collector.
+
+Tracing is strictly opt-in: every instrumented call site holds a *nullable*
+tracer and guards emission with ``if tracer is not None``, so a run without
+tracing pays one attribute load and branch per instrumented point — nothing
+is allocated, formatted, or buffered.
+
+Two ways to obtain traces:
+
+* pass ``tracer=Tracer()`` to :meth:`repro.engines.base.EngineBase.run` and
+  inspect ``tracer.events`` afterwards;
+* install a :class:`TraceCollector` (see :func:`install_collector` or the
+  :func:`collecting` context manager) and every subsequent engine run in the
+  process records into its own labelled :class:`Tracer` — this is what the
+  ``python -m repro --trace`` flag and the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pathlib
+from typing import Iterator, Optional, Type, TypeVar
+
+from repro.obs.events import TraceEvent
+
+__all__ = ["Tracer", "TraceCollector", "install_collector",
+           "uninstall_collector", "active_collector", "collecting"]
+
+E = TypeVar("E", bound=TraceEvent)
+
+
+class Tracer:
+    """An append-only buffer of :class:`~repro.obs.events.TraceEvent`.
+
+    The simulator is single-threaded and events are emitted as they happen,
+    so ``events`` is causally ordered: timestamps are non-decreasing.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event. Hot-path cost when tracing: one append."""
+        self.events.append(event)
+
+    def of_kind(self, event_type: Type[E]) -> list[E]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class TraceCollector:
+    """Hands out labelled tracers, one per engine run, and dumps them.
+
+    ``dump`` writes two files per run into a directory: ``<label>.jsonl``
+    (one event per line, see :mod:`repro.obs.export`) and
+    ``<label>.trace.json`` (Chrome ``trace_event`` format, loadable by
+    ``chrome://tracing`` and Perfetto).
+    """
+
+    def __init__(self) -> None:
+        self.runs: list[tuple[str, Tracer]] = []
+
+    def new_tracer(self, label: str) -> Tracer:
+        """Create and register a tracer; duplicate labels get a suffix."""
+        taken = {name for name, _ in self.runs}
+        unique = label
+        serial = 2
+        while unique in taken:
+            unique = f"{label}-{serial}"
+            serial += 1
+        tracer = Tracer()
+        self.runs.append((unique, tracer))
+        return tracer
+
+    def dump(self, directory) -> list[pathlib.Path]:
+        """Write every run's JSONL and Chrome trace; returns the paths."""
+        from repro.obs.export import write_chrome_trace, write_jsonl
+        out = pathlib.Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for label, tracer in self.runs:
+            safe = "".join(c if c.isalnum() or c in "-._" else "_"
+                           for c in label)
+            jsonl = out / f"{safe}.jsonl"
+            chrome = out / f"{safe}.trace.json"
+            write_jsonl(tracer.events, jsonl)
+            write_chrome_trace(tracer.events, chrome)
+            paths.extend([jsonl, chrome])
+        return paths
+
+
+_active: Optional[TraceCollector] = None
+
+
+def install_collector(collector: TraceCollector) -> None:
+    """Make ``collector`` receive a tracer for every subsequent engine run."""
+    global _active
+    _active = collector
+
+
+def uninstall_collector() -> None:
+    """Stop collecting; runs go back to paying nothing."""
+    global _active
+    _active = None
+
+
+def active_collector() -> Optional[TraceCollector]:
+    """The installed collector, or None (the default)."""
+    return _active
+
+
+@contextlib.contextmanager
+def collecting() -> Iterator[TraceCollector]:
+    """Scope-bound collection::
+
+        with collecting() as collector:
+            PadoEngine().run(program, cluster)
+        collector.dump("traces/")
+    """
+    collector = TraceCollector()
+    previous = _active
+    install_collector(collector)
+    try:
+        yield collector
+    finally:
+        install_collector(previous) if previous is not None \
+            else uninstall_collector()

@@ -1,0 +1,37 @@
+"""Shared fixtures: traced engine runs under eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (ClusterConfig, PadoEngine, SparkCheckpointEngine,
+                   SparkEngine)
+from repro.obs import Tracer
+from repro.trace.models import ExponentialLifetimeModel
+from repro.workloads import mlr_synthetic_program
+
+ENGINES = {
+    "pado": PadoEngine,
+    "spark": SparkEngine,
+    "spark-checkpoint": SparkCheckpointEngine,
+}
+
+
+def stormy_cluster():
+    """Small cluster with lifetimes short enough to force relaunches."""
+    return ClusterConfig(num_reserved=2, num_transient=6,
+                         eviction=ExponentialLifetimeModel(180.0))
+
+
+def small_program():
+    return mlr_synthetic_program(iterations=2, num_map_tasks=12)
+
+
+@pytest.fixture(scope="module", params=sorted(ENGINES))
+def traced_run(request):
+    """(engine name, tracer, result) for one stormy run per engine."""
+    tracer = Tracer()
+    result = ENGINES[request.param]().run(
+        small_program(), stormy_cluster(), seed=7, tracer=tracer,
+        time_limit=48 * 3600)
+    return request.param, tracer, result

@@ -1,0 +1,53 @@
+"""Event schema: serialization round-trips and registry completeness."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (EVENT_TYPES, Eviction, FetchMiss, Relaunch,
+                              StageEnd, StageStart, TaskCommitted,
+                              TaskPushed, TaskQueued, TaskStart, TraceEvent,
+                              Transfer, event_from_dict, event_to_dict)
+
+SAMPLES = [
+    StageStart(time=0.0, stage=0, name="map"),
+    StageEnd(time=9.5, stage=0, name="map"),
+    TaskQueued(time=0.1, task="map", index=3, attempt=0, queue_depth=4),
+    TaskStart(time=0.2, stage=0, task="map", index=3, attempt=0,
+              executor=12, resource="transient"),
+    TaskPushed(time=4.0, stage=0, task="map", index=3, attempt=0,
+               executor=12, size_bytes=1e6),
+    TaskCommitted(time=4.5, stage=0, task="map", index=3, attempt=0,
+                  executor=12),
+    Relaunch(time=5.0, stage=0, task="map", index=4, attempt=0,
+             cause="eviction", cause_ref=9),
+    Eviction(time=5.0, container=9, resource="transient", cause="eviction",
+             lifetime=120.0),
+    FetchMiss(time=6.0, op="reduce", index=1),
+    Transfer(time=7.0, src="transient:12", dst="reserved:1",
+             size_bytes=2e6, requested_at=6.5, ok=True),
+]
+
+
+def test_registry_covers_every_concrete_event():
+    assert set(EVENT_TYPES) == {type(e).__name__ for e in SAMPLES}
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_dict_round_trip(event):
+    payload = event_to_dict(event)
+    assert payload["type"] == event.kind
+    assert event_from_dict(payload) == event
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_events_are_frozen_and_timed(event):
+    assert isinstance(event, TraceEvent)
+    assert isinstance(event.time, float)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        event.time = -1.0
+
+
+def test_unknown_type_fails_loudly():
+    with pytest.raises(KeyError):
+        event_from_dict({"type": "NotAnEvent", "time": 0.0})

@@ -1,0 +1,87 @@
+"""JSONL and Chrome trace_event serialization."""
+
+import json
+
+from repro.obs import (TaskStart, events_from_jsonl, to_chrome_trace,
+                       to_jsonl, write_chrome_trace, write_jsonl)
+from repro.obs.export import NETWORK_PID
+from repro.obs.events import Relaunch, TaskCommitted
+
+
+def test_jsonl_round_trip(traced_run):
+    _, tracer, _ = traced_run
+    rebuilt = events_from_jsonl(to_jsonl(tracer.events))
+    assert rebuilt == tracer.events
+
+
+def test_jsonl_file_round_trip(traced_run, tmp_path):
+    _, tracer, _ = traced_run
+    path = write_jsonl(tracer.events, tmp_path / "run.jsonl")
+    assert events_from_jsonl(path.read_text()) == tracer.events
+
+
+def test_chrome_trace_round_trips_through_json(traced_run):
+    _, tracer, _ = traced_run
+    trace = to_chrome_trace(tracer.events)
+    assert json.loads(json.dumps(trace)) == trace
+    assert trace["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_one_slice_per_attempt(traced_run):
+    """Every started attempt shows up as exactly one complete event, with
+    its outcome matching the terminal event (or 'open' at the horizon)."""
+    _, tracer, result = traced_run
+    trace = to_chrome_trace(tracer.events)
+    slices = [e for e in trace["traceEvents"]
+              if e["ph"] == "X" and e["cat"].startswith("task,")]
+    assert len(slices) == len(tracer.of_kind(TaskStart))
+    assert len(slices) == result.launched_tasks
+    outcomes = {}
+    for chrome_event in slices:
+        assert chrome_event["dur"] >= 0.0
+        assert chrome_event["pid"] != NETWORK_PID
+        outcome = chrome_event["args"]["outcome"]
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    relaunches = len(tracer.of_kind(Relaunch))
+    # Relaunches of never-started attempts produce no slice.
+    assert outcomes.get("relaunched", 0) <= relaunches
+    assert outcomes.get("committed", 0) <= len(
+        tracer.of_kind(TaskCommitted))
+
+
+def test_chrome_trace_network_lane_and_metadata(traced_run):
+    _, tracer, _ = traced_run
+    trace = to_chrome_trace(tracer.events)
+    events = trace["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["pid"] == NETWORK_PID for e in metas)
+    transfers = [e for e in events
+                 if e["ph"] == "X" and e["cat"].startswith("transfer")]
+    assert transfers
+    for chrome_event in transfers:
+        assert chrome_event["pid"] == NETWORK_PID
+
+
+def test_chrome_trace_stage_markers_balance(traced_run):
+    _, tracer, _ = traced_run
+    trace = to_chrome_trace(tracer.events)
+    begins = [e for e in trace["traceEvents"]
+              if e.get("cat") == "stage" and e["ph"] == "B"]
+    ends = [e for e in trace["traceEvents"]
+            if e.get("cat") == "stage" and e["ph"] == "E"]
+    assert len(begins) == len(ends)
+    assert begins  # at least one stage ran
+
+
+def test_chrome_trace_file_is_loadable_json(traced_run, tmp_path):
+    _, tracer, _ = traced_run
+    path = write_chrome_trace(tracer.events, tmp_path / "run.trace.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"]
+
+
+def test_empty_trace_serializes():
+    assert to_jsonl([]) == ""
+    assert events_from_jsonl("") == []
+    trace = to_chrome_trace([])
+    assert json.loads(json.dumps(trace)) == trace

@@ -1,0 +1,86 @@
+"""Causal ordering and the lineage/JobResult reconciliation invariant."""
+
+from repro import ClusterConfig, PadoEngine
+from repro.obs import (Eviction, Relaunch, TaskCommitted, TaskStart, Tracer,
+                       analyze_eviction_lineage)
+from repro.workloads import mr_synthetic_program
+
+from tests.obs.conftest import ENGINES
+
+
+def test_events_causally_ordered(traced_run):
+    _, tracer, _ = traced_run
+    times = [event.time for event in tracer]
+    assert times == sorted(times)
+
+
+def test_task_starts_match_launched_tasks(traced_run):
+    _, tracer, result = traced_run
+    assert len(tracer.of_kind(TaskStart)) == result.launched_tasks
+
+
+def test_lineage_reconciles_with_job_result(traced_run):
+    _, tracer, result = traced_run
+    report = analyze_eviction_lineage(tracer.events)
+    report.verify_against(result)  # raises on any mismatch
+    assert result.completed
+    assert report.relaunched_tasks == result.relaunched_tasks
+    assert report.starts == result.launched_tasks
+
+
+def test_every_relaunch_attributed(traced_run):
+    """The stormy cluster forces relaunches, and each one lands in the
+    by-cause aggregation; eviction-caused ones carry the container id."""
+    name, tracer, result = traced_run
+    report = analyze_eviction_lineage(tracer.events)
+    assert result.relaunched_tasks > 0
+    attributed = sum(i.relaunched_tasks for i in report.by_cause.values())
+    assert attributed == report.relaunched_tasks
+    evicted_containers = {e.container for e in tracer.of_kind(Eviction)}
+    for impact in report.by_eviction.values():
+        assert impact.container in evicted_containers
+        assert impact.relaunched_tasks == len(impact.tasks)
+        assert impact.recompute_seconds >= 0.0
+    if name == "pado":
+        # Pado never cascades: every relaunch is a direct eviction victim.
+        assert set(report.by_cause) <= {"eviction"}
+    else:
+        # Spark's critical chain re-runs *completed* parents too.
+        assert "lineage-recompute" in report.by_cause
+
+
+def test_recompute_seconds_sum_matches_attempts(traced_run):
+    _, tracer, _ = traced_run
+    report = analyze_eviction_lineage(tracer.events)
+    relaunched = [a for a in report.attempts if a.outcome == "relaunched"]
+    assert report.recompute_seconds == sum(a.busy_seconds
+                                           for a in relaunched)
+    for attempt in relaunched:
+        assert attempt.cause is not None
+
+
+def test_eviction_free_run_has_no_relaunches():
+    for make_engine in ENGINES.values():
+        tracer = Tracer()
+        result = make_engine().run(
+            mr_synthetic_program(scale=0.02),
+            ClusterConfig(num_reserved=2, num_transient=4), seed=0,
+            tracer=tracer)
+        report = analyze_eviction_lineage(tracer.events)
+        report.verify_against(result)
+        assert report.relaunched_tasks == 0
+        assert report.recompute_seconds == 0.0
+        assert not tracer.of_kind(Relaunch)
+
+
+def test_committed_attempts_commit_after_start():
+    tracer = Tracer()
+    PadoEngine().run(mr_synthetic_program(scale=0.02),
+                     ClusterConfig(num_reserved=2, num_transient=4),
+                     seed=0, tracer=tracer)
+    report = analyze_eviction_lineage(tracer.events)
+    committed = [a for a in report.attempts if a.outcome == "committed"]
+    assert committed
+    assert len(committed) == len(tracer.of_kind(TaskCommitted))
+    for attempt in committed:
+        assert attempt.end >= attempt.start

@@ -1,0 +1,74 @@
+"""Time-breakdown reports derived from traces."""
+
+import math
+
+from repro.metrics.utilization import EfficiencyReport
+from repro.obs import (DURATION_BUCKETS, analyze_eviction_lineage,
+                       build_report, efficiency_with_breakdown)
+
+from tests.obs.conftest import stormy_cluster
+
+
+def test_breakdown_totals_match_lineage(traced_run):
+    _, tracer, _ = traced_run
+    report = build_report(tracer.events)
+    lineage = analyze_eviction_lineage(tracer.events)
+    committed = sum(a.busy_seconds for a in lineage.attempts
+                    if a.outcome == "committed")
+    relaunched = sum(a.busy_seconds for a in lineage.attempts
+                     if a.outcome == "relaunched")
+    assert math.isclose(
+        sum(b.compute_seconds for b in report.breakdowns.values()),
+        committed)
+    assert math.isclose(
+        sum(b.recompute_seconds for b in report.breakdowns.values()),
+        relaunched)
+    assert report.evictions_with_cost == len(lineage.by_eviction)
+
+
+def test_histogram_counts_every_committed_attempt(traced_run):
+    _, tracer, _ = traced_run
+    report = build_report(tracer.events)
+    lineage = analyze_eviction_lineage(tracer.events)
+    committed = sum(1 for a in lineage.attempts
+                    if a.outcome == "committed")
+    assert [bound for bound, _ in report.duration_histogram] == \
+        list(DURATION_BUCKETS)
+    assert sum(count for _, count in report.duration_histogram) == committed
+
+
+def test_transfer_seconds_positive_and_classed(traced_run):
+    _, tracer, _ = traced_run
+    report = build_report(tracer.events)
+    classes = set(report.breakdowns)
+    assert "transient" in classes
+    assert sum(b.transfer_seconds
+               for b in report.breakdowns.values()) > 0.0
+
+
+def test_idle_requires_result_and_cluster(traced_run):
+    _, tracer, result = traced_run
+    bare = build_report(tracer.events)
+    assert all(b.idle_seconds is None for b in bare.breakdowns.values())
+    full = build_report(tracer.events, result=result,
+                        cluster=stormy_cluster())
+    for resource in ("reserved", "transient"):
+        assert full.breakdowns[resource].idle_seconds is not None
+        assert full.breakdowns[resource].idle_seconds >= 0.0
+
+
+def test_render_is_readable(traced_run):
+    _, tracer, result = traced_run
+    text = build_report(tracer.events, result=result,
+                        cluster=stormy_cluster()).render()
+    assert "time breakdown" in text
+    assert "transient" in text
+    assert "relaunches:" in text
+
+
+def test_efficiency_with_breakdown_pairs_both_views(traced_run):
+    _, tracer, result = traced_run
+    efficiency, obs = efficiency_with_breakdown(result, stormy_cluster(),
+                                                tracer.events)
+    assert isinstance(efficiency, EfficiencyReport)
+    assert obs.lineage.starts == result.launched_tasks

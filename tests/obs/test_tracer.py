@@ -1,0 +1,84 @@
+"""Tracer, collector, and the disabled-by-default guarantee."""
+
+from repro import ClusterConfig, PadoEngine
+from repro.obs import (TaskStart, TraceCollector, Tracer, active_collector,
+                       collecting, install_collector, uninstall_collector)
+from repro.obs.events import Eviction
+from repro.workloads import mr_synthetic_program
+
+from tests.obs.conftest import small_program, stormy_cluster
+
+
+def test_tracer_records_in_order():
+    tracer = Tracer()
+    a = Eviction(time=1.0, container=1, resource="transient",
+                 cause="eviction")
+    b = TaskStart(time=2.0, stage=0, task="t", index=0, attempt=0,
+                  executor=1, resource="transient")
+    tracer.emit(a)
+    tracer.emit(b)
+    assert list(tracer) == [a, b]
+    assert len(tracer) == 2
+    assert tracer.of_kind(TaskStart) == [b]
+
+
+def test_untraced_run_records_nothing():
+    """No tracer and no collector: the engines never allocate a tracer, so
+    the run is observationally identical to a traced one."""
+    uninstall_collector()
+    cluster, program = stormy_cluster(), small_program()
+    bare = PadoEngine().run(program, cluster, seed=3)
+    tracer = Tracer()
+    traced = PadoEngine().run(small_program(), stormy_cluster(), seed=3,
+                              tracer=tracer)
+    assert len(tracer) > 0
+    assert bare.jct_seconds == traced.jct_seconds
+    assert bare.launched_tasks == traced.launched_tasks
+    assert bare.evictions == traced.evictions
+
+
+def test_collector_labels_every_run():
+    with collecting() as collector:
+        program = mr_synthetic_program(scale=0.02)
+        cluster = ClusterConfig(num_reserved=2, num_transient=4)
+        PadoEngine().run(program, cluster, seed=0)
+        PadoEngine().run(program, cluster, seed=0)  # duplicate label
+    assert active_collector() is None
+    labels = [label for label, _ in collector.runs]
+    assert labels == ["pado-mr-seed0", "pado-mr-seed0-2"]
+    for _, tracer in collector.runs:
+        assert len(tracer) > 0
+
+
+def test_collecting_restores_previous_collector():
+    outer = TraceCollector()
+    install_collector(outer)
+    try:
+        with collecting() as inner:
+            assert active_collector() is inner
+        assert active_collector() is outer
+    finally:
+        uninstall_collector()
+    assert active_collector() is None
+
+
+def test_explicit_tracer_wins_over_collector():
+    mine = Tracer()
+    with collecting() as collector:
+        PadoEngine().run(mr_synthetic_program(scale=0.02),
+                         ClusterConfig(num_reserved=2, num_transient=4),
+                         seed=0, tracer=mine)
+    assert collector.runs == []
+    assert len(mine) > 0
+
+
+def test_dump_writes_jsonl_and_chrome_files(tmp_path):
+    with collecting() as collector:
+        PadoEngine().run(mr_synthetic_program(scale=0.02),
+                         ClusterConfig(num_reserved=2, num_transient=4),
+                         seed=0)
+    paths = collector.dump(tmp_path)
+    names = sorted(p.name for p in paths)
+    assert names == ["pado-mr-seed0.jsonl", "pado-mr-seed0.trace.json"]
+    for path in paths:
+        assert path.exists() and path.stat().st_size > 0

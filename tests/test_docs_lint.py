@@ -1,0 +1,56 @@
+"""Documentation stays in sync with the code: scripts/check_docs.py."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_docs.py"
+
+
+def test_check_docs_passes():
+    proc = subprocess.run([sys.executable, str(SCRIPT)], cwd=REPO,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_check_docs_catches_undocumented_package(tmp_path):
+    """The lint actually fails when a package is missing from the map."""
+    import importlib.util
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    check_docs = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_docs)
+
+    packages = check_docs.repro_packages()
+    assert "repro" in packages and "repro.obs" in packages
+
+    text = check_docs.ARCHITECTURE.read_text().replace("repro.obs", "")
+    stripped = tmp_path / "ARCHITECTURE.md"
+    stripped.write_text(text)
+    original = check_docs.ARCHITECTURE
+    try:
+        check_docs.ARCHITECTURE = stripped
+        problems = check_docs.check_architecture_mentions()
+    finally:
+        check_docs.ARCHITECTURE = original
+    assert any("repro.obs" in problem for problem in problems)
+
+
+def test_check_docs_catches_broken_snippet(tmp_path):
+    import importlib.util
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    check_docs = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_docs)
+
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "# x\n```python\ndef broken(:\n```\n")
+    original = check_docs.REPO
+    try:
+        check_docs.REPO = tmp_path
+        problems = check_docs.check_code_blocks()
+    finally:
+        check_docs.REPO = original
+    assert len(problems) == 1
+    assert "does not parse" in problems[0]
