@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro fig5 [--scale 0.25] [--seed 11]
     python -m repro fig2 --trace traces/
+    python -m repro sweep --workload mr --averaged --workers 4 --cache .cache
     python -m repro all
 
 Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
@@ -12,6 +13,11 @@ for the paper-vs-measured comparison. With ``--trace DIR`` every simulated
 job additionally records a structured event trace (see docs/OBSERVABILITY.md)
 and dumps one ``<label>.jsonl`` plus one Chrome/Perfetto-loadable
 ``<label>.trace.json`` per run into DIR.
+
+Every sweep-style experiment (fig5-9, ablations, sweep) accepts
+``--workers N`` to fan independent simulations out over worker processes
+and ``--cache DIR`` to memoize completed runs on disk (see
+docs/PERFORMANCE.md); results are bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -23,21 +29,31 @@ from typing import Callable
 
 from repro.obs.tracer import collecting
 
-from repro.bench import (ablation_aggregation_limits,
+from repro.bench import (SweepRunner, ablation_aggregation_limits,
                          ablation_fetch_semantics, ablation_optimizations,
+                         averaged_eviction_sweep, eviction_rate_sweep,
                          fig1_lifetime_cdfs, fig2_recovery_costs, fig5_als,
                          fig6_mlr, fig7_mr, fig8_reserved_sweep,
                          fig9_scalability, render_cdf_series, render_table,
                          tab1_lifetime_percentiles, tab2_collected_memory)
+from repro.trace import EvictionRate
 
 SWEEP_HEADERS = ["workload", "eviction", "engine", "JCT (m)", "completed",
                  "relaunched", "evictions"]
+AVERAGED_HEADERS = ["workload", "eviction", "engine", "JCT (m)",
+                    "completed"]
 
 
-def _sweep(fn: Callable, title: str, **kwargs) -> str:
-    rows = fn(**kwargs)
-    return render_table(SWEEP_HEADERS, [r.as_tuple() for r in rows],
-                        title=title)
+def _runner_for(args) -> SweepRunner:
+    return SweepRunner(workers=args.workers, cache_dir=args.cache)
+
+
+def _sweep(fn: Callable, title: str, args, **kwargs) -> str:
+    runner = _runner_for(args)
+    rows = fn(runner=runner, **kwargs)
+    table = render_table(SWEEP_HEADERS, [r.as_tuple() for r in rows],
+                         title=title)
+    return f"{table}\n[runner] {runner.stats}"
 
 
 def _run_fig1(args) -> str:
@@ -69,28 +85,62 @@ def _run_fig8(args) -> str:
     parts = []
     for workload in ("als", "mlr", "mr"):
         parts.append(_sweep(fig8_reserved_sweep,
-                            f"Figure 8({workload}): reserved sweep",
+                            f"Figure 8({workload}): reserved sweep", args,
                             workload=workload, scale=args.scale,
                             seed=args.seed))
     return "\n\n".join(parts)
 
 
 def _run_ablations(args) -> str:
+    runner = _runner_for(args)
     parts = [
         render_table(["variant", "JCT (m)", "pushed (GB)",
                       "input read (GB)", "shuffled (GB)"],
-                     ablation_optimizations(seed=args.seed),
+                     ablation_optimizations(seed=args.seed, runner=runner),
                      title="Ablation: Pado optimizations (MLR, high)"),
         render_table(["max merged tasks", "JCT (m)", "pushed (GB)",
                       "relaunched"],
-                     ablation_aggregation_limits(seed=args.seed),
+                     ablation_aggregation_limits(seed=args.seed,
+                                                 runner=runner),
                      title="Ablation: aggregation escape limits"),
         render_table(["semantics", "JCT (m)", "relaunched",
                       "shuffled (GB)"],
-                     ablation_fetch_semantics(seed=args.seed),
+                     ablation_fetch_semantics(seed=args.seed,
+                                              runner=runner),
                      title="Ablation: Spark fetch-failure semantics"),
+        f"[runner] {runner.stats}",
     ]
     return "\n\n".join(parts)
+
+
+def _parse_csv(text, convert=str) -> list:
+    return [convert(item.strip()) for item in text.split(",") if item.strip()]
+
+
+def _run_sweep(args) -> str:
+    """The generic runner-backed sweep: engines x rates (x seeds)."""
+    runner = _runner_for(args)
+    kwargs = {"scale": args.scale, "runner": runner}
+    if args.rates:
+        kwargs["rates"] = tuple(EvictionRate(rate)
+                                for rate in _parse_csv(args.rates))
+    if args.engines:
+        kwargs["engines"] = _parse_csv(args.engines)
+    seeds = _parse_csv(args.seeds, int) if args.seeds else None
+    if args.averaged:
+        if seeds:
+            kwargs["seeds"] = tuple(seeds)
+        rows = averaged_eviction_sweep(args.workload, **kwargs)
+        table = render_table(
+            AVERAGED_HEADERS, [row.as_tuple() for row in rows],
+            title=f"Averaged eviction sweep ({args.workload})")
+    else:
+        kwargs["seed"] = seeds[0] if seeds else args.seed
+        rows = eviction_rate_sweep(args.workload, **kwargs)
+        table = render_table(
+            SWEEP_HEADERS, [row.as_tuple() for row in rows],
+            title=f"Eviction sweep ({args.workload})")
+    return f"{table}\n[runner] {runner.stats}"
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
@@ -99,19 +149,21 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "tab2": ("Table 2: collected idle memory", _run_tab2),
     "fig2": ("Figure 2: recovery cost of an eviction burst", _run_fig2),
     "fig5": ("Figure 5: ALS vs eviction rate",
-             lambda args: _sweep(fig5_als, "Figure 5: ALS",
+             lambda args: _sweep(fig5_als, "Figure 5: ALS", args,
                                  scale=args.scale, seed=args.seed)),
     "fig6": ("Figure 6: MLR vs eviction rate",
-             lambda args: _sweep(fig6_mlr, "Figure 6: MLR",
+             lambda args: _sweep(fig6_mlr, "Figure 6: MLR", args,
                                  scale=args.scale, seed=args.seed)),
     "fig7": ("Figure 7: MR vs eviction rate",
-             lambda args: _sweep(fig7_mr, "Figure 7: MR",
+             lambda args: _sweep(fig7_mr, "Figure 7: MR", args,
                                  scale=args.scale, seed=args.seed)),
     "fig8": ("Figure 8: reserved-container sweep", _run_fig8),
     "fig9": ("Figure 9: scalability at 8:1",
-             lambda args: _sweep(fig9_scalability, "Figure 9",
+             lambda args: _sweep(fig9_scalability, "Figure 9", args,
                                  scale=args.scale, seed=args.seed)),
     "ablations": ("Ablations of §3.2.7 design choices", _run_ablations),
+    "sweep": ("Custom eviction sweep (--workload/--rates/--engines/"
+              "--seeds/--averaged)", _run_sweep),
 }
 
 
@@ -129,14 +181,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="record per-run event traces and write "
                              "JSONL + Chrome trace files into DIR")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="fan independent simulations out over N "
+                             "worker processes (0 = serial)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="memoize completed simulations in DIR; "
+                             "re-runs only simulate what changed")
+    sweep_args = parser.add_argument_group(
+        "sweep", "options for the 'sweep' experiment")
+    sweep_args.add_argument("--workload", default="mr",
+                            choices=("als", "mlr", "mr"))
+    sweep_args.add_argument("--rates", default=None,
+                            help="comma-separated eviction rates "
+                                 "(none,low,medium,high)")
+    sweep_args.add_argument("--engines", default=None,
+                            help="comma-separated engine names "
+                                 "(pado,spark,spark-checkpoint)")
+    sweep_args.add_argument("--seeds", default=None,
+                            help="comma-separated seeds (with --averaged: "
+                                 "the repetition protocol seeds)")
+    sweep_args.add_argument("--averaged", action="store_true",
+                            help="run the §5.1.3 repetition protocol and "
+                                 "report mean ± std")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"{name:10s} {description}")
         return 0
-    targets = (sorted(EXPERIMENTS) if args.experiment == "all"
-               else [args.experiment])
+    if args.experiment == "all":
+        # 'sweep' is parameterized, not a paper artifact; 'all' regenerates
+        # the paper set only.
+        targets = sorted(name for name in EXPERIMENTS if name != "sweep")
+    else:
+        targets = [args.experiment]
     for name in targets:
         _, runner = EXPERIMENTS[name]
         if args.trace is None:

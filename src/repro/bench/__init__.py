@@ -14,16 +14,25 @@ from repro.bench.experiments import (BENCH_SCALES, TIME_LIMIT_MINUTES,
                                      make_workload, run_one,
                                      tab1_lifetime_percentiles,
                                      tab2_collected_memory)
+from repro.bench.runner import (PoolSpec, ResultCache, RunSpec, RunnerStats,
+                                SweepRunner, build_cluster, build_engine,
+                                canonical_result_json, code_fingerprint,
+                                engine_spec, execute_spec, result_from_dict,
+                                result_to_dict, run_specs)
 from repro.bench.tables import render_cdf_series, render_table, speedup
 
 __all__ = [
-    "AveragedRow", "BENCH_SCALES", "SweepRow", "TIME_LIMIT_MINUTES",
+    "AveragedRow", "BENCH_SCALES", "PoolSpec", "ResultCache", "RunSpec",
+    "RunnerStats", "SweepRow", "SweepRunner", "TIME_LIMIT_MINUTES",
     "averaged_eviction_sweep",
     "ablation_aggregation_limits", "ablation_fetch_semantics",
     "ablation_lifetime_aware_scheduling",
-    "ablation_optimizations", "default_engines", "eviction_rate_sweep",
+    "ablation_optimizations", "build_cluster", "build_engine",
+    "canonical_result_json", "code_fingerprint", "default_engines",
+    "engine_spec", "eviction_rate_sweep", "execute_spec",
     "fig1_lifetime_cdfs", "fig2_recovery_costs", "fig5_als", "fig6_mlr",
     "fig7_mr", "fig8_reserved_sweep", "fig9_scalability", "make_workload",
-    "render_cdf_series", "render_table", "run_one", "speedup",
+    "render_cdf_series", "render_table", "result_from_dict",
+    "result_to_dict", "run_one", "run_specs", "speedup",
     "tab1_lifetime_percentiles", "tab2_collected_memory",
 ]

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.bench.runner import (PoolSpec, RunSpec, SweepRunner, engine_spec,
+                                run_specs)
 from repro.core.runtime.engine import PadoEngine
-from repro.core.runtime.master import PadoRuntimeConfig
 from repro.engines.base import ClusterConfig, EngineBase, JobResult, Program
 from repro.engines.spark import SparkEngine
 from repro.engines.spark_checkpoint import SparkCheckpointEngine
@@ -159,28 +160,42 @@ def run_one(engine: EngineBase, program: Program,
                       time_limit=time_limit_minutes * 60.0)
 
 
+def _sweep_row(spec: RunSpec, result: JobResult,
+               eviction_label: Optional[str] = None) -> SweepRow:
+    """Assemble the Figure 5-9 row for one completed spec."""
+    return SweepRow(
+        workload=spec.workload,
+        eviction=eviction_label if eviction_label is not None
+        else spec.eviction,
+        engine=result.engine, jct_minutes=result.jct_minutes,
+        completed=result.completed,
+        relaunched_ratio=result.relaunched_ratio,
+        evictions=result.evictions)
+
+
 def eviction_rate_sweep(workload: str, scale: Optional[float] = None,
                         seed: int = 11,
                         rates: Sequence[EvictionRate] = (
                             EvictionRate.NONE, EvictionRate.LOW,
                             EvictionRate.MEDIUM, EvictionRate.HIGH),
-                        engines: Optional[Sequence[EngineBase]] = None
+                        engines: Optional[
+                            Sequence[Union[str, EngineBase]]] = None,
+                        workers: int = 0, cache: Optional[str] = None,
+                        runner: Optional[SweepRunner] = None
                         ) -> list[SweepRow]:
     """Figures 5 (ALS), 6 (MLR), 7 (MR): JCT and relaunched-task ratio for
     each engine under each eviction rate, on 40 transient + 5 reserved."""
     engines = list(engines) if engines is not None else default_engines()
-    rows = []
+    specs = []
     for rate in rates:
         for engine in engines:
-            program = make_workload(workload, scale)
-            result = run_one(engine, program,
-                             ClusterConfig(eviction=rate), seed=seed)
-            rows.append(SweepRow(
-                workload=workload, eviction=rate.value, engine=engine.name,
-                jct_minutes=result.jct_minutes, completed=result.completed,
-                relaunched_ratio=result.relaunched_ratio,
-                evictions=result.evictions))
-    return rows
+            name, options = engine_spec(engine)
+            specs.append(RunSpec(workload=workload, engine=name,
+                                 engine_options=options, scale=scale,
+                                 seed=seed, eviction=rate.value))
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [_sweep_row(spec, result)
+            for spec, result in zip(specs, results)]
 
 
 @dataclass
@@ -207,26 +222,34 @@ def averaged_eviction_sweep(workload: str, scale: Optional[float] = None,
                             seeds: Sequence[int] = (11, 12, 13, 14, 15),
                             rates: Sequence[EvictionRate] = (
                                 EvictionRate.NONE, EvictionRate.HIGH),
-                            engines: Optional[Sequence[EngineBase]] = None
+                            engines: Optional[
+                                Sequence[Union[str, EngineBase]]] = None,
+                            workers: int = 0, cache: Optional[str] = None,
+                            runner: Optional[SweepRunner] = None
                             ) -> list[AveragedRow]:
     """Figures 5-7 with the paper's repetition protocol: average JCT and
     standard deviation over several seeded runs."""
     engines = list(engines) if engines is not None else default_engines()
+    cells = [(rate, engine) for rate in rates for engine in engines]
+    specs = []
+    for rate, engine in cells:
+        name, options = engine_spec(engine)
+        specs.extend(RunSpec(workload=workload, engine=name,
+                             engine_options=options, scale=scale,
+                             seed=seed, eviction=rate.value)
+                     for seed in seeds)
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
     rows = []
-    for rate in rates:
-        for engine in engines:
-            jcts = []
-            done = 0
-            for seed in seeds:
-                result = run_one(engine, make_workload(workload, scale),
-                                 ClusterConfig(eviction=rate), seed=seed)
-                jcts.append(result.jct_minutes)
-                done += int(result.completed)
-            rows.append(AveragedRow(
-                workload=workload, eviction=rate.value, engine=engine.name,
-                mean_jct_minutes=float(np.mean(jcts)),
-                std_jct_minutes=float(np.std(jcts)),
-                completed_runs=done, total_runs=len(seeds)))
+    for i, (rate, engine) in enumerate(cells):
+        cell = results[i * len(seeds):(i + 1) * len(seeds)]
+        jcts = [result.jct_minutes for result in cell]
+        rows.append(AveragedRow(
+            workload=workload, eviction=rate.value,
+            engine=cell[0].engine,
+            mean_jct_minutes=float(np.mean(jcts)),
+            std_jct_minutes=float(np.std(jcts)),
+            completed_runs=sum(int(r.completed) for r in cell),
+            total_runs=len(seeds)))
     return rows
 
 
@@ -251,24 +274,22 @@ def fig7_mr(**kwargs) -> list[SweepRow]:
 
 def fig8_reserved_sweep(workload: str, scale: Optional[float] = None,
                         reserved_counts: Sequence[int] = (3, 4, 5, 6, 7),
-                        seed: int = 11) -> list[SweepRow]:
+                        seed: int = 11, workers: int = 0,
+                        cache: Optional[str] = None,
+                        runner: Optional[SweepRunner] = None
+                        ) -> list[SweepRow]:
     """Figure 8: JCT with 3-7 reserved containers plus 40 transient under
     the high eviction rate; Spark-checkpoint vs Pado (Spark degrades too
     severely to compare, §5.3)."""
-    rows = []
-    for reserved in reserved_counts:
-        for engine in (SparkCheckpointEngine(), PadoEngine()):
-            program = make_workload(workload, scale)
-            cluster = ClusterConfig(num_reserved=reserved, num_transient=40,
-                                    eviction=EvictionRate.HIGH)
-            result = run_one(engine, program, cluster, seed=seed)
-            rows.append(SweepRow(
-                workload=workload, eviction=f"reserved={reserved}",
-                engine=engine.name, jct_minutes=result.jct_minutes,
-                completed=result.completed,
-                relaunched_ratio=result.relaunched_ratio,
-                evictions=result.evictions))
-    return rows
+    specs = [RunSpec(workload=workload, engine=engine, scale=scale,
+                     seed=seed, num_reserved=reserved, num_transient=40,
+                     eviction=EvictionRate.HIGH.value)
+             for reserved in reserved_counts
+             for engine in ("spark-checkpoint", "pado")]
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [_sweep_row(spec, result,
+                       eviction_label=f"reserved={spec.num_reserved}")
+            for spec, result in zip(specs, results)]
 
 
 # ======================================================================
@@ -279,24 +300,23 @@ def fig9_scalability(workloads: Sequence[str] = ("als", "mlr", "mr"),
                      sizes: Sequence[tuple[int, int]] = ((24, 3), (40, 5),
                                                          (56, 7)),
                      scale: Optional[float] = None,
-                     seed: int = 11) -> list[SweepRow]:
+                     seed: int = 11, workers: int = 0,
+                     cache: Optional[str] = None,
+                     runner: Optional[SweepRunner] = None) -> list[SweepRow]:
     """Figure 9: Pado's JCT with 27/45/63 containers at the fixed 8:1
     transient:reserved ratio under the high eviction rate."""
-    rows = []
-    for workload in workloads:
-        for transient, reserved in sizes:
-            program = make_workload(workload, scale)
-            cluster = ClusterConfig(num_reserved=reserved,
-                                    num_transient=transient,
-                                    eviction=EvictionRate.HIGH)
-            result = run_one(PadoEngine(), program, cluster, seed=seed)
-            label = f"{transient + reserved}({transient}T+{reserved}R)"
-            rows.append(SweepRow(
-                workload=workload, eviction=label, engine="pado",
-                jct_minutes=result.jct_minutes, completed=result.completed,
-                relaunched_ratio=result.relaunched_ratio,
-                evictions=result.evictions))
-    return rows
+    specs = [RunSpec(workload=workload, engine="pado", scale=scale,
+                     seed=seed, num_reserved=reserved,
+                     num_transient=transient,
+                     eviction=EvictionRate.HIGH.value)
+             for workload in workloads
+             for transient, reserved in sizes]
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [_sweep_row(spec, result,
+                       eviction_label=(
+                           f"{spec.num_transient + spec.num_reserved}"
+                           f"({spec.num_transient}T+{spec.num_reserved}R)"))
+            for spec, result in zip(specs, results)]
 
 
 # ======================================================================
@@ -355,88 +375,92 @@ def fig2_recovery_costs(reduce_phase_fraction: float = 0.85,
 # Ablations (§3.2.7 design choices)
 
 
-def ablation_optimizations(scale: float = 0.2,
-                           seed: int = 11) -> list[tuple]:
+def ablation_optimizations(scale: float = 0.2, seed: int = 11,
+                           workers: int = 0, cache: Optional[str] = None,
+                           runner: Optional[SweepRunner] = None
+                           ) -> list[tuple]:
     """Ablate task-input caching and partial aggregation on MLR under the
     high eviction rate. Rows: (variant, jct_minutes, pushed_gb,
     input_read_gb, shuffled_gb)."""
     variants = {
-        "full": PadoRuntimeConfig(),
-        "no-caching": PadoRuntimeConfig(enable_caching=False),
-        "no-partial-agg": PadoRuntimeConfig(
-            enable_partial_aggregation=False),
-        "no-optimizations": PadoRuntimeConfig(
-            enable_caching=False, enable_partial_aggregation=False),
+        "full": {},
+        "no-caching": {"enable_caching": False},
+        "no-partial-agg": {"enable_partial_aggregation": False},
+        "no-optimizations": {"enable_caching": False,
+                             "enable_partial_aggregation": False},
     }
-    rows = []
-    for name, config in variants.items():
-        program = mlr_synthetic_program(scale=scale, iterations=3)
-        result = run_one(PadoEngine(config), program,
-                         ClusterConfig(eviction=EvictionRate.HIGH),
-                         seed=seed)
-        rows.append((name, round(result.jct_minutes, 1),
-                     round(result.bytes_pushed / 2**30, 1),
-                     round(result.bytes_input_read / 2**30, 1),
-                     round(result.bytes_shuffled / 2**30, 1)))
-    return rows
+    specs = [RunSpec.make("mlr", "pado", engine_options=options,
+                          scale=scale, seed=seed,
+                          eviction=EvictionRate.HIGH.value)
+             for options in variants.values()]
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [(name, round(result.jct_minutes, 1),
+             round(result.bytes_pushed / 2**30, 1),
+             round(result.bytes_input_read / 2**30, 1),
+             round(result.bytes_shuffled / 2**30, 1))
+            for name, result in zip(variants, results)]
 
 
-def ablation_fetch_semantics(scale: float = 0.25,
-                             seed: int = 11) -> list[tuple]:
+def ablation_fetch_semantics(scale: float = 0.25, seed: int = 11,
+                             workers: int = 0, cache: Optional[str] = None,
+                             runner: Optional[SweepRunner] = None
+                             ) -> list[tuple]:
     """Ablate Spark's fetch-failure semantics (abort vs partition-granular
     re-fetch) on ALS under the high eviction rate — the workload whose deep
     lineage makes lazy fetch misses frequent."""
-    rows = []
-    for label, abort in (("abort-attempt", True), ("refetch-missing", False)):
-        program = als_synthetic_program(scale=scale)
-        result = run_one(SparkEngine(abort_on_fetch_failure=abort), program,
-                         ClusterConfig(eviction=EvictionRate.HIGH),
-                         seed=seed)
-        rows.append((label, round(result.jct_minutes, 1),
-                     f"{result.relaunched_ratio:.0%}",
-                     round(result.bytes_shuffled / 2**30, 1)))
-    return rows
+    labels = (("abort-attempt", True), ("refetch-missing", False))
+    specs = [RunSpec.make("als", "spark",
+                          engine_options={"abort_on_fetch_failure": abort},
+                          scale=scale, seed=seed,
+                          eviction=EvictionRate.HIGH.value)
+             for _, abort in labels]
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [(label, round(result.jct_minutes, 1),
+             f"{result.relaunched_ratio:.0%}",
+             round(result.bytes_shuffled / 2**30, 1))
+            for (label, _), result in zip(labels, results)]
 
 
-def ablation_lifetime_aware_scheduling(scale: float = 0.2,
-                                       seed: int = 11) -> list[tuple]:
+def ablation_lifetime_aware_scheduling(scale: float = 0.2, seed: int = 11,
+                                       workers: int = 0,
+                                       cache: Optional[str] = None,
+                                       runner: Optional[SweepRunner] = None
+                                       ) -> list[tuple]:
     """§6 extension: on a mixed pool of short- and long-lived transient
     containers, compare default (cache-aware round-robin) placement with
     lifetime-aware placement of heavy tasks. Rows: (policy, jct_minutes,
     relaunched_tasks, relaunch_ratio)."""
-    from repro.cluster.manager import TransientPool
-    from repro.core.runtime.scheduler import LifetimeAwarePolicy
-    from repro.trace.models import ExponentialLifetimeModel
-    pools = (
-        TransientPool("short", 20, ExponentialLifetimeModel(90.0), 90.0),
-        TransientPool("long", 20, ExponentialLifetimeModel(3600.0), 3600.0),
-    )
-    rows = []
-    for label, policy in (("default", None),
-                          ("lifetime-aware", LifetimeAwarePolicy())):
-        config = PadoRuntimeConfig(scheduling_policy=policy)
-        program = mlr_synthetic_program(scale=scale, iterations=3)
-        result = run_one(PadoEngine(config), program,
-                         ClusterConfig(transient_pools=pools), seed=seed)
-        rows.append((label, round(result.jct_minutes, 1),
-                     result.relaunched_tasks,
-                     f"{result.relaunched_ratio:.0%}"))
-    return rows
+    pools = (PoolSpec("short", 20, 90.0), PoolSpec("long", 20, 3600.0))
+    labels = (("default", None), ("lifetime-aware", "lifetime-aware"))
+    specs = [RunSpec.make("mlr", "pado",
+                          engine_options=(
+                              {"scheduling_policy": policy}
+                              if policy is not None else None),
+                          transient_pools=pools, scale=scale, seed=seed)
+             for _, policy in labels]
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [(label, round(result.jct_minutes, 1),
+             result.relaunched_tasks,
+             f"{result.relaunched_ratio:.0%}")
+            for (label, _), result in zip(labels, results)]
 
 
-def ablation_aggregation_limits(scale: float = 0.2,
-                                seed: int = 11) -> list[tuple]:
+def ablation_aggregation_limits(scale: float = 0.2, seed: int = 11,
+                                workers: int = 0,
+                                cache: Optional[str] = None,
+                                runner: Optional[SweepRunner] = None
+                                ) -> list[tuple]:
     """Ablate the partial-aggregation escape limits (§3.2.7): larger
     batches shrink reserved-side load but let data linger on eviction-prone
     executors. Rows: (max_tasks, jct_minutes, pushed_gb, relaunch_ratio)."""
-    rows = []
-    for max_tasks in (1, 2, 4, 8):
-        config = PadoRuntimeConfig(aggregation_max_tasks=max_tasks)
-        program = mlr_synthetic_program(scale=scale, iterations=3)
-        result = run_one(PadoEngine(config), program,
-                         ClusterConfig(eviction=EvictionRate.HIGH),
-                         seed=seed)
-        rows.append((max_tasks, round(result.jct_minutes, 1),
-                     round(result.bytes_pushed / 2**30, 1),
-                     f"{result.relaunched_ratio:.0%}"))
-    return rows
+    limits = (1, 2, 4, 8)
+    specs = [RunSpec.make("mlr", "pado",
+                          engine_options={"aggregation_max_tasks": limit},
+                          scale=scale, seed=seed,
+                          eviction=EvictionRate.HIGH.value)
+             for limit in limits]
+    results = run_specs(specs, workers=workers, cache=cache, runner=runner)
+    return [(limit, round(result.jct_minutes, 1),
+             round(result.bytes_pushed / 2**30, 1),
+             f"{result.relaunched_ratio:.0%}")
+            for limit, result in zip(limits, results)]

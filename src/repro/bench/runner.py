@@ -1,0 +1,393 @@
+"""Parallel, cached experiment runner.
+
+The paper's evaluation protocol (§5.1.3) runs every configuration five
+times and sweeps engines x eviction rates x cluster sizes — dozens to
+hundreds of independent simulations. This module turns those sweeps into
+data: a :class:`RunSpec` is a picklable, declaratively-specified simulation
+(workload + engine + cluster + seed) with a stable content hash, and a
+:class:`SweepRunner` fans lists of specs out over a
+``ProcessPoolExecutor``, returns results in deterministic spec order, and
+memoizes completed :class:`~repro.engines.base.JobResult` rows in an
+on-disk JSON cache keyed by ``(spec hash, code fingerprint)`` so re-running
+a sweep only simulates what changed.
+
+Design constraints:
+
+* **Declarative specs.** A spec references engines by registry name and
+  carries options as plain ``(key, value)`` pairs; clusters are named
+  eviction rates plus counts (or declarative §6 transient pools). This
+  keeps specs picklable for worker processes, JSON-serializable for the
+  cache key, and independent of in-process object identity.
+* **Determinism.** ``workers=0`` (the default) runs every simulation
+  in-process in spec order — bit-identical to the historical serial
+  sweeps. ``workers=N`` runs the same simulations in worker processes;
+  each simulation seeds its own ``Generator``, so results are
+  bit-identical to the serial path regardless of scheduling.
+* **Honest caching.** Cache entries are invalidated by a fingerprint of
+  every ``.py`` file under ``src/repro``; any code change re-simulates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+from repro.engines.base import ClusterConfig, EngineBase, JobResult
+
+#: Option values allowed in a spec: must survive a JSON round-trip intact.
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _freeze_options(options: Optional[dict]) -> tuple:
+    """Normalize an options mapping to sorted, hashable ``(key, value)``
+    pairs, rejecting values that would not survive the JSON cache."""
+    if not options:
+        return ()
+    for key, value in options.items():
+        if not isinstance(key, str):
+            raise TypeError(f"option names must be strings, got {key!r}")
+        if not isinstance(value, _SCALAR_TYPES):
+            raise TypeError(
+                f"option {key!r} must be a JSON scalar, got {value!r}")
+    return tuple(sorted(options.items()))
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Declarative form of a §6 :class:`~repro.cluster.manager.TransientPool`
+    with memoryless lifetimes (the form the ablations use)."""
+
+    name: str
+    count: int
+    mean_lifetime_seconds: float
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation: workload, engine, cluster, seed, and cutoff.
+
+    Every field is declarative (strings, numbers, tuples) so the spec is
+    picklable, hashable, and has a stable JSON content hash. Engines are
+    named (``pado``, ``spark``, ``spark-checkpoint``); ``engine_options``
+    carries constructor/runtime knobs (for Pado these are
+    ``PadoRuntimeConfig`` fields, with ``scheduling_policy`` given by
+    policy name, e.g. ``"lifetime-aware"``).
+    """
+
+    workload: str
+    engine: str
+    scale: Optional[float] = None
+    seed: int = 11
+    time_limit_minutes: float = 150.0
+    num_reserved: int = 5
+    num_transient: int = 40
+    eviction: str = "none"
+    engine_options: tuple = ()
+    transient_pools: Optional[tuple] = None
+
+    @classmethod
+    def make(cls, workload: str, engine: str, *,
+             engine_options: Optional[dict] = None,
+             transient_pools: Optional[Sequence[PoolSpec]] = None,
+             **fields: Any) -> "RunSpec":
+        """Build a spec from a plain options dict and pool list."""
+        pools = tuple(transient_pools) if transient_pools else None
+        return cls(workload=workload, engine=engine,
+                   engine_options=_freeze_options(engine_options),
+                   transient_pools=pools, **fields)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the spec's canonical JSON form."""
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def options(self) -> dict:
+        return dict(self.engine_options)
+
+
+# ----------------------------------------------------------------------
+# spec -> runnable objects
+
+def engine_spec(engine: Union[str, EngineBase]) -> tuple[str, tuple]:
+    """``(name, engine_options)`` for an engine name or instance.
+
+    Instances of the three registered engines are introspected so existing
+    call sites (``engines=[PadoEngine()]``) keep working; custom engine
+    classes are not spec-able and raise.
+    """
+    if isinstance(engine, str):
+        return engine, ()
+    from repro.core.runtime.engine import PadoEngine
+    from repro.core.runtime.master import PadoRuntimeConfig
+    from repro.core.runtime.scheduler import LifetimeAwarePolicy
+    from repro.engines.spark import SparkEngine
+    from repro.engines.spark_checkpoint import SparkCheckpointEngine
+    if isinstance(engine, PadoEngine):
+        defaults = PadoRuntimeConfig()
+        options: dict[str, Any] = {}
+        for f in dataclasses.fields(PadoRuntimeConfig):
+            value = getattr(engine.config, f.name)
+            if value == getattr(defaults, f.name):
+                continue
+            if f.name == "scheduling_policy":
+                if isinstance(value, LifetimeAwarePolicy):
+                    value = "lifetime-aware"
+                else:
+                    raise TypeError(
+                        f"cannot spec scheduling policy {value!r}; "
+                        f"name it in engine_options instead")
+            options[f.name] = value
+        return "pado", _freeze_options(options)
+    if isinstance(engine, SparkCheckpointEngine):
+        options = {}
+        if engine.abort_on_fetch_failure is not True:
+            options["abort_on_fetch_failure"] = engine.abort_on_fetch_failure
+        if engine.store_bandwidth_factor != 0.6:
+            options["store_bandwidth_factor"] = engine.store_bandwidth_factor
+        return "spark-checkpoint", _freeze_options(options)
+    if isinstance(engine, SparkEngine):
+        options = {}
+        if engine.abort_on_fetch_failure is not True:
+            options["abort_on_fetch_failure"] = engine.abort_on_fetch_failure
+        return "spark", _freeze_options(options)
+    raise TypeError(f"cannot build a RunSpec for engine {engine!r}")
+
+
+def build_engine(spec: RunSpec) -> EngineBase:
+    """Instantiate the engine a spec names."""
+    options = spec.options()
+    if spec.engine == "pado":
+        from repro.core.runtime.engine import PadoEngine
+        from repro.core.runtime.master import PadoRuntimeConfig
+        policy_name = options.pop("scheduling_policy", None)
+        if policy_name is not None:
+            if policy_name != "lifetime-aware":
+                raise ValueError(
+                    f"unknown scheduling policy {policy_name!r}")
+            from repro.core.runtime.scheduler import LifetimeAwarePolicy
+            options["scheduling_policy"] = LifetimeAwarePolicy()
+        return PadoEngine(PadoRuntimeConfig(**options))
+    if spec.engine == "spark":
+        from repro.engines.spark import SparkEngine
+        return SparkEngine(**options)
+    if spec.engine == "spark-checkpoint":
+        from repro.engines.spark_checkpoint import SparkCheckpointEngine
+        return SparkCheckpointEngine(**options)
+    raise ValueError(f"unknown engine {spec.engine!r}; "
+                     f"choose from pado, spark, spark-checkpoint")
+
+
+def build_cluster(spec: RunSpec) -> ClusterConfig:
+    """Instantiate the simulated cluster a spec describes."""
+    from repro.trace.models import EvictionRate, ExponentialLifetimeModel
+    pools = None
+    if spec.transient_pools:
+        from repro.cluster.manager import TransientPool
+        pools = tuple(
+            TransientPool(p.name, p.count,
+                          ExponentialLifetimeModel(p.mean_lifetime_seconds),
+                          p.mean_lifetime_seconds)
+            for p in spec.transient_pools)
+    return ClusterConfig(num_reserved=spec.num_reserved,
+                         num_transient=spec.num_transient,
+                         eviction=EvictionRate(spec.eviction),
+                         transient_pools=pools)
+
+
+def execute_spec(spec: RunSpec) -> JobResult:
+    """Run one spec to completion (this is what worker processes execute)."""
+    from repro.bench.experiments import make_workload
+    program = make_workload(spec.workload, spec.scale)
+    engine = build_engine(spec)
+    return engine.run(program, build_cluster(spec), seed=spec.seed,
+                      time_limit=spec.time_limit_minutes * 60.0)
+
+
+# ----------------------------------------------------------------------
+# JobResult <-> JSON
+
+def result_to_dict(result: JobResult) -> dict:
+    """Canonical dict form of a :class:`JobResult` (JSON-safe for the
+    synthetic sweeps; raises ``TypeError`` later at ``json.dumps`` time if
+    extras/outputs carry non-JSON payloads)."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: dict) -> JobResult:
+    """Inverse of :func:`result_to_dict` (restores int partition keys)."""
+    outputs = data.get("outputs")
+    if outputs is not None:
+        outputs = {op: {int(index): records
+                        for index, records in parts.items()}
+                   for op, parts in outputs.items()}
+    fields = {f.name: data[f.name] for f in dataclasses.fields(JobResult)
+              if f.name in data}
+    fields["outputs"] = outputs
+    return JobResult(**fields)
+
+
+def canonical_result_json(result: JobResult) -> str:
+    """Byte-stable JSON encoding used for cache entries and equality
+    checks across serial/parallel runs."""
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# code fingerprint + on-disk cache
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest over every ``.py`` file under ``src/repro``; part of the
+    cache key so stale results never survive a code change."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+class ResultCache:
+    """One JSON file per completed spec, under
+    ``<dir>/<code fingerprint>/<spec hash>.json``."""
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, spec: RunSpec) -> pathlib.Path:
+        return (self.directory / code_fingerprint()
+                / f"{spec.content_hash()}.json")
+
+    def get(self, spec: RunSpec) -> Optional[JobResult]:
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return result_from_dict(data["result"])
+
+    def put(self, spec: RunSpec, result: JobResult) -> bool:
+        """Persist a result; returns False (and caches nothing) when the
+        result carries non-JSON payloads (real-data ``outputs``/extras)."""
+        try:
+            payload = json.dumps(
+                {"spec": dataclasses.asdict(spec),
+                 "result": result_to_dict(result)},
+                sort_keys=True)
+        except TypeError:
+            return False
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# the runner
+
+@dataclass
+class RunnerStats:
+    """What a :class:`SweepRunner` actually did."""
+
+    simulated: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.simulated} simulated, {self.cache_hits} cached, "
+                f"{self.deduplicated} deduplicated")
+
+
+class SweepRunner:
+    """Execute lists of :class:`RunSpec` with optional process-parallelism
+    and on-disk memoization.
+
+    ``workers=0`` (or 1) runs serially in-process — the default for
+    determinism-sensitive tests. ``workers=N`` fans pending specs out over
+    a ``ProcessPoolExecutor``; results always come back in spec order.
+    Identical specs within one call are simulated once (the simulation is
+    deterministic, so duplicates share the result object).
+    """
+
+    def __init__(self, workers: int = 0,
+                 cache_dir: Optional[Union[str, pathlib.Path]] = None)\
+            -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = RunnerStats()
+
+    def run(self, specs: Sequence[RunSpec]) -> list[JobResult]:
+        specs = list(specs)
+        results: list[Optional[JobResult]] = [None] * len(specs)
+
+        # Cache probe, then dedupe the misses by content hash.
+        pending: dict[str, list[int]] = {}
+        pending_specs: list[RunSpec] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    results[index] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            key = spec.content_hash()
+            if key in pending:
+                pending[key].append(index)
+                self.stats.deduplicated += 1
+            else:
+                pending[key] = [index]
+                pending_specs.append(spec)
+
+        fresh = self._execute(pending_specs)
+        self.stats.simulated += len(pending_specs)
+
+        for spec, result in zip(pending_specs, fresh):
+            for index in pending[spec.content_hash()]:
+                results[index] = result
+            if self.cache is not None:
+                self.cache.put(spec, result)
+        return results  # type: ignore[return-value]
+
+    def _execute(self, specs: list[RunSpec]) -> list[JobResult]:
+        if self.workers > 1 and len(specs) > 1:
+            max_workers = min(self.workers, len(specs))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(execute_spec, spec) for spec in specs]
+                return [future.result() for future in futures]
+        return [execute_spec(spec) for spec in specs]
+
+
+def run_specs(specs: Sequence[RunSpec], workers: int = 0,
+              cache: Optional[Union[str, pathlib.Path]] = None,
+              runner: Optional[SweepRunner] = None) -> list[JobResult]:
+    """Convenience wrapper: run specs through ``runner`` or a fresh
+    :class:`SweepRunner` built from ``workers``/``cache``."""
+    if runner is None:
+        runner = SweepRunner(workers=workers, cache_dir=cache)
+    return runner.run(specs)

@@ -141,8 +141,9 @@ class ResourceManager:
             if pool is not None:
                 self._pool_of[container.container_id] = pool
             if math.isfinite(lifetime):
-                self._sim.schedule(lifetime, lambda: self._evict(container),
-                                   priority=EVICTION_PRIORITY)
+                self._sim.schedule_fast(lifetime,
+                                        lambda: self._evict(container),
+                                        priority=EVICTION_PRIORITY)
         self.containers.append(container)
         if self._on_container is not None:
             self._on_container(container)
@@ -198,4 +199,4 @@ class ResourceManager:
             if container.alive:
                 self.inject_failure(container, replace=replace)
 
-        self._sim.schedule(delay, fire, priority=EVICTION_PRIORITY)
+        self._sim.schedule_fast(delay, fire, priority=EVICTION_PRIORITY)

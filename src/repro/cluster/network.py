@@ -166,7 +166,7 @@ class NetworkModel:
                                      dst=endpoint_label(dst),
                                      size_bytes=float(size_bytes),
                                      requested_at=now, ok=False))
-            self._sim.schedule(
+            self._sim.schedule_fast(
                 0.0, lambda: on_done(TransferResult(False, now, int(size_bytes))))
             return
         _, src_end = src.outbound().reserve(now, size_bytes)
@@ -187,7 +187,7 @@ class NetworkModel:
                                      requested_at=now, ok=ok))
             on_done(TransferResult(ok, self._sim.now, int(size_bytes)))
 
-        self._sim.schedule_at(finish, complete)
+        self._sim.schedule_at_fast(finish, complete)
 
 
 class DiskModel:
@@ -224,4 +224,4 @@ class DiskModel:
             if on_done is not None:
                 on_done(ok)
 
-        self._sim.schedule_at(end, complete)
+        self._sim.schedule_at_fast(end, complete)

@@ -446,7 +446,7 @@ class PadoMaster:
         reserved-side bottleneck of §3.2.7 / Figure 8c)."""
         _, end = executor.cpu.reserve(self.sim.now,
                                       seconds * executor.cpu.bandwidth)
-        self.sim.schedule_at(end, callback)
+        self.sim.schedule_at_fast(end, callback)
 
     def _reserved_compute_done(self, task: _ReservedTask, attempt: int,
                                input_bytes: float) -> None:
@@ -755,8 +755,8 @@ class PadoMaster:
         seconds = task.chain.compute_seconds(total, spec.cpu_throughput)
         seconds += self.ctx.cluster.task_overhead_seconds
         attempt = task.attempt
-        self.sim.schedule(seconds,
-                          lambda: self._compute_done(task, attempt))
+        self.sim.schedule_fast(seconds,
+                               lambda: self._compute_done(task, attempt))
 
     def _compute_done(self, task: _TransientTask, attempt: int) -> None:
         if task.attempt != attempt or task.status != _TransientTask.RUNNING:
@@ -1225,8 +1225,8 @@ class PadoMaster:
             run.pstage.index for run in self.stage_runs
             if run.status == _StageRun.DONE}
         if not self.completed:
-            self.sim.schedule(self.config.progress_replication_interval,
-                              self._snapshot_progress)
+            self.sim.schedule_fast(self.config.progress_replication_interval,
+                                   self._snapshot_progress)
 
     def fail_master(self) -> None:
         """Simulate a master crash + restart from replicated metadata.

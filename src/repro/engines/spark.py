@@ -442,11 +442,11 @@ class SparkMaster:
         if task.executor is self.driver:
             _, end = self.driver.cpu.reserve(
                 self.sim.now, seconds * self.driver.cpu.bandwidth)
-            self.sim.schedule_at(
+            self.sim.schedule_at_fast(
                 end, lambda: self._compute_done(task, attempt))
         else:
-            self.sim.schedule(seconds,
-                              lambda: self._compute_done(task, attempt))
+            self.sim.schedule_fast(seconds,
+                                   lambda: self._compute_done(task, attempt))
 
     def _compute_done(self, task: _SparkTask, attempt: int) -> None:
         if task.attempt != attempt or task.status != _SparkTask.RUNNING:

@@ -134,3 +134,141 @@ def test_events_processed_counter():
 
 def test_step_returns_false_when_empty():
     assert Simulator().step() is False
+
+
+# ----------------------------------------------------------------------
+# run(until=...) drain consistency
+
+
+def test_run_until_advances_now_when_heap_drains_early():
+    # Regression: ``now`` used to stop at the last event when the heap
+    # drained before ``until``, but advanced to ``until`` when later
+    # events existed; the two paths must agree.
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_run_until_advances_now_on_empty_heap():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_run_until_drained_matches_pending_path():
+    drained = Simulator()
+    drained.schedule(1.0, lambda: None)
+    drained.run(until=5.0)
+    pending = Simulator()
+    pending.schedule(1.0, lambda: None)
+    pending.schedule(10.0, lambda: None)
+    pending.run(until=5.0)
+    assert drained.now == pending.now == 5.0
+
+
+def test_run_until_does_not_move_now_backwards():
+    sim = Simulator()
+    sim.schedule(7.0, lambda: None)
+    sim.run()
+    sim.run(until=3.0)
+    assert sim.now == 7.0
+
+
+# ----------------------------------------------------------------------
+# handle-free fast scheduling
+
+
+def test_schedule_fast_fires_in_order_with_regular_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("slow"))
+    sim.schedule_fast(1.0, lambda: order.append("fast"))
+    sim.schedule_at_fast(2.0, lambda: order.append("fast-at"), priority=-1)
+    sim.run()
+    assert order == ["fast", "fast-at", "slow"]
+
+
+def test_schedule_fast_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(math.nan, lambda: None)
+
+
+def test_schedule_at_fast_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at_fast(1.0, lambda: None)
+
+
+def test_fast_and_regular_share_sequence_numbers():
+    sim = Simulator()
+    order = []
+    sim.schedule_fast(1.0, lambda: order.append("a"))
+    sim.schedule(1.0, lambda: order.append("b"))
+    sim.schedule_fast(1.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# cancellation tombstones and heap compaction
+
+
+def test_cancel_is_idempotent_and_counts_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.cancelled_pending == 1
+    sim.run()
+    assert sim.cancelled_pending == 0
+
+
+def test_cancel_after_fire_is_harmless():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    handle.cancel()
+    assert fired == [1]
+    assert handle.cancelled  # the entry is tombstoned, but already fired
+    sim.schedule(1.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_mass_cancellation_compacts_the_heap():
+    # Regression: long Spark runs under high eviction cancel many timers;
+    # cancelled entries must not accumulate past the live-entry count.
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(100.0 + i, lambda: None) for i in range(300)]
+    for i in range(100):
+        sim.schedule(500.0 + i, lambda i=i: fired.append(i))
+    for handle in handles:
+        handle.cancel()
+    # Compaction keeps tombstones bounded by the live entries.
+    assert sim.pending_events < 400
+    assert sim.cancelled_pending * 2 <= sim.pending_events + 1
+    sim.run()
+    assert fired == list(range(100))
+    assert sim.events_processed == 100
+    assert sim.pending_events == 0
+
+
+def test_small_cancellation_storms_skip_compaction():
+    # Below the compaction threshold nothing is rebuilt: entries are only
+    # dropped lazily as they surface.
+    sim = Simulator()
+    handles = [sim.schedule(10.0 + i, lambda: None) for i in range(20)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.pending_events == 20
+    assert sim.cancelled_pending == 20
+    sim.run()
+    assert sim.events_processed == 0

@@ -32,3 +32,25 @@ def test_fig7_with_tiny_scale(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["nope"])
+
+
+def test_sweep_with_workers_and_cache(tmp_path, capsys):
+    argv = ["sweep", "--workload", "mr", "--scale", "0.02",
+            "--rates", "none,high", "--engines", "pado",
+            "--workers", "2", "--cache", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Eviction sweep (mr)" in out
+    assert "2 simulated, 0 cached" in out
+    # warm cache: the same sweep re-runs without simulating anything
+    assert main(argv) == 0
+    assert "0 simulated, 2 cached" in capsys.readouterr().out
+
+
+def test_sweep_averaged(capsys):
+    assert main(["sweep", "--workload", "mr", "--scale", "0.02",
+                 "--averaged", "--seeds", "1,2", "--rates", "high",
+                 "--engines", "pado"]) == 0
+    out = capsys.readouterr().out
+    assert "±" in out
+    assert "2 simulated" in out
