@@ -1,7 +1,6 @@
 """Figure 9: Pado's scalability with a fixed 8:1 ratio of transient to
 reserved containers under the high eviction rate."""
 
-from repro.bench.experiments import jct_of
 from repro.bench import fig9_scalability, render_table
 
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate the golden values in ``tests/test_engine_parity.py``.
+
+The parity test pins every ``JobResult`` field of a fixed grid of
+(workload, engine, seed) runs so that refactors of the execution substrate
+(`repro.core.exec`) cannot silently perturb simulation results. Run this
+script ONLY when a change is *supposed* to alter results, review the diff,
+and paste the printed dict over ``GOLDEN`` in the test file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_parity_goldens.py
+"""
+
+from __future__ import annotations
+
+import pprint
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ClusterConfig, PadoEngine, SparkCheckpointEngine, SparkEngine
+from repro.trace.models import ExponentialLifetimeModel
+from repro.workloads import mlr_synthetic_program, mr_synthetic_program
+
+ENGINES = {
+    "pado": PadoEngine,
+    "spark": SparkEngine,
+    "spark_checkpoint": SparkCheckpointEngine,
+}
+
+WORKLOADS = {
+    "mlr": lambda: mlr_synthetic_program(iterations=2, scale=0.05),
+    "mr": lambda: mr_synthetic_program(scale=0.05),
+}
+
+SEEDS = (0, 1, 2)
+
+CLUSTER = dict(num_reserved=2, num_transient=5,
+               eviction=ExponentialLifetimeModel(600.0))
+
+TIME_LIMIT = 48 * 3600.0
+
+#: JobResult fields pinned by the parity test.
+FIELDS = ("completed", "jct_seconds", "original_tasks", "launched_tasks",
+          "evictions", "bytes_input_read", "bytes_shuffled", "bytes_pushed",
+          "bytes_checkpointed")
+
+
+def run_grid() -> dict:
+    golden = {}
+    for wname, make in sorted(WORKLOADS.items()):
+        for ename, engine_cls in sorted(ENGINES.items()):
+            for seed in SEEDS:
+                result = engine_cls().run(make(), ClusterConfig(**CLUSTER),
+                                          seed=seed, time_limit=TIME_LIMIT)
+                golden[(wname, ename, seed)] = {
+                    field: getattr(result, field) for field in FIELDS}
+    return golden
+
+
+if __name__ == "__main__":
+    pprint.pprint(run_grid(), sort_dicts=True)

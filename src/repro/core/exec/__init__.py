@@ -1,0 +1,35 @@
+"""repro.core.exec — the execution substrate under every engine master.
+
+The Pado evaluation compares runtime *disciplines* (push-to-reserved
+retention vs. pull + recompute vs. pull + checkpoint) over one cluster
+substrate; this package is the corresponding seam in the code. It holds
+the machinery every master repeats —
+
+* :class:`TaskAttempt` / :class:`TaskState` — the task-attempt state
+  machine with centralized attempt counting and validated transitions;
+* :class:`FetchService` + :class:`RetryPolicy` — the per-attempt input
+  barrier, coalesced fetches, and abort/retry orchestration;
+* :class:`OutputRegistry` — preserved outputs with reachability queries
+  and consumer waiters;
+* :class:`SimExecutor` — slot/cpu/disk bookkeeping per container;
+
+— so each engine master contributes only policy (Pado: push-to-reserved +
+lifetime placement; Spark: lazy pull + lineage recompute; Spark-checkpoint:
+pull + stable-store writes). See ``docs/ARCHITECTURE.md`` for the layer
+diagram.
+"""
+
+from repro.core.exec.attempt import (ACTIVE_STATES, IllegalTransition,
+                                     TaskAttempt, TaskState)
+from repro.core.exec.executor import SimExecutor
+from repro.core.exec.fetch import (CappedAttempts, DelayedRefetch,
+                                   FetchResult, FetchService, ImmediateRetry,
+                                   InflightIndex, RetryPolicy)
+from repro.core.exec.outputs import OutputRecord, OutputRegistry
+
+__all__ = [
+    "ACTIVE_STATES", "CappedAttempts", "DelayedRefetch", "FetchResult",
+    "FetchService", "IllegalTransition", "ImmediateRetry", "InflightIndex",
+    "OutputRecord", "OutputRegistry", "RetryPolicy", "SimExecutor",
+    "TaskAttempt", "TaskState",
+]

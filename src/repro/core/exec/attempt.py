@@ -1,0 +1,140 @@
+"""The task-attempt state machine shared by every engine master.
+
+All three engines (Pado, Spark, Spark-checkpoint) move tasks through the
+same lifecycle even though their recovery *policies* differ:
+
+    PENDING -> QUEUED -> FETCHING -> COMPUTING -> DELIVERING -> DONE
+
+``reset()`` abandons the current attempt from any state (eviction, fetch
+failure, repair, master restart) and returns the task to its initial state
+with the attempt counter bumped — the abandoned attempt number is what the
+:class:`~repro.obs.events.Relaunch` event names. Engine-specific vocabulary
+maps onto the canonical states:
+
+===============  ==================  ===============  =================
+canonical        Pado transient      Pado reserved    Spark
+===============  ==================  ===============  =================
+PENDING          pending             —                pending
+QUEUED           queued              —                queued
+FETCHING         assigned            receiving        assigned
+COMPUTING        running             computing        running
+DELIVERING       pushing             —                writing
+DONE             committed           done             done
+===============  ==================  ===============  =================
+
+Forward transitions are validated (:class:`IllegalTransition` on a skip or
+a backward move); only ``reset()`` may rewind.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.exec.executor import SimExecutor
+
+__all__ = ["TaskState", "TaskAttempt", "IllegalTransition", "ACTIVE_STATES"]
+
+
+class IllegalTransition(ExecutionError):
+    """A task was moved to a state unreachable from its current one."""
+
+
+class TaskState:
+    """Canonical task lifecycle states (string-valued for cheap trace
+    readability; compared by identity in the hot path)."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    FETCHING = "fetching"
+    COMPUTING = "computing"
+    DELIVERING = "delivering"
+    DONE = "done"
+
+
+#: States in which an attempt occupies an executor — the states an eviction
+#: must abort (a PENDING/QUEUED task has nothing to lose; a DONE task's
+#: output survives in the output registry or on disk).
+ACTIVE_STATES = (TaskState.FETCHING, TaskState.COMPUTING,
+                 TaskState.DELIVERING)
+
+_ALLOWED: dict[str, frozenset] = {
+    TaskState.PENDING: frozenset({TaskState.QUEUED, TaskState.FETCHING}),
+    TaskState.QUEUED: frozenset({TaskState.FETCHING}),
+    TaskState.FETCHING: frozenset({TaskState.COMPUTING}),
+    TaskState.COMPUTING: frozenset({TaskState.DELIVERING, TaskState.DONE}),
+    TaskState.DELIVERING: frozenset({TaskState.DONE}),
+    TaskState.DONE: frozenset(),
+}
+
+
+class TaskAttempt:
+    """Base class for one task's state across attempts.
+
+    Subclasses add the engine-specific identity (``key``) and per-attempt
+    scratch (cleared via the ``_reset_scratch`` hook). The generic fields
+    here are exactly the ones the shared :class:`~repro.core.exec.fetch.
+    FetchService` barrier and the master-side assignment path manipulate.
+    """
+
+    #: State a fresh task (and a reset one) starts in. Pado's reserved
+    #: receivers override this to FETCHING: they are placed directly,
+    #: never queued.
+    initial_state = TaskState.PENDING
+
+    def __init__(self) -> None:
+        self._status = self.initial_state
+        self.executor: Optional["SimExecutor"] = None
+        self.attempt = 0
+        self.cache_keys: set = set()
+        # per-attempt fetch barrier:
+        self.outstanding_fetches = 0
+        self.fetch_failed = False
+        self.failed_parents: set = set()
+        self.input_bytes_by_parent: dict[str, float] = {}
+        self.external_inputs: dict[str, list] = {}
+
+    @property
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    @property
+    def status(self) -> str:
+        return self._status
+
+    @status.setter
+    def status(self, new: str) -> None:
+        old = self._status
+        if new == old:
+            return
+        if new not in _ALLOWED.get(old, frozenset()):
+            raise IllegalTransition(
+                f"task {getattr(self, 'key', '?')} attempt {self.attempt}: "
+                f"cannot move {old!r} -> {new!r}")
+        self._status = new
+
+    def begin_attempt(self, executor: "SimExecutor") -> None:
+        """Bind this attempt to an executor slot and start fetching."""
+        self.status = TaskState.FETCHING
+        self.executor = executor
+        self.fetch_failed = False
+        self.input_bytes_by_parent = {}
+        self.external_inputs = {}
+
+    def reset(self) -> None:
+        """Abandon the current attempt: bump the attempt counter and return
+        to the initial state (the one rewind the state machine allows)."""
+        self.attempt += 1
+        self._status = self.initial_state
+        self.executor = None
+        self.outstanding_fetches = 0
+        self.fetch_failed = False
+        self.failed_parents = set()
+        self.input_bytes_by_parent = {}
+        self.external_inputs = {}
+        self._reset_scratch()
+
+    def _reset_scratch(self) -> None:
+        """Hook: clear engine-specific per-attempt scratch state."""

@@ -1,0 +1,60 @@
+"""Executor bookkeeping shared by every engine (§3.2.4)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.events import Simulator
+from repro.cluster.network import ContainerEndpoint, DiskModel, FifoPort
+from repro.cluster.resources import Container
+from repro.errors import ExecutionError
+
+__all__ = ["SimExecutor"]
+
+
+class SimExecutor:
+    """Executor process bound to one container (§3.2.4).
+
+    Transient-task execution occupies task slots (one per core); reserved
+    receivers additionally serialize their processing through the ``cpu``
+    FIFO, modelling the limited computational resources of the few reserved
+    executors that §3.2.7 worries about.
+    """
+
+    def __init__(self, container: Container, sim: Simulator,
+                 slots: Optional[int] = None) -> None:
+        self.container = container
+        self.endpoint = ContainerEndpoint(container)
+        self.disk = DiskModel(sim, container)
+        self.cpu = FifoPort(container.spec.cores
+                            * container.spec.cpu_throughput)
+        self.slots = slots if slots is not None else container.spec.cores
+        self.free_slots = self.slots
+        self.cache: Optional[Any] = None  # attached by engines that cache
+
+    @property
+    def executor_id(self) -> int:
+        return self.container.container_id
+
+    @property
+    def alive(self) -> bool:
+        return self.container.alive
+
+    @property
+    def is_reserved(self) -> bool:
+        return self.container.is_reserved
+
+    def acquire_slot(self) -> bool:
+        if self.free_slots <= 0:
+            return False
+        self.free_slots -= 1
+        return True
+
+    def release_slot(self) -> None:
+        if self.free_slots >= self.slots:
+            raise ExecutionError("slot released twice")
+        self.free_slots += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "R" if self.is_reserved else "T"
+        return f"<Executor {self.executor_id}{kind}>"

@@ -1,0 +1,238 @@
+"""Fetch orchestration: the per-attempt input barrier and retry policies.
+
+Every engine master runs the same input barrier for a task attempt: plan a
+set of fetches, count them down as each arrives or breaks, then either
+start computing (all arrived) or abort the attempt (any broke). What
+differs between engines is *policy* — what happens on a miss and on an
+abort — which is exactly what :class:`RetryPolicy` captures:
+
+* :class:`ImmediateRetry` — abort the whole attempt and resubmit at once
+  (Pado; real Spark's FetchFailed handling);
+* :class:`DelayedRefetch` — keep the attempt alive, re-issue only the lost
+  fetch once the producer output is back (the optimistic Spark ablation);
+* :class:`CappedAttempts` — give up after N attempts and surface a job
+  failure instead of looping forever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable, Optional
+
+from repro.dataflow.dag import Edge, route_output, route_sizes
+from repro.errors import ExecutionError
+
+from repro.core.exec.attempt import TaskAttempt, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.cluster.storage import InputStore
+    from repro.core.exec.executor import SimExecutor
+    from repro.core.runtime.scheduler import TaskScheduler
+
+__all__ = ["FetchResult", "RetryPolicy", "ImmediateRetry", "DelayedRefetch",
+           "CappedAttempts", "InflightIndex", "FetchService"]
+
+
+class FetchResult:
+    """Outcome of a preserved-output fetch."""
+
+    __slots__ = ("ok", "size", "payload")
+
+    def __init__(self, ok: bool, size: float,
+                 payload: Optional[list]) -> None:
+        self.ok = ok
+        self.size = size
+        self.payload = payload
+
+
+class RetryPolicy:
+    """What to do when an input fetch misses or an attempt aborts."""
+
+    #: True: a missing producer output fails the whole attempt (the master
+    #: aborts and resubmits). False: the attempt stays alive and only the
+    #: lost fetch is re-issued once the output is recomputed.
+    abort_on_miss = True
+
+    def before_abort(self, task: TaskAttempt) -> None:
+        """Called before an attempt is abandoned; may raise to surface a
+        job failure instead of retrying."""
+
+
+class ImmediateRetry(RetryPolicy):
+    """Abort the attempt and resubmit immediately (default)."""
+
+
+class DelayedRefetch(RetryPolicy):
+    """Keep fetched partitions; re-pull only the lost ones later."""
+
+    abort_on_miss = False
+
+
+class CappedAttempts(RetryPolicy):
+    """Fail the job once a task has been attempted ``max_attempts`` times."""
+
+    def __init__(self, max_attempts: int) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+
+    def before_abort(self, task: TaskAttempt) -> None:
+        if task.attempt + 1 >= self.max_attempts:
+            raise ExecutionError(
+                f"task {task.key} exhausted {self.max_attempts} attempts")
+
+
+class InflightIndex:
+    """Coalesces concurrent fetches of one key to one transfer.
+
+    The first caller opens the entry and performs the transfer; later
+    callers ``join`` as waiters and are handed the result when the opener
+    ``drain``\\ s the entry (Pado's shared cacheable-input fetch, §3.2.7;
+    Spark's per-executor TorrentBroadcast block fetch).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, list] = {}
+
+    def join(self, key: Hashable, waiter) -> bool:
+        """True if a fetch of ``key`` is already in flight (``waiter`` was
+        queued); False if the caller just opened the entry and must fetch."""
+        waiters = self._inflight.get(key)
+        if waiters is not None:
+            waiters.append(waiter)
+            return True
+        self._inflight[key] = []
+        return False
+
+    def drain(self, key: Hashable) -> list:
+        """Close the entry, returning the queued waiters."""
+        return self._inflight.pop(key, [])
+
+
+class FetchService:
+    """The per-attempt input barrier shared by every master.
+
+    Owns the countdown (``begin``/``arrived``/``broke``), the abort path
+    (trace + reset + slot release + policy), executor-side input caching,
+    and in-flight coalescing. The master supplies the policy callbacks:
+    ``on_ready`` (all inputs arrived — start computing) and ``after_abort``
+    (attempt abandoned — requeue per engine semantics).
+    """
+
+    def __init__(self, input_store: "InputStore",
+                 scheduler: "TaskScheduler",
+                 on_ready: Callable[[TaskAttempt], None],
+                 after_abort: Callable[[TaskAttempt, set], None],
+                 trace_relaunch: Callable[..., None],
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self.input_store = input_store
+        self.scheduler = scheduler
+        self.on_ready = on_ready
+        self.after_abort = after_abort
+        self.trace_relaunch = trace_relaunch
+        self.retry = retry if retry is not None else ImmediateRetry()
+        self.inflight = InflightIndex()
+        #: Executor whose tasks do not occupy scheduler slots (the Spark
+        #: driver); its slots are never released on abort.
+        self.slotless: Optional["SimExecutor"] = None
+
+    # ------------------------------------------------------------------
+    # the barrier
+
+    def begin(self, task: TaskAttempt,
+              fetches: list[Callable[[], None]]) -> None:
+        """Arm the barrier for one attempt and issue the fetches."""
+        task.outstanding_fetches = len(fetches)
+        if not fetches:
+            self.on_ready(task)
+            return
+        for fetch in fetches:
+            fetch()
+
+    def arrived(self, task: TaskAttempt, attempt: int, parent: str,
+                size: float, payload: Optional[list]) -> None:
+        if task.attempt != attempt or task.status != TaskState.FETCHING:
+            return  # stale arrival for an abandoned attempt
+        task.input_bytes_by_parent[parent] = \
+            task.input_bytes_by_parent.get(parent, 0.0) + size
+        if payload is not None:
+            task.external_inputs.setdefault(parent, []).extend(payload)
+        task.outstanding_fetches -= 1
+        if task.outstanding_fetches == 0:
+            if task.fetch_failed:
+                self.abort_attempt(task)
+            else:
+                self.on_ready(task)
+
+    def broke(self, task: TaskAttempt, attempt: int) -> None:
+        if task.attempt != attempt or task.status != TaskState.FETCHING:
+            return
+        task.fetch_failed = True
+        task.outstanding_fetches -= 1
+        if task.outstanding_fetches == 0:
+            self.abort_attempt(task)
+
+    def arrived_routed(self, task: TaskAttempt, attempt: int, edge: Edge,
+                       pidx: int, size: float,
+                       payload: Optional[list]) -> None:
+        """Record arrival of one parent partition, keeping only this task's
+        share of the bytes (and records, in real-data mode)."""
+        share = route_sizes(edge, pidx, size).get(task.index, 0.0)
+        routed = None
+        if payload is not None:
+            routed = route_output(edge, pidx, payload).get(task.index, [])
+        self.arrived(task, attempt, edge.src.name, share, routed)
+
+    def abort_attempt(self, task: TaskAttempt,
+                      cause: str = "fetch-failed") -> None:
+        """Give up on this attempt (input unavailable); the retry policy
+        decides whether the job keeps going."""
+        executor = task.executor
+        failed = set(task.failed_parents)
+        self.retry.before_abort(task)
+        self.trace_relaunch(task, cause)
+        task.reset()
+        if executor is not None and executor is not self.slotless \
+                and executor.alive:
+            executor.release_slot()
+            self.scheduler.slot_released()
+        self.after_abort(task, failed)
+
+    # ------------------------------------------------------------------
+    # common fetch kinds
+
+    def fetch_source(self, task: TaskAttempt, attempt: int,
+                     cache: bool = False) -> None:
+        """Read the task's input-store partition (the chain head's split)."""
+        executor = task.executor
+        head = task.chain.head
+        key = (head.input_ref, task.index)
+        size = self.input_store.size_of(key)
+        if cache:
+            if self.cache_lookup(executor, key) is not None:
+                self.arrived(task, attempt, head.name, size, None)
+                return
+
+        def done(result) -> None:
+            if not result.ok:
+                self.broke(task, attempt)
+                return
+            if cache:
+                self.cache_store(executor, head, key, size, None)
+            self.arrived(task, attempt, head.name, size, None)
+
+        self.input_store.read(key, executor.endpoint, done)
+
+    # ------------------------------------------------------------------
+    # executor-side input cache (§3.2.7)
+
+    def cache_lookup(self, executor: "SimExecutor",
+                     key: tuple) -> Optional[tuple]:
+        if executor.cache is None:
+            return None
+        return executor.cache.get(key)
+
+    def cache_store(self, executor: "SimExecutor", consumer_op, key: tuple,
+                    size: float, payload) -> None:
+        if executor.cache is None or not consumer_op.cacheable:
+            return
+        executor.cache.put(key, size, payload)

@@ -1,0 +1,133 @@
+"""Registry of preserved task outputs with reachability and waiters.
+
+Unifies what the Pado master called ``_OutputRecord`` (partitions preserved
+on reserved executors, §3.2.4) and the Spark master's ``_Output`` (map
+outputs on executor local disk, checkpoints on the stable store, §2.2):
+one record type that knows where an output lives and whether a consumer
+could still fetch it, plus the waiter queue both masters used to park
+consumers on outputs being (re)computed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable, Optional
+
+from repro.obs.events import FetchMiss
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.cluster.events import Simulator
+    from repro.core.exec.executor import SimExecutor
+    from repro.obs.tracer import Tracer
+
+__all__ = ["OutputRecord", "OutputRegistry"]
+
+
+class OutputRecord:
+    """One task output: where it lives and whether it is still there."""
+
+    __slots__ = ("executor", "size", "payload", "available",
+                 "checkpointed", "checkpoint_inflight")
+
+    def __init__(self, executor: Optional["SimExecutor"], size: float,
+                 payload: Optional[list]) -> None:
+        self.executor = executor          # None = lives on the driver
+        self.size = size
+        self.payload = payload
+        self.available = True
+        self.checkpointed = False
+        self.checkpoint_inflight = False
+
+    def reachable(self) -> bool:
+        """Could a consumer still fetch this output?"""
+        if self.checkpointed:
+            return True  # durable on the stable store
+        if not self.available:
+            return False
+        if self.executor is None:
+            return True  # driver-resident
+        return self.executor.alive
+
+
+class OutputRegistry:
+    """Keyed store of :class:`OutputRecord` plus consumer waiters.
+
+    ``wait(key, cb)`` parks a callback until ``notify(key)`` — the seam
+    both repair (Pado §3.2.6) and lineage recomputation (Spark §2.2) hang
+    off. The registry never notifies implicitly on ``put``: the master
+    decides when an output is announced (e.g. Spark checkpoints fire the
+    engine hook before waiters run).
+    """
+
+    def __init__(self, tracer: "Optional[Tracer]" = None,
+                 sim: "Optional[Simulator]" = None) -> None:
+        self._records: dict[Hashable, OutputRecord] = {}
+        self._waiters: dict[Hashable, list[Callable[[], None]]] = {}
+        self.tracer = tracer
+        self.sim = sim
+
+    # ------------------------------------------------------------------
+    # mapping surface (tests and masters read through these)
+
+    def put(self, key: Hashable, executor: Optional["SimExecutor"],
+            size: float, payload: Optional[list]) -> OutputRecord:
+        record = OutputRecord(executor, size, payload)
+        self._records[key] = record
+        return record
+
+    def get(self, key: Hashable, default=None) -> Optional[OutputRecord]:
+        return self._records.get(key, default)
+
+    def pop(self, key: Hashable, default=None) -> Optional[OutputRecord]:
+        return self._records.pop(key, default)
+
+    def __getitem__(self, key: Hashable) -> OutputRecord:
+        return self._records[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def items(self):
+        return self._records.items()
+
+    def values(self):
+        return self._records.values()
+
+    def keys(self):
+        return self._records.keys()
+
+    # ------------------------------------------------------------------
+    # reachability and loss
+
+    def reachable(self, key: Hashable) -> bool:
+        record = self._records.get(key)
+        return record is not None and record.reachable()
+
+    def mark_executor_lost(self, executor: "SimExecutor") -> list:
+        """Flag every non-checkpointed output on ``executor`` as lost;
+        returns their keys in registration order."""
+        lost = []
+        for key, record in self._records.items():
+            if record.executor is executor and not record.checkpointed:
+                record.available = False
+                lost.append(key)
+        return lost
+
+    def trace_miss(self, op: str, index: int) -> None:
+        """Emit a :class:`~repro.obs.events.FetchMiss` — the lazy discovery
+        of preserved-data loss."""
+        if self.tracer is not None:
+            self.tracer.emit(FetchMiss(time=self.sim.now, op=op,
+                                       index=index))
+
+    # ------------------------------------------------------------------
+    # waiters
+
+    def wait(self, key: Hashable, callback: Callable[[], None]) -> None:
+        self._waiters.setdefault(key, []).append(callback)
+
+    def notify(self, key: Hashable) -> None:
+        for waiter in self._waiters.pop(key, []):
+            waiter()

@@ -7,8 +7,7 @@ from typing import Optional
 from repro.core.compiler.pipeline import compile_program
 from repro.core.runtime.master import PadoMaster, PadoRuntimeConfig
 from repro.core.runtime.plan import build_execution_plan
-from repro.engines.base import (ClusterConfig, EngineBase, JobResult,
-                                Program, SimContext)
+from repro.engines.base import EngineBase, Program, SimContext
 
 
 class PadoEngine(EngineBase):
@@ -33,34 +32,3 @@ class PadoEngine(EngineBase):
         master = PadoMaster(ctx, program, plan, self.config)
         master.start()
         return master
-
-    def _is_done(self, master: PadoMaster) -> bool:
-        return master.completed
-
-    def _finish(self, ctx: SimContext, program: Program, master: PadoMaster,
-                time_limit: Optional[float]) -> JobResult:
-        completed = master.completed
-        if completed:
-            jct = master.jct
-        else:
-            jct = time_limit if time_limit is not None else ctx.sim.now
-        outputs = master.job_outputs if program.is_real() else None
-        return JobResult(
-            engine=self.name,
-            workload=program.name,
-            completed=completed,
-            jct_seconds=float(jct if jct is not None else ctx.sim.now),
-            original_tasks=master.plan.total_tasks,
-            launched_tasks=ctx.tasks_launched,
-            evictions=ctx.rm.evictions,
-            bytes_input_read=ctx.input_store.bytes_read,
-            bytes_shuffled=ctx.bytes_shuffled,
-            bytes_pushed=ctx.bytes_pushed,
-            bytes_checkpointed=0,
-            outputs=outputs,
-            extras={
-                "commits": master.commit_count,
-                "reserved_repairs": master.reserved_repairs,
-                "stages": len(master.stage_runs),
-            },
-        )

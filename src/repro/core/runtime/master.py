@@ -15,6 +15,11 @@ Orchestrates a compiled job on the simulated cluster (§3.2):
 * optional task-input caching and task-output partial aggregation reduce the
   load on the small reserved side (§3.2.7).
 
+The attempt lifecycle, fetch barrier, and output bookkeeping live in
+:mod:`repro.core.exec` (shared with the Spark masters); this module adds
+Pado's policy: push-to-reserved retention, receiver repair, and
+lifetime-aware placement.
+
 Partial aggregation affects simulated transfer sizes through the combiner's
 ``merged_size_bytes``; in real-data mode the routed records travel unmerged
 inside the batch (the combine logic is associative, so merging at the
@@ -25,21 +30,25 @@ identical).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional
+from typing import Callable, Hashable, Optional
 
 from repro.cluster.network import InfiniteEndpoint, TransferResult
 from repro.core.compiler.fusion import FusedOperator
+from repro.core.exec import (FetchResult, RetryPolicy, TaskAttempt,
+                             TaskState)
 from repro.core.runtime.aggregation import AggregationBuffer, Contribution
 from repro.core.runtime.cache import LruCache
 from repro.core.runtime.plan import (ExecutionPlan, InterChainEdge,
                                      PhysicalStage)
-from repro.core.runtime.scheduler import SchedulingPolicy, TaskScheduler
-from repro.dataflow.dag import (DependencyType, Edge, route_output,
-                                route_sizes, source_indices)
-from repro.engines.base import Program, SimContext, SimExecutor
+from repro.core.runtime.scheduler import SchedulingPolicy
+from repro.dataflow.dag import (DependencyType, Edge, destination_indices,
+                                route_output, route_sizes, source_indices,
+                                transfer_fraction)
+from repro.engines.base import (MasterBase, Program, SimContext,
+                                SimExecutor)
 from repro.errors import ExecutionError
-from repro.obs.events import (FetchMiss, Relaunch, StageEnd, StageStart,
-                              TaskCommitted, TaskPushed, TaskStart)
+from repro.obs.events import StageEnd, StageStart, TaskCommitted, TaskPushed, \
+    TaskStart
 
 
 @dataclass(frozen=True)
@@ -53,49 +62,19 @@ class PadoRuntimeConfig:
     cache_fraction: float = 0.3
     scheduling_policy: Optional[SchedulingPolicy] = None
     progress_replication_interval: float = 30.0
+    retry_policy: Optional[RetryPolicy] = None
 
 
-class _OutputRecord:
-    """A stage output partition preserved on a reserved executor."""
-
-    __slots__ = ("executor", "size", "payload", "available")
-
-    def __init__(self, executor: SimExecutor, size: float,
-                 payload: Optional[list]) -> None:
-        self.executor = executor
-        self.size = size
-        self.payload = payload
-        self.available = True
-
-
-class _TransientTask:
+class _TransientTask(TaskAttempt):
     """State of one transient task across attempts."""
-
-    PENDING = "pending"
-    QUEUED = "queued"
-    ASSIGNED = "assigned"
-    RUNNING = "running"
-    PUSHING = "pushing"
-    COMMITTED = "committed"
 
     def __init__(self, stage_run: "_StageRun", chain: FusedOperator,
                  index: int) -> None:
+        super().__init__()
         self.stage_run = stage_run
         self.chain = chain
         self.index = index
-        self.status = self.PENDING
-        self.executor: Optional[SimExecutor] = None
-        self.attempt = 0
-        self.cache_keys: set = set()
-        # per-attempt scratch:
-        self.outstanding_fetches = 0
-        self.fetch_failed = False
-        self.input_bytes_by_parent: dict[str, float] = {}
-        self.external_inputs: dict[str, list] = {}
-        self.pending_deliveries: set = set()
-        self.delivered_dsts: set = set()
-        self.output_records: Optional[list] = None
-        self.output_bytes = 0.0
+        self._reset_scratch()
 
     @property
     def key(self) -> tuple:
@@ -113,54 +92,36 @@ class _TransientTask:
         """Called by the scheduler when a slot is acquired for this task."""
         self.stage_run.master._task_assigned(self, executor)
 
-    def reset(self) -> None:
-        self.attempt += 1
-        self.status = self.PENDING
-        self.executor = None
-        self.outstanding_fetches = 0
-        self.fetch_failed = False
-        self.input_bytes_by_parent = {}
-        self.external_inputs = {}
-        self.pending_deliveries = set()
-        self.delivered_dsts = set()
-        self.output_records = None
+    def _reset_scratch(self) -> None:
+        self.pending_deliveries: set = set()
+        self.delivered_dsts: set = set()
+        self.output_records: Optional[list] = None
         self.output_bytes = 0.0
 
 
-class _ReservedTask:
+class _ReservedTask(TaskAttempt):
     """State of one reserved receiver/compute task."""
 
-    RECEIVING = "receiving"
-    COMPUTING = "computing"
-    DONE = "done"
+    initial_state = TaskState.FETCHING  # placed directly, never queued
 
     def __init__(self, stage_run: "_StageRun", index: int) -> None:
+        super().__init__()
         self.stage_run = stage_run
         self.index = index
-        self.attempt = 0
-        self.executor: Optional[SimExecutor] = None
-        self.status = self.RECEIVING
         self.expected: set = set()
-        self.committed: set = set()
-        self.arrived: dict[Hashable, tuple[float, Optional[list], str]] = {}
         self.consumed_keys: set = set()  # producer keys at last DONE
-        self.boundary_outstanding = 0
-        self.boundary_bytes_by_parent: dict[str, float] = {}
-        self.boundary_payloads: dict[str, list] = {}
+        self._reset_scratch()
 
     @property
     def key(self) -> tuple:
         return ("__root__", self.index)
 
-    def reset(self) -> None:
-        self.attempt += 1
-        self.executor = None
-        self.status = self.RECEIVING
-        self.committed = set()
-        self.arrived = {}
+    def _reset_scratch(self) -> None:
+        self.committed: set = set()
+        self.arrived: dict[Hashable, tuple[float, Optional[list], str]] = {}
         self.boundary_outstanding = 0
-        self.boundary_bytes_by_parent = {}
-        self.boundary_payloads = {}
+        self.boundary_bytes_by_parent: dict[str, float] = {}
+        self.boundary_payloads: dict[str, list] = {}
 
 
 class _StageRun:
@@ -198,43 +159,52 @@ class _StageRun:
         raise ExecutionError(f"no chain {name!r} in stage {self.pstage.index}")
 
 
-class PadoMaster:
+class PadoMaster(MasterBase):
     """Drives one job execution on a :class:`SimContext`."""
 
     def __init__(self, ctx: SimContext, program: Program,
                  plan: ExecutionPlan, config: PadoRuntimeConfig) -> None:
-        self.ctx = ctx
+        super().__init__(ctx, scheduling_policy=config.scheduling_policy,
+                         retry_policy=config.retry_policy)
         self.program = program
         self.plan = plan
         self.config = config
-        self.sim = ctx.sim
-        self.net = ctx.net
         self.master_endpoint = InfiniteEndpoint()
         self.sink_endpoint = InfiniteEndpoint()
-        self.tracer = ctx.tracer
-        self.scheduler = TaskScheduler(config.scheduling_policy)
-        self.scheduler.attach_tracer(ctx.tracer, self.sim)
         self.reserved_executors: list[SimExecutor] = []
         self._reserved_cursor = 0
         self.stage_runs = [_StageRun(self, ps) for ps in self.plan.stages]
-        self.outputs: dict[tuple[str, int], _OutputRecord] = {}
-        self._waiters: dict[tuple[str, int], list[Callable[[], None]]] = {}
         self._agg_buffers: dict[tuple, AggregationBuffer] = {}
         self._buffers_by_executor: dict[int, list[tuple]] = {}
         # Repair-time pinning of many-to-one routes: (stage, task key) -> dst.
         self._forced_mo_dst: dict[tuple, int] = {}
-        # Fetch coalescing for cacheable inputs: concurrent tasks on one
-        # executor share a single in-flight fetch of the same key, so e.g.
-        # the model "only needs to be sent once to the executors" (§3.2.7).
-        self._inflight_fetches: dict[tuple, list] = {}
-        self.job_outputs: dict[str, dict[int, list]] = {}
-        self.completed = False
-        self.jct: Optional[float] = None
         self.commit_count = 0
         self.reserved_repairs = 0
         # Progress metadata "replicated" for master fault tolerance (§3.2.6).
         self.replicated_done_stages: set[int] = set()
         self._snapshot_progress()
+
+    # ==================================================================
+    # MasterBase policy hooks
+
+    def stage_index_of(self, task) -> int:
+        return task.stage_run.pstage.index
+
+    def _resubmit(self, task: _TransientTask) -> None:
+        self._maybe_submit(task)
+
+    def _extra_executors(self):
+        return self.reserved_executors
+
+    def original_task_count(self) -> int:
+        return self.plan.total_tasks
+
+    def result_extras(self) -> dict:
+        return {
+            "commits": self.commit_count,
+            "reserved_repairs": self.reserved_repairs,
+            "stages": len(self.stage_runs),
+        }
 
     # ==================================================================
     # startup and container management
@@ -269,17 +239,6 @@ class PadoMaster:
     # ==================================================================
     # stage lifecycle
 
-    def _trace_relaunch(self, task, cause: str,
-                        cause_ref: Optional[int] = None) -> None:
-        """Emit a Relaunch for the attempt being abandoned (call *before*
-        ``task.reset()`` so the attempt number still names it)."""
-        if self.tracer is not None:
-            name, index = task.key
-            self.tracer.emit(Relaunch(
-                time=self.sim.now, stage=task.stage_run.pstage.index,
-                task=name, index=index, attempt=task.attempt, cause=cause,
-                cause_ref=cause_ref))
-
     def _start_stage(self, run: _StageRun) -> None:
         if run.status is not run.WAITING:
             return
@@ -303,14 +262,12 @@ class PadoMaster:
             return
         pstage = run.pstage
         if pstage.has_reserved_root:
-            if not all(t.status == _ReservedTask.DONE
-                       for t in run.root_tasks):
+            if not all(t.status == TaskState.DONE for t in run.root_tasks):
                 return
         else:
             root = pstage.root_chain
             for i in range(root.parallelism):
-                if run.tasks[(root.name, i)].status != \
-                        _TransientTask.COMMITTED:
+                if run.tasks[(root.name, i)].status != TaskState.DONE:
                     return
         run.status = run.DONE
         if self.tracer is not None:
@@ -360,7 +317,7 @@ class PadoMaster:
         run = task.stage_run
         pstage = run.pstage
         task.executor = self._pick_reserved()
-        task.status = _ReservedTask.RECEIVING
+        task.status = TaskState.FETCHING
         self.ctx.tasks_launched += 1
         if self.tracer is not None:
             self.tracer.emit(TaskStart(
@@ -388,13 +345,13 @@ class PadoMaster:
                 edge.src.name, pidx, task.executor,
                 lambda result, e=edge, p=pidx: self._reserved_boundary_done(
                     task, attempt, e, p, result),
-                fraction=self._edge_fraction(edge))
+                fraction=transfer_fraction(edge))
         self._maybe_reserved_compute(task)
 
     def _reserved_boundary_done(self, task: _ReservedTask, attempt: int,
                                 edge: Edge, pidx: int,
-                                result: "_FetchResult") -> None:
-        if task.attempt != attempt or task.status != _ReservedTask.RECEIVING:
+                                result: FetchResult) -> None:
+        if task.attempt != attempt or task.status != TaskState.FETCHING:
             return
         if not result.ok:
             # Our own executor died mid-fetch; the failure handler reassigns.
@@ -411,7 +368,7 @@ class PadoMaster:
         self._maybe_reserved_compute(task)
 
     def _maybe_reserved_compute(self, task: _ReservedTask) -> None:
-        if task.status != _ReservedTask.RECEIVING:
+        if task.status != TaskState.FETCHING:
             return
         if task.boundary_outstanding > 0:
             return
@@ -425,9 +382,9 @@ class PadoMaster:
                 continue
             for i in range(ice.producer.parallelism):
                 if run.tasks[(ice.producer.name, i)].status != \
-                        _TransientTask.COMMITTED:
+                        TaskState.DONE:
                     return
-        task.status = _ReservedTask.COMPUTING
+        task.status = TaskState.COMPUTING
         run = task.stage_run
         chain = run.pstage.root_chain
         spec = task.executor.container.spec
@@ -450,7 +407,7 @@ class PadoMaster:
 
     def _reserved_compute_done(self, task: _ReservedTask, attempt: int,
                                input_bytes: float) -> None:
-        if task.attempt != attempt or task.status != _ReservedTask.COMPUTING:
+        if task.attempt != attempt or task.status != TaskState.COMPUTING:
             return
         if not task.executor.alive:
             return  # failure handler took over
@@ -465,16 +422,16 @@ class PadoMaster:
                 external[parent] = external.get(parent, 0.0) + size
             out_bytes = chain.synthetic_output_bytes(external)
         task.executor.disk.write(out_bytes)  # preserved on local disk
-        task.status = _ReservedTask.DONE
+        task.status = TaskState.DONE
         if self.tracer is not None:
             self.tracer.emit(TaskCommitted(
                 time=self.sim.now, stage=run.pstage.index, task="__root__",
                 index=task.index, attempt=attempt,
                 executor=task.executor.executor_id))
         task.consumed_keys = set(task.arrived)
-        self.outputs[(chain.terminal.name, task.index)] = _OutputRecord(
-            task.executor, out_bytes, payload)
-        self._notify_waiters((chain.terminal.name, task.index))
+        self.outputs.put((chain.terminal.name, task.index), task.executor,
+                         out_bytes, payload)
+        self.outputs.notify((chain.terminal.name, task.index))
         self._maybe_stage_done(run)
 
     def _reserved_real_output(self, task: _ReservedTask,
@@ -496,7 +453,7 @@ class PadoMaster:
 
     def _maybe_submit(self, task: _TransientTask) -> None:
         """Submit a task once its intra-stage producer outputs exist."""
-        if task.status != _TransientTask.PENDING:
+        if task.status != TaskState.PENDING:
             return
         run = task.stage_run
         for ice in run.pstage.producers_into(task.chain):
@@ -505,16 +462,16 @@ class PadoMaster:
                 if pkey not in run.local_outputs:
                     self._ensure_local_output(run, pkey)
                     return
-        task.status = _TransientTask.QUEUED
+        task.status = TaskState.QUEUED
         task.cache_keys = self._cache_keys_for(task)
         self.scheduler.submit(task)
 
     def _ensure_local_output(self, run: _StageRun, pkey: tuple) -> None:
         """Recompute an intra-stage producer whose local output is missing."""
         producer = run.tasks[pkey]
-        if producer.status in (_TransientTask.PENDING,):
+        if producer.status == TaskState.PENDING:
             self._maybe_submit(producer)
-        elif producer.status in (_TransientTask.COMMITTED,):
+        elif producer.status == TaskState.DONE:
             lost_on = producer.executor
             self._trace_relaunch(
                 producer, "local-output-lost",
@@ -523,7 +480,7 @@ class PadoMaster:
                            else None))
             producer.reset()
             self._maybe_submit(producer)
-        # QUEUED/ASSIGNED/RUNNING/PUSHING: already on its way.
+        # QUEUED/FETCHING/COMPUTING/DELIVERING: already on its way.
 
     def _cache_keys_for(self, task: _TransientTask) -> set:
         if not self.config.enable_caching:
@@ -540,35 +497,15 @@ class PadoMaster:
                     keys.add((edge.src.name, pidx))
         return keys
 
-    def _task_assigned(self, task: _TransientTask,
-                       executor: SimExecutor) -> None:
-        if task.status != _TransientTask.QUEUED:
-            # Stale queue entry (the task was reset and resubmitted, or
-            # assigned via an earlier duplicate entry): give the slot back.
-            executor.release_slot()
-            self.scheduler.slot_released()
-            return
-        task.status = _TransientTask.ASSIGNED
-        task.executor = executor
-        task.fetch_failed = False
-        task.input_bytes_by_parent = {}
-        task.external_inputs = {}
-        self.ctx.tasks_launched += 1
-        if self.tracer is not None:
-            self.tracer.emit(TaskStart(
-                time=self.sim.now, stage=task.stage_run.pstage.index,
-                task=task.chain.name, index=task.index, attempt=task.attempt,
-                executor=executor.executor_id, resource="transient"))
-        attempt = task.attempt
+    def _plan_fetches(self, task: _TransientTask,
+                      attempt: int) -> list[Callable[[], None]]:
         fetches: list[Callable[[], None]] = []
         run = task.stage_run
         chain = task.chain
-        head = chain.head
-
         # 1. source data from the input store
-        if chain.is_source_chain() and head.input_ref is not None:
-            key = (head.input_ref, task.index)
-            fetches.append(lambda: self._fetch_source(task, attempt, key))
+        if chain.is_source_chain() and chain.head.input_ref is not None:
+            fetches.append(lambda: self.fetch.fetch_source(task, attempt,
+                                                           cache=True))
         # 2. boundary inputs from parent stages' reserved outputs
         for edge in run.pstage.boundary_edges(chain):
             for pidx in source_indices(edge, task.index):
@@ -581,85 +518,50 @@ class PadoMaster:
                 fetches.append(
                     lambda i=ice, p=pidx: self._fetch_local(
                         task, attempt, i, p))
-
-        task.outstanding_fetches = len(fetches)
-        if not fetches:
-            self._start_compute(task)
-            return
-        for fetch in fetches:
-            fetch()
+        return fetches
 
     # ------------------------------------------------------------------
     # fetches
-
-    def _fetch_source(self, task: _TransientTask, attempt: int,
-                      key: tuple) -> None:
-        executor = task.executor
-        head = task.chain.head
-        size = self.ctx.input_store.size_of(key)
-        cached = self._cache_lookup(executor, key)
-        if cached is not None:
-            self._fetch_arrived(task, attempt, head.name, size, None)
-            return
-
-        def done(result: TransferResult) -> None:
-            if not result.ok:
-                self._fetch_broke(task, attempt)
-                return
-            self._cache_store(executor, head, key, size, None)
-            self._fetch_arrived(task, attempt, head.name, size, None)
-
-        self.ctx.input_store.read(key, executor.endpoint, done)
 
     def _fetch_boundary(self, task: _TransientTask, attempt: int,
                         edge: Edge, pidx: int) -> None:
         executor = task.executor
         key = (edge.src.name, pidx)
-        cached = self._cache_lookup(executor, key)
+        cached = self.fetch.cache_lookup(executor, key)
         if cached is not None:
             size, payload = cached
-            self._boundary_arrived(task, attempt, edge, pidx, size, payload)
+            self.fetch.arrived_routed(task, attempt, edge, pidx, size,
+                                      payload)
             return
+        # Concurrent tasks on one executor share a single in-flight fetch
+        # of a cacheable key, so e.g. the model "only needs to be sent once
+        # to the executors" (§3.2.7).
         coalesce = (self.config.enable_caching and edge.dst.cacheable)
         inflight_key = (executor.executor_id, key)
-        if coalesce:
-            waiters = self._inflight_fetches.get(inflight_key)
-            if waiters is not None:
-                waiters.append((task, attempt, edge, pidx))
-                return
-            self._inflight_fetches[inflight_key] = []
+        if coalesce and self.fetch.inflight.join(
+                inflight_key, (task, attempt, edge, pidx)):
+            return
 
-        def done(result: "_FetchResult") -> None:
-            waiters = (self._inflight_fetches.pop(inflight_key, [])
+        def done(result: FetchResult) -> None:
+            waiters = (self.fetch.inflight.drain(inflight_key)
                        if coalesce else [])
             if result.ok:
-                self._cache_store(executor, edge.dst, key, result.size,
-                                  result.payload)
+                self.fetch.cache_store(executor, edge.dst, key, result.size,
+                                       result.payload)
                 if task.attempt == attempt:
-                    self._boundary_arrived(task, attempt, edge, pidx,
-                                           result.size, result.payload)
+                    self.fetch.arrived_routed(task, attempt, edge, pidx,
+                                              result.size, result.payload)
                 for other, a2, e2, p2 in waiters:
-                    self._boundary_arrived(other, a2, e2, p2, result.size,
-                                           result.payload)
+                    self.fetch.arrived_routed(other, a2, e2, p2, result.size,
+                                              result.payload)
             else:
                 if task.attempt == attempt:
-                    self._fetch_broke(task, attempt)
+                    self.fetch.broke(task, attempt)
                 for other, a2, _, _ in waiters:
-                    self._fetch_broke(other, a2)
+                    self.fetch.broke(other, a2)
 
         self._fetch_reserved_output(edge.src.name, pidx, executor, done,
-                                    fraction=self._edge_fraction(edge))
-
-    def _boundary_arrived(self, task: _TransientTask, attempt: int,
-                          edge: Edge, pidx: int, size: float,
-                          payload: Optional[list]) -> None:
-        share = route_sizes(edge, pidx, size).get(task.index, 0.0)
-        routed_payload = None
-        if payload is not None:
-            routed_payload = route_output(edge, pidx, payload).get(
-                task.index, [])
-        self._fetch_arrived(task, attempt, edge.src.name, share,
-                            routed_payload)
+                                    fraction=transfer_fraction(edge))
 
     def _fetch_local(self, task: _TransientTask, attempt: int,
                      ice: InterChainEdge, pidx: int) -> None:
@@ -670,7 +572,7 @@ class PadoMaster:
             # Producer output lost since submission: abort this attempt and
             # wait for the producer to be recomputed.
             self._ensure_local_output(run, pkey)
-            self._fetch_broke(task, attempt)
+            self.fetch.broke(task, attempt)
             return
         producer_executor, size, payload = entry
         share = route_sizes(ice.edge, pidx, size).get(task.index, 0.0)
@@ -679,8 +581,8 @@ class PadoMaster:
             routed_payload = route_output(ice.edge, pidx, payload).get(
                 task.index, [])
         if producer_executor is task.executor:
-            self._fetch_arrived(task, attempt, ice.producer.terminal.name,
-                                share, routed_payload)
+            self.fetch.arrived(task, attempt, ice.producer.terminal.name,
+                               share, routed_payload)
             return
 
         def done(result: TransferResult) -> None:
@@ -690,76 +592,20 @@ class PadoMaster:
                 if not producer_executor.alive:
                     run.local_outputs.pop(pkey, None)
                     self._ensure_local_output(run, pkey)
-                self._fetch_broke(task, attempt)
+                self.fetch.broke(task, attempt)
                 return
             self.ctx.bytes_shuffled += int(share)
-            self._fetch_arrived(task, attempt, ice.producer.terminal.name,
-                                share, routed_payload)
+            self.fetch.arrived(task, attempt, ice.producer.terminal.name,
+                               share, routed_payload)
 
         self.net.transfer(producer_executor.endpoint, task.executor.endpoint,
                           share, done)
 
-    def _fetch_arrived(self, task: _TransientTask, attempt: int,
-                       parent_name: str, size: float,
-                       payload: Optional[list]) -> None:
-        if task.attempt != attempt or task.status != _TransientTask.ASSIGNED:
-            return
-        task.input_bytes_by_parent[parent_name] = \
-            task.input_bytes_by_parent.get(parent_name, 0.0) + size
-        if payload is not None:
-            task.external_inputs.setdefault(parent_name, []).extend(payload)
-        task.outstanding_fetches -= 1
-        if task.outstanding_fetches == 0:
-            if task.fetch_failed:
-                self._abort_attempt(task)
-            else:
-                self._start_compute(task)
-
-    def _fetch_broke(self, task: _TransientTask, attempt: int) -> None:
-        if task.attempt != attempt or task.status != _TransientTask.ASSIGNED:
-            return
-        task.fetch_failed = True
-        task.outstanding_fetches -= 1
-        if task.outstanding_fetches == 0:
-            self._abort_attempt(task)
-
-    def _abort_attempt(self, task: _TransientTask) -> None:
-        """Give up on this attempt (input unavailable); try again later."""
-        executor = task.executor
-        self._trace_relaunch(task, "fetch-failed")
-        task.reset()
-        if executor is not None and executor.alive:
-            executor.release_slot()
-            self.scheduler.slot_released()
-        self._maybe_submit(task)
-
-    def _cache_lookup(self, executor: SimExecutor,
-                      key: tuple) -> Optional[tuple[float, Any]]:
-        if executor.cache is None:
-            return None
-        return executor.cache.get(key)
-
-    def _cache_store(self, executor: SimExecutor, consumer_op, key: tuple,
-                     size: float, payload: Any) -> None:
-        if executor.cache is None or not consumer_op.cacheable:
-            return
-        executor.cache.put(key, size, payload)
-
     # ------------------------------------------------------------------
     # compute and push
 
-    def _start_compute(self, task: _TransientTask) -> None:
-        task.status = _TransientTask.RUNNING
-        spec = task.executor.container.spec
-        total = sum(task.input_bytes_by_parent.values())
-        seconds = task.chain.compute_seconds(total, spec.cpu_throughput)
-        seconds += self.ctx.cluster.task_overhead_seconds
-        attempt = task.attempt
-        self.sim.schedule_fast(seconds,
-                               lambda: self._compute_done(task, attempt))
-
     def _compute_done(self, task: _TransientTask, attempt: int) -> None:
-        if task.attempt != attempt or task.status != _TransientTask.RUNNING:
+        if task.attempt != attempt or task.status != TaskState.COMPUTING:
             return
         executor = task.executor
         if not executor.alive:
@@ -779,7 +625,7 @@ class PadoMaster:
         # §3.2.4: the slot frees immediately; pushes ride a separate thread.
         executor.release_slot()
         self.scheduler.slot_released()
-        task.status = _TransientTask.PUSHING
+        task.status = TaskState.DELIVERING
         if self.tracer is not None:
             self.tracer.emit(TaskPushed(
                 time=self.sim.now, stage=task.stage_run.pstage.index,
@@ -821,7 +667,7 @@ class PadoMaster:
                 if pstage.has_reserved_root and \
                         ice.consumer is pstage.root_chain:
                     continue
-                for didx in self._dst_indices(ice.edge, task.index):
+                for didx in destination_indices(ice.edge, task.index):
                     self._maybe_submit(run.tasks[(ice.consumer.name, didx)])
         if not deliveries:
             # Nothing to commit (purely local output); mark committed so the
@@ -833,18 +679,13 @@ class PadoMaster:
         could still contribute — waiting out the timer would only delay the
         stage without saving any transfer."""
         for task in run.tasks.values():
-            if task.status in (_TransientTask.PENDING, _TransientTask.QUEUED,
-                               _TransientTask.ASSIGNED,
-                               _TransientTask.RUNNING):
+            if task.status in (TaskState.PENDING, TaskState.QUEUED,
+                               TaskState.FETCHING, TaskState.COMPUTING):
                 return
         stage_index = run.pstage.index
         for key, buffer in list(self._agg_buffers.items()):
             if key[1] == stage_index:
                 buffer.flush()
-
-    def _dst_indices(self, edge: Edge, src_index: int) -> list[int]:
-        from repro.dataflow.dag import destination_indices
-        return destination_indices(edge, src_index)
 
     def _push_to_root(self, task: _TransientTask, ice: InterChainEdge,
                       deliveries: set) -> None:
@@ -870,7 +711,7 @@ class PadoMaster:
                 routed_payloads = route_output(edge, task.index,
                                                task.output_records)
             dsts_and_shares = []
-            for dst in self._dst_indices(edge, task.index):
+            for dst in destination_indices(edge, task.index):
                 payload = routed_payloads.get(dst)
                 if task.output_records is not None and payload is None:
                     payload = []
@@ -929,7 +770,6 @@ class PadoMaster:
                      contributions: list[Contribution], size: float) -> None:
         run = task.stage_run
         root = run.root_tasks[dst]
-        attempt = task.attempt
 
         def done(result: TransferResult) -> None:
             if not result.ok:
@@ -948,7 +788,7 @@ class PadoMaster:
     def _root_received(self, run: _StageRun, dst: int, producer_key: tuple,
                        size: float, payload: Optional[list]) -> None:
         root = run.root_tasks[dst]
-        if root.status != _ReservedTask.RECEIVING:
+        if root.status != TaskState.FETCHING:
             return  # late duplicate after the receiver finished
         if producer_key in root.arrived:
             return  # exactly-once: ignore duplicate deliveries
@@ -959,15 +799,13 @@ class PadoMaster:
     def _delivery_done(self, run: _StageRun, producer_key: tuple,
                        delivery: tuple) -> None:
         task = run.tasks.get(producer_key)
-        if task is None or task.status != _TransientTask.PUSHING:
+        if task is None or task.status != TaskState.DELIVERING:
             return
         task.pending_deliveries.discard(delivery)
         if not task.pending_deliveries:
             self._send_commit(task)
 
     def _write_sink(self, task: _TransientTask) -> None:
-        attempt = task.attempt
-
         def done(result: TransferResult) -> None:
             if not result.ok:
                 return
@@ -982,7 +820,7 @@ class PadoMaster:
 
         def done(result: TransferResult) -> None:
             if task.attempt != attempt or \
-                    task.status != _TransientTask.PUSHING:
+                    task.status != TaskState.DELIVERING:
                 return
             if not result.ok:
                 return  # evicted mid-commit: task will be relaunched
@@ -992,7 +830,7 @@ class PadoMaster:
                           done)
 
     def _committed(self, task: _TransientTask) -> None:
-        task.status = _TransientTask.COMMITTED
+        task.status = TaskState.DONE
         self.commit_count += 1
         run = task.stage_run
         pstage = run.pstage
@@ -1011,14 +849,14 @@ class PadoMaster:
                     # of earlier attempts at other receivers are purged.
                     for root in run.root_tasks:
                         if ("root", root.index) not in task.delivered_dsts \
-                                and root.status == _ReservedTask.RECEIVING:
+                                and root.status == TaskState.FETCHING:
                             root.arrived.pop(task.key, None)
                     for root in run.root_tasks:
                         self._maybe_reserved_compute(root)
                 else:
-                    for dst in self._dst_indices(ice.edge, task.index):
+                    for dst in destination_indices(ice.edge, task.index):
                         root = run.root_tasks[dst]
-                        if root.status == _ReservedTask.RECEIVING:
+                        if root.status == TaskState.FETCHING:
                             root.committed.add(task.key)
                             self._maybe_reserved_compute(root)
         self._maybe_stage_done(run)
@@ -1028,26 +866,24 @@ class PadoMaster:
 
     def _fetch_reserved_output(self, op_name: str, pidx: int,
                                dst_executor: SimExecutor,
-                               on_done: Callable[["_FetchResult"], None],
+                               on_done: Callable[[FetchResult], None],
                                fraction: float = 1.0) -> None:
         """Pull a preserved stage output; repairs it first if it was lost
         to a reserved-executor fault (§3.2.6). ``fraction`` limits the bytes
         moved (a many-to-many consumer only needs its hash partition)."""
         key = (op_name, pidx)
         record = self.outputs.get(key)
-        if record is None or not record.available or \
-                not record.executor.alive:
-            if self.tracer is not None:
-                self.tracer.emit(FetchMiss(time=self.sim.now, op=op_name,
-                                           index=pidx))
-            self._waiters.setdefault(key, []).append(
+        if record is None or not record.reachable():
+            self.outputs.trace_miss(op_name, pidx)
+            self.outputs.wait(
+                key,
                 lambda: self._fetch_reserved_output(op_name, pidx,
                                                     dst_executor, on_done,
                                                     fraction))
             self._repair_output(op_name, pidx)
             return
         if record.executor is dst_executor:
-            on_done(_FetchResult(True, record.size, record.payload))
+            on_done(FetchResult(True, record.size, record.payload))
             return
         moved = record.size * fraction
 
@@ -1058,36 +894,24 @@ class PadoMaster:
                     self._fetch_reserved_output(op_name, pidx, dst_executor,
                                                 on_done, fraction)
                 else:
-                    on_done(_FetchResult(False, 0.0, None))
+                    on_done(FetchResult(False, 0.0, None))
                 return
             self.ctx.bytes_shuffled += int(moved)
-            on_done(_FetchResult(True, record.size, record.payload))
+            on_done(FetchResult(True, record.size, record.payload))
 
         self.net.transfer(record.executor.endpoint, dst_executor.endpoint,
                           moved, done)
-
-    @staticmethod
-    def _edge_fraction(edge: Edge) -> float:
-        if edge.dep_type is DependencyType.MANY_TO_MANY:
-            return 1.0 / edge.dst.parallelism
-        return 1.0
-
-    def _notify_waiters(self, key: tuple) -> None:
-        waiters = self._waiters.pop(key, [])
-        for waiter in waiters:
-            waiter()
 
     def _repair_output(self, op_name: str, pidx: int) -> None:
         """Re-run the reserved task (and its producers) whose preserved
         output was lost."""
         record = self.outputs.get((op_name, pidx))
-        if record is not None and record.available and \
-                record.executor.alive:
+        if record is not None and record.reachable():
             return
         pstage = self.plan.stage_of_reserved_op(op_name)
         run = self.stage_runs[pstage.index]
         root = run.root_tasks[pidx]
-        if root.status != _ReservedTask.DONE and root.executor is not None \
+        if root.status != TaskState.DONE and root.executor is not None \
                 and root.executor.alive:
             return  # already being (re)computed
         self.outputs.pop((op_name, pidx), None)
@@ -1113,11 +937,10 @@ class PadoMaster:
                     to_relaunch.add(pkey)
         for pkey in to_relaunch:
             producer = run.tasks[pkey]
-            if producer.status in (_TransientTask.COMMITTED,
-                                   _TransientTask.PUSHING):
+            if producer.status in (TaskState.DONE, TaskState.DELIVERING):
                 self._trace_relaunch(producer, "repair", cause_ref=lost_ref)
                 producer.reset()
-            if producer.status == _TransientTask.PENDING:
+            if producer.status == TaskState.PENDING:
                 self._maybe_submit(producer)
 
     # ==================================================================
@@ -1146,15 +969,8 @@ class PadoMaster:
             for k in lost:
                 run.local_outputs.pop(k, None)
             # §3.2.5: relaunch only the uncommitted tasks scheduled there.
-            for task in run.tasks.values():
-                if task.executor is executor and task.status in (
-                        _TransientTask.ASSIGNED, _TransientTask.RUNNING,
-                        _TransientTask.PUSHING):
-                    self._trace_relaunch(
-                        task, "eviction",
-                        cause_ref=container.container_id)
-                    task.reset()
-                    self._maybe_submit(task)
+            self._relaunch_lost(run.tasks.values(), executor, "eviction",
+                                cause_ref=container.container_id)
 
     def _reserved_lost(self, container) -> None:
         executor = self._find_executor(container)
@@ -1167,15 +983,13 @@ class PadoMaster:
         # Preserved outputs on the failed machine are lost; consumers will
         # trigger repairs lazily, but receivers of *running* stages must be
         # reassigned right away.
-        for key, record in list(self.outputs.items()):
-            if record.executor is executor:
-                record.available = False
+        self.outputs.mark_executor_lost(executor)
         for run in self.stage_runs:
             if run.status != _StageRun.RUNNING:
                 continue
             for root in run.root_tasks:
                 if root.executor is executor and \
-                        root.status != _ReservedTask.DONE:
+                        root.status != TaskState.DONE:
                     self._trace_relaunch(
                         root, "reserved-fault",
                         cause_ref=container.container_id)
@@ -1198,23 +1012,14 @@ class PadoMaster:
                                 to_relaunch.add(pkey)
                     for pkey in to_relaunch:
                         producer = run.tasks[pkey]
-                        if producer.status in (_TransientTask.COMMITTED,
-                                               _TransientTask.PUSHING):
+                        if producer.status in (TaskState.DONE,
+                                               TaskState.DELIVERING):
                             self._trace_relaunch(
                                 producer, "reserved-fault",
                                 cause_ref=container.container_id)
                             producer.reset()
-                        if producer.status == _TransientTask.PENDING:
+                        if producer.status == TaskState.PENDING:
                             self._maybe_submit(producer)
-
-    def _find_executor(self, container) -> Optional[SimExecutor]:
-        for executor in self.scheduler.executors:
-            if executor.container is container:
-                return executor
-        for executor in self.reserved_executors:
-            if executor.container is container:
-                return executor
-        return None
 
     # ==================================================================
     # master fault tolerance (§3.2.6)
@@ -1254,10 +1059,10 @@ class PadoMaster:
         run.local_outputs.clear()
         run.status = _StageRun.WAITING
         for task in run.tasks.values():
-            if task.status != _TransientTask.PENDING:
+            if task.status != TaskState.PENDING:
                 executor = task.executor
-                held_slot = task.status in (_TransientTask.ASSIGNED,
-                                            _TransientTask.RUNNING)
+                held_slot = task.status in (TaskState.FETCHING,
+                                            TaskState.COMPUTING)
                 self._trace_relaunch(task, "master-restart")
                 task.reset()
                 if held_slot and executor is not None and executor.alive:
@@ -1268,15 +1073,3 @@ class PadoMaster:
         if all(self._run_of(p).status == _StageRun.DONE
                for p in run.pstage.stage.parents):
             self._start_stage(run)
-
-
-class _FetchResult:
-    """Outcome of a reserved-output fetch."""
-
-    __slots__ = ("ok", "size", "payload")
-
-    def __init__(self, ok: bool, size: float,
-                 payload: Optional[list]) -> None:
-        self.ok = ok
-        self.size = size
-        self.payload = payload

@@ -321,6 +321,21 @@ def source_indices(edge: Edge, dst_task_index: int) -> list[int]:
     return list(range(m))
 
 
+def transfer_fraction(edge: Edge) -> float:
+    """Fraction of one parent output a single consumer task must move:
+    many-to-many consumers only pull their hash partition."""
+    if edge.dep_type is DependencyType.MANY_TO_MANY:
+        return 1.0 / edge.dst.parallelism
+    return 1.0
+
+
+def transfer_share(edge: Edge, output_size: float) -> float:
+    """Bytes actually moved when one consumer task pulls one parent output
+    of ``output_size`` bytes. Must agree with :func:`route_sizes` — both
+    the Pado and Spark masters size their dispatches with it."""
+    return output_size * transfer_fraction(edge)
+
+
 def _record_key(edge: Edge, record: Any) -> Any:
     if edge.key_fn is not None:
         return edge.key_fn(record)

@@ -3,29 +3,40 @@
 All three engines (Pado, Spark, Spark-checkpoint) run on the same simulated
 cluster substrate so that JCT differences come only from engine mechanisms,
 mirroring the paper's single-testbed comparison (§5.1). This module provides
-the cluster/program/result types, executor bookkeeping, and the template
-``run()`` flow engines plug into.
+the cluster/program/result types, the template ``run()`` flow, and
+:class:`MasterBase` — the harness that wires the :mod:`repro.core.exec`
+substrate (task state machine, fetch service, output registry) under each
+engine's master so the master contributes only policy.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 import numpy as np
 
 from repro.cluster.events import Simulator
 from repro.cluster.manager import ResourceManager
-from repro.cluster.network import (ContainerEndpoint, DiskModel, FifoPort,
-                                   NetworkModel)
-from repro.cluster.resources import (Container, NodeSpec, RESERVED_NODE,
+from repro.cluster.network import NetworkModel
+from repro.cluster.resources import (NodeSpec, RESERVED_NODE,
                                      TRANSIENT_NODE)
 from repro.cluster.storage import InputStore
+from repro.core.exec.attempt import ACTIVE_STATES, TaskAttempt, TaskState
+from repro.core.exec.executor import SimExecutor
+from repro.core.exec.fetch import FetchService, RetryPolicy
+from repro.core.exec.outputs import OutputRegistry
+from repro.core.runtime.scheduler import SchedulingPolicy, TaskScheduler
 from repro.dataflow.dag import LogicalDAG, SourceKind
 from repro.errors import ExecutionError
+from repro.obs.events import Relaunch, TaskStart
 from repro.obs.tracer import Tracer, active_collector
 from repro.trace.models import EvictionRate, LifetimeModel
+
+__all__ = ["ClusterConfig", "Program", "JobResult", "SimExecutor",
+           "SimContext", "EngineBase", "MasterBase",
+           "partition_payload_size"]
 
 
 @dataclass(frozen=True)
@@ -115,54 +126,6 @@ class JobResult:
         return [record for idx in sorted(parts) for record in parts[idx]]
 
 
-class SimExecutor:
-    """Executor process bound to one container (§3.2.4).
-
-    Transient-task execution occupies task slots (one per core); reserved
-    receivers additionally serialize their processing through the ``cpu``
-    FIFO, modelling the limited computational resources of the few reserved
-    executors that §3.2.7 worries about.
-    """
-
-    def __init__(self, container: Container, sim: Simulator,
-                 slots: Optional[int] = None) -> None:
-        self.container = container
-        self.endpoint = ContainerEndpoint(container)
-        self.disk = DiskModel(sim, container)
-        self.cpu = FifoPort(container.spec.cores
-                            * container.spec.cpu_throughput)
-        self.slots = slots if slots is not None else container.spec.cores
-        self.free_slots = self.slots
-        self.cache: Optional[Any] = None  # attached by engines that cache
-
-    @property
-    def executor_id(self) -> int:
-        return self.container.container_id
-
-    @property
-    def alive(self) -> bool:
-        return self.container.alive
-
-    @property
-    def is_reserved(self) -> bool:
-        return self.container.is_reserved
-
-    def acquire_slot(self) -> bool:
-        if self.free_slots <= 0:
-            return False
-        self.free_slots -= 1
-        return True
-
-    def release_slot(self) -> None:
-        if self.free_slots >= self.slots:
-            raise ExecutionError("slot released twice")
-        self.free_slots += 1
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        kind = "R" if self.is_reserved else "T"
-        return f"<Executor {self.executor_id}{kind}>"
-
-
 class SimContext:
     """Everything a single job execution shares: simulator, cluster, stores,
     and byte counters."""
@@ -212,6 +175,150 @@ class SimContext:
                 raise ExecutionError(
                     f"read source {op.name!r} has neither real partitions "
                     f"nor partition sizes")
+
+
+class MasterBase:
+    """Shared harness under the engine masters.
+
+    Wires the :mod:`repro.core.exec` substrate — scheduler, output
+    registry, fetch service — and implements the task lifecycle steps every
+    engine repeats identically: slot assignment, the fetch barrier start,
+    compute scheduling, relaunch tracing, and eviction-time relaunching.
+    Subclasses supply policy through the hooks at the bottom.
+    """
+
+    #: Executor whose tasks bypass scheduler slots (the Spark driver).
+    slotless: Optional[SimExecutor] = None
+
+    def __init__(self, ctx: SimContext,
+                 scheduling_policy: Optional[SchedulingPolicy] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.net = ctx.net
+        self.tracer = ctx.tracer
+        self.scheduler = TaskScheduler(scheduling_policy)
+        self.scheduler.attach_tracer(ctx.tracer, self.sim)
+        self.outputs = OutputRegistry(tracer=ctx.tracer, sim=self.sim)
+        self.fetch = FetchService(
+            input_store=ctx.input_store, scheduler=self.scheduler,
+            on_ready=self._start_compute, after_abort=self._after_abort,
+            trace_relaunch=self._trace_relaunch, retry=retry_policy)
+        self.job_outputs: dict[str, dict[int, list]] = {}
+        self.completed = False
+        self.jct: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # shared lifecycle steps
+
+    def _trace_relaunch(self, task: TaskAttempt, cause: str,
+                        cause_ref: Optional[int] = None) -> None:
+        """Emit a Relaunch for the attempt being abandoned (call *before*
+        ``task.reset()`` so the attempt number still names it)."""
+        if self.tracer is not None:
+            name, index = task.key
+            self.tracer.emit(Relaunch(
+                time=self.sim.now, stage=self.stage_index_of(task),
+                task=name, index=index, attempt=task.attempt, cause=cause,
+                cause_ref=cause_ref))
+
+    def _resource_label(self, executor: SimExecutor) -> str:
+        if executor is self.slotless:
+            return "driver"
+        return "reserved" if executor.is_reserved else "transient"
+
+    def _task_assigned(self, task: TaskAttempt,
+                       executor: SimExecutor) -> None:
+        """Scheduler callback: a slot was acquired for this task."""
+        if task.status != TaskState.QUEUED:
+            # Stale queue entry (the task was reset and resubmitted, or
+            # assigned via an earlier duplicate entry): give the slot back.
+            if executor is not self.slotless:
+                executor.release_slot()
+                self.scheduler.slot_released()
+            return
+        task.begin_attempt(executor)
+        self.ctx.tasks_launched += 1
+        if self.tracer is not None:
+            name, index = task.key
+            self.tracer.emit(TaskStart(
+                time=self.sim.now, stage=self.stage_index_of(task),
+                task=name, index=index, attempt=task.attempt,
+                executor=executor.executor_id,
+                resource=self._resource_label(executor)))
+        attempt = task.attempt
+        self.fetch.begin(task, self._plan_fetches(task, attempt))
+
+    def _start_compute(self, task: TaskAttempt) -> None:
+        """All inputs arrived: run the fused chain on the executor."""
+        task.status = TaskState.COMPUTING
+        spec = task.executor.container.spec
+        total = sum(task.input_bytes_by_parent.values())
+        seconds = task.chain.compute_seconds(total, spec.cpu_throughput)
+        seconds += self.ctx.cluster.task_overhead_seconds
+        attempt = task.attempt
+        self._schedule_compute(task, seconds,
+                               lambda: self._compute_done(task, attempt))
+
+    def _schedule_compute(self, task: TaskAttempt, seconds: float,
+                          callback: Callable[[], None]) -> None:
+        self.sim.schedule_fast(seconds, callback)
+
+    def _relaunch_lost(self, tasks, executor: SimExecutor, cause: str,
+                       cause_ref: Optional[int] = None) -> None:
+        """Relaunch the active attempts scheduled on a lost executor."""
+        for task in tasks:
+            if task.executor is executor and task.status in ACTIVE_STATES:
+                self._trace_relaunch(task, cause, cause_ref=cause_ref)
+                task.reset()
+                self._resubmit(task)
+
+    def _find_executor(self, container) -> Optional[SimExecutor]:
+        for executor in self.scheduler.executors:
+            if executor.container is container:
+                return executor
+        for executor in self._extra_executors():
+            if executor.container is container:
+                return executor
+        return None
+
+    # ------------------------------------------------------------------
+    # policy hooks
+
+    def stage_index_of(self, task: TaskAttempt) -> int:
+        """Trace stage index for a task."""
+        raise NotImplementedError
+
+    def _plan_fetches(self, task: TaskAttempt,
+                      attempt: int) -> list[Callable[[], None]]:
+        """The input fetches this attempt must complete before computing."""
+        raise NotImplementedError
+
+    def _compute_done(self, task: TaskAttempt, attempt: int) -> None:
+        """The chain finished computing; deliver its output."""
+        raise NotImplementedError
+
+    def _resubmit(self, task: TaskAttempt) -> None:
+        """Requeue a reset task per engine semantics."""
+        raise NotImplementedError
+
+    def _after_abort(self, task: TaskAttempt, failed_parents: set) -> None:
+        """An attempt was abandoned by the fetch service; default: requeue
+        immediately."""
+        self._resubmit(task)
+
+    def _extra_executors(self):
+        """Executors outside the scheduler pool (e.g. Pado's reserved)."""
+        return ()
+
+    # ------------------------------------------------------------------
+    # result hooks (consumed by EngineBase._finish)
+
+    def original_task_count(self) -> int:
+        raise NotImplementedError
+
+    def result_extras(self) -> dict[str, Any]:
+        return {}
 
 
 class EngineBase:
@@ -266,12 +373,34 @@ class EngineBase:
     def _start(self, ctx: SimContext, program: Program) -> Any:
         raise NotImplementedError
 
-    def _is_done(self, state: Any) -> bool:
-        raise NotImplementedError
+    def _is_done(self, master: Any) -> bool:
+        return master.completed
 
-    def _finish(self, ctx: SimContext, program: Program, state: Any,
+    def _finish(self, ctx: SimContext, program: Program, master: Any,
                 time_limit: Optional[float]) -> JobResult:
-        raise NotImplementedError
+        """Assemble the JobResult from the context counters and the
+        master's :meth:`MasterBase.original_task_count` /
+        :meth:`MasterBase.result_extras` hooks."""
+        completed = master.completed
+        if completed:
+            jct = master.jct
+        else:
+            jct = time_limit if time_limit is not None else ctx.sim.now
+        return JobResult(
+            engine=self.name,
+            workload=program.name,
+            completed=completed,
+            jct_seconds=float(jct if jct is not None else ctx.sim.now),
+            original_tasks=master.original_task_count(),
+            launched_tasks=ctx.tasks_launched,
+            evictions=ctx.rm.evictions,
+            bytes_input_read=ctx.input_store.bytes_read,
+            bytes_shuffled=ctx.bytes_shuffled,
+            bytes_pushed=ctx.bytes_pushed,
+            bytes_checkpointed=ctx.bytes_checkpointed,
+            outputs=master.job_outputs if program.is_real() else None,
+            extras=master.result_extras(),
+        )
 
 
 def partition_payload_size(records: list, record_bytes: int) -> int:

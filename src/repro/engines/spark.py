@@ -11,6 +11,10 @@ Models the execution semantics that drive the paper's Spark numbers:
 * an eviction destroys the container's local map outputs; a consumer's
   fetch failure triggers recomputation of the missing parent tasks, which
   recursively triggers their parents — the cascading critical chain (§2.2).
+
+The attempt lifecycle, fetch barrier, and output registry come from
+:mod:`repro.core.exec`; this module adds Spark's policy: local-disk shuffle
+writes, lazy pull, and lineage recomputation.
 """
 
 from __future__ import annotations
@@ -20,60 +24,24 @@ from typing import Any, Callable, Optional
 from repro.cluster.network import TransferResult
 from repro.cluster.resources import Container, ContainerKind
 from repro.core.compiler.fusion import FusedOperator, fuse_operators
+from repro.core.exec import (DelayedRefetch, ImmediateRetry, OutputRecord,
+                             TaskAttempt, TaskState)
 from repro.core.runtime.cache import LruCache
-from repro.core.runtime.scheduler import RoundRobinPolicy, TaskScheduler
-from repro.dataflow.dag import (DependencyType, Edge, route_output,
-                                route_sizes, source_indices)
-from repro.engines.base import (ClusterConfig, EngineBase, JobResult,
+from repro.core.runtime.scheduler import RoundRobinPolicy
+from repro.dataflow.dag import (DependencyType, Edge, source_indices,
+                                transfer_share)
+from repro.engines.base import (ClusterConfig, EngineBase, MasterBase,
                                 Program, SimContext, SimExecutor)
-from repro.obs.events import (FetchMiss, Relaunch, StageEnd, StageStart,
-                              TaskCommitted, TaskStart)
+from repro.obs.events import StageEnd, StageStart, TaskCommitted
+
+__all__ = ["SparkEngine", "SparkMaster", "transfer_share"]
 
 
-def transfer_share(edge: Edge, output_size: float) -> float:
-    """Bytes actually moved when one consumer task pulls one parent output:
-    many-to-many moves only the consumer's hash partition."""
-    if edge.dep_type is DependencyType.MANY_TO_MANY:
-        return output_size / edge.dst.parallelism
-    return output_size
-
-
-class _Output:
-    """One task's output: where it lives and whether it is still there."""
-
-    __slots__ = ("executor", "size", "payload", "available",
-                 "checkpointed", "checkpoint_inflight")
-
-    def __init__(self, executor: Optional[SimExecutor], size: float,
-                 payload: Optional[list]) -> None:
-        self.executor = executor          # None = lives on the driver
-        self.size = size
-        self.payload = payload
-        self.available = True
-        self.checkpointed = False
-        self.checkpoint_inflight = False
-
-
-class _SparkTask:
-    PENDING = "pending"
-    QUEUED = "queued"
-    ASSIGNED = "assigned"
-    RUNNING = "running"
-    WRITING = "writing"
-    DONE = "done"
-
+class _SparkTask(TaskAttempt):
     def __init__(self, chain: FusedOperator, index: int) -> None:
+        super().__init__()
         self.chain = chain
         self.index = index
-        self.status = self.PENDING
-        self.executor: Optional[SimExecutor] = None
-        self.attempt = 0
-        self.cache_keys: set = set()
-        self.outstanding = 0
-        self.fetch_failed = False
-        self.failed_parents: set = set()
-        self.input_bytes_by_parent: dict[str, float] = {}
-        self.external_inputs: dict[str, list] = {}
         self.master: Optional["SparkMaster"] = None
 
     @property
@@ -82,16 +50,6 @@ class _SparkTask:
 
     def assign(self, executor: SimExecutor) -> None:
         self.master._task_assigned(self, executor)
-
-    def reset(self) -> None:
-        self.attempt += 1
-        self.status = self.PENDING
-        self.executor = None
-        self.outstanding = 0
-        self.fetch_failed = False
-        self.failed_parents = set()
-        self.input_bytes_by_parent = {}
-        self.external_inputs = {}
 
 
 class _ChainRun:
@@ -105,16 +63,17 @@ class _ChainRun:
         self.tasks = [_SparkTask(chain, i) for i in range(chain.parallelism)]
 
 
-class SparkMaster:
+class SparkMaster(MasterBase):
     """Drives one Spark job on the shared simulator substrate."""
 
     def __init__(self, ctx: SimContext, program: Program,
                  engine: "SparkEngine") -> None:
-        self.ctx = ctx
+        super().__init__(
+            ctx, scheduling_policy=RoundRobinPolicy(),
+            retry_policy=(ImmediateRetry() if engine.abort_on_fetch_failure
+                          else DelayedRefetch()))
         self.program = program
         self.engine = engine
-        self.sim = ctx.sim
-        self.net = ctx.net
         dag = program.dag
         self.dag = dag
         self.chains = fuse_operators(dag, dag.operators,
@@ -126,20 +85,26 @@ class SparkMaster:
             on_driver = chain.parallelism == 1
             is_sink = chain.terminal.name in sink_names
             self.runs[chain.name] = _ChainRun(chain, on_driver, is_sink)
-        self.tracer = ctx.tracer
         self._stage_index = {chain.name: i
                              for i, chain in enumerate(self.chains)}
-        self.scheduler = TaskScheduler(RoundRobinPolicy())
-        self.scheduler.attach_tracer(ctx.tracer, self.sim)
         self.driver = self._make_driver()
-        self.outputs: dict[tuple, _Output] = {}
-        self._waiters: dict[tuple, list[Callable[[], None]]] = {}
-        # Per-executor coalescing of broadcast fetches (TorrentBroadcast
-        # fetches each block once per executor).
-        self._inflight_bcast: dict[tuple, list] = {}
-        self.job_outputs: dict[str, dict[int, list]] = {}
-        self.completed = False
-        self.jct: Optional[float] = None
+        self.slotless = self.driver
+        self.fetch.slotless = self.driver
+
+    # ------------------------------------------------------------------
+    # MasterBase policy hooks
+
+    def stage_index_of(self, task: _SparkTask) -> int:
+        return self._stage_index[task.chain.name]
+
+    def _resubmit(self, task: _SparkTask) -> None:
+        self._submit(task)
+
+    def original_task_count(self) -> int:
+        return sum(run.chain.parallelism for run in self.runs.values())
+
+    def result_extras(self) -> dict:
+        return {"stages": len(self.chains)}
 
     # ------------------------------------------------------------------
     # setup
@@ -177,7 +142,7 @@ class SparkMaster:
             return
         for parent in self._parents_of(run.chain):
             parent_run = self.runs[parent.name]
-            if not all(t.status == _SparkTask.DONE
+            if not all(t.status == TaskState.DONE
                        for t in parent_run.tasks):
                 return
         run.started = True
@@ -192,10 +157,10 @@ class SparkMaster:
             self._submit(task)
 
     def _submit(self, task: _SparkTask) -> None:
-        if task.status != _SparkTask.PENDING:
+        if task.status != TaskState.PENDING:
             return
         run = self.runs[task.chain.name]
-        task.status = _SparkTask.QUEUED
+        task.status = TaskState.QUEUED
         if run.on_driver:
             # Driver-resident work starts immediately (no slot needed).
             self._task_assigned(task, self.driver)
@@ -205,57 +170,21 @@ class SparkMaster:
     # ------------------------------------------------------------------
     # task execution
 
-    def _task_assigned(self, task: _SparkTask, executor: SimExecutor) -> None:
-        if task.status != _SparkTask.QUEUED:
-            if executor is not self.driver:
-                executor.release_slot()
-                self.scheduler.slot_released()
-            return
-        task.status = _SparkTask.ASSIGNED
-        task.executor = executor
-        self.ctx.tasks_launched += 1
-        if self.tracer is not None:
-            resource = "driver" if executor is self.driver else \
-                ("reserved" if executor.is_reserved else "transient")
-            self.tracer.emit(TaskStart(
-                time=self.sim.now,
-                stage=self._stage_index[task.chain.name],
-                task=task.chain.name, index=task.index,
-                attempt=task.attempt, executor=executor.executor_id,
-                resource=resource))
-        attempt = task.attempt
+    def _plan_fetches(self, task: _SparkTask,
+                      attempt: int) -> list[Callable[[], None]]:
         fetches: list[Callable[[], None]] = []
         chain = task.chain
-        head = chain.head
-        if chain.is_source_chain() and head.input_ref is not None:
-            fetches.append(lambda: self._fetch_source(task, attempt))
+        if chain.is_source_chain() and chain.head.input_ref is not None:
+            fetches.append(lambda: self.fetch.fetch_source(task, attempt))
         for edge in chain.external_in_edges():
             for pidx in source_indices(edge, task.index):
                 fetches.append(lambda e=edge, p=pidx:
                                self._fetch_edge(task, attempt, e, p))
-        task.outstanding = len(fetches)
-        if not fetches:
-            self._start_compute(task)
-            return
-        for fetch in fetches:
-            fetch()
-
-    def _fetch_source(self, task: _SparkTask, attempt: int) -> None:
-        key = (task.chain.head.input_ref, task.index)
-        size = self.ctx.input_store.size_of(key)
-
-        def done(result: TransferResult) -> None:
-            if not result.ok:
-                self._fetch_broke(task, attempt)
-                return
-            self._fetch_arrived(task, attempt, task.chain.head.name, size,
-                                None)
-
-        self.ctx.input_store.read(key, task.executor.endpoint, done)
+        return fetches
 
     def _fetch_edge(self, task: _SparkTask, attempt: int, edge: Edge,
                     pidx: int) -> None:
-        if task.attempt != attempt or task.status != _SparkTask.ASSIGNED:
+        if task.attempt != attempt or task.status != TaskState.FETCHING:
             return  # stale re-fetch after the task was reset
         producer_chain = self._chain_of_op[edge.src.name]
         pkey = (producer_chain.name, pidx)
@@ -264,44 +193,33 @@ class SparkMaster:
             cached = task.executor.cache.get(pkey)
             if cached is not None:
                 size, payload = cached
-                self._edge_arrived(task, attempt, edge, pidx, size, payload)
+                self.fetch.arrived_routed(task, attempt, edge, pidx, size,
+                                          payload)
                 return
         output = self.outputs.get(pkey)
-        if output is None or not self._output_reachable(output):
+        if output is None or not output.reachable():
             # Fetch failure: the parent output is gone — recompute it (the
-            # critical chain). Depending on engine semantics either the
+            # critical chain). Depending on the retry policy either the
             # whole task attempt fails (real Spark's FetchFailed handling)
             # or only this fetch is re-issued once the output is back.
-            if self.tracer is not None:
-                self.tracer.emit(FetchMiss(time=self.sim.now,
-                                           op=edge.src.name, index=pidx))
-            if self.engine.abort_on_fetch_failure:
+            self.outputs.trace_miss(edge.src.name, pidx)
+            if self.fetch.retry.abort_on_miss:
                 task.failed_parents.add(pkey)
                 self._recompute(pkey)
-                self._fetch_broke(task, attempt)
+                self.fetch.broke(task, attempt)
             else:
                 self._refetch_later(task, attempt, edge, pidx, pkey)
             return
         if is_broadcast and task.executor.cache is not None:
+            # TorrentBroadcast fetches each block once per executor.
             inflight_key = (task.executor.executor_id, pkey)
-            waiters = self._inflight_bcast.get(inflight_key)
-            if waiters is not None:
-                waiters.append((task, attempt, edge, pidx))
+            if self.fetch.inflight.join(inflight_key,
+                                        (task, attempt, edge, pidx)):
                 return
-            self._inflight_bcast[inflight_key] = []
         self.engine.fetch_output(self, task, attempt, edge, pidx, output)
 
-    def _output_reachable(self, output: _Output) -> bool:
-        if output.checkpointed:
-            return True  # durable on the stable store
-        if not output.available:
-            return False
-        if output.executor is None:
-            return True  # driver-resident
-        return output.executor.alive
-
     def _deliver_edge_fetch(self, task: _SparkTask, attempt: int, edge: Edge,
-                            pidx: int, output: _Output,
+                            pidx: int, output: OutputRecord,
                             src_endpoint: Any) -> None:
         """Pull one parent output over the network. Shuffle (many-to-many)
         fetches only move this task's partition of the output."""
@@ -313,21 +231,18 @@ class SparkMaster:
         inflight_key = (task.executor.executor_id, pkey)
 
         def done(result: TransferResult) -> None:
-            waiters = (self._inflight_bcast.pop(inflight_key, [])
+            waiters = (self.fetch.inflight.drain(inflight_key)
                        if coalesced else [])
             if not result.ok:
                 if task.attempt == attempt:
-                    if not self._output_reachable(output):
+                    if not output.reachable():
                         # Source died mid-transfer.
                         output.available = output.checkpointed
-                        if self.tracer is not None:
-                            self.tracer.emit(FetchMiss(
-                                time=self.sim.now,
-                                op=edge.src.name, index=pidx))
-                        if self.engine.abort_on_fetch_failure:
+                        self.outputs.trace_miss(edge.src.name, pidx)
+                        if self.fetch.retry.abort_on_miss:
                             task.failed_parents.add(pkey)
                             self._recompute(pkey)
-                            self._fetch_broke(task, attempt)
+                            self.fetch.broke(task, attempt)
                         else:
                             self._refetch_later(task, attempt, edge, pidx,
                                                 pkey)
@@ -339,85 +254,33 @@ class SparkMaster:
             if coalesced:
                 task.executor.cache.put(pkey, output.size, output.payload)
             if task.attempt == attempt:
-                self._edge_arrived(task, attempt, edge, pidx, output.size,
-                                   output.payload)
+                self.fetch.arrived_routed(task, attempt, edge, pidx,
+                                          output.size, output.payload)
             for other, a2, e2, p2 in waiters:
-                self._edge_arrived(other, a2, e2, p2, output.size,
-                                   output.payload)
+                self.fetch.arrived_routed(other, a2, e2, p2, output.size,
+                                          output.payload)
 
         if output.executor is task.executor:
             done(TransferResult(True, self.sim.now, int(moved)))
             return
         self.net.transfer(src_endpoint, task.executor.endpoint, moved, done)
 
-    def _edge_arrived(self, task: _SparkTask, attempt: int, edge: Edge,
-                      pidx: int, size: float,
-                      payload: Optional[list]) -> None:
-        share = route_sizes(edge, pidx, size).get(task.index, 0.0)
-        routed = None
-        if payload is not None:
-            routed = route_output(edge, pidx, payload).get(task.index, [])
-        self._fetch_arrived(task, attempt, edge.src.name, share, routed)
-
-    def _fetch_arrived(self, task: _SparkTask, attempt: int,
-                       parent_name: str, size: float,
-                       payload: Optional[list]) -> None:
-        if task.attempt != attempt or task.status != _SparkTask.ASSIGNED:
-            return
-        task.input_bytes_by_parent[parent_name] = \
-            task.input_bytes_by_parent.get(parent_name, 0.0) + size
-        if payload is not None:
-            task.external_inputs.setdefault(parent_name, []).extend(payload)
-        task.outstanding -= 1
-        if task.outstanding == 0:
-            if task.fetch_failed:
-                self._abort_attempt(task)
-            else:
-                self._start_compute(task)
-
-    def _fetch_broke(self, task: _SparkTask, attempt: int) -> None:
-        if task.attempt != attempt or task.status != _SparkTask.ASSIGNED:
-            return
-        task.fetch_failed = True
-        task.outstanding -= 1
-        if task.outstanding == 0:
-            self._abort_attempt(task)
-
-    def _trace_relaunch(self, task: _SparkTask, cause: str,
-                        cause_ref: Optional[int] = None) -> None:
-        if self.tracer is not None:
-            self.tracer.emit(Relaunch(
-                time=self.sim.now,
-                stage=self._stage_index[task.chain.name],
-                task=task.chain.name, index=task.index,
-                attempt=task.attempt, cause=cause, cause_ref=cause_ref))
-
-    def _abort_attempt(self, task: _SparkTask) -> None:
-        executor = task.executor
-        failed = set(task.failed_parents)
-        self._trace_relaunch(task, "fetch-failed")
-        task.reset()
-        if executor is not None and executor is not self.driver \
-                and executor.alive:
-            executor.release_slot()
-            self.scheduler.slot_released()
+    def _after_abort(self, task: _SparkTask, failed_parents: set) -> None:
         # Re-check the parents that broke this attempt *now*: any of them
         # may have been recomputed while the other fetches were draining.
         missing = []
-        for pkey in failed:
-            output = self.outputs.get(pkey)
-            if output is None or not self._output_reachable(output):
+        for pkey in failed_parents:
+            if not self.outputs.reachable(pkey):
                 missing.append(pkey)
         if not missing:
             self._submit(task)
             return
         for pkey in missing:
-            self._waiters.setdefault(pkey, []).append(
-                lambda: self._retry_task(task))
+            self.outputs.wait(pkey, lambda: self._retry_task(task))
             self._recompute(pkey)
 
     def _retry_task(self, task: _SparkTask) -> None:
-        if task.status == _SparkTask.PENDING:
+        if task.status == TaskState.PENDING:
             self._submit(task)
 
     def _refetch_later(self, task: _SparkTask, attempt: int, edge: Edge,
@@ -428,28 +291,22 @@ class SparkMaster:
         not force re-pulling the whole shuffle input (real Spark retries
         batch lost map outputs similarly at stage granularity).
         """
-        self._waiters.setdefault(pkey, []).append(
-            lambda: self._fetch_edge(task, attempt, edge, pidx))
+        self.outputs.wait(pkey,
+                          lambda: self._fetch_edge(task, attempt, edge, pidx))
         self._recompute(pkey)
 
-    def _start_compute(self, task: _SparkTask) -> None:
-        task.status = _SparkTask.RUNNING
-        spec = task.executor.container.spec
-        total = sum(task.input_bytes_by_parent.values())
-        seconds = task.chain.compute_seconds(total, spec.cpu_throughput)
-        seconds += self.ctx.cluster.task_overhead_seconds
-        attempt = task.attempt
+    def _schedule_compute(self, task: _SparkTask, seconds: float,
+                          callback: Callable[[], None]) -> None:
         if task.executor is self.driver:
+            # Driver work serializes through the driver's single CPU.
             _, end = self.driver.cpu.reserve(
                 self.sim.now, seconds * self.driver.cpu.bandwidth)
-            self.sim.schedule_at_fast(
-                end, lambda: self._compute_done(task, attempt))
+            self.sim.schedule_at_fast(end, callback)
         else:
-            self.sim.schedule_fast(seconds,
-                                   lambda: self._compute_done(task, attempt))
+            self.sim.schedule_fast(seconds, callback)
 
     def _compute_done(self, task: _SparkTask, attempt: int) -> None:
-        if task.attempt != attempt or task.status != _SparkTask.RUNNING:
+        if task.attempt != attempt or task.status != TaskState.COMPUTING:
             return
         executor = task.executor
         if executor is not self.driver and not executor.alive:
@@ -462,7 +319,7 @@ class SparkMaster:
             records = None
             bytes_in = dict(task.input_bytes_by_parent)
             out_bytes = chain.synthetic_output_bytes(bytes_in)
-        task.status = _SparkTask.WRITING
+        task.status = TaskState.DELIVERING
         run = self.runs[chain.name]
         if executor is self.driver:
             self._finish_task(task, attempt, None, out_bytes, records)
@@ -483,7 +340,7 @@ class SparkMaster:
     def _sink_written(self, task: _SparkTask, attempt: int,
                       result: TransferResult, out_bytes: float,
                       records: Optional[list]) -> None:
-        if task.attempt != attempt or task.status != _SparkTask.WRITING:
+        if task.attempt != attempt or task.status != TaskState.DELIVERING:
             return
         if not result.ok:
             return  # evicted mid-write; eviction handler relaunches
@@ -492,7 +349,7 @@ class SparkMaster:
     def _local_written(self, task: _SparkTask, attempt: int, ok: bool,
                        executor: SimExecutor, out_bytes: float,
                        records: Optional[list]) -> None:
-        if task.attempt != attempt or task.status != _SparkTask.WRITING:
+        if task.attempt != attempt or task.status != TaskState.DELIVERING:
             return
         if not ok:
             return
@@ -501,7 +358,7 @@ class SparkMaster:
     def _finish_task(self, task: _SparkTask, attempt: int,
                      executor: Optional[SimExecutor], out_bytes: float,
                      records: Optional[list]) -> None:
-        task.status = _SparkTask.DONE
+        task.status = TaskState.DONE
         if self.tracer is not None:
             self.tracer.emit(TaskCommitted(
                 time=self.sim.now,
@@ -510,15 +367,14 @@ class SparkMaster:
                 executor=(executor.executor_id if executor is not None
                           else self.driver.executor_id)))
         location = None if executor is self.driver else executor
-        output = _Output(location, out_bytes, records)
-        self.outputs[task.key] = output
+        output = self.outputs.put(task.key, location, out_bytes, records)
         if executor is not None and executor is not self.driver:
             executor.release_slot()
             self.scheduler.slot_released()
         self.engine.on_output_produced(self, task, output)
-        self._notify_waiters(task.key)
+        self.outputs.notify(task.key)
         run = self.runs[task.chain.name]
-        if all(t.status == _SparkTask.DONE for t in run.tasks):
+        if all(t.status == TaskState.DONE for t in run.tasks):
             if self.tracer is not None and run.trace_open:
                 run.trace_open = False
                 self.tracer.emit(StageEnd(
@@ -529,17 +385,13 @@ class SparkMaster:
                 self._maybe_start_chain(child)
             self._maybe_job_done()
 
-    def _notify_waiters(self, key: tuple) -> None:
-        for waiter in self._waiters.pop(key, []):
-            waiter()
-
     def _maybe_job_done(self) -> None:
         if self.completed:
             return
         for run in self.runs.values():
             if not run.is_sink:
                 continue
-            if not all(t.status == _SparkTask.DONE for t in run.tasks):
+            if not all(t.status == TaskState.DONE for t in run.tasks):
                 return
         self.completed = True
         self.jct = self.sim.now
@@ -563,10 +415,9 @@ class SparkMaster:
         chain_name, pidx = pkey
         run = self.runs[chain_name]
         task = run.tasks[pidx]
-        if task.status == _SparkTask.DONE:
-            output = self.outputs.get(pkey)
-            if output is not None and self._output_reachable(output):
-                self._notify_waiters(pkey)
+        if task.status == TaskState.DONE:
+            if self.outputs.reachable(pkey):
+                self.outputs.notify(pkey)
                 return
             self._trace_relaunch(task, "lineage-recompute")
             if self.tracer is not None and not run.trace_open:
@@ -578,38 +429,24 @@ class SparkMaster:
                     name=run.chain.name))
             task.reset()
             self._submit(task)
-        elif task.status == _SparkTask.PENDING:
+        elif task.status == TaskState.PENDING:
             self._submit(task)
-        # QUEUED/ASSIGNED/RUNNING/WRITING: already in flight.
+        # QUEUED/FETCHING/COMPUTING/DELIVERING: already in flight.
 
     # ------------------------------------------------------------------
     # evictions
 
     def _on_container_lost(self, container: Container,
                            replacement: Optional[Container]) -> None:
-        executor = None
-        for candidate in self.scheduler.executors:
-            if candidate.container is container:
-                executor = candidate
-                break
+        executor = self._find_executor(container)
         if executor is None:
             return
         self.scheduler.remove_executor(executor)
         # All local state — including local-disk map outputs — is destroyed.
-        lost_outputs = []
-        for key, output in self.outputs.items():
-            if output.executor is executor and not output.checkpointed:
-                output.available = False
-                lost_outputs.append(key)
+        lost_outputs = self.outputs.mark_executor_lost(executor)
         for run in self.runs.values():
-            for task in run.tasks:
-                if task.executor is executor and task.status in (
-                        _SparkTask.ASSIGNED, _SparkTask.RUNNING,
-                        _SparkTask.WRITING):
-                    self._trace_relaunch(task, "eviction",
-                                         cause_ref=container.container_id)
-                    task.reset()
-                    self._submit(task)
+            self._relaunch_lost(run.tasks, executor, "eviction",
+                                cause_ref=container.container_id)
         # Spark's ExecutorLost handling: map outputs lost while their stage
         # is still running are resubmitted right away, overlapping with the
         # remaining tasks; outputs of *completed* stages are recomputed
@@ -617,7 +454,7 @@ class SparkMaster:
         for key in lost_outputs:
             chain_name, _ = key
             run = self.runs[chain_name]
-            if not all(t.status == _SparkTask.DONE for t in run.tasks):
+            if not all(t.status == TaskState.DONE for t in run.tasks):
                 self._recompute(key)
 
 
@@ -644,7 +481,7 @@ class SparkEngine(EngineBase):
 
     def fetch_output(self, master: SparkMaster, task: _SparkTask,
                      attempt: int, edge: Edge, pidx: int,
-                     output: _Output) -> None:
+                     output: OutputRecord) -> None:
         """Pull a parent output from wherever it lives (driver or a peer
         executor's local disk)."""
         src = master.driver.endpoint if output.executor is None \
@@ -654,7 +491,7 @@ class SparkEngine(EngineBase):
         master._deliver_edge_fetch(task, attempt, edge, pidx, output, src)
 
     def on_output_produced(self, master: SparkMaster, task: _SparkTask,
-                           output: _Output) -> None:
+                           output: OutputRecord) -> None:
         """Hook for the checkpointing subclass."""
 
     # ------------------------------------------------------------------
@@ -667,31 +504,3 @@ class SparkEngine(EngineBase):
         master = self._make_master(ctx, program)
         master.start()
         return master
-
-    def _is_done(self, master: SparkMaster) -> bool:
-        return master.completed
-
-    def _finish(self, ctx: SimContext, program: Program,
-                master: SparkMaster,
-                time_limit: Optional[float]) -> JobResult:
-        completed = master.completed
-        if completed:
-            jct = master.jct
-        else:
-            jct = time_limit if time_limit is not None else ctx.sim.now
-        original = sum(run.chain.parallelism for run in master.runs.values())
-        return JobResult(
-            engine=self.name,
-            workload=program.name,
-            completed=completed,
-            jct_seconds=float(jct if jct is not None else ctx.sim.now),
-            original_tasks=original,
-            launched_tasks=ctx.tasks_launched,
-            evictions=ctx.rm.evictions,
-            bytes_input_read=ctx.input_store.bytes_read,
-            bytes_shuffled=ctx.bytes_shuffled,
-            bytes_pushed=0,
-            bytes_checkpointed=ctx.bytes_checkpointed,
-            outputs=master.job_outputs if program.is_real() else None,
-            extras={"stages": len(master.chains)},
-        )

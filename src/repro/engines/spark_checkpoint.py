@@ -21,9 +21,10 @@ from typing import Callable
 from repro.cluster.network import TransferResult
 from repro.cluster.storage import StableStore
 from repro.dataflow.dag import Edge
+from repro.core.exec import OutputRecord
 from repro.engines.base import ClusterConfig, Program, SimContext
-from repro.engines.spark import (SparkEngine, SparkMaster, _Output,
-                                 _SparkTask, transfer_share)
+from repro.engines.spark import (SparkEngine, SparkMaster, _SparkTask,
+                                 transfer_share)
 
 
 class CheckpointMaster(SparkMaster):
@@ -81,7 +82,7 @@ class SparkCheckpointEngine(SparkEngine):
     # checkpointing
 
     def on_output_produced(self, master: CheckpointMaster, task: _SparkTask,
-                           output: _Output) -> None:
+                           output: OutputRecord) -> None:
         if task.chain.name not in master._wide_producers:
             return
         if output.executor is None:
@@ -109,7 +110,7 @@ class SparkCheckpointEngine(SparkEngine):
 
     def fetch_output(self, master: CheckpointMaster, task: _SparkTask,
                      attempt: int, edge: Edge, pidx: int,
-                     output: _Output) -> None:
+                     output: OutputRecord) -> None:
         if not edge.dep_type.is_wide or output.executor is None:
             # Narrow and broadcast fetches behave like plain Spark.
             super().fetch_output(master, task, attempt, edge, pidx, output)
@@ -145,24 +146,24 @@ class SparkCheckpointEngine(SparkEngine):
         if self.abort_on_fetch_failure:
             task.failed_parents.add(pkey)
             master._recompute(pkey)
-            master._fetch_broke(task, attempt)
+            master.fetch.broke(task, attempt)
         else:
             master._refetch_later(task, attempt, edge, pidx, pkey)
 
     def _fetch_from_store(self, master: CheckpointMaster, task: _SparkTask,
                           attempt: int, edge: Edge, pidx: int,
-                          output: _Output, pkey: tuple) -> None:
+                          output: OutputRecord, pkey: tuple) -> None:
         moved = transfer_share(edge, output.size)
 
         def done(result: TransferResult) -> None:
             if task.attempt != attempt:
                 return
             if not result.ok:
-                master._fetch_broke(task, attempt)
+                master.fetch.broke(task, attempt)
                 return
             master.ctx.bytes_shuffled += int(moved)
-            master._edge_arrived(task, attempt, edge, pidx, output.size,
-                                 output.payload)
+            master.fetch.arrived_routed(task, attempt, edge, pidx,
+                                        output.size, output.payload)
 
         master.stable_store.read_share(pkey, moved, task.executor.endpoint,
                                        done)

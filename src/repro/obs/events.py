@@ -23,7 +23,8 @@ from typing import Any, Optional
 __all__ = [
     "TraceEvent", "StageStart", "StageEnd", "TaskQueued", "TaskStart",
     "TaskPushed", "TaskCommitted", "Relaunch", "Eviction", "FetchMiss",
-    "Transfer", "EVENT_TYPES", "event_to_dict", "event_from_dict",
+    "Transfer", "EVENT_TYPES", "RELAUNCH_CAUSE_CATEGORIES",
+    "event_to_dict", "event_from_dict",
 ]
 
 
@@ -111,16 +112,41 @@ class TaskCommitted(TraceEvent):
     executor: int
 
 
+#: Engine-neutral categories for :attr:`Relaunch.cause`. The cause strings
+#: name the engine mechanism; the category names what *happened*, on a
+#: vocabulary shared by every engine so cross-engine analysis can compare
+#: like with like:
+#:
+#: * ``"eviction"`` — the attempt's own container (or its reserved
+#:   receiver) died;
+#: * ``"fetch_broke"`` — an input fetch failed mid-attempt;
+#: * ``"upstream_lost"`` — a finished task re-ran because its preserved
+#:   output (or a consumer of it) was lost;
+#: * ``"master_restart"`` — the master recovered from a crash.
+RELAUNCH_CAUSE_CATEGORIES: dict[str, str] = {
+    "eviction": "eviction",
+    "reserved-fault": "eviction",
+    "fetch-failed": "fetch_broke",
+    "local-output-lost": "upstream_lost",
+    "lineage-recompute": "upstream_lost",
+    "repair": "upstream_lost",
+    "master-restart": "master_restart",
+}
+
+
 @dataclass(frozen=True)
 class Relaunch(TraceEvent):
     """An attempt was abandoned and the task re-enqueued.
 
     ``attempt`` is the attempt being *abandoned* (the successor attempt is
-    ``attempt + 1``). ``cause`` names the mechanism (``"eviction"``,
+    ``attempt + 1``). ``cause`` names the engine mechanism (``"eviction"``,
     ``"reserved-fault"``, ``"fetch-failed"``, ``"repair"``,
     ``"local-output-lost"``, ``"lineage-recompute"``, ``"master-restart"``);
-    ``cause_ref`` is the container id of the eviction/fault responsible,
-    when one is known — the edge the lineage analyzer walks.
+    ``category`` is the engine-neutral grouping from
+    :data:`RELAUNCH_CAUSE_CATEGORIES`, filled in automatically from
+    ``cause`` when not supplied. ``cause_ref`` is the container id of the
+    eviction/fault responsible, when one is known — the edge the lineage
+    analyzer walks.
     """
 
     stage: int
@@ -129,6 +155,13 @@ class Relaunch(TraceEvent):
     attempt: int
     cause: str
     cause_ref: Optional[int] = None
+    category: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.category is None:
+            object.__setattr__(
+                self, "category",
+                RELAUNCH_CAUSE_CATEGORIES.get(self.cause, "other"))
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.obs.events import (Eviction, Relaunch, TaskCommitted, TaskStart,
-                              TraceEvent)
+from repro.obs.events import (RELAUNCH_CAUSE_CATEGORIES, Eviction, Relaunch,
+                              TaskCommitted, TaskStart, TraceEvent)
 
 __all__ = ["AttemptRecord", "EvictionImpact", "LineageReport",
            "analyze_eviction_lineage"]
@@ -90,6 +90,21 @@ class LineageReport:
         """Task launches beyond the first per task — matches
         ``JobResult.relaunched_tasks`` on completed runs."""
         return self.starts - self.unique_tasks
+
+    @property
+    def by_category(self) -> dict[str, EvictionImpact]:
+        """``by_cause`` folded through the engine-neutral taxonomy of
+        :data:`repro.obs.events.RELAUNCH_CAUSE_CATEGORIES`, so the same
+        buckets (``eviction``, ``fetch_broke``, ``upstream_lost``,
+        ``master_restart``) are comparable across engines."""
+        merged: dict[str, EvictionImpact] = {}
+        for cause, impact in self.by_cause.items():
+            category = RELAUNCH_CAUSE_CATEGORIES.get(cause, "other")
+            tally = merged.setdefault(category, EvictionImpact(container=-1))
+            tally.relaunched_tasks += impact.relaunched_tasks
+            tally.recompute_seconds += impact.recompute_seconds
+            tally.tasks.extend(impact.tasks)
+        return merged
 
     @property
     def recompute_seconds(self) -> float:

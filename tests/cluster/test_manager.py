@@ -7,8 +7,7 @@ import pytest
 from repro.cluster.events import Simulator
 from repro.cluster.manager import ResourceManager
 from repro.errors import ResourceError
-from repro.trace.models import (ExponentialLifetimeModel, NoEvictionModel,
-                                PercentileLifetimeModel)
+from repro.trace.models import ExponentialLifetimeModel, NoEvictionModel
 
 
 def make_rm(lifetime_model=None, seed=0, replace=True):

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cluster.resources import (Container, ContainerKind, NodeSpec,
-                                     RESERVED_NODE, TRANSIENT_NODE,
-                                     reserved_container, transient_container)
+from repro.cluster.resources import (NodeSpec, RESERVED_NODE,
+                                     TRANSIENT_NODE, reserved_container,
+                                     transient_container)
 
 
 def test_default_specs_match_paper_instances():

@@ -1,0 +1,140 @@
+"""The task-attempt state machine: transitions, reset, attempt counting."""
+
+import pytest
+
+from repro.core.exec import (ACTIVE_STATES, IllegalTransition, TaskAttempt,
+                             TaskState)
+
+
+class _Task(TaskAttempt):
+    def __init__(self, name="t", index=0):
+        super().__init__()
+        self.name = name
+        self.index = index
+        self.scratch_cleared = 0
+
+    @property
+    def key(self):
+        return (self.name, self.index)
+
+    def _reset_scratch(self):
+        self.scratch_cleared += 1
+
+
+class _Exec:
+    alive = True
+
+
+def test_happy_path_walks_the_full_lifecycle():
+    task = _Task()
+    assert task.status == TaskState.PENDING
+    task.status = TaskState.QUEUED
+    task.status = TaskState.FETCHING
+    task.status = TaskState.COMPUTING
+    task.status = TaskState.DELIVERING
+    task.status = TaskState.DONE
+    assert task.attempt == 0
+
+
+def test_compute_may_finish_without_delivering():
+    task = _Task()
+    task.status = TaskState.QUEUED
+    task.status = TaskState.FETCHING
+    task.status = TaskState.COMPUTING
+    task.status = TaskState.DONE  # driver-resident finish skips delivery
+
+
+def test_pending_may_go_straight_to_fetching():
+    # Pado reserved receivers and the Spark driver skip the queue.
+    task = _Task()
+    task.status = TaskState.FETCHING
+    assert task.status == TaskState.FETCHING
+
+
+def test_same_state_assignment_is_a_noop():
+    task = _Task()
+    task.status = TaskState.PENDING
+    assert task.status == TaskState.PENDING
+
+
+@pytest.mark.parametrize("start,bad", [
+    (TaskState.PENDING, TaskState.COMPUTING),
+    (TaskState.PENDING, TaskState.DONE),
+    (TaskState.QUEUED, TaskState.DELIVERING),
+    (TaskState.FETCHING, TaskState.QUEUED),     # backward
+    (TaskState.COMPUTING, TaskState.FETCHING),  # backward
+    (TaskState.DONE, TaskState.PENDING),        # only reset() rewinds
+    (TaskState.DONE, TaskState.FETCHING),
+])
+def test_illegal_transitions_raise(start, bad):
+    task = _Task()
+    task._status = start  # place directly; paths to get here vary
+    with pytest.raises(IllegalTransition):
+        task.status = bad
+    assert task.status == start  # state unchanged after the rejection
+
+
+def test_illegal_transition_is_an_execution_error():
+    from repro.errors import ExecutionError
+    assert issubclass(IllegalTransition, ExecutionError)
+
+
+def test_reset_bumps_attempt_and_rewinds():
+    task = _Task()
+    executor = _Exec()
+    task.status = TaskState.QUEUED
+    task.begin_attempt(executor)
+    task.input_bytes_by_parent["p"] = 5.0
+    task.failed_parents.add(("p", 0))
+    task.outstanding_fetches = 3
+    task.fetch_failed = True
+    task.reset()
+    assert task.attempt == 1
+    assert task.status == TaskState.PENDING
+    assert task.executor is None
+    assert task.outstanding_fetches == 0
+    assert not task.fetch_failed
+    assert not task.failed_parents
+    assert not task.input_bytes_by_parent
+    assert task.scratch_cleared == 1
+
+
+def test_reset_preserves_cache_keys():
+    """Cache affinity survives relaunches (the scheduler keeps using it)."""
+    task = _Task()
+    task.cache_keys = {("in", 0)}
+    task.status = TaskState.QUEUED
+    task.reset()
+    assert task.cache_keys == {("in", 0)}
+
+
+def test_initial_state_override():
+    class _Receiver(_Task):
+        initial_state = TaskState.FETCHING
+
+    receiver = _Receiver()
+    assert receiver.status == TaskState.FETCHING
+    receiver.status = TaskState.COMPUTING
+    receiver.reset()
+    assert receiver.status == TaskState.FETCHING
+    assert receiver.attempt == 1
+
+
+def test_begin_attempt_clears_barrier_state():
+    task = _Task()
+    executor = _Exec()
+    task.status = TaskState.QUEUED
+    task.fetch_failed = True
+    task.input_bytes_by_parent["stale"] = 1.0
+    task.external_inputs["stale"] = [1]
+    task.begin_attempt(executor)
+    assert task.status == TaskState.FETCHING
+    assert task.executor is executor
+    assert not task.fetch_failed
+    assert not task.input_bytes_by_parent
+    assert not task.external_inputs
+
+
+def test_active_states_are_the_slot_holding_ones():
+    assert ACTIVE_STATES == (TaskState.FETCHING, TaskState.COMPUTING,
+                             TaskState.DELIVERING)

@@ -1,0 +1,183 @@
+"""FetchService: the input barrier, abort path, and retry policies."""
+
+import pytest
+
+from repro.core.exec import (CappedAttempts, DelayedRefetch, FetchService,
+                             ImmediateRetry, InflightIndex, TaskAttempt,
+                             TaskState)
+from repro.errors import ExecutionError
+
+
+class _Task(TaskAttempt):
+    def __init__(self, name="t", index=0):
+        super().__init__()
+        self.name = name
+        self.index = index
+
+    @property
+    def key(self):
+        return (self.name, self.index)
+
+
+class _Exec:
+    def __init__(self, alive=True):
+        self.alive = alive
+        self.released = 0
+
+    def release_slot(self):
+        self.released += 1
+
+
+class _Scheduler:
+    def __init__(self):
+        self.slot_releases = 0
+
+    def slot_released(self):
+        self.slot_releases += 1
+
+
+class _Harness:
+    """Records what the master-side callbacks saw."""
+
+    def __init__(self, retry=None):
+        self.ready = []
+        self.aborted = []
+        self.relaunches = []
+        self.scheduler = _Scheduler()
+        self.service = FetchService(
+            input_store=None, scheduler=self.scheduler,
+            on_ready=self.ready.append,
+            after_abort=lambda task, failed: self.aborted.append(
+                (task, failed)),
+            trace_relaunch=lambda task, cause: self.relaunches.append(
+                (task.key, task.attempt, cause)),
+            retry=retry)
+
+    def armed_task(self, fetches=2):
+        task = _Task()
+        task.status = TaskState.QUEUED
+        task.begin_attempt(_Exec())
+        self.service.begin(task, [lambda: None] * fetches)
+        return task
+
+
+def test_empty_fetch_plan_is_immediately_ready():
+    h = _Harness()
+    task = h.armed_task(fetches=0)
+    assert h.ready == [task]
+
+
+def test_barrier_counts_down_arrivals():
+    h = _Harness()
+    task = h.armed_task(fetches=2)
+    h.service.arrived(task, 0, "a", 10.0, None)
+    assert not h.ready
+    h.service.arrived(task, 0, "b", 5.0, [1, 2])
+    assert h.ready == [task]
+    assert task.input_bytes_by_parent == {"a": 10.0, "b": 5.0}
+    assert task.external_inputs == {"b": [1, 2]}
+
+
+def test_stale_arrivals_are_ignored():
+    h = _Harness()
+    task = h.armed_task(fetches=1)
+    h.service.arrived(task, attempt=3, parent="a", size=1.0, payload=None)
+    assert not h.ready  # wrong attempt
+    task.status = TaskState.COMPUTING  # left FETCHING
+    h.service.arrived(task, 0, "a", 1.0, None)
+    assert not h.ready
+
+
+def test_one_broken_fetch_aborts_exactly_one_attempt():
+    """Two fetches break on one barrier — one reset, one resubmit, one
+    Relaunch, one slot release (the eviction-mid-fetch invariant)."""
+    h = _Harness()
+    task = h.armed_task(fetches=2)
+    executor = task.executor
+    h.service.broke(task, 0)
+    assert task.attempt == 0  # barrier still draining
+    h.service.broke(task, 0)
+    assert task.attempt == 1
+    assert task.status == TaskState.PENDING
+    assert len(h.aborted) == 1
+    assert h.relaunches == [(("t", 0), 0, "fetch-failed")]
+    assert executor.released == 1
+    assert h.scheduler.slot_releases == 1
+    # Late events for the dead attempt do nothing further.
+    h.service.broke(task, 0)
+    h.service.arrived(task, 0, "a", 1.0, None)
+    assert task.attempt == 1
+    assert len(h.aborted) == 1
+
+
+def test_mixed_arrival_then_break_still_aborts_once():
+    h = _Harness()
+    task = h.armed_task(fetches=2)
+    h.service.arrived(task, 0, "a", 1.0, None)
+    h.service.broke(task, 0)
+    assert len(h.aborted) == 1
+    assert not h.ready
+
+
+def test_abort_reports_failed_parents_of_the_attempt():
+    h = _Harness()
+    task = h.armed_task(fetches=1)
+    task.failed_parents.add(("p", 4))
+    h.service.broke(task, 0)
+    (aborted, failed), = h.aborted
+    assert aborted is task
+    assert failed == {("p", 4)}
+    assert not task.failed_parents  # reset cleared the attempt's set
+
+
+def test_abort_skips_slot_release_for_slotless_executor():
+    h = _Harness()
+    task = h.armed_task(fetches=1)
+    h.service.slotless = task.executor  # the Spark driver
+    h.service.broke(task, 0)
+    assert task.executor is None
+    assert h.scheduler.slot_releases == 0
+
+
+def test_abort_skips_slot_release_for_dead_executor():
+    h = _Harness()
+    task = h.armed_task(fetches=1)
+    executor = task.executor
+    executor.alive = False
+    h.service.broke(task, 0)
+    assert executor.released == 0
+    assert h.scheduler.slot_releases == 0
+
+
+def test_retry_policy_flags():
+    assert ImmediateRetry().abort_on_miss
+    assert not DelayedRefetch().abort_on_miss
+    assert CappedAttempts(3).abort_on_miss
+
+
+def test_capped_attempts_surfaces_job_failure():
+    h = _Harness(retry=CappedAttempts(2))
+    task = h.armed_task(fetches=1)
+    h.service.broke(task, 0)          # attempt 0 -> 1: still under the cap
+    assert task.attempt == 1
+    task.status = TaskState.QUEUED
+    task.begin_attempt(_Exec())
+    h.service.begin(task, [lambda: None])
+    with pytest.raises(ExecutionError, match="exhausted 2 attempts"):
+        h.service.broke(task, 1)      # attempt 1 would become 2: give up
+    assert len(h.aborted) == 1        # the failed attempt never requeued
+
+
+def test_capped_attempts_rejects_nonpositive_cap():
+    with pytest.raises(ValueError):
+        CappedAttempts(0)
+
+
+def test_inflight_index_coalesces():
+    index = InflightIndex()
+    assert not index.join("k", "first")   # opener fetches
+    assert index.join("k", "second")      # queued
+    assert index.join("k", "third")
+    assert index.drain("k") == ["second", "third"]
+    assert index.drain("k") == []         # entry closed
+    assert not index.join("k", "again")   # reopens

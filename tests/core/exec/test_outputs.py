@@ -1,0 +1,80 @@
+"""OutputRegistry: reachability, executor loss, and consumer waiters."""
+
+from repro.core.exec import OutputRecord, OutputRegistry
+
+
+class _Exec:
+    def __init__(self, alive=True):
+        self.alive = alive
+
+
+def test_record_reachability_rules():
+    live = OutputRecord(_Exec(alive=True), 10.0, None)
+    assert live.reachable()
+    dead = OutputRecord(_Exec(alive=False), 10.0, None)
+    assert not dead.reachable()
+    driver = OutputRecord(None, 10.0, [1])
+    assert driver.reachable()  # driver-resident outputs never die
+    lost = OutputRecord(_Exec(), 10.0, None)
+    lost.available = False
+    assert not lost.reachable()
+    checkpointed = OutputRecord(_Exec(alive=False), 10.0, None)
+    checkpointed.checkpointed = True
+    assert checkpointed.reachable()  # durable on the stable store
+
+
+def test_registry_mapping_surface():
+    registry = OutputRegistry()
+    executor = _Exec()
+    record = registry.put(("op", 0), executor, 42.0, [1, 2])
+    assert registry[("op", 0)] is record
+    assert registry.get(("op", 0)) is record
+    assert registry.get(("op", 1)) is None
+    assert ("op", 0) in registry
+    assert len(registry) == 1
+    assert list(registry.keys()) == [("op", 0)]
+    assert list(registry.values()) == [record]
+    assert dict(registry.items()) == {("op", 0): record}
+    assert registry.reachable(("op", 0))
+    assert not registry.reachable(("op", 1))
+    assert registry.pop(("op", 0)) is record
+    assert len(registry) == 0
+
+
+def test_mark_executor_lost_returns_keys_in_registration_order():
+    registry = OutputRegistry()
+    victim, survivor = _Exec(), _Exec()
+    registry.put(("a", 0), victim, 1.0, None)
+    registry.put(("b", 0), survivor, 1.0, None)
+    registry.put(("a", 1), victim, 1.0, None)
+    ckpt = registry.put(("a", 2), victim, 1.0, None)
+    ckpt.checkpointed = True
+    lost = registry.mark_executor_lost(victim)
+    assert lost == [("a", 0), ("a", 1)]  # checkpointed record skipped
+    assert not registry.reachable(("a", 0))
+    assert registry.reachable(("b", 0))
+    assert registry.reachable(("a", 2))
+
+
+def test_waiters_fire_once_and_only_on_notify():
+    registry = OutputRegistry()
+    fired = []
+    registry.wait(("op", 0), lambda: fired.append("x"))
+    registry.wait(("op", 0), lambda: fired.append("y"))
+    registry.put(("op", 0), _Exec(), 1.0, None)
+    assert fired == []  # put does not notify: the master announces
+    registry.notify(("op", 0))
+    assert fired == ["x", "y"]
+    registry.notify(("op", 0))  # drained; nothing re-fires
+    assert fired == ["x", "y"]
+
+
+def test_put_overwrites_with_fresh_record():
+    """A recomputed output replaces the lost one; old handles stay stale."""
+    registry = OutputRegistry()
+    old = registry.put(("op", 0), _Exec(), 1.0, None)
+    old.available = False
+    new = registry.put(("op", 0), _Exec(), 2.0, None)
+    assert registry[("op", 0)] is new
+    assert registry.reachable(("op", 0))
+    assert not old.reachable()

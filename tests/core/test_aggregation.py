@@ -4,8 +4,8 @@ import pytest
 
 from repro.cluster.events import Simulator
 from repro.core.runtime.aggregation import (AggregationBuffer, Contribution,
-                                            FlushBatch, merge_payloads)
-from repro.dataflow.functions import SumCombiner, binary_combiner
+                                            merge_payloads)
+from repro.dataflow.functions import SumCombiner
 from repro.workloads.mlr import VectorSumCombiner
 
 

@@ -107,7 +107,7 @@ def test_apply_runs_whole_chain():
 
 def test_apply_requires_functions():
     dag = LogicalDAG()
-    read = dag.add_operator(read_source())
+    dag.add_operator(read_source())
     place_operators(dag)
     chain = fuse_operators(dag, dag.operators)[0]
     with pytest.raises(CompilerError):

@@ -1,10 +1,6 @@
 """White-box tests of Pado runtime mechanisms (§3.2.4-3.2.7)."""
 
-import pytest
-
 from repro import ClusterConfig, PadoEngine, PadoRuntimeConfig
-from repro.core.runtime.master import PadoMaster
-from repro.engines.base import SimContext
 from repro.trace.models import ExponentialLifetimeModel
 from repro.workloads import mlr_synthetic_program, mr_synthetic_program
 

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.compiler.partitioning import (Stage, check_partitioning,
+from repro.core.compiler.partitioning import (check_partitioning,
                                               partition_stages)
 from repro.core.compiler.placement import place_operators
-from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
                                 Placement, SourceKind)
 from repro.errors import CompilerError
 

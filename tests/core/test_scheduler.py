@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.events import Simulator
-from repro.cluster.resources import NodeSpec, transient_container
+from repro.cluster.resources import transient_container
 from repro.core.runtime.cache import LruCache
 from repro.core.runtime.scheduler import (CacheAwarePolicy, RoundRobinPolicy,
                                           TaskScheduler)

@@ -36,7 +36,7 @@ def test_shuffle_groups_all_values_for_a_key_in_one_task():
     p = Pipeline()
     pairs = p.read("r", partitions=[[("k", 1), ("j", 2)],
                                     [("k", 3)], [("j", 4)]])
-    reduced = pairs.reduce_by_key("red", SumCombiner(), parallelism=3)
+    pairs.reduce_by_key("red", SumCombiner(), parallelism=3)
     result = LocalRunner().run(p.to_dag())
     assert sorted(result.collect("red")) == [("j", 6), ("k", 4)]
     # Each key appears in exactly one output partition.
@@ -51,7 +51,7 @@ def test_broadcast_side_input_reaches_all_tasks():
     p = Pipeline()
     data = p.read("r", partitions=[[1], [2], [3]])
     model = p.create("m", values=[100])
-    out = data.map_with_side_input("add", lambda x, m: x + m, side=model)
+    data.map_with_side_input("add", lambda x, m: x + m, side=model)
     result = LocalRunner().run(p.to_dag())
     assert sorted(result.collect("add")) == [101, 102, 103]
 
@@ -59,7 +59,7 @@ def test_broadcast_side_input_reaches_all_tasks():
 def test_many_to_one_collects_modulo_assignment():
     p = Pipeline()
     data = p.read("r", partitions=[[0], [1], [2], [3]])
-    agg = data.aggregate("agg", SumCombiner(), parallelism=2)
+    data.aggregate("agg", SumCombiner(), parallelism=2)
     result = LocalRunner().run(p.to_dag())
     parts = result.partitions("agg")
     assert parts[0] == [0 + 2]
@@ -85,7 +85,7 @@ def test_diamond_dag():
     data = p.read("r", partitions=[[1, 2], [3, 4]])
     evens = data.filter("evens", lambda x: x % 2 == 0)
     odds = data.filter("odds", lambda x: x % 2 == 1)
-    total = p.apply_multi(
+    p.apply_multi(
         "join",
         lambda inputs: [sum(inputs["evens"]) * 100 + sum(inputs["odds"])],
         inputs=[(evens, DependencyType.MANY_TO_ONE),

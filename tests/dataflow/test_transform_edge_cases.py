@@ -15,7 +15,7 @@ def test_group_apply_custom_consumer():
         return sorted({k for records in inputs.values()
                        for k, _ in records})
 
-    grouped = pairs.group_apply("keys", keys_only, parallelism=2)
+    pairs.group_apply("keys", keys_only, parallelism=2)
     result = LocalRunner().run(p.to_dag())
     assert sorted(result.collect("keys")) == ["a", "b"]
 
@@ -30,7 +30,7 @@ def test_group_apply_defaults_parallelism():
 def test_generic_apply_with_explicit_dep():
     p = Pipeline()
     data = p.read("r", partitions=[[1], [2], [3]])
-    total = data.apply(
+    data.apply(
         "total", lambda inputs: [sum(inputs["r"])],
         DependencyType.MANY_TO_ONE, parallelism=1)
     result = LocalRunner().run(p.to_dag())
@@ -59,7 +59,7 @@ def test_chained_shuffles():
     counts = (words.flat_map("split", str.split)
                    .map("pair", lambda w: (w, 1))
                    .reduce_by_key("count", SumCombiner(), parallelism=2))
-    freq = (counts.map("invert", lambda kv: (kv[1], 1))
+    (counts.map("invert", lambda kv: (kv[1], 1))
                   .reduce_by_key("freq", SumCombiner(), parallelism=2))
     result = LocalRunner().run(p.to_dag())
     # a:2, b:3, c:1 -> one word each of count 1, 2, 3.

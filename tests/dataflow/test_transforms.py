@@ -81,7 +81,7 @@ def test_apply_multi():
     p = Pipeline()
     a = p.read("a", partitions=[[1], [2]])
     b = p.create("b", values=[5])
-    joined = p.apply_multi(
+    p.apply_multi(
         "join", lambda inputs: [sum(inputs["a"]) + sum(inputs["b"])],
         inputs=[(a, DependencyType.MANY_TO_ONE),
                 (b, DependencyType.ONE_TO_MANY)],
@@ -99,7 +99,7 @@ def test_apply_multi_requires_inputs():
 def test_wordcount_end_to_end():
     p = Pipeline()
     lines = p.read("read", partitions=[["a b", "b"], ["a a"]])
-    counts = (lines.flat_map("split", str.split)
+    (lines.flat_map("split", str.split)
                    .map("pair", lambda w: (w, 1))
                    .reduce_by_key("count", SumCombiner(), parallelism=2))
     result = LocalRunner().run(p.to_dag())

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster.events import Simulator
 from repro.cluster.resources import (NodeSpec, reserved_container,
                                      transient_container)
-from repro.dataflow import Pipeline
 from repro.engines.base import (ClusterConfig, JobResult, Program,
                                 SimContext, SimExecutor)
 from repro.errors import ExecutionError

@@ -1,7 +1,5 @@
 """Unit/behaviour tests for Spark-checkpoint (Flint-style, §5.1.2)."""
 
-import pytest
-
 from repro import (ClusterConfig, EvictionRate, LocalRunner,
                    SparkCheckpointEngine, SparkEngine)
 from repro.trace.models import ExponentialLifetimeModel
@@ -21,7 +19,6 @@ def test_checkpoints_shuffle_outputs():
     assert result.completed
     # Every map output crosses the shuffle boundary and is checkpointed.
     program = mr_synthetic_program(scale=0.05)
-    num_maps = program.dag.operator("read").parallelism
     assert result.bytes_checkpointed > 0
     assert result.extras.get("stages") or True
     # Shuffle reads come from the stable store, sized by partition shares.

@@ -11,7 +11,7 @@ import pytest
 
 from repro import (ClusterConfig, LocalRunner, PadoEngine,
                    SparkCheckpointEngine, SparkEngine)
-from repro.dataflow import (DependencyType, Pipeline, RawFn, SumCombiner)
+from repro.dataflow import DependencyType, Pipeline, SumCombiner
 from repro.engines.base import Program
 from repro.trace.models import ExponentialLifetimeModel
 from tests.conftest import records_equal
@@ -45,7 +45,7 @@ def narrow_into_root_program() -> Program:
     same parallelism) pushes into it with static routing."""
     p = Pipeline("narrow-root")
     data = p.read("read", partitions=[[("a", 1), ("b", 2)], [("a", 3)]])
-    grouped = data.reduce_by_key("group", SumCombiner(), parallelism=2)
+    data.reduce_by_key("group", SumCombiner(), parallelism=2)
     return Program(p.to_dag(), "narrow-root")
 
 
@@ -55,9 +55,8 @@ def multi_consumer_program() -> Program:
     p = Pipeline("multi")
     data = p.read("read", partitions=[[("x", 1), ("y", 2)],
                                       [("x", 3), ("z", 4)]])
-    by_key = data.reduce_by_key("by_key", SumCombiner(), parallelism=2)
-    totals = data.aggregate("total",
-                            _ValueSum(), parallelism=1)
+    data.reduce_by_key("by_key", SumCombiner(), parallelism=2)
+    data.aggregate("total", _ValueSum(), parallelism=1)
     return Program(p.to_dag(), "multi")
 
 

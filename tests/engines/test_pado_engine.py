@@ -5,7 +5,7 @@ import pytest
 from repro import (ClusterConfig, EvictionRate, LocalRunner, PadoEngine,
                    PadoRuntimeConfig)
 from repro.engines.base import Program
-from repro.dataflow import Pipeline, SumCombiner
+from repro.dataflow import Pipeline
 from repro.trace.models import ExponentialLifetimeModel
 from repro.workloads import (mlr_real_program, mlr_synthetic_program,
                              mr_real_program, mr_synthetic_program)

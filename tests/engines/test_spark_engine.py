@@ -1,12 +1,9 @@
 """Unit/behaviour tests for the Spark baseline (§2.2, §5.1.2)."""
 
-import pytest
-
 from repro import ClusterConfig, EvictionRate, LocalRunner, SparkEngine
 from repro.trace.models import ExponentialLifetimeModel
-from repro.workloads import (als_synthetic_program, mlr_real_program,
-                             mlr_synthetic_program, mr_real_program,
-                             mr_synthetic_program)
+from repro.workloads import (als_synthetic_program, mlr_synthetic_program,
+                             mr_real_program, mr_synthetic_program)
 from tests.conftest import records_equal
 
 

@@ -1,10 +1,7 @@
 """White-box tests of the Spark baseline's mechanisms."""
 
-import pytest
-
 from repro import ClusterConfig, SparkEngine
 from repro.engines.spark import SparkMaster, transfer_share
-from repro.engines.base import SimContext
 from repro.trace.models import ExponentialLifetimeModel
 from repro.workloads import (als_synthetic_program, mlr_synthetic_program,
                              mr_synthetic_program)

@@ -1,0 +1,66 @@
+"""The engine-neutral relaunch-cause taxonomy (Relaunch.category)."""
+
+import math
+
+from repro.obs import analyze_eviction_lineage
+from repro.obs.events import (RELAUNCH_CAUSE_CATEGORIES, Relaunch,
+                              event_from_dict, event_to_dict)
+
+CATEGORIES = {"eviction", "fetch_broke", "upstream_lost", "master_restart"}
+
+
+def test_taxonomy_covers_every_documented_cause():
+    documented = {"eviction", "reserved-fault", "fetch-failed", "repair",
+                  "local-output-lost", "lineage-recompute", "master-restart"}
+    assert set(RELAUNCH_CAUSE_CATEGORIES) == documented
+    assert set(RELAUNCH_CAUSE_CATEGORIES.values()) <= CATEGORIES
+
+
+def test_category_autofilled_from_cause():
+    event = Relaunch(time=1.0, stage=0, task="map", index=0, attempt=0,
+                     cause="lineage-recompute")
+    assert event.category == "upstream_lost"
+    unknown = Relaunch(time=1.0, stage=0, task="map", index=0, attempt=0,
+                       cause="something-new")
+    assert unknown.category == "other"
+
+
+def test_category_survives_serialization():
+    event = Relaunch(time=2.0, stage=1, task="reduce", index=3, attempt=1,
+                     cause="reserved-fault", cause_ref=4)
+    restored = event_from_dict(event_to_dict(event))
+    assert restored == event
+    assert restored.category == "eviction"
+
+
+def test_traced_relaunches_carry_consistent_categories(traced_run):
+    """Every engine's relaunches map onto the shared category vocabulary,
+    and the per-engine mechanisms land in the expected buckets."""
+    name, tracer, _ = traced_run
+    relaunches = tracer.of_kind(Relaunch)
+    assert relaunches  # the stormy cluster forces some
+    for event in relaunches:
+        assert event.category == RELAUNCH_CAUSE_CATEGORIES[event.cause]
+        assert event.category in CATEGORIES
+    categories = {event.category for event in relaunches}
+    if name == "pado":
+        # Pado relaunches only direct eviction victims (§3.2.5); a broken
+        # boundary fetch (receiver died mid-pull) may also surface.
+        assert "eviction" in categories
+        assert "upstream_lost" not in categories
+    else:
+        # Spark's critical chain re-runs completed upstream producers.
+        assert "upstream_lost" in categories
+
+
+def test_lineage_by_category_folds_by_cause(traced_run):
+    _, tracer, _ = traced_run
+    report = analyze_eviction_lineage(tracer.events)
+    folded = report.by_category
+    assert sum(i.relaunched_tasks for i in folded.values()) == \
+        sum(i.relaunched_tasks for i in report.by_cause.values())
+    assert math.isclose(sum(i.recompute_seconds for i in folded.values()),
+                        report.recompute_seconds, rel_tol=1e-9, abs_tol=1e-9)
+    for category, impact in folded.items():
+        assert category in CATEGORIES | {"other"}
+        assert impact.relaunched_tasks == len(impact.tasks)

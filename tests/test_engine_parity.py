@@ -1,0 +1,265 @@
+"""Cross-engine determinism parity: pinned ``JobResult`` goldens.
+
+Every (workload, engine, seed) cell below was produced by
+``scripts/gen_parity_goldens.py`` against the pre-`repro.core.exec`
+masters, and the refactored substrate must reproduce each field
+bit-identically — JCT, task counts, and every byte counter. A substrate
+change that perturbs any simulated decision (event ordering, fetch
+sequencing, retry timing) fails this test loudly; if the change is
+*intentional*, regenerate the goldens with the script and justify the
+diff in review.
+"""
+
+import pytest
+
+from repro import ClusterConfig, PadoEngine, SparkCheckpointEngine, SparkEngine
+from repro.trace.models import ExponentialLifetimeModel
+from repro.workloads import mlr_synthetic_program, mr_synthetic_program
+
+ENGINES = {
+    "pado": PadoEngine,
+    "spark": SparkEngine,
+    "spark_checkpoint": SparkCheckpointEngine,
+}
+
+WORKLOADS = {
+    "mlr": lambda: mlr_synthetic_program(iterations=2, scale=0.05),
+    "mr": lambda: mr_synthetic_program(scale=0.05),
+}
+
+SEEDS = (0, 1, 2)
+
+TIME_LIMIT = 48 * 3600.0
+
+
+def parity_cluster():
+    return ClusterConfig(num_reserved=2, num_transient=5,
+                         eviction=ExponentialLifetimeModel(600.0))
+
+
+GOLDEN = {
+    ('mlr', 'pado', 0): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 3863553135,
+        'bytes_pushed': 9483321344,
+        'bytes_shuffled': 5419040768,
+        'completed': True,
+        'evictions': 6,
+        'jct_seconds': 649.5749995168051,
+        'launched_tasks': 81,
+        'original_tasks': 61,
+    },
+    ('mlr', 'pado', 1): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 3269160345,
+        'bytes_pushed': 9483321344,
+        'bytes_shuffled': 4402970624,
+        'completed': True,
+        'evictions': 6,
+        'jct_seconds': 637.061428079605,
+        'launched_tasks': 65,
+        'original_tasks': 61,
+    },
+    ('mlr', 'pado', 2): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 3922992414,
+        'bytes_pushed': 9483321344,
+        'bytes_shuffled': 5080350720,
+        'completed': True,
+        'evictions': 7,
+        'jct_seconds': 673.4811004965128,
+        'launched_tasks': 77,
+        'original_tasks': 61,
+    },
+    ('mlr', 'spark', 0): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 2853085392,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 28629420292,
+        'completed': True,
+        'evictions': 8,
+        'jct_seconds': 861.9291195775273,
+        'launched_tasks': 129,
+        'original_tasks': 89,
+    },
+    ('mlr', 'spark', 1): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 2971963950,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 55421825336,
+        'completed': True,
+        'evictions': 12,
+        'jct_seconds': 1193.9685152827988,
+        'launched_tasks': 151,
+        'original_tasks': 89,
+    },
+    ('mlr', 'spark', 2): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 3744674577,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 59421064232,
+        'completed': True,
+        'evictions': 13,
+        'jct_seconds': 1342.2906985161871,
+        'launched_tasks': 188,
+        'original_tasks': 89,
+    },
+    ('mlr', 'spark_checkpoint', 0): {
+        'bytes_checkpointed': 18966642688,
+        'bytes_input_read': 3150281787,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 28189797312,
+        'completed': True,
+        'evictions': 9,
+        'jct_seconds': 1016.6157845811882,
+        'launched_tasks': 143,
+        'original_tasks': 89,
+    },
+    ('mlr', 'spark_checkpoint', 1): {
+        'bytes_checkpointed': 18966642688,
+        'bytes_input_read': 2853085392,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 28766244476,
+        'completed': True,
+        'evictions': 9,
+        'jct_seconds': 1048.6749395251925,
+        'launched_tasks': 141,
+        'original_tasks': 89,
+    },
+    ('mlr', 'spark_checkpoint', 2): {
+        'bytes_checkpointed': 18966642688,
+        'bytes_input_read': 4041870972,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 28766244476,
+        'completed': True,
+        'evictions': 11,
+        'jct_seconds': 1040.9236719518342,
+        'launched_tasks': 172,
+        'original_tasks': 89,
+    },
+    ('mr', 'pado', 0): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 16106127360,
+        'bytes_pushed': 6266288256,
+        'bytes_shuffled': 0,
+        'completed': True,
+        'evictions': 2,
+        'jct_seconds': 134.94199976819738,
+        'launched_tasks': 168,
+        'original_tasks': 160,
+    },
+    ('mr', 'pado', 1): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 15703474176,
+        'bytes_pushed': 6275347968,
+        'bytes_shuffled': 0,
+        'completed': True,
+        'evictions': 1,
+        'jct_seconds': 135.54106640771934,
+        'launched_tasks': 165,
+        'original_tasks': 160,
+    },
+    ('mr', 'pado', 2): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 15569256448,
+        'bytes_pushed': 6275347968,
+        'bytes_shuffled': 0,
+        'completed': True,
+        'evictions': 2,
+        'jct_seconds': 134.65306641654107,
+        'launched_tasks': 164,
+        'original_tasks': 160,
+    },
+    ('mr', 'spark', 0): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 16106127360,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 6764572416,
+        'completed': True,
+        'evictions': 2,
+        'jct_seconds': 94.96466408610742,
+        'launched_tasks': 168,
+        'original_tasks': 160,
+    },
+    ('mr', 'spark', 1): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 17179869184,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 6764572416,
+        'completed': True,
+        'evictions': 1,
+        'jct_seconds': 100.51888998936525,
+        'launched_tasks': 176,
+        'original_tasks': 160,
+    },
+    ('mr', 'spark', 2): {
+        'bytes_checkpointed': 0,
+        'bytes_input_read': 17179869184,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 17009577738,
+        'completed': True,
+        'evictions': 1,
+        'jct_seconds': 110.16133311617055,
+        'launched_tasks': 257,
+        'original_tasks': 160,
+    },
+    ('mr', 'spark_checkpoint', 0): {
+        'bytes_checkpointed': 6764573424,
+        'bytes_input_read': 16106127360,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 6764572416,
+        'completed': True,
+        'evictions': 2,
+        'jct_seconds': 156.6853328275266,
+        'launched_tasks': 168,
+        'original_tasks': 160,
+    },
+    ('mr', 'spark_checkpoint', 1): {
+        'bytes_checkpointed': 6764573424,
+        'bytes_input_read': 15569256448,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 6764572416,
+        'completed': True,
+        'evictions': 1,
+        'jct_seconds': 155.61866616085993,
+        'launched_tasks': 164,
+        'original_tasks': 160,
+    },
+    ('mr', 'spark_checkpoint', 2): {
+        'bytes_checkpointed': 6764573424,
+        'bytes_input_read': 15569256448,
+        'bytes_pushed': 0,
+        'bytes_shuffled': 7328286784,
+        'completed': True,
+        'evictions': 2,
+        'jct_seconds': 163.0853327533505,
+        'launched_tasks': 172,
+        'original_tasks': 160,
+    },
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_job_result_bit_identical(workload, engine, seed):
+    expected = GOLDEN[(workload, engine, seed)]
+    result = ENGINES[engine]().run(WORKLOADS[workload](), parity_cluster(),
+                                   seed=seed, time_limit=TIME_LIMIT)
+    actual = {field: getattr(result, field) for field in expected}
+    assert actual == expected
+
+
+def test_goldens_cover_full_grid():
+    """The pinned grid is exactly workloads x engines x seeds."""
+    expected_keys = {(w, e, s) for w in WORKLOADS for e in ENGINES
+                     for s in SEEDS}
+    assert set(GOLDEN) == expected_keys
+
+
+def test_goldens_show_churn():
+    """The pinned runs exercise evictions and relaunches, so they pin the
+    recovery paths too — not just the happy path."""
+    assert any(cell["evictions"] > 0 for cell in GOLDEN.values())
+    assert any(cell["launched_tasks"] > cell["original_tasks"]
+               for cell in GOLDEN.values())

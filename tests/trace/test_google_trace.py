@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.trace.google_trace import (GoogleTrace, LCContainerUsage,
-                                      TraceConfig, generate_trace)
+from repro.trace.google_trace import (LCContainerUsage, TraceConfig,
+                                      generate_trace)
 
 
 def small_config(**overrides):
