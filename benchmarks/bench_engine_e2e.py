@@ -1,0 +1,53 @@
+"""End-to-end engine benchmarks: one full ``run_one`` per cell.
+
+Where ``bench_simulator_hotpath.py`` pins the event loop in isolation,
+this file pins the whole engine hot path — fetch planning, network flow
+batching, disk I/O, and the tracer-off fast path — for the runs that
+dominate every Figure 5-9 sweep: the MR workload at bench scale, across
+the three engines and the two extreme eviction rates.
+``BENCH_engine.json`` in this directory is the committed baseline;
+regenerate it after intentional changes with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_e2e.py \
+        --benchmark-only --benchmark-json=benchmarks/BENCH_engine.json
+
+and compare against the before/after table in docs/PERFORMANCE.md
+("The network hot path"). Use ``python -m repro profile <experiment>``
+to find where a regression (or the next optimization) lives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import make_workload, run_one
+from repro.core.runtime.engine import PadoEngine
+from repro.engines.base import ClusterConfig
+from repro.engines.spark import SparkEngine
+from repro.engines.spark_checkpoint import SparkCheckpointEngine
+from repro.trace import EvictionRate
+
+ENGINES = {
+    "pado": PadoEngine,
+    "spark": SparkEngine,
+    "spark-checkpoint": SparkCheckpointEngine,
+}
+
+EVICTION = {
+    "none": EvictionRate.NONE,
+    "high": EvictionRate.HIGH,
+}
+
+
+@pytest.mark.parametrize("eviction", sorted(EVICTION))
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_run_one_mr(benchmark, engine, eviction):
+    """One full MR run: the unit of work every sweep repeats dozens of
+    times. The high-eviction Spark cell is the sweep bottleneck."""
+
+    def run():
+        return run_one(ENGINES[engine](), make_workload("mr"),
+                       ClusterConfig(eviction=EVICTION[eviction]), seed=11)
+
+    result = benchmark(run)
+    assert result.completed

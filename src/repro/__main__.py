@@ -6,6 +6,7 @@ Usage::
     python -m repro fig5 [--scale 0.25] [--seed 11]
     python -m repro fig2 --trace traces/
     python -m repro sweep --workload mr --averaged --workers 4 --cache .cache
+    python -m repro profile fig7 [--profile-limit 40] [--profile-out f.pstats]
     python -m repro all
 
 Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
@@ -167,13 +168,46 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 }
 
 
+def _run_profiled(name: str, args) -> int:
+    """cProfile one experiment and print the hottest functions.
+
+    The engine hot path (simulator loop, network drain, fetch barrier) is
+    pure Python, so cumulative-time profiles point straight at regressions;
+    see docs/PERFORMANCE.md for the workflow.
+    """
+    import cProfile
+    import pstats
+
+    _, runner = EXPERIMENTS[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        output = runner(args)
+    finally:
+        profiler.disable()
+    print(output)
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.profile_sort)
+    stats.print_stats(args.profile_limit)
+    if args.profile_out is not None:
+        stats.dump_stats(args.profile_out)
+        print(f"[profile] stats written to {args.profile_out} "
+              f"(inspect with python -m pstats)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the Pado paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list", "all"],
-                        help="experiment id, 'list', or 'all'")
+                        choices=sorted(EXPERIMENTS) + ["list", "all",
+                                                       "profile"],
+                        help="experiment id, 'list', 'all', or 'profile'")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="with 'profile': the experiment to profile "
+                             "under cProfile")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale override (default: bench "
                              "scales)")
@@ -203,8 +237,23 @@ def main(argv: list[str] | None = None) -> int:
     sweep_args.add_argument("--averaged", action="store_true",
                             help="run the §5.1.3 repetition protocol and "
                                  "report mean ± std")
+    profile_args = parser.add_argument_group(
+        "profile", "options for the 'profile' mode")
+    profile_args.add_argument("--profile-sort", default="cumulative",
+                              help="pstats sort key (default: cumulative)")
+    profile_args.add_argument("--profile-limit", type=int, default=30,
+                              help="number of stat lines to print")
+    profile_args.add_argument("--profile-out", metavar="FILE", default=None,
+                              help="also dump raw pstats data to FILE")
     args = parser.parse_args(argv)
 
+    if args.experiment == "profile":
+        if args.target not in EXPERIMENTS:
+            parser.error("profile needs an experiment to profile, one of: "
+                         + ", ".join(sorted(EXPERIMENTS)))
+        return _run_profiled(args.target, args)
+    if args.target is not None:
+        parser.error("a second positional is only valid with 'profile'")
     if args.experiment == "list":
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"{name:10s} {description}")

@@ -152,6 +152,30 @@ class Simulator:
         self._seq = seq + 1
         heappush(self._heap, [time, priority, seq, callback])
 
+    def take_seq(self) -> int:
+        """Allocate one tie-break sequence number without scheduling.
+
+        Flow-batched schedulers (:class:`~repro.cluster.network.NetworkModel`
+        and ``DiskModel``) stamp every request with a seq at request time
+        and later arm their shared drain timer via :meth:`schedule_at_seq`
+        under the head request's seq, so batched completions sort exactly
+        where individually scheduled events would have.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def schedule_at_seq(self, time: float, seq: int, callback: Callback,
+                        priority: int = 0) -> None:
+        """Schedule at an absolute time under a caller-provided ``seq``
+        (from :meth:`take_seq`). The caller must not keep two live events
+        under one seq — tied entries would compare on the callback slot.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now ({self._now})")
+        heappush(self._heap, [time, priority, seq, callback])
+
     def step(self) -> bool:
         """Execute the next pending event; return False if none remain."""
         heap = self._heap

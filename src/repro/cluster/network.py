@@ -13,21 +13,39 @@ Transfers fail if the source container dies before the transfer completes;
 eviction events are scheduled with a higher priority than transfer
 completions, so a transfer completing at exactly the eviction instant is
 conservatively counted as lost.
+
+Completion scheduling is *flow batched*: because ``FifoPort.reserve`` fixes
+every request's finish time deterministically at request time, each transfer
+is queued on its bottleneck port's ``pending`` deque — where finish times
+are monotone non-decreasing — and a single armed timer per port fires all
+due completions, instead of one simulator event plus one closure per
+transfer. To keep batching bit-identical to per-transfer scheduling, every
+request takes a :meth:`~repro.cluster.events.Simulator.take_seq` tie-break
+number at request time, the timer is armed *under the head request's seq*,
+and the drain defers to any heap event that would have preceded the next
+completion under ``(time, priority, seq)`` ordering. Simulated times, byte
+counters, failure semantics, and same-timestamp event order are identical;
+only the event count changes.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Protocol
+from collections import deque
+from typing import Callable, Iterable, Optional, Protocol
 
 from repro.cluster.events import Simulator
 from repro.cluster.resources import Container
-from repro.obs.events import Transfer
+from repro.obs.events import DiskIO, Transfer
 from repro.obs.tracer import Tracer
 
 #: Event priority used for container evictions/failures so that they are
 #: processed before transfer and task completions at the same timestamp.
 EVICTION_PRIORITY = -10
+
+#: Marks single-``transfer`` entries in the shared per-port queues; their
+#: ``on_done`` takes just the result (no tag argument).
+_NO_TAG = object()
 
 
 def endpoint_label(endpoint: "Endpoint") -> str:
@@ -43,22 +61,34 @@ def endpoint_label(endpoint: "Endpoint") -> str:
 class FifoPort:
     """A bandwidth-limited device serving requests in FIFO order."""
 
-    __slots__ = ("bandwidth", "_free_at", "bytes_served")
+    __slots__ = ("bandwidth", "_free_at", "_bytes_served", "pending",
+                 "armed")
 
     def __init__(self, bandwidth: float) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.bandwidth = bandwidth
         self._free_at = 0.0
-        self.bytes_served = 0
+        self._bytes_served = 0.0
+        #: Completion queue owned by the flow scheduler (NetworkModel or
+        #: DiskModel) this port bottlenecks for: records in finish-time
+        #: order, drained by one armed timer instead of one event each.
+        self.pending: deque = deque()
+        self.armed = False
 
     def reserve(self, now: float, size_bytes: float) -> tuple[float, float]:
         """Reserve the port for ``size_bytes``; returns (start, end) times."""
         start = max(now, self._free_at)
         end = start + size_bytes / self.bandwidth
         self._free_at = end
-        self.bytes_served += int(size_bytes)
+        self._bytes_served += size_bytes
         return start, end
+
+    @property
+    def bytes_served(self) -> int:
+        """Bytes served so far, rounded once at read time (the counter
+        accumulates exact float sizes, so fractional shares don't drift)."""
+        return round(self._bytes_served)
 
     def free_at(self) -> float:
         return self._free_at
@@ -114,11 +144,19 @@ class _InfinitePort:
     """FifoPort stand-in with unlimited bandwidth."""
 
     bandwidth = math.inf
-    bytes_served = 0
+
+    def __init__(self) -> None:
+        self._bytes_served = 0.0
+        self.pending: deque = deque()
+        self.armed = False
 
     def reserve(self, now: float, size_bytes: float) -> tuple[float, float]:
-        self.bytes_served += int(size_bytes)
+        self._bytes_served += size_bytes
         return now, now
+
+    @property
+    def bytes_served(self) -> int:
+        return round(self._bytes_served)
 
     def free_at(self) -> float:
         return 0.0
@@ -136,7 +174,21 @@ class TransferResult:
 
 
 class NetworkModel:
-    """Schedules point-to-point transfers on the simulator."""
+    """Schedules point-to-point transfers on the simulator.
+
+    Beyond one-at-a-time :meth:`transfer`, whole fetch plans can be
+    reserved in bulk: :meth:`transfer_many` takes ``(src, dst, size, tag)``
+    requests sharing a single ``on_done(tag, result)`` callback, and the
+    :meth:`begin_plan` / :meth:`plan_transfer` / :meth:`commit_plan` trio
+    lets a master collect a plan while walking its fetch specs. Plans nest
+    (a fetch cascade may launch tasks that open their own plan); entries
+    queue on one shared buffer and reserve when the outermost plan commits.
+    Each queued entry takes its tie-break seq at queue time, and a plain
+    :meth:`transfer` issued while a plan is open flushes the queued
+    entries first, so both port reservation order and same-timestamp event
+    order always equal request order — the properties the bit-identical
+    parity goldens rest on.
+    """
 
     def __init__(self, sim: Simulator, latency: float = 0.001,
                  tracer: Optional[Tracer] = None) -> None:
@@ -145,6 +197,21 @@ class NetworkModel:
         self.tracer = tracer
         self.bytes_transferred = 0
         self.transfers_failed = 0
+        # Interned endpoint labels; only populated when a tracer is
+        # attached (the untraced path never formats a label).
+        self._labels: dict = {}
+        self._plan: list = []
+        self._plan_depth = 0
+
+    def _label(self, endpoint: Endpoint) -> str:
+        label = self._labels.get(endpoint)
+        if label is None:
+            label = endpoint_label(endpoint)
+            self._labels[endpoint] = label
+        return label
+
+    # ------------------------------------------------------------------
+    # transfer APIs
 
     def transfer(self, src: Endpoint, dst: Endpoint, size_bytes: float,
                  on_done: Callable[[TransferResult], None]) -> None:
@@ -157,48 +224,192 @@ class NetworkModel:
         """
         if size_bytes < 0:
             raise ValueError("transfer size must be non-negative")
-        now = self._sim.now
-        tracer = self.tracer
+        if self._plan:
+            self._flush_plan()
         if not src.is_alive() or not dst.is_alive():
-            self.transfers_failed += 1
-            if tracer is not None:
-                tracer.emit(Transfer(time=now, src=endpoint_label(src),
-                                     dst=endpoint_label(dst),
-                                     size_bytes=float(size_bytes),
-                                     requested_at=now, ok=False))
-            self._sim.schedule_fast(
-                0.0, lambda: on_done(TransferResult(False, now, int(size_bytes))))
+            self._fail_dead(src, dst, size_bytes, on_done, _NO_TAG)
             return
-        _, src_end = src.outbound().reserve(now, size_bytes)
-        _, dst_end = dst.inbound().reserve(now, size_bytes)
-        finish = max(src_end, dst_end) + self.latency
+        self._enqueue(src, dst, size_bytes, on_done, _NO_TAG)
 
-        def complete() -> None:
+    def transfer_many(self, requests: Iterable[tuple],
+                      on_done: Callable) -> None:
+        """Reserve a whole fetch plan in one call.
+
+        ``requests`` yields ``(src, dst, size_bytes, tag)``;
+        ``on_done(tag, result)`` fires once per request at exactly the
+        finish time the same sequence of :meth:`transfer` calls would
+        produce, but the whole plan shares one completion callback and
+        (per bottleneck port) one armed timer.
+        """
+        for src, dst, size_bytes, tag in requests:
+            if size_bytes < 0:
+                raise ValueError("transfer size must be non-negative")
+            if not src.is_alive() or not dst.is_alive():
+                self._fail_dead(src, dst, size_bytes, on_done, tag)
+                continue
+            self._enqueue(src, dst, size_bytes, on_done, tag)
+
+    # ------------------------------------------------------------------
+    # open fetch plans
+
+    @property
+    def plan_open(self) -> bool:
+        """True while a bulk fetch plan is being collected."""
+        return self._plan_depth > 0
+
+    def begin_plan(self) -> None:
+        """Open a bulk plan: :meth:`plan_transfer` entries queue until the
+        matching :meth:`commit_plan`. Plans nest; entries reserve when the
+        outermost plan commits (or earlier, if a plain :meth:`transfer`
+        forces a flush)."""
+        self._plan_depth += 1
+
+    def plan_transfer(self, src: Endpoint, dst: Endpoint, size_bytes: float,
+                      tag, on_done: Callable) -> None:
+        """Queue one entry on the open plan; ``on_done(tag, result)``
+        fires at completion exactly as a :meth:`transfer` issued here
+        would have (the entry's tie-break seq is taken now)."""
+        if size_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self._plan.append((src, dst, size_bytes, tag, on_done,
+                           self._sim.take_seq()))
+
+    def commit_plan(self) -> None:
+        """Close one plan level; the outermost close reserves and schedules
+        everything still queued."""
+        self._plan_depth -= 1
+        if self._plan_depth == 0 and self._plan:
+            self._flush_plan()
+
+    def _flush_plan(self) -> None:
+        # Reserve queued plan entries now so an interleaved plain transfer
+        # cannot overtake them on a shared port. Liveness is checked at
+        # flush time, which is equivalent to queue time: the whole
+        # queue-and-flush happens within one simulator event, so no
+        # eviction can interleave.
+        plan = self._plan
+        self._plan = []
+        for src, dst, size_bytes, tag, on_done, seq in plan:
+            if not src.is_alive() or not dst.is_alive():
+                self._fail_dead(src, dst, size_bytes, on_done, tag, seq)
+            else:
+                self._enqueue(src, dst, size_bytes, on_done, tag, seq)
+
+    # ------------------------------------------------------------------
+    # scheduling
+
+    def _fail_dead(self, src: Endpoint, dst: Endpoint, size_bytes: float,
+                   on_done: Callable, tag, seq: Optional[int] = None) -> None:
+        now = self._sim.now
+        self.transfers_failed += 1
+        if self.tracer is not None:
+            self.tracer.emit(Transfer(time=now, src=self._label(src),
+                                      dst=self._label(dst),
+                                      size_bytes=float(size_bytes),
+                                      requested_at=now, ok=False))
+        result = TransferResult(False, now, int(size_bytes))
+        if tag is _NO_TAG:
+            callback = lambda: on_done(result)  # noqa: E731
+        else:
+            callback = lambda: on_done(tag, result)  # noqa: E731
+        if seq is None:
+            self._sim.schedule_fast(0.0, callback)
+        else:
+            self._sim.schedule_at_seq(now, seq, callback)
+
+    def _enqueue(self, src: Endpoint, dst: Endpoint, size_bytes: float,
+                 on_done: Callable, tag, seq: Optional[int] = None) -> None:
+        sim = self._sim
+        now = sim.now
+        if seq is None:
+            seq = sim.take_seq()
+        sport = src.outbound()
+        dport = dst.inbound()
+        _, src_end = sport.reserve(now, size_bytes)
+        _, dst_end = dport.reserve(now, size_bytes)
+        # The transfer completes when its *bottleneck* port frees (ties go
+        # to the destination), so each port's pending queue stays sorted by
+        # finish time and needs only one armed timer.
+        if src_end > dst_end:
+            port, finish = sport, src_end + self.latency
+        else:
+            port, finish = dport, dst_end + self.latency
+        port.pending.append(
+            (finish, seq, src, dst, size_bytes, now, on_done, tag))
+        if not port.armed:
+            port.armed = True
+            sim.schedule_at_seq(finish, seq, lambda: self._drain(port))
+
+    def _drain(self, port: FifoPort) -> None:
+        sim = self._sim
+        now = sim.now
+        heap = sim._heap
+        pending = port.pending
+        tracer = self.tracer
+        while pending:
+            finish = pending[0][0]
+            if finish > now:
+                break
+            # Defer to any heap event that would have sorted before this
+            # completion under per-transfer scheduling — including entries
+            # appended by the callbacks below, whose fresh seqs land after
+            # everything already queued at this timestamp.
+            if heap:
+                top = heap[0]
+                seq = pending[0][1]
+                if top[0] <= finish and (
+                        top[1] < 0 or (top[1] == 0 and top[2] < seq)):
+                    break
+            _, _, src, dst, size_bytes, requested_at, on_done, tag = \
+                pending.popleft()
             ok = src.is_alive() and dst.is_alive()
             if ok:
                 self.bytes_transferred += int(size_bytes)
             else:
                 self.transfers_failed += 1
             if tracer is not None:
-                tracer.emit(Transfer(time=self._sim.now,
-                                     src=endpoint_label(src),
-                                     dst=endpoint_label(dst),
+                tracer.emit(Transfer(time=now, src=self._label(src),
+                                     dst=self._label(dst),
                                      size_bytes=float(size_bytes),
-                                     requested_at=now, ok=ok))
-            on_done(TransferResult(ok, self._sim.now, int(size_bytes)))
-
-        self._sim.schedule_at_fast(finish, complete)
+                                     requested_at=requested_at, ok=ok))
+            if tag is _NO_TAG:
+                on_done(TransferResult(ok, now, int(size_bytes)))
+            else:
+                on_done(tag, TransferResult(ok, now, int(size_bytes)))
+        if pending:
+            head = pending[0]
+            sim.schedule_at_seq(head[0], head[1],
+                                lambda: self._drain(port))
+        else:
+            port.armed = False
 
 
 class DiskModel:
-    """Local-disk bandwidth of a container, shared by reads and writes."""
+    """Local-disk bandwidth of a container, shared by reads and writes.
 
-    def __init__(self, sim: Simulator, container: Container) -> None:
+    I/O completions batch through the disk port's pending queue the same
+    way network transfers do: one armed timer per busy period instead of
+    one simulator event per request. With a tracer attached every
+    completed (or failed) I/O emits a :class:`~repro.obs.events.DiskIO`
+    event.
+    """
+
+    def __init__(self, sim: Simulator, container: Container,
+                 tracer: Optional[Tracer] = None) -> None:
         self._sim = sim
         self.container = container
+        self.tracer = tracer
         self._port = FifoPort(container.spec.disk_bandwidth)
-        self.bytes_written = 0
-        self.bytes_read = 0
+        self._bytes_written = 0.0
+        self._bytes_read = 0.0
+
+    @property
+    def bytes_written(self) -> int:
+        return round(self._bytes_written)
+
+    @property
+    def bytes_read(self) -> int:
+        return round(self._bytes_read)
 
     def write(self, size_bytes: float,
               on_done: Optional[Callable[[bool], None]] = None) -> None:
@@ -212,16 +423,54 @@ class DiskModel:
             on_done: Optional[Callable[[bool], None]], is_write: bool) -> None:
         if size_bytes < 0:
             raise ValueError("I/O size must be non-negative")
-        _, end = self._port.reserve(self._sim.now, size_bytes)
+        sim = self._sim
+        now = sim.now
+        seq = sim.take_seq()
+        port = self._port
+        _, end = port.reserve(now, size_bytes)
+        port.pending.append((end, seq, size_bytes, now, on_done, is_write))
+        if not port.armed:
+            port.armed = True
+            sim.schedule_at_seq(end, seq, self._drain)
 
-        def complete() -> None:
+    def _drain(self) -> None:
+        sim = self._sim
+        now = sim.now
+        heap = sim._heap
+        port = self._port
+        pending = port.pending
+        tracer = self.tracer
+        while pending:
+            end = pending[0][0]
+            if end > now:
+                break
+            if heap:
+                top = heap[0]
+                seq = pending[0][1]
+                if top[0] <= end and (
+                        top[1] < 0 or (top[1] == 0 and top[2] < seq)):
+                    break
+            _, _, size_bytes, requested_at, on_done, is_write = \
+                pending.popleft()
             ok = self.container.alive
             if ok:
                 if is_write:
-                    self.bytes_written += int(size_bytes)
+                    self._bytes_written += size_bytes
                 else:
-                    self.bytes_read += int(size_bytes)
+                    self._bytes_read += size_bytes
+            if tracer is not None:
+                container = self.container
+                tracer.emit(DiskIO(
+                    time=now, container=container.container_id,
+                    resource=("reserved" if container.is_reserved
+                              else "transient"),
+                    op="write" if is_write else "read",
+                    size_bytes=float(size_bytes), requested_at=requested_at,
+                    ok=ok))
             if on_done is not None:
                 on_done(ok)
-
-        self._sim.schedule_at_fast(end, complete)
+        if pending:
+            head = pending[0]
+            sim.schedule_at_seq(head[0], head[1], self._drain)
+        else:
+            port.armed = False

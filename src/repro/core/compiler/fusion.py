@@ -35,10 +35,11 @@ class FusedOperator:
         self._dag = dag
         self.ops = list(ops)
         self._members = {op.name for op in ops}
+        self._name = "+".join(op.name for op in self.ops)
 
     @property
     def name(self) -> str:
-        return "+".join(op.name for op in self.ops)
+        return self._name
 
     @property
     def head(self) -> Operator:

@@ -89,6 +89,9 @@ class TaskAttempt:
         self.executor: Optional["SimExecutor"] = None
         self.attempt = 0
         self.cache_keys: set = set()
+        #: Cached external-input fetch specs; derived from static DAG
+        #: topology, so attempts after the first skip re-deriving them.
+        self.fetch_specs: Optional[list] = None
         # per-attempt fetch barrier:
         self.outstanding_fetches = 0
         self.fetch_failed = False

@@ -22,10 +22,10 @@ class SimExecutor:
     """
 
     def __init__(self, container: Container, sim: Simulator,
-                 slots: Optional[int] = None) -> None:
+                 slots: Optional[int] = None, tracer: Optional[Any] = None) -> None:
         self.container = container
         self.endpoint = ContainerEndpoint(container)
-        self.disk = DiskModel(sim, container)
+        self.disk = DiskModel(sim, container, tracer=tracer)
         self.cpu = FifoPort(container.spec.cores
                             * container.spec.cpu_throughput)
         self.slots = slots if slots is not None else container.spec.cores

@@ -138,11 +138,17 @@ class FetchService:
     # ------------------------------------------------------------------
     # the barrier
 
-    def begin(self, task: TaskAttempt,
-              fetches: list[Callable[[], None]]) -> None:
-        """Arm the barrier for one attempt and issue the fetches."""
-        task.outstanding_fetches = len(fetches)
-        if not fetches:
+    def begin(self, task: TaskAttempt, fetches: list[Callable[[], None]],
+              count: Optional[int] = None) -> None:
+        """Arm the barrier for one attempt and issue the fetches.
+
+        ``count`` is the number of arrivals the barrier waits for; it
+        defaults to ``len(fetches)`` and must be supplied when one
+        callable issues several fetches in bulk (the barrier must be armed
+        for all of them before the first synchronous cache hit arrives).
+        """
+        task.outstanding_fetches = len(fetches) if count is None else count
+        if not task.outstanding_fetches:
             self.on_ready(task)
             return
         for fetch in fetches:

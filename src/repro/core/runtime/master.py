@@ -220,7 +220,7 @@ class PadoMaster(MasterBase):
                 self._start_stage(run)
 
     def _on_container(self, container) -> None:
-        executor = SimExecutor(container, self.sim)
+        executor = SimExecutor(container, self.sim, tracer=self.tracer)
         if self.config.enable_caching:
             capacity = container.spec.memory_bytes * self.config.cache_fraction
             executor.cache = LruCache(capacity)
@@ -340,12 +340,18 @@ class PadoMaster(MasterBase):
                 specs.append((edge, pidx))
         task.boundary_outstanding = len(specs)
         attempt = task.attempt
-        for edge, pidx in specs:
-            self._fetch_reserved_output(
-                edge.src.name, pidx, task.executor,
-                lambda result, e=edge, p=pidx: self._reserved_boundary_done(
-                    task, attempt, e, p, result),
-                fraction=transfer_fraction(edge))
+        net = self.net
+        net.begin_plan()
+        try:
+            for edge, pidx in specs:
+                self._fetch_reserved_output(
+                    edge.src.name, pidx, task.executor,
+                    lambda result, e=edge, p=pidx:
+                        self._reserved_boundary_done(task, attempt, e, p,
+                                                     result),
+                    fraction=transfer_fraction(edge))
+        finally:
+            net.commit_plan()
         self._maybe_reserved_compute(task)
 
     def _reserved_boundary_done(self, task: _ReservedTask, attempt: int,
@@ -498,27 +504,48 @@ class PadoMaster(MasterBase):
         return keys
 
     def _plan_fetches(self, task: _TransientTask,
-                      attempt: int) -> list[Callable[[], None]]:
+                      attempt: int) -> tuple[list[Callable[[], None]], int]:
         fetches: list[Callable[[], None]] = []
+        count = 0
         run = task.stage_run
         chain = task.chain
         # 1. source data from the input store
         if chain.is_source_chain() and chain.head.input_ref is not None:
             fetches.append(lambda: self.fetch.fetch_source(task, attempt,
                                                            cache=True))
-        # 2. boundary inputs from parent stages' reserved outputs
-        for edge in run.pstage.boundary_edges(chain):
-            for pidx in source_indices(edge, task.index):
-                fetches.append(
-                    lambda e=edge, p=pidx: self._fetch_boundary(
-                        task, attempt, e, p))
-        # 3. intra-stage inputs from other transient chains (local pulls)
-        for ice in run.pstage.producers_into(chain):
-            for pidx in source_indices(ice.edge, task.index):
-                fetches.append(
-                    lambda i=ice, p=pidx: self._fetch_local(
-                        task, attempt, i, p))
-        return fetches
+            count += 1
+        specs = task.fetch_specs
+        if specs is None:
+            # 2. boundary inputs from parent stages' reserved outputs
+            boundary = [(edge, pidx)
+                        for edge in run.pstage.boundary_edges(chain)
+                        for pidx in source_indices(edge, task.index)]
+            # 3. intra-stage inputs from other transient chains
+            local = [(ice, pidx)
+                     for ice in run.pstage.producers_into(chain)
+                     for pidx in source_indices(ice.edge, task.index)]
+            specs = task.fetch_specs = [boundary, local]
+        boundary, local = specs
+        if boundary or local:
+            fetches.append(
+                lambda: self._fetch_pulls(task, attempt, boundary, local))
+            count += len(boundary) + len(local)
+        return fetches, count
+
+    def _fetch_pulls(self, task: _TransientTask, attempt: int,
+                     boundary: list, local: list) -> None:
+        """Issue all of an attempt's boundary and local pulls as one bulk
+        network plan: transfers queue while the specs are walked and
+        reserve together at commit."""
+        net = self.net
+        net.begin_plan()
+        try:
+            for edge, pidx in boundary:
+                self._fetch_boundary(task, attempt, edge, pidx)
+            for ice, pidx in local:
+                self._fetch_local(task, attempt, ice, pidx)
+        finally:
+            net.commit_plan()
 
     # ------------------------------------------------------------------
     # fetches
@@ -584,22 +611,34 @@ class PadoMaster(MasterBase):
             self.fetch.arrived(task, attempt, ice.producer.terminal.name,
                                share, routed_payload)
             return
+        tag = (task, attempt, ice, pkey, producer_executor, share,
+               routed_payload)
+        net = self.net
+        if net.plan_open:
+            net.plan_transfer(producer_executor.endpoint,
+                              task.executor.endpoint, share, tag,
+                              self._local_pull_done)
+        else:
+            net.transfer(producer_executor.endpoint, task.executor.endpoint,
+                         share,
+                         lambda result: self._local_pull_done(tag, result))
 
-        def done(result: TransferResult) -> None:
-            if task.attempt != attempt:
-                return
-            if not result.ok:
-                if not producer_executor.alive:
-                    run.local_outputs.pop(pkey, None)
-                    self._ensure_local_output(run, pkey)
-                self.fetch.broke(task, attempt)
-                return
-            self.ctx.bytes_shuffled += int(share)
-            self.fetch.arrived(task, attempt, ice.producer.terminal.name,
-                               share, routed_payload)
-
-        self.net.transfer(producer_executor.endpoint, task.executor.endpoint,
-                          share, done)
+    def _local_pull_done(self, tag: tuple, result: TransferResult) -> None:
+        """Shared completion callback for intra-stage local pulls."""
+        (task, attempt, ice, pkey, producer_executor, share,
+         routed_payload) = tag
+        if task.attempt != attempt:
+            return
+        if not result.ok:
+            if not producer_executor.alive:
+                run = task.stage_run
+                run.local_outputs.pop(pkey, None)
+                self._ensure_local_output(run, pkey)
+            self.fetch.broke(task, attempt)
+            return
+        self.ctx.bytes_shuffled += int(share)
+        self.fetch.arrived(task, attempt, ice.producer.terminal.name,
+                           share, routed_payload)
 
     # ------------------------------------------------------------------
     # compute and push
@@ -886,21 +925,30 @@ class PadoMaster(MasterBase):
             on_done(FetchResult(True, record.size, record.payload))
             return
         moved = record.size * fraction
+        tag = (op_name, pidx, dst_executor, on_done, fraction, record, moved)
+        net = self.net
+        if net.plan_open:
+            net.plan_transfer(record.executor.endpoint,
+                              dst_executor.endpoint, moved, tag,
+                              self._reserved_pull_done)
+        else:
+            net.transfer(record.executor.endpoint, dst_executor.endpoint,
+                         moved,
+                         lambda result: self._reserved_pull_done(tag, result))
 
-        def done(result: TransferResult) -> None:
-            if not result.ok:
-                if not record.executor.alive:
-                    # Source died mid-transfer: repair and retry.
-                    self._fetch_reserved_output(op_name, pidx, dst_executor,
-                                                on_done, fraction)
-                else:
-                    on_done(FetchResult(False, 0.0, None))
-                return
-            self.ctx.bytes_shuffled += int(moved)
-            on_done(FetchResult(True, record.size, record.payload))
-
-        self.net.transfer(record.executor.endpoint, dst_executor.endpoint,
-                          moved, done)
+    def _reserved_pull_done(self, tag: tuple, result: TransferResult) -> None:
+        """Shared completion callback for preserved-output pulls."""
+        op_name, pidx, dst_executor, on_done, fraction, record, moved = tag
+        if not result.ok:
+            if not record.executor.alive:
+                # Source died mid-transfer: repair and retry.
+                self._fetch_reserved_output(op_name, pidx, dst_executor,
+                                            on_done, fraction)
+            else:
+                on_done(FetchResult(False, 0.0, None))
+            return
+        self.ctx.bytes_shuffled += int(moved)
+        on_done(FetchResult(True, record.size, record.payload))
 
     def _repair_output(self, op_name: str, pidx: int) -> None:
         """Re-run the reserved task (and its producers) whose preserved

@@ -247,7 +247,8 @@ class MasterBase:
                 executor=executor.executor_id,
                 resource=self._resource_label(executor)))
         attempt = task.attempt
-        self.fetch.begin(task, self._plan_fetches(task, attempt))
+        fetches, count = self._plan_fetches(task, attempt)
+        self.fetch.begin(task, fetches, count)
 
     def _start_compute(self, task: TaskAttempt) -> None:
         """All inputs arrived: run the fused chain on the executor."""
@@ -290,8 +291,12 @@ class MasterBase:
         raise NotImplementedError
 
     def _plan_fetches(self, task: TaskAttempt,
-                      attempt: int) -> list[Callable[[], None]]:
-        """The input fetches this attempt must complete before computing."""
+                      attempt: int) -> tuple[list[Callable[[], None]], int]:
+        """The input fetches this attempt must complete before computing.
+
+        Returns ``(fetches, count)``: the callables to issue and the
+        number of barrier arrivals they produce (a callable may issue a
+        whole bulk fetch plan, so ``count >= len(fetches)``)."""
         raise NotImplementedError
 
     def _compute_done(self, task: TaskAttempt, attempt: int) -> None:

@@ -113,7 +113,7 @@ class SparkMaster(MasterBase):
         """The Spark driver runs on its own reserved container (§5.2)."""
         container = Container(kind=ContainerKind.RESERVED,
                               spec=self.ctx.cluster.reserved_spec)
-        return SimExecutor(container, self.sim)
+        return SimExecutor(container, self.sim, tracer=self.tracer)
 
     def start(self) -> None:
         self.ctx.rm.on_container(self._on_container)
@@ -124,7 +124,7 @@ class SparkMaster(MasterBase):
             self._maybe_start_chain(run)
 
     def _on_container(self, container: Container) -> None:
-        executor = SimExecutor(container, self.sim)
+        executor = SimExecutor(container, self.sim, tracer=self.tracer)
         # Broadcast blocks are cached per executor (TorrentBroadcast).
         executor.cache = LruCache(container.spec.memory_bytes * 0.3)
         self.scheduler.add_executor(executor)
@@ -171,16 +171,38 @@ class SparkMaster(MasterBase):
     # task execution
 
     def _plan_fetches(self, task: _SparkTask,
-                      attempt: int) -> list[Callable[[], None]]:
+                      attempt: int) -> tuple[list[Callable[[], None]], int]:
         fetches: list[Callable[[], None]] = []
+        count = 0
         chain = task.chain
         if chain.is_source_chain() and chain.head.input_ref is not None:
             fetches.append(lambda: self.fetch.fetch_source(task, attempt))
-        for edge in chain.external_in_edges():
-            for pidx in source_indices(edge, task.index):
-                fetches.append(lambda e=edge, p=pidx:
-                               self._fetch_edge(task, attempt, e, p))
-        return fetches
+            count += 1
+        specs = task.fetch_specs
+        if specs is None:
+            specs = task.fetch_specs = [
+                (edge, pidx)
+                for edge in chain.external_in_edges()
+                for pidx in source_indices(edge, task.index)]
+        if specs:
+            fetches.append(
+                lambda: self._fetch_edges(task, attempt, specs))
+            count += len(specs)
+        return fetches, count
+
+    def _fetch_edges(self, task: _SparkTask, attempt: int,
+                     specs: list) -> None:
+        """Issue all external-edge fetches of one attempt as a bulk plan:
+        the transfers queue on the network's open plan and reserve
+        together at commit, sharing one completion callback
+        (:meth:`_edge_pull_done`) instead of one closure each."""
+        net = self.net
+        net.begin_plan()
+        try:
+            for edge, pidx in specs:
+                self._fetch_edge(task, attempt, edge, pidx)
+        finally:
+            net.commit_plan()
 
     def _fetch_edge(self, task: _SparkTask, attempt: int, edge: Edge,
                     pidx: int) -> None:
@@ -229,41 +251,53 @@ class SparkMaster(MasterBase):
         coalesced = (edge.dep_type is DependencyType.ONE_TO_MANY
                      and task.executor.cache is not None)
         inflight_key = (task.executor.executor_id, pkey)
-
-        def done(result: TransferResult) -> None:
-            waiters = (self.fetch.inflight.drain(inflight_key)
-                       if coalesced else [])
-            if not result.ok:
-                if task.attempt == attempt:
-                    if not output.reachable():
-                        # Source died mid-transfer.
-                        output.available = output.checkpointed
-                        self.outputs.trace_miss(edge.src.name, pidx)
-                        if self.fetch.retry.abort_on_miss:
-                            task.failed_parents.add(pkey)
-                            self._recompute(pkey)
-                            self.fetch.broke(task, attempt)
-                        else:
-                            self._refetch_later(task, attempt, edge, pidx,
-                                                pkey)
-                    # else: we died; the eviction handler reset the task.
-                for other, a2, e2, p2 in waiters:
-                    self._fetch_edge(other, a2, e2, p2)
-                return
-            self.ctx.bytes_shuffled += int(moved)
-            if coalesced:
-                task.executor.cache.put(pkey, output.size, output.payload)
-            if task.attempt == attempt:
-                self.fetch.arrived_routed(task, attempt, edge, pidx,
-                                          output.size, output.payload)
-            for other, a2, e2, p2 in waiters:
-                self.fetch.arrived_routed(other, a2, e2, p2, output.size,
-                                          output.payload)
-
+        tag = (task, attempt, edge, pidx, output, moved, pkey, coalesced,
+               inflight_key)
         if output.executor is task.executor:
-            done(TransferResult(True, self.sim.now, int(moved)))
+            self._edge_pull_done(
+                tag, TransferResult(True, self.sim.now, int(moved)))
             return
-        self.net.transfer(src_endpoint, task.executor.endpoint, moved, done)
+        net = self.net
+        if net.plan_open:
+            net.plan_transfer(src_endpoint, task.executor.endpoint, moved,
+                              tag, self._edge_pull_done)
+        else:
+            net.transfer(src_endpoint, task.executor.endpoint, moved,
+                         lambda result: self._edge_pull_done(tag, result))
+
+    def _edge_pull_done(self, tag: tuple, result: TransferResult) -> None:
+        """Shared completion callback for edge pulls; ``tag`` carries the
+        request-time state the per-transfer closure used to capture."""
+        (task, attempt, edge, pidx, output, moved, pkey, coalesced,
+         inflight_key) = tag
+        waiters = (self.fetch.inflight.drain(inflight_key)
+                   if coalesced else [])
+        if not result.ok:
+            if task.attempt == attempt:
+                if not output.reachable():
+                    # Source died mid-transfer.
+                    output.available = output.checkpointed
+                    self.outputs.trace_miss(edge.src.name, pidx)
+                    if self.fetch.retry.abort_on_miss:
+                        task.failed_parents.add(pkey)
+                        self._recompute(pkey)
+                        self.fetch.broke(task, attempt)
+                    else:
+                        self._refetch_later(task, attempt, edge, pidx,
+                                            pkey)
+                # else: we died; the eviction handler reset the task.
+            for other, a2, e2, p2 in waiters:
+                self._fetch_edge(other, a2, e2, p2)
+            return
+        self.ctx.bytes_shuffled += int(moved)
+        if coalesced:
+            task.executor.cache.put(pkey, output.size, output.payload)
+        if task.attempt == attempt:
+            self.fetch.arrived_routed(task, attempt, edge, pidx,
+                                      output.size, output.payload)
+        for other, a2, e2, p2 in waiters:
+            self.fetch.arrived_routed(other, a2, e2, p2, output.size,
+                                      output.payload)
 
     def _after_abort(self, task: _SparkTask, failed_parents: set) -> None:
         # Re-check the parents that broke this attempt *now*: any of them

@@ -19,8 +19,8 @@ Quick use::
     lineage.verify_against(result)   # trace reconciles with JobResult
 """
 
-from repro.obs.events import (EVENT_TYPES, Eviction, FetchMiss, Relaunch,
-                              StageEnd, StageStart, TaskCommitted,
+from repro.obs.events import (EVENT_TYPES, DiskIO, Eviction, FetchMiss,
+                              Relaunch, StageEnd, StageStart, TaskCommitted,
                               TaskPushed, TaskQueued, TaskStart, TraceEvent,
                               Transfer, event_from_dict, event_to_dict)
 from repro.obs.export import (events_from_jsonl, to_chrome_trace, to_jsonl,
@@ -35,7 +35,7 @@ from repro.obs.tracer import (TraceCollector, Tracer, active_collector,
 
 __all__ = [
     "DURATION_BUCKETS", "EVENT_TYPES", "AttemptRecord", "ClassBreakdown",
-    "Eviction",
+    "DiskIO", "Eviction",
     "EvictionImpact", "FetchMiss", "LineageReport", "ObsReport", "Relaunch",
     "StageEnd", "StageStart", "TaskCommitted", "TaskPushed", "TaskQueued",
     "TaskStart", "TraceCollector", "TraceEvent", "Tracer", "Transfer",

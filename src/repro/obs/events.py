@@ -23,7 +23,7 @@ from typing import Any, Optional
 __all__ = [
     "TraceEvent", "StageStart", "StageEnd", "TaskQueued", "TaskStart",
     "TaskPushed", "TaskCommitted", "Relaunch", "Eviction", "FetchMiss",
-    "Transfer", "EVENT_TYPES", "RELAUNCH_CAUSE_CATEGORIES",
+    "Transfer", "DiskIO", "EVENT_TYPES", "RELAUNCH_CAUSE_CATEGORIES",
     "event_to_dict", "event_from_dict",
 ]
 
@@ -202,11 +202,31 @@ class Transfer(TraceEvent):
     ok: bool
 
 
+@dataclass(frozen=True)
+class DiskIO(TraceEvent):
+    """A local-disk read or write completed (or died with its container).
+
+    ``time`` is the completion instant; ``requested_at`` is when the I/O
+    was queued on the disk's FIFO port, so ``time - requested_at``
+    includes disk queueing. ``container``/``resource`` identify the disk's
+    owner the way :class:`Transfer` labels endpoints; ``op`` is
+    ``"read"`` or ``"write"``.
+    """
+
+    container: int
+    resource: str
+    op: str
+    size_bytes: float
+    requested_at: float
+    ok: bool
+
+
 #: Registry used by deserialization and schema docs.
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (StageStart, StageEnd, TaskQueued, TaskStart, TaskPushed,
-                TaskCommitted, Relaunch, Eviction, FetchMiss, Transfer)
+                TaskCommitted, Relaunch, Eviction, FetchMiss, Transfer,
+                DiskIO)
 }
 
 

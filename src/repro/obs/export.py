@@ -15,8 +15,8 @@ import json
 import pathlib
 from typing import Iterable
 
-from repro.obs.events import (Eviction, FetchMiss, Relaunch, StageEnd,
-                              StageStart, TaskCommitted, TaskPushed,
+from repro.obs.events import (DiskIO, Eviction, FetchMiss, Relaunch,
+                              StageEnd, StageStart, TaskCommitted, TaskPushed,
                               TaskStart, TraceEvent, Transfer, event_from_dict,
                               event_to_dict)
 
@@ -137,6 +137,18 @@ def to_chrome_trace(events: list[TraceEvent]) -> dict:
                 "pid": NETWORK_PID,
                 "tid": _lane(event.src),
                 "args": {"size_bytes": event.size_bytes, "ok": event.ok},
+            })
+        elif isinstance(event, DiskIO):
+            out.append({
+                "name": f"disk {event.op} {event.resource}:{event.container}",
+                "cat": "disk" if event.ok else "disk,failed",
+                "ph": "X",
+                "ts": event.requested_at * _US,
+                "dur": max(0.0, event.time - event.requested_at) * _US,
+                "pid": NETWORK_PID,
+                "tid": event.container + 1,
+                "args": {"size_bytes": event.size_bytes, "op": event.op,
+                         "ok": event.ok},
             })
 
     for key in list(open_attempts):

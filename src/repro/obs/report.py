@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.obs.events import TraceEvent, Transfer
+from repro.obs.events import DiskIO, TraceEvent, Transfer
 from repro.obs.lineage import LineageReport, analyze_eviction_lineage
 
 __all__ = ["ClassBreakdown", "ObsReport", "build_report",
@@ -49,6 +49,8 @@ class ObsReport:
     duration_histogram: list[tuple[float, int]]
     lineage: LineageReport
     evictions_with_cost: int = 0
+    #: Completed disk bytes per container id: ``{id: (read, written)}``.
+    disk_bytes_by_container: Optional[dict[int, tuple[float, float]]] = None
 
     def render(self) -> str:
         """Human-readable multi-line summary."""
@@ -61,6 +63,14 @@ class ObsReport:
             lines.append(f"{row[0]:<10} {row[1]:>10} {row[2]:>10} "
                          f"{row[3]:>10} {row[4]:>10}")
         lines.append("")
+        if self.disk_bytes_by_container:
+            lines.append("local disk I/O per container (MB read / written)")
+            for cid in sorted(self.disk_bytes_by_container):
+                read, written = self.disk_bytes_by_container[cid]
+                lines.append(f"  container {cid:<4} "
+                             f"{read / 2**20:>10.1f} / "
+                             f"{written / 2**20:<10.1f}")
+            lines.append("")
         lines.append("committed task duration histogram (s)")
         for bound, count in self.duration_histogram:
             label = f"<= {bound:g}" if math.isfinite(bound) else "> rest"
@@ -94,14 +104,23 @@ def build_report(events: list[TraceEvent], result=None,
         elif attempt.outcome == "relaunched":
             of(attempt.resource).recompute_seconds += attempt.busy_seconds
 
+    disk_bytes: dict[int, tuple[float, float]] = {}
     for event in events:
-        if not isinstance(event, Transfer) or not event.ok:
-            continue
-        duration = max(0.0, event.time - event.requested_at)
-        for label in (event.src, event.dst):
-            resource = label.split(":", 1)[0]
-            if resource in ("reserved", "transient"):
-                of(resource).transfer_seconds += duration
+        if isinstance(event, Transfer):
+            if not event.ok:
+                continue
+            duration = max(0.0, event.time - event.requested_at)
+            for label in (event.src, event.dst):
+                resource = label.split(":", 1)[0]
+                if resource in ("reserved", "transient"):
+                    of(resource).transfer_seconds += duration
+        elif isinstance(event, DiskIO) and event.ok:
+            read, written = disk_bytes.get(event.container, (0.0, 0.0))
+            if event.op == "read":
+                read += event.size_bytes
+            else:
+                written += event.size_bytes
+            disk_bytes[event.container] = (read, written)
 
     if result is not None and cluster is not None:
         capacity = {
@@ -120,7 +139,8 @@ def build_report(events: list[TraceEvent], result=None,
         breakdowns=breakdowns,
         duration_histogram=list(zip(DURATION_BUCKETS, histogram)),
         lineage=lineage,
-        evictions_with_cost=len(lineage.by_eviction))
+        evictions_with_cost=len(lineage.by_eviction),
+        disk_bytes_by_container=disk_bytes or None)
 
 
 def efficiency_with_breakdown(result, cluster, events: list[TraceEvent]):

@@ -204,6 +204,22 @@ def test_cache_is_keyed_by_code_fingerprint(tmp_path):
     assert not other.exists()
 
 
+def test_code_fingerprint_is_memoized_per_process(tmp_path, monkeypatch):
+    """The tree digest is hashed once per process, not once per runner or
+    cache construction — repeated calls must not touch the filesystem."""
+    from repro.bench import runner as runner_module
+
+    first = code_fingerprint()
+    assert runner_module._FINGERPRINT == first
+
+    def no_reads(*args, **kwargs):
+        raise AssertionError("fingerprint re-hashed the source tree")
+
+    monkeypatch.setattr(runner_module.pathlib.Path, "read_bytes", no_reads)
+    assert code_fingerprint() == first
+    assert ResultCache(tmp_path).path_for(tiny_spec()).parent.name == first
+
+
 def test_cache_ignores_corrupt_entries(tmp_path):
     spec = tiny_spec()
     cache = ResultCache(tmp_path)

@@ -149,3 +149,129 @@ def test_disk_io_on_dead_container_reports_failure():
     container.evict(0.1)
     sim.run()
     assert outcomes == [False]
+
+
+def test_dead_endpoint_counts_failure_not_bytes():
+    sim = Simulator()
+    net = NetworkModel(sim)
+    src = make_endpoint(transient=True)
+    src.container.evict(0.0)
+    net.transfer(src, make_endpoint(), 10 * MB, lambda r: None)
+    sim.run()
+    assert net.transfers_failed == 1
+    assert net.bytes_transferred == 0
+
+
+def test_eviction_at_same_timestamp_beats_transfer_completion():
+    """An eviction scheduled at exactly a transfer's finish time fires
+    first (EVICTION_PRIORITY), so the transfer is conservatively lost."""
+    from repro.cluster.network import EVICTION_PRIORITY
+
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(transient=True)
+    results = []
+    net.transfer(src, make_endpoint(), 100 * MB, results.append)  # ends 1.0
+    sim.schedule(1.0, lambda: src.container.evict(sim.now),
+                 priority=EVICTION_PRIORITY)
+    sim.run()
+    assert not results[0].ok
+    assert net.transfers_failed == 1
+    assert net.bytes_transferred == 0
+
+
+def test_transfer_many_shares_one_tagged_callback():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(bandwidth=100 * MB)
+    done = []
+    net.transfer_many(
+        [(src, make_endpoint(), 100 * MB, tag) for tag in ("a", "b", "c")],
+        lambda tag, r: done.append((tag, r.finished_at)))
+    sim.run()
+    assert [tag for tag, _ in done] == ["a", "b", "c"]
+    assert [at for _, at in done] == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_transfer_many_fails_dead_entries_without_losing_the_rest():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    dead = make_endpoint(transient=True)
+    dead.container.evict(0.0)
+    done = []
+    net.transfer_many(
+        [(dead, make_endpoint(), 100 * MB, "dead"),
+         (make_endpoint(), make_endpoint(), 100 * MB, "live")],
+        lambda tag, r: done.append((tag, r.ok)))
+    sim.run()
+    assert sorted(done) == [("dead", False), ("live", True)]
+    assert net.transfers_failed == 1
+    assert net.bytes_transferred == 100 * MB
+
+
+def test_plan_nests_and_matches_sequential_timing():
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(bandwidth=100 * MB)
+    done = []
+    record = lambda tag, r: done.append((tag, r.finished_at))  # noqa: E731
+    net.begin_plan()
+    net.plan_transfer(src, make_endpoint(), 100 * MB, "outer-1", record)
+    net.begin_plan()  # a cascade opening its own plan mid-walk
+    net.plan_transfer(src, make_endpoint(), 100 * MB, "inner", record)
+    net.commit_plan()
+    assert net.plan_open  # inner commit must not flush the outer plan
+    net.plan_transfer(src, make_endpoint(), 100 * MB, "outer-2", record)
+    net.commit_plan()
+    assert not net.plan_open
+    sim.run()
+    assert [tag for tag, _ in done] == ["outer-1", "inner", "outer-2"]
+    assert [at for _, at in done] == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_plain_transfer_flushes_open_plan_first():
+    """A plain transfer issued while a plan is open must not overtake the
+    queued entries on a shared port."""
+    sim = Simulator()
+    net = NetworkModel(sim, latency=0.0)
+    src = make_endpoint(bandwidth=100 * MB)
+    done = []
+    net.begin_plan()
+    net.plan_transfer(src, make_endpoint(), 100 * MB, "planned",
+                      lambda tag, r: done.append((tag, r.finished_at)))
+    net.transfer(src, make_endpoint(), 100 * MB,
+                 lambda r: done.append(("plain", r.finished_at)))
+    net.commit_plan()
+    sim.run()
+    assert done == [("planned", pytest.approx(1.0)),
+                    ("plain", pytest.approx(2.0))]
+
+
+def test_bytes_served_does_not_truncate_fractional_shares():
+    """Fractional reservations accumulate exactly; rounding happens once
+    at read time (0.4 * 5 must be 2 bytes, not 0)."""
+    port = FifoPort(bandwidth=10.0)
+    for _ in range(5):
+        port.reserve(0.0, 0.4)
+    assert port.bytes_served == 2
+
+
+def test_untraced_run_builds_no_event_objects(monkeypatch):
+    """The tracer-off fast path never constructs Transfer/DiskIO events —
+    asserted over a full engine run with evictions."""
+    import repro.cluster.network as network_module
+    from repro import ClusterConfig, SparkEngine
+    from repro.trace.models import ExponentialLifetimeModel
+    from repro.workloads import mr_synthetic_program
+
+    def explode(*args, **kwargs):
+        raise AssertionError("trace event built without a tracer attached")
+
+    monkeypatch.setattr(network_module, "Transfer", explode)
+    monkeypatch.setattr(network_module, "DiskIO", explode)
+    result = SparkEngine().run(
+        mr_synthetic_program(scale=0.05),
+        ClusterConfig(num_reserved=2, num_transient=5,
+                      eviction=ExponentialLifetimeModel(600.0)),
+        seed=0, time_limit=48 * 3600.0)
+    assert result.completed

@@ -4,8 +4,8 @@ import dataclasses
 
 import pytest
 
-from repro.obs.events import (EVENT_TYPES, Eviction, FetchMiss, Relaunch,
-                              StageEnd, StageStart, TaskCommitted,
+from repro.obs.events import (EVENT_TYPES, DiskIO, Eviction, FetchMiss,
+                              Relaunch, StageEnd, StageStart, TaskCommitted,
                               TaskPushed, TaskQueued, TaskStart, TraceEvent,
                               Transfer, event_from_dict, event_to_dict)
 
@@ -26,6 +26,8 @@ SAMPLES = [
     FetchMiss(time=6.0, op="reduce", index=1),
     Transfer(time=7.0, src="transient:12", dst="reserved:1",
              size_bytes=2e6, requested_at=6.5, ok=True),
+    DiskIO(time=8.0, container=12, resource="transient", op="write",
+           size_bytes=3e6, requested_at=7.5, ok=True),
 ]
 
 

@@ -2,8 +2,10 @@
 
 import math
 
+import pytest
+
 from repro.metrics.utilization import EfficiencyReport
-from repro.obs import (DURATION_BUCKETS, analyze_eviction_lineage,
+from repro.obs import (DURATION_BUCKETS, DiskIO, analyze_eviction_lineage,
                        build_report, efficiency_with_breakdown)
 
 from tests.obs.conftest import stormy_cluster
@@ -64,6 +66,20 @@ def test_render_is_readable(traced_run):
     assert "time breakdown" in text
     assert "transient" in text
     assert "relaunches:" in text
+
+
+def test_disk_bytes_surfaced_per_container(traced_run):
+    _, tracer, _ = traced_run
+    report = build_report(tracer.events)
+    ok_io = [e for e in tracer.events if isinstance(e, DiskIO) and e.ok]
+    assert ok_io, "every engine spills local outputs to disk"
+    assert report.disk_bytes_by_container is not None
+    assert set(report.disk_bytes_by_container) == \
+        {e.container for e in ok_io}
+    total = sum(read + written
+                for read, written in report.disk_bytes_by_container.values())
+    assert total == pytest.approx(sum(e.size_bytes for e in ok_io))
+    assert "local disk I/O per container" in report.render()
 
 
 def test_efficiency_with_breakdown_pairs_both_views(traced_run):

@@ -34,6 +34,23 @@ def test_unknown_experiment_rejected():
         main(["nope"])
 
 
+def test_profile_subcommand(capsys):
+    assert main(["profile", "tab2", "--profile-limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out            # the experiment still prints
+    assert "cumulative" in out         # ...followed by the pstats table
+    assert "function calls" in out
+
+
+def test_profile_requires_a_known_target():
+    with pytest.raises(SystemExit):
+        main(["profile"])
+    with pytest.raises(SystemExit):
+        main(["profile", "nope"])
+    with pytest.raises(SystemExit):
+        main(["tab2", "tab1"])  # second positional only valid with profile
+
+
 def test_sweep_with_workers_and_cache(tmp_path, capsys):
     argv = ["sweep", "--workload", "mr", "--scale", "0.02",
             "--rates", "none,high", "--engines", "pado",
