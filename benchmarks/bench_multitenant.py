@@ -1,0 +1,47 @@
+"""Multi-tenant cluster benchmarks: one mtsweep cell per policy.
+
+Times the full two-level simulation — diurnal arrivals, inter-job
+scheduling, correlated eviction waves, and one real inner engine run per
+dispatched job — for each of the three policies at the default operating
+point. ``BENCH_multitenant.json`` in this directory is the committed
+JCT-distribution baseline for the whole load x policy x eviction sweep
+(18 cells, 1080 arriving jobs); regenerate it after intentional changes
+with::
+
+    PYTHONPATH=src python -m repro mtsweep --policy all \
+        --load 0.5,0.8,1.1 --eviction medium,high --jobs 60 --workers 4 \
+        --out benchmarks/BENCH_multitenant.json
+
+and walk through the numbers in docs/MULTITENANCY.md. The sweep is
+deterministic in its seed, so the committed file only changes when the
+scheduling, arrival, or engine code changes meaningfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.multitenant import (jct_table, make_cell_config,
+                                     run_multitenant_cell)
+from repro.bench.runner import SweepRunner
+
+POLICIES = ("fifo", "fair", "quota")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_mtsweep_cell(benchmark, policy, save_artifact):
+    """One 30-job cell at load 0.8 under high eviction: the unit of work
+    the mtsweep CLI repeats per cell."""
+
+    def run():
+        config = make_cell_config(policy, 0.8, "high", num_jobs=30,
+                                  seed=11)
+        return config, run_multitenant_cell(config,
+                                            runner=SweepRunner())
+
+    config, result = benchmark(run)
+    assert all(r.finish_time is not None for r in result.records)
+    save_artifact(f"mtsweep_{policy}",
+                  jct_table(result,
+                            title=f"mtsweep cell: policy={policy} "
+                                  f"load=0.8 eviction=high jobs=30"))

@@ -6,6 +6,7 @@ Usage::
     python -m repro fig5 [--scale 0.25] [--seed 11]
     python -m repro fig2 --trace traces/
     python -m repro sweep --workload mr --averaged --workers 4 --cache .cache
+    python -m repro mtsweep --policy fair --load 0.8 [--eviction high]
     python -m repro profile fig7 [--profile-limit 40] [--profile-out f.pstats]
     python -m repro all
 
@@ -118,6 +119,42 @@ def _parse_csv(text, convert=str) -> list:
     return [convert(item.strip()) for item in text.split(",") if item.strip()]
 
 
+def _run_mtsweep(args) -> str:
+    """Multi-tenant cluster: inter-job policies under continuous arrivals
+    (see docs/MULTITENANCY.md)."""
+    import json
+
+    from repro.bench.multitenant import (SWEEP_POLICIES, cell_summary,
+                                         jct_table, make_cell_config,
+                                         run_multitenant_cell)
+    runner = _runner_for(args)
+    policies = SWEEP_POLICIES if args.policy == "all" else (args.policy,)
+    loads = _parse_csv(args.load, float)
+    evictions = _parse_csv(args.eviction)
+    parts = []
+    summaries = []
+    for load in loads:
+        for eviction in evictions:
+            for policy in policies:
+                config = make_cell_config(policy, load, eviction,
+                                          num_jobs=args.jobs,
+                                          seed=args.seed)
+                result = run_multitenant_cell(config, runner=runner)
+                summaries.append(cell_summary(config, result))
+                parts.append(jct_table(
+                    result,
+                    title=(f"Multi-tenant JCT (minutes): policy={policy} "
+                           f"load={load} eviction={eviction} "
+                           f"jobs={args.jobs} seed={args.seed}")))
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(summaries, indent=1, sort_keys=True)
+                       + "\n")
+        parts.append(f"[mtsweep] {len(summaries)} cell summaries -> {out}")
+    parts.append(f"[runner] {runner.stats}")
+    return "\n\n".join(parts)
+
+
 def _run_sweep(args) -> str:
     """The generic runner-backed sweep: engines x rates (x seeds)."""
     runner = _runner_for(args)
@@ -165,6 +202,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "ablations": ("Ablations of §3.2.7 design choices", _run_ablations),
     "sweep": ("Custom eviction sweep (--workload/--rates/--engines/"
               "--seeds/--averaged)", _run_sweep),
+    "mtsweep": ("Multi-tenant cluster: JCT distributions per inter-job "
+                "policy (--policy/--load/--eviction/--jobs)", _run_mtsweep),
 }
 
 
@@ -237,6 +276,25 @@ def main(argv: list[str] | None = None) -> int:
     sweep_args.add_argument("--averaged", action="store_true",
                             help="run the §5.1.3 repetition protocol and "
                                  "report mean ± std")
+    mt_args = parser.add_argument_group(
+        "mtsweep", "options for the 'mtsweep' experiment")
+    mt_args.add_argument("--policy", default="all",
+                         choices=("fifo", "fair", "quota", "all"),
+                         help="inter-job scheduling policy (default: run "
+                              "all three)")
+    mt_args.add_argument("--load", default="0.8",
+                         help="offered-load factor(s), comma-separated: "
+                              "nominal transient demand over transient "
+                              "capacity")
+    mt_args.add_argument("--eviction", default="high",
+                         help="correlated eviction-wave regime(s), "
+                              "comma-separated (none,low,medium,high)")
+    mt_args.add_argument("--jobs", type=int, default=60,
+                         help="number of arriving jobs per cell")
+    mt_args.add_argument("--out", metavar="FILE", default=None,
+                         help="also write per-cell JSON summaries to FILE "
+                              "(how benchmarks/BENCH_multitenant.json is "
+                              "regenerated)")
     profile_args = parser.add_argument_group(
         "profile", "options for the 'profile' mode")
     profile_args.add_argument("--profile-sort", default="cumulative",
@@ -259,9 +317,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:10s} {description}")
         return 0
     if args.experiment == "all":
-        # 'sweep' is parameterized, not a paper artifact; 'all' regenerates
-        # the paper set only.
-        targets = sorted(name for name in EXPERIMENTS if name != "sweep")
+        # 'sweep' and 'mtsweep' are parameterized, not paper artifacts;
+        # 'all' regenerates the paper set only.
+        targets = sorted(name for name in EXPERIMENTS
+                         if name not in ("sweep", "mtsweep"))
     else:
         targets = [args.experiment]
     for name in targets:

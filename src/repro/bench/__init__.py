@@ -14,6 +14,10 @@ from repro.bench.experiments import (BENCH_SCALES, TIME_LIMIT_MINUTES,
                                      make_workload, run_one,
                                      tab1_lifetime_percentiles,
                                      tab2_collected_memory)
+from repro.bench.multitenant import (cell_summary, jct_table,
+                                     make_cell_config, multitenant_sweep,
+                                     run_multitenant_cell, spec_for_job,
+                                     sweep_executor)
 from repro.bench.runner import (PoolSpec, ResultCache, RunSpec, RunnerStats,
                                 SweepRunner, build_cluster, build_engine,
                                 canonical_result_json, code_fingerprint,
@@ -28,11 +32,14 @@ __all__ = [
     "ablation_aggregation_limits", "ablation_fetch_semantics",
     "ablation_lifetime_aware_scheduling",
     "ablation_optimizations", "build_cluster", "build_engine",
-    "canonical_result_json", "code_fingerprint", "default_engines",
+    "canonical_result_json", "cell_summary", "code_fingerprint",
+    "default_engines",
     "engine_spec", "eviction_rate_sweep", "execute_spec",
     "fig1_lifetime_cdfs", "fig2_recovery_costs", "fig5_als", "fig6_mlr",
-    "fig7_mr", "fig8_reserved_sweep", "fig9_scalability", "make_workload",
+    "fig7_mr", "fig8_reserved_sweep", "fig9_scalability", "jct_table",
+    "make_cell_config", "make_workload", "multitenant_sweep",
     "render_cdf_series", "render_table", "result_from_dict",
-    "result_to_dict", "run_one", "run_specs", "speedup",
+    "result_to_dict", "run_multitenant_cell", "run_one", "run_specs",
+    "spec_for_job", "speedup", "sweep_executor",
     "tab1_lifetime_percentiles", "tab2_collected_memory",
 ]

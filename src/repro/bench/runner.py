@@ -91,6 +91,12 @@ class RunSpec:
     eviction: str = "none"
     engine_options: tuple = ()
     transient_pools: Optional[tuple] = None
+    #: Multi-tenant runs (:mod:`repro.cluster.tenancy`) pin the job's
+    #: eviction schedule to the cluster-wide wave times: a tuple of
+    #: ``(offset_seconds, severity)`` pairs relative to the job's start,
+    #: simulated via :class:`~repro.trace.models.WaveLifetimeModel`.
+    #: Mutually exclusive with a named ``eviction`` rate and with pools.
+    eviction_waves: Optional[tuple] = None
 
     @classmethod
     def make(cls, workload: str, engine: str, *,
@@ -186,7 +192,8 @@ def build_engine(spec: RunSpec) -> EngineBase:
 
 def build_cluster(spec: RunSpec) -> ClusterConfig:
     """Instantiate the simulated cluster a spec describes."""
-    from repro.trace.models import EvictionRate, ExponentialLifetimeModel
+    from repro.trace.models import (EvictionRate, ExponentialLifetimeModel,
+                                    WaveLifetimeModel)
     pools = None
     if spec.transient_pools:
         from repro.cluster.manager import TransientPool
@@ -195,9 +202,19 @@ def build_cluster(spec: RunSpec) -> ClusterConfig:
                           ExponentialLifetimeModel(p.mean_lifetime_seconds),
                           p.mean_lifetime_seconds)
             for p in spec.transient_pools)
+    eviction: Any = EvictionRate(spec.eviction)
+    if spec.eviction_waves is not None:
+        if spec.eviction != "none":
+            raise ValueError(
+                "eviction_waves replaces the lifetime model; "
+                "set eviction='none' alongside it")
+        if pools is not None:
+            raise ValueError("eviction_waves and transient_pools "
+                             "cannot be combined")
+        eviction = WaveLifetimeModel(spec.eviction_waves)
     return ClusterConfig(num_reserved=spec.num_reserved,
                          num_transient=spec.num_transient,
-                         eviction=EvictionRate(spec.eviction),
+                         eviction=eviction,
                          transient_pools=pools)
 
 
@@ -245,19 +262,33 @@ def canonical_result_json(result: JobResult) -> str:
 _FINGERPRINT: Optional[str] = None
 
 
-def code_fingerprint() -> str:
+def _tree_fingerprint(root: pathlib.Path) -> str:
+    """Digest over every ``.py`` file under ``root`` (path + content)."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def code_fingerprint(root: Optional[pathlib.Path] = None) -> str:
     """Digest over every ``.py`` file under ``src/repro``; part of the
-    cache key so stale results never survive a code change."""
+    cache key so stale results never survive a code change.
+
+    The tree is the whole package — engines, the cluster substrate, and
+    the multi-tenant layer (``repro.cluster.tenancy``) alike — because a
+    cached :class:`~repro.engines.base.JobResult` depends on all of them.
+    ``root`` overrides the digested tree (uncached); tests use it to
+    prove specific modules participate in the digest.
+    """
     global _FINGERPRINT
+    if root is not None:
+        return _tree_fingerprint(pathlib.Path(root))
     if _FINGERPRINT is None:
-        root = pathlib.Path(__file__).resolve().parents[1]
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode("utf-8"))
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _FINGERPRINT = digest.hexdigest()[:16]
+        _FINGERPRINT = _tree_fingerprint(
+            pathlib.Path(__file__).resolve().parents[1])
     return _FINGERPRINT
 
 

@@ -7,7 +7,8 @@ eviction schedule — everything the paper's EC2/YARN testbed provided.
 """
 
 from repro.cluster.events import EventHandle, Simulator
-from repro.cluster.manager import ResourceManager, TransientPool
+from repro.cluster.manager import (ContainerLease, LeasePool,
+                                   ResourceManager, TransientPool)
 from repro.cluster.network import (ContainerEndpoint, DiskModel, FifoPort,
                                    InfiniteEndpoint, NetworkModel,
                                    TransferResult)
@@ -17,8 +18,10 @@ from repro.cluster.resources import (Container, ContainerKind, NodeSpec,
 from repro.cluster.storage import InputStore, StableStore
 
 __all__ = [
-    "Container", "ContainerEndpoint", "ContainerKind", "DiskModel",
-    "EventHandle", "FifoPort", "GB", "InfiniteEndpoint", "InputStore", "MB",
+    "Container", "ContainerEndpoint", "ContainerKind", "ContainerLease",
+    "DiskModel",
+    "EventHandle", "FifoPort", "GB", "InfiniteEndpoint", "InputStore",
+    "LeasePool", "MB",
     "NetworkModel", "NodeSpec", "RESERVED_NODE", "ResourceManager",
     "TransientPool",
     "Simulator", "StableStore", "TRANSIENT_NODE", "TransferResult",

@@ -131,7 +131,12 @@ class ResourceManager:
         else:
             model = pool.lifetime_model if pool is not None \
                 else self._lifetimes
-            lifetime = model.sample(self._rng)
+            # Wave-pinned models (repro.cluster.tenancy) need the launch
+            # time so replacements still die on cluster-wide wave ticks;
+            # ordinary models keep the launch-time-free sampling path.
+            sample_at = getattr(model, "sample_at", None)
+            lifetime = (sample_at(now, self._rng) if sample_at is not None
+                        else model.sample(self._rng))
             container = Container(
                 kind=kind, spec=self._transient_spec, lifetime=lifetime,
                 launched_at=now,
@@ -200,3 +205,185 @@ class ResourceManager:
                 self.inject_failure(container, replace=replace)
 
         self._sim.schedule_fast(delay, fire, priority=EVICTION_PRIORITY)
+
+
+# ----------------------------------------------------------------------
+# multi-tenant container leases (repro.cluster.tenancy)
+
+
+@dataclass
+class ContainerLease:
+    """One container slot granted to one job of one tenant.
+
+    Leases are *namespaced*: every lease records the ``job_id`` and
+    ``tenant`` it was granted to, and :class:`LeasePool` only ever
+    releases or revokes a lease through its owning job — one tenant's
+    capacity can never be returned (or charged) through another's
+    bookkeeping. ``revoked_at`` marks leases torn down by a correlated
+    eviction wave rather than by job completion.
+    """
+
+    lease_id: int
+    job_id: str
+    tenant: str
+    kind: ContainerKind
+    granted_at: float
+    released_at: Optional[float] = None
+    revoked_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.released_at is None
+
+    def seconds_held(self, now: float) -> float:
+        """Container-seconds this lease has accrued (up to ``now`` while
+        active)."""
+        end = self.released_at if self.released_at is not None else now
+        return max(0.0, end - self.granted_at)
+
+
+class LeasePool:
+    """The shared container pool the inter-job scheduler allocates from.
+
+    Tracks reserved and transient slot capacity, grants namespaced
+    :class:`ContainerLease`\\ s per job, accrues per-job and per-tenant
+    container-second accounting, and delivers *correlated eviction waves*:
+    :meth:`revoke_wave` walks every active transient lease of every
+    running job in one call, revokes each with the wave's severity, and
+    immediately re-grants replacements to the same job — so one
+    revocation wave hits all co-located tenants at the same simulated
+    tick, and no job's allocation shrinks (replacements are immediate,
+    matching the single-job :class:`ResourceManager` assumption).
+    """
+
+    def __init__(self, num_reserved: int, num_transient: int) -> None:
+        if num_reserved < 0 or num_transient < 0:
+            raise ResourceError("pool capacities must be non-negative")
+        self.num_reserved = num_reserved
+        self.num_transient = num_transient
+        self._next_lease = 0
+        self._active: dict[str, list[ContainerLease]] = {}
+        self._tenant_of: dict[str, str] = {}
+        self.history: list[ContainerLease] = []
+        #: (time, severity, {job_id: containers revoked}) per wave tick.
+        self.waves: list[tuple[float, float, dict[str, int]]] = []
+
+    # ------------------------------------------------------------------
+    # capacity
+
+    def _in_use(self, kind: ContainerKind) -> int:
+        return sum(1 for leases in self._active.values()
+                   for lease in leases if lease.kind is kind)
+
+    @property
+    def reserved_free(self) -> int:
+        return self.num_reserved - self._in_use(ContainerKind.RESERVED)
+
+    @property
+    def transient_free(self) -> int:
+        return self.num_transient - self._in_use(ContainerKind.TRANSIENT)
+
+    def reserved_in_use(self, tenant: str) -> int:
+        """Active reserved leases held by one tenant (the quantity the
+        reserved-quota policy bounds)."""
+        return sum(1 for job, leases in self._active.items()
+                   if self._tenant_of[job] == tenant
+                   for lease in leases
+                   if lease.kind is ContainerKind.RESERVED)
+
+    def fits(self, num_reserved: int, num_transient: int) -> bool:
+        return (self.reserved_free >= num_reserved
+                and self.transient_free >= num_transient)
+
+    def active_jobs(self) -> list[str]:
+        return sorted(self._active)
+
+    # ------------------------------------------------------------------
+    # grant / release
+
+    def _grant(self, job_id: str, kind: ContainerKind,
+               now: float) -> ContainerLease:
+        lease = ContainerLease(lease_id=self._next_lease, job_id=job_id,
+                               tenant=self._tenant_of[job_id], kind=kind,
+                               granted_at=now)
+        self._next_lease += 1
+        self._active[job_id].append(lease)
+        self.history.append(lease)
+        return lease
+
+    def lease(self, job_id: str, tenant: str, num_reserved: int,
+              num_transient: int, now: float) -> list[ContainerLease]:
+        """Grant a job its whole allocation atomically (all or nothing)."""
+        if job_id in self._active:
+            raise ResourceError(f"job {job_id!r} already holds leases")
+        if not self.fits(num_reserved, num_transient):
+            raise ResourceError(
+                f"insufficient capacity for {job_id!r}: "
+                f"{num_reserved}R+{num_transient}T requested, "
+                f"{self.reserved_free}R+{self.transient_free}T free")
+        self._active[job_id] = []
+        self._tenant_of[job_id] = tenant
+        return ([self._grant(job_id, ContainerKind.RESERVED, now)
+                 for _ in range(num_reserved)]
+                + [self._grant(job_id, ContainerKind.TRANSIENT, now)
+                   for _ in range(num_transient)])
+
+    def release_job(self, job_id: str, now: float) -> float:
+        """Release every lease the job still holds; returns the job's
+        total accrued container-seconds (including revoked leases)."""
+        if job_id not in self._active:
+            raise ResourceError(f"job {job_id!r} holds no leases")
+        for lease in self._active.pop(job_id):
+            lease.released_at = now
+        return self.container_seconds(job_id=job_id, now=now)
+
+    # ------------------------------------------------------------------
+    # correlated eviction waves
+
+    def revoke_wave(self, now: float, severity: float,
+                    rng: np.random.Generator) -> dict[str, int]:
+        """Deliver one correlated eviction wave across *all* running jobs.
+
+        Every active transient lease — regardless of owning tenant — is
+        revoked with probability ``severity`` in this single call, at this
+        single timestamp, and a replacement lease is granted to the same
+        job in the same tick. Reserved leases are untouched. Returns
+        ``{job_id: containers revoked}`` for every affected job.
+        """
+        if not 0.0 < severity <= 1.0:
+            raise ResourceError("wave severity must lie in (0, 1]")
+        revoked: dict[str, int] = {}
+        for job_id in sorted(self._active):
+            for lease in list(self._active[job_id]):
+                if lease.kind is not ContainerKind.TRANSIENT:
+                    continue
+                if severity < 1.0 and float(rng.random()) >= severity:
+                    continue
+                lease.released_at = now
+                lease.revoked_at = now
+                self._active[job_id].remove(lease)
+                self._grant(job_id, ContainerKind.TRANSIENT, now)
+                revoked[job_id] = revoked.get(job_id, 0) + 1
+        self.waves.append((now, severity, revoked))
+        return revoked
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def container_seconds(self, job_id: Optional[str] = None,
+                          tenant: Optional[str] = None,
+                          now: float = 0.0) -> float:
+        """Accrued container-seconds, filtered by job and/or tenant.
+
+        Counts completed and revoked leases in full and active leases up
+        to ``now`` — the consumption metric weighted fair-share ranks
+        tenants by.
+        """
+        total = 0.0
+        for lease in self.history:
+            if job_id is not None and lease.job_id != job_id:
+                continue
+            if tenant is not None and lease.tenant != tenant:
+                continue
+            total += lease.seconds_held(now)
+        return total

@@ -1,0 +1,243 @@
+"""Diurnal job arrivals and correlated eviction waves.
+
+Both exogenous processes of the multi-tenant cluster are derived from the
+same synthetic Google-trace load shape (:mod:`repro.trace.google_trace`):
+the mean latency-critical memory usage across containers, normalized to
+mean 1.0 and tiled periodically, modulates
+
+* the **job arrival rate** — tenants submit more work at daytime peaks —
+  via a non-homogeneous Poisson process sampled by thinning, and
+* the **eviction-wave rate** — the latency-critical side reclaims
+  transient memory exactly when its own load peaks, so reclamation
+  arrives in cluster-wide bursts rather than independently per container.
+
+Every sample is drawn from one seeded generator, so a given seed produces
+one immutable arrival schedule and one immutable wave schedule — the
+property the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.trace.google_trace import TraceConfig, generate_trace
+
+#: Mean eviction waves per hour for each paper eviction regime; modulated
+#: by the diurnal load shape, so peak-hour waves are more frequent.
+WAVE_RATE_PER_HOUR = {"none": 0.0, "low": 1.0, "medium": 2.5, "high": 6.0}
+
+#: Per-regime (min, max) fraction of transient containers a wave claims.
+WAVE_SEVERITY = {"low": (0.10, 0.35), "medium": (0.20, 0.50),
+                 "high": (0.30, 0.70)}
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One kind of tenant job: a workload at a scale with a demand shape.
+
+    ``nominal_minutes`` is the rough failure-free runtime used only to
+    calibrate the offered load (and fair-share's within-tick estimates);
+    actual runtimes come from the engine simulation.
+    """
+
+    workload: str
+    engine: str
+    scale: float
+    num_reserved: int
+    num_transient: int
+    nominal_minutes: float
+    share: float
+
+    def demand_seconds(self) -> float:
+        """Nominal transient-container-seconds one such job consumes."""
+        return self.num_transient * self.nominal_minutes * 60.0
+
+
+#: Default tenant-job mix: mostly small MR jobs across all three engines,
+#: plus heavier MLR/ALS training jobs (the paper's three workloads).
+DEFAULT_TEMPLATES: tuple[JobTemplate, ...] = (
+    JobTemplate("mr", "pado", 0.02, 1, 6, 1.2, 0.30),
+    JobTemplate("mr", "spark", 0.02, 1, 6, 1.2, 0.15),
+    JobTemplate("mr", "spark-checkpoint", 0.02, 1, 6, 1.3, 0.15),
+    JobTemplate("mlr", "pado", 0.05, 2, 10, 17.0, 0.22),
+    JobTemplate("als", "pado", 0.03, 1, 8, 8.0, 0.18),
+)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job submitted to the multi-tenant cluster."""
+
+    job_id: str
+    tenant: str
+    arrival_time: float
+    workload: str
+    engine: str
+    scale: float
+    num_reserved: int
+    num_transient: int
+    seed: int
+    nominal_minutes: float
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Knobs of the diurnal arrival process.
+
+    ``load`` is the offered-load factor: the arrival rate is calibrated so
+    the jobs' *nominal* transient demand equals ``load`` times the pool's
+    transient capacity (``load`` near 1 saturates the cluster and queueing
+    delays dominate JCT).
+    """
+
+    load: float = 0.8
+    num_tenants: int = 4
+    tenant_weights: Optional[tuple[float, ...]] = None
+    templates: tuple[JobTemplate, ...] = DEFAULT_TEMPLATES
+    trace: TraceConfig = field(
+        default_factory=lambda: TraceConfig(num_containers=12,
+                                            duration_hours=24.0))
+
+    def __post_init__(self) -> None:
+        if self.load <= 0:
+            raise ValueError("load factor must be positive")
+        if self.num_tenants <= 0:
+            raise ValueError("need at least one tenant")
+        if not self.templates:
+            raise ValueError("need at least one job template")
+        if self.tenant_weights is not None \
+                and len(self.tenant_weights) != self.num_tenants:
+            raise ValueError("one weight per tenant required")
+
+    def tenants(self) -> list[str]:
+        return [f"tenant{i}" for i in range(self.num_tenants)]
+
+    def weights(self) -> dict[str, float]:
+        if self.tenant_weights is None:
+            return {name: 1.0 for name in self.tenants()}
+        return dict(zip(self.tenants(), self.tenant_weights))
+
+
+class _DiurnalShape:
+    """The normalized (mean 1.0) LC load curve, tiled periodically."""
+
+    def __init__(self, trace_config: TraceConfig, seed: int) -> None:
+        trace = generate_trace(trace_config, seed=seed)
+        usage = np.mean([c.usage_bytes / c.capacity_bytes
+                         for c in trace.containers], axis=0)
+        self._shape = usage / float(np.mean(usage))
+        self._interval = trace.interval_seconds
+        self._period = len(self._shape) * self._interval
+        self.peak = float(np.max(self._shape))
+
+    def at(self, t: float) -> float:
+        index = int((t % self._period) / self._interval)
+        return float(self._shape[index])
+
+
+def _thinned_poisson(shape: _DiurnalShape, mean_rate_per_second: float,
+                     rng: np.random.Generator, *, count: Optional[int] = None,
+                     horizon: Optional[float] = None) -> list[float]:
+    """Non-homogeneous Poisson event times with rate
+    ``mean_rate * shape(t)``, by thinning against the peak rate."""
+    if mean_rate_per_second <= 0:
+        return []
+    peak_rate = mean_rate_per_second * shape.peak
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak_rate))
+        if horizon is not None and t > horizon:
+            break
+        if float(rng.random()) * shape.peak <= shape.at(t):
+            times.append(t)
+            if count is not None and len(times) >= count:
+                break
+    return times
+
+
+class DiurnalArrivalProcess:
+    """Generates the job-arrival schedule for a multi-tenant run."""
+
+    def __init__(self, config: ArrivalConfig, seed: int = 0) -> None:
+        self.config = config
+        self._seed = seed
+        self._shape = _DiurnalShape(config.trace, seed)
+
+    def mean_rate_per_second(self, transient_capacity: int) -> float:
+        """Arrival rate at which nominal offered load equals
+        ``config.load`` of the transient pool."""
+        shares = np.array([t.share for t in self.config.templates])
+        shares = shares / shares.sum()
+        demand = sum(share * template.demand_seconds()
+                     for share, template
+                     in zip(shares, self.config.templates))
+        return self.config.load * transient_capacity / demand
+
+    def generate(self, num_jobs: int,
+                 transient_capacity: int) -> list[JobRequest]:
+        """The first ``num_jobs`` arrivals, deterministically from the
+        process seed."""
+        config = self.config
+        rng = np.random.default_rng(self._seed)
+        times = _thinned_poisson(
+            self._shape, self.mean_rate_per_second(transient_capacity),
+            rng, count=num_jobs)
+        tenants = config.tenants()
+        weights = np.array([config.weights()[t] for t in tenants])
+        weights = weights / weights.sum()
+        shares = np.array([t.share for t in config.templates])
+        shares = shares / shares.sum()
+        requests = []
+        for i, arrival in enumerate(times):
+            tenant = tenants[int(rng.choice(len(tenants), p=weights))]
+            template = config.templates[
+                int(rng.choice(len(config.templates), p=shares))]
+            requests.append(JobRequest(
+                job_id=f"job{i:04d}", tenant=tenant,
+                arrival_time=round(arrival, 6),
+                workload=template.workload, engine=template.engine,
+                scale=template.scale,
+                num_reserved=template.num_reserved,
+                num_transient=template.num_transient,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                nominal_minutes=template.nominal_minutes))
+        return requests
+
+
+class EvictionWaveProcess:
+    """Generates the cluster-wide eviction-wave schedule.
+
+    A wave is a ``(time, severity)`` pair: at ``time``, every active
+    transient container in the cluster — across all tenants — is
+    reclaimed with probability ``severity``, in one tick. Wave times
+    follow the same diurnal shape as arrivals (reclamation happens when
+    the latency-critical side is loaded); severities are uniform in the
+    regime's band.
+    """
+
+    def __init__(self, eviction: str, trace_config: TraceConfig,
+                 seed: int = 0) -> None:
+        if eviction not in WAVE_RATE_PER_HOUR:
+            raise ValueError(
+                f"unknown eviction regime {eviction!r}; "
+                f"choose from {sorted(WAVE_RATE_PER_HOUR)}")
+        self.eviction = eviction
+        self._seed = seed
+        self._shape = _DiurnalShape(trace_config, seed)
+
+    def generate(self, horizon_seconds: float) \
+            -> tuple[tuple[float, float], ...]:
+        """All waves in ``(0, horizon_seconds]`` for this seed."""
+        rate = WAVE_RATE_PER_HOUR[self.eviction] / 3600.0
+        if rate <= 0:
+            return ()
+        rng = np.random.default_rng(self._seed)
+        times = _thinned_poisson(self._shape, rate, rng,
+                                 horizon=horizon_seconds)
+        low, high = WAVE_SEVERITY[self.eviction]
+        return tuple((round(t, 6), round(float(rng.uniform(low, high)), 6))
+                     for t in times)

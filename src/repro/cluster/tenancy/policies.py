@@ -1,0 +1,181 @@
+"""Inter-job scheduling policies for the multi-tenant cluster.
+
+A policy answers one question: *given the queue, the shared pool, and the
+current time, which queued jobs start now?* All three policies are
+work-conserving within their own invariant and do tick-local capacity
+accounting, so a single ``select`` call can dispatch several jobs
+atomically at one simulated instant:
+
+* :class:`FifoPolicy` — strict arrival order with head-of-line blocking:
+  nothing behind a job that does not fit may start before it.
+* :class:`FairSharePolicy` — weighted fair share over consumed
+  container-seconds: among queued jobs that fit, always start a job of
+  the tenant with the lowest ``usage / weight``. Backlogged tenants
+  accumulate usage, so a light tenant's next job always overtakes them —
+  sustained load cannot starve anyone.
+* :class:`ReservedQuotaPolicy` — the reserved pool is partitioned into
+  per-tenant quotas (proportional to weight, largest-remainder rounded)
+  while transient capacity floats freely: a tenant's job may start only
+  if its reserved demand fits inside the tenant's own partition, and one
+  tenant's reserved containers are never leased against another's quota.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.manager import LeasePool
+from repro.cluster.tenancy.arrivals import JobRequest
+
+POLICY_NAMES = ("fifo", "fair", "quota")
+
+
+def reserved_quotas(num_reserved: int,
+                    weights: dict[str, float]) -> dict[str, int]:
+    """Partition ``num_reserved`` slots across tenants proportionally to
+    weight, distributing remainders to the largest fractional parts
+    (ties broken by tenant name for determinism)."""
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ValueError("tenant weights must sum to a positive value")
+    exact = {tenant: num_reserved * weight / total_weight
+             for tenant, weight in weights.items()}
+    quotas = {tenant: int(share) for tenant, share in exact.items()}
+    remainder = num_reserved - sum(quotas.values())
+    by_fraction = sorted(exact,
+                         key=lambda t: (quotas[t] - exact[t], t))
+    for tenant in by_fraction[:remainder]:
+        quotas[tenant] += 1
+    return quotas
+
+
+class InterJobPolicy:
+    """Base policy: subclasses implement :meth:`select`."""
+
+    name = "policy"
+
+    def select(self, queue: Sequence[JobRequest], pool: LeasePool,
+               now: float) -> list[JobRequest]:
+        """The queued jobs to dispatch now, in dispatch order. Must not
+        mutate ``queue`` and must respect pool capacity including the
+        demand of jobs it already picked this tick."""
+        raise NotImplementedError
+
+
+class FifoPolicy(InterJobPolicy):
+    """First-in-first-out with head-of-line blocking (arrival order is
+    start order — the invariant the FIFO tests pin)."""
+
+    name = "fifo"
+
+    def select(self, queue: Sequence[JobRequest], pool: LeasePool,
+               now: float) -> list[JobRequest]:
+        picked = []
+        reserved_free = pool.reserved_free
+        transient_free = pool.transient_free
+        for request in queue:
+            if request.num_reserved > reserved_free \
+                    or request.num_transient > transient_free:
+                break
+            picked.append(request)
+            reserved_free -= request.num_reserved
+            transient_free -= request.num_transient
+        return picked
+
+
+class FairSharePolicy(InterJobPolicy):
+    """Weighted fair share over consumed container-seconds.
+
+    A tenant's *usage* is the container-seconds accrued by all its leases
+    (completed, revoked, and in-flight), divided by its weight; each
+    ``select`` repeatedly starts the fitting job of the least-used
+    tenant. Jobs picked earlier in the same tick are charged their
+    nominal demand so one tenant cannot sweep a whole tick's capacity.
+    """
+
+    name = "fair"
+
+    def __init__(self, weights: dict[str, float]) -> None:
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError("tenant weights must be positive")
+        self.weights = dict(weights)
+
+    def select(self, queue: Sequence[JobRequest], pool: LeasePool,
+               now: float) -> list[JobRequest]:
+        picked: list[JobRequest] = []
+        remaining = list(queue)
+        reserved_free = pool.reserved_free
+        transient_free = pool.transient_free
+        usage = {tenant: pool.container_seconds(tenant=tenant, now=now)
+                 / weight for tenant, weight in self.weights.items()}
+        while True:
+            best: Optional[JobRequest] = None
+            for request in remaining:  # queue is in arrival order
+                if request.num_reserved > reserved_free \
+                        or request.num_transient > transient_free:
+                    continue
+                if best is None or usage.get(request.tenant, 0.0) \
+                        < usage.get(best.tenant, 0.0):
+                    best = request
+            if best is None:
+                return picked
+            picked.append(best)
+            remaining.remove(best)
+            reserved_free -= best.num_reserved
+            transient_free -= best.num_transient
+            charge = ((best.num_reserved + best.num_transient)
+                      * best.nominal_minutes * 60.0)
+            usage[best.tenant] = usage.get(best.tenant, 0.0) \
+                + charge / self.weights.get(best.tenant, 1.0)
+
+
+class ReservedQuotaPolicy(InterJobPolicy):
+    """Per-tenant reserved partitions; transient capacity floats.
+
+    The invariant (pinned by tests): at every instant, each tenant's
+    active reserved leases never exceed its quota — a job whose reserved
+    demand would spill into another tenant's partition waits, however
+    idle that partition is. Transient demand is first-come-first-served
+    over the shared pool, and blocked jobs do not block later ones.
+    """
+
+    name = "quota"
+
+    def __init__(self, quotas: dict[str, int]) -> None:
+        if any(q < 0 for q in quotas.values()):
+            raise ValueError("reserved quotas must be non-negative")
+        self.quotas = dict(quotas)
+
+    def select(self, queue: Sequence[JobRequest], pool: LeasePool,
+               now: float) -> list[JobRequest]:
+        picked = []
+        reserved_free = pool.reserved_free
+        transient_free = pool.transient_free
+        headroom = {tenant: quota - pool.reserved_in_use(tenant)
+                    for tenant, quota in self.quotas.items()}
+        for request in queue:
+            if request.tenant not in headroom:
+                raise ValueError(
+                    f"no reserved quota configured for {request.tenant!r}")
+            if request.num_reserved > headroom[request.tenant] \
+                    or request.num_reserved > reserved_free \
+                    or request.num_transient > transient_free:
+                continue
+            picked.append(request)
+            headroom[request.tenant] -= request.num_reserved
+            reserved_free -= request.num_reserved
+            transient_free -= request.num_transient
+        return picked
+
+
+def make_policy(name: str, weights: dict[str, float],
+                num_reserved: int) -> InterJobPolicy:
+    """Instantiate a policy by registry name (``fifo``/``fair``/``quota``)."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "fair":
+        return FairSharePolicy(weights)
+    if name == "quota":
+        return ReservedQuotaPolicy(reserved_quotas(num_reserved, weights))
+    raise ValueError(f"unknown inter-job policy {name!r}; "
+                     f"choose from {', '.join(POLICY_NAMES)}")

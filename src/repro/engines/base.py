@@ -334,7 +334,8 @@ class EngineBase:
     def run(self, program: Program, cluster: ClusterConfig,
             seed: int = 0, time_limit: Optional[float] = None,
             max_events: int = 20_000_000,
-            tracer: Optional[Tracer] = None) -> JobResult:
+            tracer: Optional[Tracer] = None,
+            trace_label: Optional[str] = None) -> JobResult:
         """Execute ``program`` on a fresh simulated cluster.
 
         ``time_limit`` caps simulated time (the paper cuts Spark's ALS runs
@@ -344,13 +345,16 @@ class EngineBase:
         ``tracer`` records structured events (see :mod:`repro.obs`); when
         omitted and a trace collector is installed, a fresh labelled tracer
         is drawn from it, otherwise the run is untraced and the hot path
-        pays only null checks.
+        pays only null checks. ``trace_label`` overrides the default
+        ``engine-program-seed`` collector label (multi-tenant runs label
+        traces ``tenant/job_id`` instead).
         """
         if tracer is None:
             collector = active_collector()
             if collector is not None:
                 tracer = collector.new_tracer(
-                    f"{self.name}-{program.name}-seed{seed}")
+                    trace_label if trace_label is not None
+                    else f"{self.name}-{program.name}-seed{seed}")
         ctx = SimContext(cluster, seed, tracer=tracer)
         ctx.register_inputs(program)
         state = self._start(ctx, program)

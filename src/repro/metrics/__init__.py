@@ -1,5 +1,9 @@
-"""Job metrics beyond raw JCT: datacenter-utilization accounting."""
+"""Job metrics beyond raw JCT: datacenter-utilization accounting and
+multi-tenant JCT distributions."""
 
+from repro.metrics.jct import (JCTStats, jct_by_tenant, jct_stats,
+                               stats_to_dict)
 from repro.metrics.utilization import EfficiencyReport, compare_efficiency
 
-__all__ = ["EfficiencyReport", "compare_efficiency"]
+__all__ = ["EfficiencyReport", "JCTStats", "compare_efficiency",
+           "jct_by_tenant", "jct_stats", "stats_to_dict"]

@@ -1,0 +1,86 @@
+"""Job-completion-time distributions for multi-tenant runs.
+
+Single-job experiments report one JCT per configuration; the multi-tenant
+cluster (:mod:`repro.cluster.tenancy`) produces a *distribution* of JCTs
+per tenant, and the quantities operators actually watch are its tail
+(p99) and how much of it is queueing delay rather than run time. This
+module reduces a run's :class:`~repro.cluster.tenancy.JobRecord` list to
+those summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JCTStats:
+    """Summary of one group of jobs (a tenant, or a whole run).
+
+    All times are in seconds. ``mean_queue + mean_run == mean_jct`` by
+    construction: a job's completion time decomposes exactly into the
+    wait between arrival and dispatch plus its execution time.
+    """
+
+    count: int
+    completed: int
+    mean_jct: float
+    p50_jct: float
+    p99_jct: float
+    max_jct: float
+    mean_queue: float
+    mean_run: float
+    evictions: int
+    waves_hit: int
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.count if self.count else 0.0
+
+
+def jct_stats(records: Sequence) -> JCTStats:
+    """Reduce finished :class:`~repro.cluster.tenancy.JobRecord` rows to a
+    :class:`JCTStats`."""
+    if not records:
+        raise ValueError("need at least one job record")
+    jcts = np.array([r.jct_seconds for r in records])
+    return JCTStats(
+        count=len(records),
+        completed=sum(1 for r in records if r.completed),
+        mean_jct=float(np.mean(jcts)),
+        p50_jct=float(np.percentile(jcts, 50)),
+        p99_jct=float(np.percentile(jcts, 99)),
+        max_jct=float(np.max(jcts)),
+        mean_queue=float(np.mean([r.queue_seconds for r in records])),
+        mean_run=float(np.mean([r.run_seconds for r in records])),
+        evictions=sum(r.evictions for r in records),
+        waves_hit=sum(r.waves_hit for r in records),
+    )
+
+
+def jct_by_tenant(records: Sequence) -> dict[str, JCTStats]:
+    """Per-tenant :class:`JCTStats`, plus an ``"all"`` aggregate row."""
+    grouped: dict[str, list] = {}
+    for record in records:
+        grouped.setdefault(record.tenant, []).append(record)
+    stats = {tenant: jct_stats(rows)
+             for tenant, rows in sorted(grouped.items())}
+    stats["all"] = jct_stats(list(records))
+    return stats
+
+
+def stats_to_dict(stats: JCTStats) -> dict:
+    """JSON-ready form (committed in ``BENCH_multitenant.json``)."""
+    return {
+        "count": stats.count, "completed": stats.completed,
+        "mean_jct_minutes": round(stats.mean_jct / 60.0, 3),
+        "p50_jct_minutes": round(stats.p50_jct / 60.0, 3),
+        "p99_jct_minutes": round(stats.p99_jct / 60.0, 3),
+        "max_jct_minutes": round(stats.max_jct / 60.0, 3),
+        "mean_queue_minutes": round(stats.mean_queue / 60.0, 3),
+        "mean_run_minutes": round(stats.mean_run / 60.0, 3),
+        "evictions": stats.evictions, "waves_hit": stats.waves_hit,
+    }

@@ -20,9 +20,10 @@ Quick use::
 """
 
 from repro.obs.events import (EVENT_TYPES, DiskIO, Eviction, FetchMiss,
-                              Relaunch, StageEnd, StageStart, TaskCommitted,
-                              TaskPushed, TaskQueued, TaskStart, TraceEvent,
-                              Transfer, event_from_dict, event_to_dict)
+                              JobTag, Relaunch, StageEnd, StageStart,
+                              TaskCommitted, TaskPushed, TaskQueued,
+                              TaskStart, TraceEvent, Transfer,
+                              event_from_dict, event_to_dict)
 from repro.obs.export import (events_from_jsonl, to_chrome_trace, to_jsonl,
                               write_chrome_trace, write_jsonl)
 from repro.obs.lineage import (AttemptRecord, EvictionImpact, LineageReport,
@@ -36,7 +37,8 @@ from repro.obs.tracer import (TraceCollector, Tracer, active_collector,
 __all__ = [
     "DURATION_BUCKETS", "EVENT_TYPES", "AttemptRecord", "ClassBreakdown",
     "DiskIO", "Eviction",
-    "EvictionImpact", "FetchMiss", "LineageReport", "ObsReport", "Relaunch",
+    "EvictionImpact", "FetchMiss", "JobTag", "LineageReport", "ObsReport",
+    "Relaunch",
     "StageEnd", "StageStart", "TaskCommitted", "TaskPushed", "TaskQueued",
     "TaskStart", "TraceCollector", "TraceEvent", "Tracer", "Transfer",
     "active_collector", "analyze_eviction_lineage", "build_report",

@@ -23,8 +23,8 @@ from typing import Any, Optional
 __all__ = [
     "TraceEvent", "StageStart", "StageEnd", "TaskQueued", "TaskStart",
     "TaskPushed", "TaskCommitted", "Relaunch", "Eviction", "FetchMiss",
-    "Transfer", "DiskIO", "EVENT_TYPES", "RELAUNCH_CAUSE_CATEGORIES",
-    "event_to_dict", "event_from_dict",
+    "Transfer", "DiskIO", "JobTag", "EVENT_TYPES",
+    "RELAUNCH_CAUSE_CATEGORIES", "event_to_dict", "event_from_dict",
 ]
 
 
@@ -221,12 +221,31 @@ class DiskIO(TraceEvent):
     ok: bool
 
 
+@dataclass(frozen=True)
+class JobTag(TraceEvent):
+    """Identifies the cluster-level job a trace belongs to.
+
+    Multi-tenant runs (:mod:`repro.cluster.tenancy`) execute many engine
+    jobs on one shared pool; each job's trace carries one ``JobTag`` so
+    post-hoc analysis can group events by tenant and join them back to
+    the cluster-level JCT records. ``time`` is the job's dispatch time on
+    the *cluster* clock (inner-job events restart from zero);
+    ``queue_seconds`` is how long the job waited before dispatch.
+    """
+
+    job: str
+    tenant: str
+    engine: str
+    workload: str
+    queue_seconds: float = 0.0
+
+
 #: Registry used by deserialization and schema docs.
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (StageStart, StageEnd, TaskQueued, TaskStart, TaskPushed,
                 TaskCommitted, Relaunch, Eviction, FetchMiss, Transfer,
-                DiskIO)
+                DiskIO, JobTag)
 }
 
 

@@ -18,14 +18,15 @@ from repro.trace.models import (EmpiricalLifetimeModel, EvictionRate,
                                 ExponentialLifetimeModel, LifetimeModel,
                                 NoEvictionModel, PercentileLifetimeModel,
                                 TABLE1_LIFETIME_MINUTES,
-                                TABLE2_COLLECTED_MEMORY)
+                                TABLE2_COLLECTED_MEMORY, WaveLifetimeModel)
 
 __all__ = [
     "EmpiricalLifetimeModel", "EvictionRate", "ExponentialLifetimeModel",
     "GoogleTrace", "LCContainerUsage", "LifetimeAnalysis", "LifetimeModel",
     "NoEvictionModel", "PercentileLifetimeModel", "REFINED_INTERVAL",
     "TABLE1_LIFETIME_MINUTES", "TABLE2_COLLECTED_MEMORY", "TraceConfig",
-    "TransientInterval", "analyze_container", "analyze_trace",
+    "TransientInterval", "WaveLifetimeModel", "analyze_container",
+    "analyze_trace",
     "collected_memory_table", "generate_trace", "lifetime_percentile_table",
     "refine_container", "refine_series", "refine_trace",
 ]

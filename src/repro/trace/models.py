@@ -163,6 +163,59 @@ class EmpiricalLifetimeModel(LifetimeModel):
         return f"EmpiricalLifetimeModel({self.name}, n={len(self._sorted)})"
 
 
+class WaveLifetimeModel(LifetimeModel):
+    """Lifetimes pinned to a cluster-wide schedule of eviction waves.
+
+    The multi-tenant layer (:mod:`repro.cluster.tenancy`) models transient
+    reclamation as *correlated waves*: at known times the latency-critical
+    side reclaims memory across the whole datacenter at once, so every
+    co-located job loses containers in the same tick. ``waves`` is a
+    sequence of ``(offset_seconds, severity)`` pairs, offsets measured from
+    the start of the job's simulation; a container alive at a wave dies in
+    it with probability ``severity``, otherwise survives to face the next
+    wave. A container that survives every wave lives forever.
+
+    Sampling is launch-time aware: the resource manager calls
+    :meth:`sample_at` with the container's launch time so replacements
+    provisioned mid-run still die exactly on wave boundaries. The plain
+    :meth:`sample` entry point assumes launch at time zero.
+    """
+
+    def __init__(self, waves: Sequence[tuple[float, float]]) -> None:
+        pts = sorted((float(t), float(s)) for t, s in waves)
+        for t, severity in pts:
+            if t < 0:
+                raise ValueError("wave offsets must be non-negative")
+            if not 0.0 < severity <= 1.0:
+                raise ValueError("wave severity must lie in (0, 1]")
+        self.waves = tuple(pts)
+
+    def sample_at(self, now: float, rng: np.random.Generator) -> float:
+        """Lifetime (seconds from ``now``) for a container launched at
+        ``now``: the delay until the first wave that claims it."""
+        for t, severity in self.waves:
+            if t <= now:
+                continue
+            if severity >= 1.0 or float(rng.random()) < severity:
+                return t - now
+        return math.inf
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.sample_at(0.0, rng)
+
+    def cdf(self, t_seconds: float) -> float:
+        """Probability a container launched at time zero dies by
+        ``t_seconds``: one minus the survival product over elapsed waves."""
+        survive = 1.0
+        for t, severity in self.waves:
+            if t <= t_seconds:
+                survive *= 1.0 - severity
+        return 1.0 - survive
+
+    def __repr__(self) -> str:
+        return f"WaveLifetimeModel(waves={len(self.waves)})"
+
+
 class EvictionRate(enum.Enum):
     """The paper's four eviction regimes (Figure 1 / Table 1).
 

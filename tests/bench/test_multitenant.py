@@ -1,0 +1,100 @@
+"""Tests for the multi-tenant sweep wiring (repro.bench.multitenant)."""
+
+import json
+
+from repro.bench.multitenant import (cell_summary, jct_table,
+                                     make_cell_config, multitenant_sweep,
+                                     run_multitenant_cell, spec_for_job)
+from repro.bench.runner import SweepRunner, build_cluster
+from repro.cluster.tenancy import JobRequest
+from repro.obs import JobTag, collecting
+from repro.trace.models import NoEvictionModel, WaveLifetimeModel
+
+TINY = dict(num_jobs=8, seed=5)
+
+
+def sample_request(**overrides):
+    fields = dict(job_id="job0000", tenant="tenant0", arrival_time=0.0,
+                  workload="mr", engine="pado", scale=0.02, num_reserved=1,
+                  num_transient=6, seed=17, nominal_minutes=1.2)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+def record_rows(result):
+    return [(r.job_id, r.tenant, r.start_time, r.finish_time, r.completed,
+             r.evictions, r.containers_revoked) for r in result.records]
+
+
+def test_spec_for_job_pins_waves_to_the_inner_cluster():
+    waves = ((120.0, 0.5), (600.0, 0.3))
+    spec = spec_for_job(sample_request(), waves, 150.0)
+    assert spec.eviction == "none"
+    assert spec.eviction_waves == waves
+    model = build_cluster(spec).lifetime_model()
+    assert isinstance(model, WaveLifetimeModel)
+    assert model.waves == waves
+    # No waves in the job's window: a plain eviction-free cluster.
+    quiet = spec_for_job(sample_request(), (), 150.0)
+    assert quiet.eviction_waves is None
+    assert isinstance(build_cluster(quiet).lifetime_model(),
+                      NoEvictionModel)
+
+
+def test_cell_is_bit_identical_across_worker_counts():
+    config = make_cell_config("fair", 0.8, "medium", **TINY)
+    serial = run_multitenant_cell(config, runner=SweepRunner(workers=0))
+    parallel = run_multitenant_cell(config, runner=SweepRunner(workers=3))
+    assert record_rows(serial) == record_rows(parallel)
+
+
+def test_warm_cache_replays_cell_without_simulating(tmp_path):
+    config = make_cell_config("fifo", 0.8, "medium", **TINY)
+    cold = SweepRunner(cache_dir=tmp_path)
+    first = run_multitenant_cell(config, runner=cold)
+    assert cold.stats.simulated == config.num_jobs
+    warm = SweepRunner(cache_dir=tmp_path)
+    second = run_multitenant_cell(config, runner=warm)
+    assert warm.stats.simulated == 0
+    assert warm.stats.cache_hits == config.num_jobs
+    assert record_rows(first) == record_rows(second)
+
+
+def test_cell_tags_job_traces_when_collecting():
+    config = make_cell_config("fifo", 0.6, "low", num_jobs=4, seed=3)
+    with collecting() as collector:
+        result = run_multitenant_cell(config)
+    tags = {}
+    for label, tracer in collector.runs:
+        for event in tracer.events:
+            if isinstance(event, JobTag):
+                tags[event.job] = (label, event)
+    assert set(tags) == {r.job_id for r in result.records}
+    for record in result.records:
+        label, event = tags[record.job_id]
+        assert label == f"{record.tenant}/{record.job_id}"
+        assert event.tenant == record.tenant
+        assert event.time == record.start_time
+        assert event.queue_seconds == record.queue_seconds
+
+
+def test_cell_summary_is_json_ready():
+    config = make_cell_config("quota", 0.8, "medium", **TINY)
+    result = run_multitenant_cell(config)
+    summary = cell_summary(config, result)
+    reloaded = json.loads(json.dumps(summary))
+    assert reloaded["policy"] == "quota"
+    assert set(reloaded["tenants"]) >= {"all"}
+    stats = reloaded["tenants"]["all"]
+    assert stats["count"] == config.num_jobs
+    assert stats["p99_jct_minutes"] >= stats["p50_jct_minutes"]
+    table = jct_table(result)
+    assert "p99" in table and "all" in table
+
+
+def test_multitenant_sweep_covers_requested_cells(tmp_path):
+    rows = multitenant_sweep(policies=("fifo", "fair"), loads=(0.6,),
+                             evictions=("medium",), num_jobs=6, seed=4,
+                             cache=tmp_path)
+    assert [(r["policy"], r["load"], r["eviction"]) for r in rows] == \
+        [("fifo", 0.6, "medium"), ("fair", 0.6, "medium")]

@@ -220,6 +220,50 @@ def test_code_fingerprint_is_memoized_per_process(tmp_path, monkeypatch):
     assert ResultCache(tmp_path).path_for(tiny_spec()).parent.name == first
 
 
+def test_code_fingerprint_covers_the_tenancy_module(tmp_path):
+    """Regression: the cache-invalidation digest must include
+    ``repro.cluster.tenancy`` (and any future ``repro.cluster.*`` module) —
+    a multi-tenant scheduling change invalidates cached results."""
+    import pathlib
+    import shutil
+
+    import repro
+
+    src_root = pathlib.Path(repro.__file__).resolve().parent
+    tenancy = src_root / "cluster" / "tenancy" / "policies.py"
+    assert tenancy.is_file(), "tenancy module moved; update the digest test"
+    copy = tmp_path / "repro"
+    shutil.copytree(src_root, copy,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    before = code_fingerprint(root=copy)
+    assert before == code_fingerprint()  # faithful copy digests identically
+    target = copy / "cluster" / "tenancy" / "policies.py"
+    target.write_text(target.read_text() + "\n# perturbed\n")
+    assert code_fingerprint(root=copy) != before
+    # Explicit roots never poison the per-process memo.
+    assert code_fingerprint() == before
+
+
+def test_content_hash_covers_eviction_waves():
+    plain = tiny_spec(eviction="none")
+    waved = tiny_spec(eviction="none",
+                      eviction_waves=((60.0, 0.5), (300.0, 0.4)))
+    assert plain.content_hash() != waved.content_hash()
+    assert waved.content_hash() == tiny_spec(
+        eviction="none",
+        eviction_waves=((60.0, 0.5), (300.0, 0.4))).content_hash()
+
+
+def test_build_cluster_rejects_conflicting_wave_specs():
+    with pytest.raises(ValueError):
+        build_cluster(tiny_spec(eviction_waves=((60.0, 0.5),)))
+    with pytest.raises(ValueError):
+        build_cluster(RunSpec(
+            workload="mr", engine="pado", eviction="none",
+            eviction_waves=((60.0, 0.5),),
+            transient_pools=(PoolSpec("short", 4, 90.0),)))
+
+
 def test_cache_ignores_corrupt_entries(tmp_path):
     spec = tiny_spec()
     cache = ResultCache(tmp_path)

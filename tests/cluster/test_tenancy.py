@@ -1,0 +1,305 @@
+"""Invariant tests for the multi-tenant inter-job scheduling layer.
+
+These pin the documented contracts of docs/MULTITENANCY.md: FIFO is
+arrival-ordered, fair-share cannot starve a tenant, reserved-quota never
+leases one tenant's reserved partition to another, and a correlated
+eviction wave hits every co-located job in one tick. The cluster loop is
+driven with stub executors (no engine simulations), so these run fast.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.manager import LeasePool
+from repro.cluster.resources import ContainerKind
+from repro.cluster.tenancy import (ArrivalConfig, DiurnalArrivalProcess,
+                                   EvictionWaveProcess, FairSharePolicy,
+                                   FifoPolicy, JobOutcome, JobRequest,
+                                   MultiTenantCluster, ReservedQuotaPolicy,
+                                   TenancyConfig, WAVE_RATE_PER_HOUR,
+                                   make_policy, reserved_quotas)
+from repro.errors import ResourceError, SimulationError
+from repro.trace.models import WaveLifetimeModel
+
+
+def request(job_id, tenant, arrival=0.0, r=1, t=4, nominal=1.0, seed=1):
+    return JobRequest(job_id=job_id, tenant=tenant, arrival_time=arrival,
+                      workload="mr", engine="pado", scale=0.02,
+                      num_reserved=r, num_transient=t, seed=seed,
+                      nominal_minutes=nominal)
+
+
+def stub_executor(batch):
+    """Deterministic stand-in for engine simulations."""
+    return [JobOutcome(jct_seconds=req.nominal_minutes * 60.0
+                       * (1.0 + 0.05 * len(waves)),
+                       completed=True, evictions=len(waves))
+            for req, waves in batch]
+
+
+# ----------------------------------------------------------------------
+# arrival and wave processes
+
+
+def test_arrival_schedule_is_deterministic_per_seed():
+    config = ArrivalConfig(load=0.8, num_tenants=3)
+    a = DiurnalArrivalProcess(config, seed=7).generate(25, 48)
+    b = DiurnalArrivalProcess(config, seed=7).generate(25, 48)
+    c = DiurnalArrivalProcess(config, seed=8).generate(25, 48)
+    assert a == b
+    assert a != c
+    assert [r.arrival_time for r in a] == sorted(r.arrival_time for r in a)
+    assert {r.tenant for r in a} <= {"tenant0", "tenant1", "tenant2"}
+
+
+def test_higher_load_means_faster_arrivals():
+    slow = DiurnalArrivalProcess(ArrivalConfig(load=0.4), seed=3)
+    fast = DiurnalArrivalProcess(ArrivalConfig(load=1.2), seed=3)
+    assert fast.mean_rate_per_second(48) == pytest.approx(
+        3.0 * slow.mean_rate_per_second(48))
+
+
+def test_wave_schedule_respects_regime_and_horizon():
+    config = ArrivalConfig()
+    waves = EvictionWaveProcess("high", config.trace, seed=5).generate(
+        12 * 3600.0)
+    assert waves
+    assert all(0.0 < t <= 12 * 3600.0 for t, _ in waves)
+    assert all(0.30 <= severity <= 0.70 for _, severity in waves)
+    assert EvictionWaveProcess("none", config.trace, seed=5).generate(
+        12 * 3600.0) == ()
+    with pytest.raises(ValueError):
+        EvictionWaveProcess("extreme", config.trace)
+
+
+def test_wave_lifetime_model_pins_deaths_to_wave_offsets():
+    model = WaveLifetimeModel([(60.0, 1.0), (300.0, 1.0)])
+    rng = np.random.default_rng(0)
+    # Launched at t=0: dies exactly at the first wave.
+    assert model.sample_at(0.0, rng) == 60.0
+    # Launched between waves: only future waves apply.
+    assert model.sample_at(100.0, rng) == 200.0
+    # Launched after the last wave: lives forever.
+    assert math.isinf(model.sample_at(400.0, rng))
+    assert model.cdf(59.0) == 0.0
+    assert model.cdf(301.0) == 1.0
+    partial = WaveLifetimeModel([(60.0, 0.25)])
+    lifetimes = [partial.sample_at(0.0, rng) for _ in range(400)]
+    survivors = sum(1 for life in lifetimes if math.isinf(life))
+    assert 0 < survivors < 400
+    assert all(life == 60.0 or math.isinf(life) for life in lifetimes)
+
+
+# ----------------------------------------------------------------------
+# policies
+
+
+def test_reserved_quotas_split_proportionally():
+    assert reserved_quotas(8, {"a": 1.0, "b": 1.0}) == {"a": 4, "b": 4}
+    quotas = reserved_quotas(8, {"a": 1.0, "b": 1.0, "c": 2.0})
+    assert sum(quotas.values()) == 8
+    assert quotas["c"] == 4
+    with pytest.raises(ValueError):
+        reserved_quotas(4, {"a": 0.0})
+
+
+def test_make_policy_names():
+    weights = {"tenant0": 1.0}
+    assert isinstance(make_policy("fifo", weights, 4), FifoPolicy)
+    assert isinstance(make_policy("fair", weights, 4), FairSharePolicy)
+    assert isinstance(make_policy("quota", weights, 4),
+                      ReservedQuotaPolicy)
+    with pytest.raises(ValueError):
+        make_policy("lottery", weights, 4)
+
+
+def test_fifo_respects_arrival_order_with_head_of_line_blocking():
+    pool = LeasePool(2, 8)
+    policy = FifoPolicy()
+    queue = [request("a", "t0", r=1), request("b", "t0", r=1),
+             request("c", "t1", r=1)]
+    # Capacity admits only two 1R jobs: FIFO picks the two oldest.
+    picked = policy.select(queue, pool, 0.0)
+    assert [r.job_id for r in picked] == ["a", "b"]
+    # A head job that does not fit blocks everything behind it.
+    blocked = [request("big", "t0", r=3), request("small", "t1", r=1)]
+    assert policy.select(blocked, pool, 0.0) == []
+
+
+def test_fair_share_never_starves_light_tenants():
+    """A tenant flooding the queue cannot lock the others out: once it has
+    consumed anything, every other tenant's next job overtakes its backlog.
+    """
+    pool = LeasePool(1, 4)
+    policy = FairSharePolicy({"hog": 1.0, "b": 1.0, "c": 1.0})
+    queue = [request(f"hog{i}", "hog", arrival=float(i)) for i in range(10)]
+    queue += [request("b0", "b", arrival=50.0),
+              request("c0", "c", arrival=51.0)]
+    order = []
+    now = 100.0
+    while queue:
+        picked = policy.select(queue, pool, now)
+        assert picked, "fair share deadlocked"
+        for req in picked:
+            queue.remove(req)
+            pool.lease(req.job_id, req.tenant, req.num_reserved,
+                       req.num_transient, now)
+        now += 60.0
+        for job_id in pool.active_jobs():
+            pool.release_job(job_id, now)
+        order.extend(r.job_id for r in picked)
+    # b and c run right after the hog's first job, not after its backlog.
+    assert set(order[:3]) == {"hog0", "b0", "c0"}
+
+
+def test_quota_policy_never_crosses_reserved_partitions():
+    pool = LeasePool(4, 16)
+    policy = ReservedQuotaPolicy({"a": 2, "b": 2})
+    queue = [request("a1", "a"), request("a2", "a"), request("a3", "a"),
+             request("b1", "b")]
+    picked = policy.select(queue, pool, 0.0)
+    # a3 is over a's quota and must not take b's idle partition; b1 is not
+    # blocked behind it.
+    assert [r.job_id for r in picked] == ["a1", "a2", "b1"]
+    for req in picked:
+        pool.lease(req.job_id, req.tenant, req.num_reserved,
+                   req.num_transient, 0.0)
+    assert pool.reserved_in_use("a") == 2
+    assert pool.reserved_in_use("b") == 1
+    assert policy.select([queue[2]], pool, 1.0) == []
+    # Capacity frees but the partition is still full: a3 keeps waiting.
+    pool.release_job("b1", 2.0)
+    assert policy.select([queue[2]], pool, 3.0) == []
+    pool.release_job("a1", 4.0)
+    assert [r.job_id
+            for r in policy.select([queue[2]], pool, 5.0)] == ["a3"]
+    with pytest.raises(ValueError):
+        policy.select([request("x", "unknown")], pool, 0.0)
+
+
+# ----------------------------------------------------------------------
+# lease pool and correlated waves
+
+
+def test_lease_pool_is_all_or_nothing_and_namespaced():
+    pool = LeasePool(2, 8)
+    pool.lease("j1", "a", 1, 4, 0.0)
+    with pytest.raises(ResourceError):
+        pool.lease("j1", "a", 1, 4, 0.0)       # double lease
+    with pytest.raises(ResourceError):
+        pool.lease("j2", "b", 2, 8, 0.0)       # insufficient capacity
+    assert pool.reserved_free == 1 and pool.transient_free == 4
+    assert pool.container_seconds(job_id="j1", now=10.0) == \
+        pytest.approx(50.0)
+    assert pool.container_seconds(tenant="b", now=10.0) == 0.0
+    assert pool.release_job("j1", 20.0) == pytest.approx(100.0)
+    assert pool.fits(2, 8)
+
+
+def test_wave_revokes_colocated_jobs_atomically():
+    pool = LeasePool(4, 16)
+    pool.lease("j1", "a", 1, 6, 0.0)
+    pool.lease("j2", "b", 1, 4, 0.0)
+    rng = np.random.default_rng(0)
+    revoked = pool.revoke_wave(100.0, 1.0, rng)
+    # One call, one timestamp, every co-located tenant hit.
+    assert revoked == {"j1": 6, "j2": 4}
+    hit = [lease for lease in pool.history if lease.revoked_at is not None]
+    assert len(hit) == 10
+    assert all(lease.revoked_at == 100.0 for lease in hit)
+    assert {lease.kind for lease in hit} == {ContainerKind.TRANSIENT}
+    # Replacements are granted in the same tick: capacity unchanged.
+    assert pool.transient_free == 16 - 10
+    assert pool.reserved_free == 4 - 2
+    replacements = [lease for lease in pool.history
+                    if lease.granted_at == 100.0 and lease.active]
+    assert len(replacements) == 10
+    assert pool.waves == [(100.0, 1.0, {"j1": 6, "j2": 4})]
+    # Reserved leases are never touched by waves.
+    assert pool.reserved_in_use("a") == 1 and pool.reserved_in_use("b") == 1
+
+
+# ----------------------------------------------------------------------
+# the cluster loop (stub executors)
+
+
+def stub_config(**overrides):
+    fields = dict(num_reserved=8, num_transient=48, num_jobs=40, seed=11,
+                  eviction="high", arrival=ArrivalConfig(load=1.0))
+    fields.update(overrides)
+    return TenancyConfig(**fields)
+
+
+def test_fifo_cluster_starts_jobs_in_arrival_order():
+    result = MultiTenantCluster(stub_config(policy="fifo"),
+                                stub_executor).run()
+    starts = [r.start_time for r in result.records]  # arrival order
+    assert starts == sorted(starts)
+    assert all(r.finish_time is not None for r in result.records)
+    assert all(r.queue_seconds >= 0.0 for r in result.records)
+
+
+def test_quota_cluster_never_exceeds_tenant_partitions():
+    config = stub_config(policy="quota")
+    cluster = MultiTenantCluster(config, stub_executor)
+    result = cluster.run()
+    quotas = cluster.policy.quotas
+    # Replay the lease history: at no instant does a tenant's concurrent
+    # reserved-lease count exceed its quota.
+    for tenant, quota in quotas.items():
+        deltas = []
+        for lease in result.pool.history:
+            if lease.tenant != tenant \
+                    or lease.kind is not ContainerKind.RESERVED:
+                continue
+            deltas.append((lease.granted_at, 1))
+            if lease.released_at is not None:
+                deltas.append((lease.released_at, -1))
+        level = peak = 0
+        for _, delta in sorted(deltas, key=lambda d: (d[0], d[1])):
+            level += delta
+            peak = max(peak, level)
+        assert peak <= quota
+
+
+def test_waves_hit_multiple_jobs_in_one_tick():
+    result = MultiTenantCluster(stub_config(policy="fifo"),
+                                stub_executor).run()
+    delivered = [revoked for _, _, revoked in result.pool.waves if revoked]
+    assert delivered, "no wave hit a running job"
+    assert any(len(revoked) >= 2 for revoked in delivered), \
+        "no wave ever hit co-located jobs together"
+    # Cluster-level accounting reconciles with the pool's wave log.
+    assert sum(r.containers_revoked for r in result.records) == \
+        sum(sum(rev.values()) for _, _, rev in result.pool.waves)
+
+
+def test_cluster_runs_are_bit_identical_per_seed():
+    rows = []
+    for _ in range(2):
+        result = MultiTenantCluster(stub_config(policy="fair"),
+                                    stub_executor).run()
+        rows.append([(r.job_id, r.tenant, r.start_time, r.finish_time,
+                      r.containers_revoked) for r in result.records])
+    assert rows[0] == rows[1]
+
+
+def test_cluster_rejects_oversized_and_overquota_jobs():
+    with pytest.raises(SimulationError):
+        MultiTenantCluster(stub_config(num_transient=4),
+                           stub_executor).run()
+    # Four tenants over 2 reserved slots: some quota is 0, so the mlr
+    # template (2 reserved) can never start under the quota policy.
+    with pytest.raises(SimulationError):
+        MultiTenantCluster(stub_config(policy="quota", num_reserved=2),
+                           stub_executor).run()
+
+
+def test_executor_outcome_count_is_checked():
+    def broken(batch):
+        return []
+
+    with pytest.raises(SimulationError):
+        MultiTenantCluster(stub_config(policy="fifo"), broken).run()

@@ -5,9 +5,10 @@ import dataclasses
 import pytest
 
 from repro.obs.events import (EVENT_TYPES, DiskIO, Eviction, FetchMiss,
-                              Relaunch, StageEnd, StageStart, TaskCommitted,
-                              TaskPushed, TaskQueued, TaskStart, TraceEvent,
-                              Transfer, event_from_dict, event_to_dict)
+                              JobTag, Relaunch, StageEnd, StageStart,
+                              TaskCommitted, TaskPushed, TaskQueued,
+                              TaskStart, TraceEvent, Transfer,
+                              event_from_dict, event_to_dict)
 
 SAMPLES = [
     StageStart(time=0.0, stage=0, name="map"),
@@ -28,6 +29,8 @@ SAMPLES = [
              size_bytes=2e6, requested_at=6.5, ok=True),
     DiskIO(time=8.0, container=12, resource="transient", op="write",
            size_bytes=3e6, requested_at=7.5, ok=True),
+    JobTag(time=600.0, job="job0003", tenant="tenant1", engine="pado",
+           workload="mr", queue_seconds=42.0),
 ]
 
 

@@ -64,6 +64,28 @@ def test_sweep_with_workers_and_cache(tmp_path, capsys):
     assert "0 simulated, 2 cached" in capsys.readouterr().out
 
 
+def test_mtsweep_single_policy_with_cache(tmp_path, capsys):
+    argv = ["mtsweep", "--policy", "fair", "--load", "0.6",
+            "--eviction", "low", "--jobs", "6", "--cache", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "policy=fair" in out
+    assert "p99" in out and "queue" in out    # JCT distribution columns
+    assert "tenant" in out and "all" in out   # per-tenant + aggregate rows
+    assert "6 simulated, 0 cached" in out
+    # warm cache: the same cell replays without a single inner simulation
+    assert main(argv) == 0
+    assert "0 simulated, 6 cached" in capsys.readouterr().out
+
+
+def test_mtsweep_default_runs_all_policies(capsys):
+    assert main(["mtsweep", "--jobs", "4", "--load", "0.5",
+                 "--eviction", "low"]) == 0
+    out = capsys.readouterr().out
+    for policy in ("fifo", "fair", "quota"):
+        assert f"policy={policy}" in out
+
+
 def test_sweep_averaged(capsys):
     assert main(["sweep", "--workload", "mr", "--scale", "0.02",
                  "--averaged", "--seeds", "1,2", "--rates", "high",
