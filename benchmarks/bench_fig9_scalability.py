@@ -1,7 +1,15 @@
 """Figure 9: Pado's scalability with a fixed 8:1 ratio of transient to
-reserved containers under the high eviction rate."""
+reserved containers under the high eviction rate — plus ``fig9xl``, the
+array-core stress cell two orders of magnitude past the paper (10,000
+containers, >1M simulator events). The fig9xl wall time is pinned in
+``BENCH_simulator.json``; regenerate with::
 
-from repro.bench import fig9_scalability, render_table
+    PYTHONPATH=src python -m pytest benchmarks/bench_simulator_hotpath.py \
+        "benchmarks/bench_fig9_scalability.py::test_fig9xl_stress" \
+        --benchmark-only --benchmark-json=benchmarks/BENCH_simulator.json
+"""
+
+from repro.bench import fig9_scalability, fig9xl_stress, render_table
 
 
 def test_fig9_scalability(benchmark, save_artifact):
@@ -31,3 +39,22 @@ def test_fig9_scalability(benchmark, save_artifact):
         return first / last
 
     assert ratio("als") <= max(ratio("mlr"), ratio("mr")) * 1.5
+
+
+def test_fig9xl_stress(benchmark, save_artifact):
+    """The array core at 100x the paper's cluster: a 10k-container fleet
+    at the high eviction rate with a continuous synthetic shuffle. One
+    round; the committed baseline pins the single-digit-second target."""
+    stats = benchmark.pedantic(fig9xl_stress, rounds=1, iterations=1)
+    text = render_table(
+        ["containers", "simulated", "events", "evictions", "transfers",
+         "completed", "failed"], [stats.as_tuple()],
+        title="fig9xl: array-core stress at 100x the paper's cluster")
+    save_artifact("fig9xl_stress", text)
+
+    assert stats.num_containers == 10_000
+    assert stats.events >= 1_000_000
+    assert stats.evictions > 100_000
+    # Churn really interleaves with the shuffle: some transfers must have
+    # failed on a mid-flight eviction, but never the majority.
+    assert 0 < stats.transfers_failed < stats.transfers_completed

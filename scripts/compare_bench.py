@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark run against a committed baseline.
+
+CI runs the benchmark suites with ``--benchmark-json=fresh.json`` and then::
+
+    python scripts/compare_bench.py \
+        --baseline benchmarks/BENCH_engine.json --fresh fresh.json
+
+Every cell present in both files is compared by mean; any cell whose fresh
+mean exceeds the baseline mean by more than ``--threshold`` (default 25%)
+is a regression and the script exits 1, printing the offending cells. A
+cell that exists in the baseline but not in the fresh run also fails (a
+benchmark silently disappearing is how regressions hide); cells only in
+the fresh run are reported but pass — commit a regenerated baseline to
+start tracking them.
+
+Zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_means(path: pathlib.Path) -> dict[str, float]:
+    """``{cell name: mean seconds}`` from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in data["benchmarks"]}
+
+
+def compare(baseline: dict[str, float], fresh: dict[str, float],
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Returns (report lines, failure lines)."""
+    lines, failures = [], []
+    width = max((len(name) for name in baseline | fresh), default=4)
+    header = (f"{'cell':{width}s} {'baseline':>10s} {'fresh':>10s} "
+              f"{'delta':>8s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(baseline):
+        base_mean = baseline[name]
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline but missing "
+                            f"from the fresh run")
+            lines.append(f"{name:{width}s} {base_mean * 1e3:9.1f}ms "
+                         f"{'MISSING':>10s} {'':>8s}")
+            continue
+        fresh_mean = fresh[name]
+        delta = (fresh_mean - base_mean) / base_mean
+        flag = ""
+        if delta > threshold:
+            failures.append(f"{name}: mean regressed "
+                            f"{base_mean * 1e3:.1f}ms -> "
+                            f"{fresh_mean * 1e3:.1f}ms "
+                            f"(+{delta:.0%}, threshold +{threshold:.0%})")
+            flag = "  << REGRESSION"
+        lines.append(f"{name:{width}s} {base_mean * 1e3:9.1f}ms "
+                     f"{fresh_mean * 1e3:9.1f}ms {delta:+8.1%}{flag}")
+    for name in sorted(set(fresh) - set(baseline)):
+        lines.append(f"{name:{width}s} {'(new)':>10s} "
+                     f"{fresh[name] * 1e3:9.1f}ms {'':>8s}")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="committed baseline JSON "
+                             "(benchmarks/BENCH_*.json)")
+    parser.add_argument("--fresh", required=True, type=pathlib.Path,
+                        help="fresh run JSON (pytest --benchmark-json=...)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated relative mean regression "
+                             "per cell (default: 0.25)")
+    args = parser.parse_args(argv)
+
+    lines, failures = compare(load_means(args.baseline),
+                              load_means(args.fresh), args.threshold)
+    print(f"[compare_bench] {args.fresh} vs {args.baseline} "
+          f"(threshold +{args.threshold:.0%})")
+    print("\n".join(lines))
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall cells within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ Usage::
     python -m repro fig2 --trace traces/
     python -m repro sweep --workload mr --averaged --workers 4 --cache .cache
     python -m repro mtsweep --policy fair --load 0.8 [--eviction high]
+    python -m repro fig9xl [--fleet 10000] [--hours 1.75]
     python -m repro profile fig7 [--profile-limit 40] [--profile-out f.pstats]
+    python -m repro profile mtsweep --policy fair --load 0.8 --jobs 20
     python -m repro all
 
 Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
@@ -36,8 +38,9 @@ from repro.bench import (SweepRunner, ablation_aggregation_limits,
                          averaged_eviction_sweep, eviction_rate_sweep,
                          fig1_lifetime_cdfs, fig2_recovery_costs, fig5_als,
                          fig6_mlr, fig7_mr, fig8_reserved_sweep,
-                         fig9_scalability, render_cdf_series, render_table,
-                         tab1_lifetime_percentiles, tab2_collected_memory)
+                         fig9_scalability, fig9xl_stress, render_cdf_series,
+                         render_table, tab1_lifetime_percentiles,
+                         tab2_collected_memory)
 from repro.trace import EvictionRate
 
 SWEEP_HEADERS = ["workload", "eviction", "engine", "JCT (m)", "completed",
@@ -155,6 +158,29 @@ def _run_mtsweep(args) -> str:
     return "\n\n".join(parts)
 
 
+def _run_fig9xl(args) -> str:
+    """fig9 at 100× the paper's cluster: a 10k-container fleet churning
+    under the high eviction rate with a continuous synthetic shuffle
+    (>1M simulator events at the default shape)."""
+    import time
+
+    fleet = args.fleet
+    num_transient = round(fleet * 8 / 9)   # the paper's fixed 8:1 ratio
+    num_reserved = fleet - num_transient
+    start = time.perf_counter()
+    stats = fig9xl_stress(num_reserved=num_reserved,
+                          num_transient=num_transient,
+                          sim_hours=args.hours, seed=args.seed)
+    wall = time.perf_counter() - start
+    table = render_table(
+        ["containers", "simulated", "events", "evictions", "transfers",
+         "completed", "failed"], [stats.as_tuple()],
+        title="fig9xl: array-core stress at 100x the paper's cluster")
+    rate = stats.events / wall if wall else float("inf")
+    return (f"{table}\n[fig9xl] wall {wall:.2f}s, "
+            f"{rate:,.0f} events/s")
+
+
 def _run_sweep(args) -> str:
     """The generic runner-backed sweep: engines x rates (x seeds)."""
     runner = _runner_for(args)
@@ -204,6 +230,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
               "--seeds/--averaged)", _run_sweep),
     "mtsweep": ("Multi-tenant cluster: JCT distributions per inter-job "
                 "policy (--policy/--load/--eviction/--jobs)", _run_mtsweep),
+    "fig9xl": ("Array-core stress: 10k containers, >1M events "
+               "(--fleet/--hours)", _run_fig9xl),
 }
 
 
@@ -217,6 +245,12 @@ def _run_profiled(name: str, args) -> int:
     import cProfile
     import pstats
 
+    if args.workers:
+        # Worker subprocesses would run the simulations outside the
+        # profiler and the profile would show only IPC overhead.
+        print(f"[profile] forcing --workers 0 (was {args.workers}): "
+              f"profiled runs must stay in-process")
+        args.workers = 0
     _, runner = EXPERIMENTS[name]
     profiler = cProfile.Profile()
     profiler.enable()
@@ -295,6 +329,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="also write per-cell JSON summaries to FILE "
                               "(how benchmarks/BENCH_multitenant.json is "
                               "regenerated)")
+    xl_args = parser.add_argument_group(
+        "fig9xl", "options for the 'fig9xl' experiment")
+    xl_args.add_argument("--fleet", type=int, default=10_000,
+                         help="total containers, split 8:1 "
+                              "transient:reserved (default: 10000)")
+    xl_args.add_argument("--hours", type=float, default=1.75,
+                         help="simulated hours of churn + shuffle "
+                              "(default: 1.75, >1M events)")
     profile_args = parser.add_argument_group(
         "profile", "options for the 'profile' mode")
     profile_args.add_argument("--profile-sort", default="cumulative",
@@ -317,10 +359,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:10s} {description}")
         return 0
     if args.experiment == "all":
-        # 'sweep' and 'mtsweep' are parameterized, not paper artifacts;
-        # 'all' regenerates the paper set only.
+        # 'sweep'/'mtsweep' are parameterized and 'fig9xl' is a stress
+        # cell, not paper artifacts; 'all' regenerates the paper set only.
         targets = sorted(name for name in EXPERIMENTS
-                         if name not in ("sweep", "mtsweep"))
+                         if name not in ("sweep", "mtsweep", "fig9xl"))
     else:
         targets = [args.experiment]
     for name in targets:

@@ -11,6 +11,7 @@ from repro.bench.experiments import (BENCH_SCALES, TIME_LIMIT_MINUTES,
                                      fig1_lifetime_cdfs, fig2_recovery_costs,
                                      fig5_als, fig6_mlr, fig7_mr,
                                      fig8_reserved_sweep, fig9_scalability,
+                                     fig9xl_stress, Fig9XLStats,
                                      make_workload, run_one,
                                      tab1_lifetime_percentiles,
                                      tab2_collected_memory)
@@ -35,8 +36,10 @@ __all__ = [
     "canonical_result_json", "cell_summary", "code_fingerprint",
     "default_engines",
     "engine_spec", "eviction_rate_sweep", "execute_spec",
+    "Fig9XLStats",
     "fig1_lifetime_cdfs", "fig2_recovery_costs", "fig5_als", "fig6_mlr",
-    "fig7_mr", "fig8_reserved_sweep", "fig9_scalability", "jct_table",
+    "fig7_mr", "fig8_reserved_sweep", "fig9_scalability", "fig9xl_stress",
+    "jct_table",
     "make_cell_config", "make_workload", "multitenant_sweep",
     "render_cdf_series", "render_table", "result_from_dict",
     "result_to_dict", "run_multitenant_cell", "run_one", "run_specs",

@@ -17,6 +17,9 @@ import numpy as np
 
 from repro.bench.runner import (PoolSpec, RunSpec, SweepRunner, engine_spec,
                                 run_specs)
+from repro.cluster.events import Simulator
+from repro.cluster.manager import ResourceManager
+from repro.cluster.network import ContainerEndpoint, NetworkModel
 from repro.core.runtime.engine import PadoEngine
 from repro.engines.base import ClusterConfig, EngineBase, JobResult, Program
 from repro.engines.spark import SparkEngine
@@ -317,6 +320,98 @@ def fig9_scalability(workloads: Sequence[str] = ("als", "mlr", "mr"),
                            f"{spec.num_transient + spec.num_reserved}"
                            f"({spec.num_transient}T+{spec.num_reserved}R)"))
             for spec, result in zip(specs, results)]
+
+
+# ======================================================================
+# fig9xl — the array core at 100× the paper's cluster size
+
+
+@dataclass
+class Fig9XLStats:
+    """What one :func:`fig9xl_stress` run processed."""
+
+    num_containers: int
+    sim_hours: float
+    events: int
+    evictions: int
+    transfers_started: int
+    transfers_completed: int
+    transfers_failed: int
+
+    def as_tuple(self) -> tuple:
+        return (f"{self.num_containers}", f"{self.sim_hours:g}h",
+                self.events, self.evictions, self.transfers_started,
+                self.transfers_completed, self.transfers_failed)
+
+
+def fig9xl_stress(num_reserved: int = 1111, num_transient: int = 8889,
+                  sim_hours: float = 1.75, wave_transfers: int = 150,
+                  wave_interval: float = 1.0,
+                  transfer_bytes: float = 8e6,
+                  seed: int = 11) -> Fig9XLStats:
+    """Figure 9 pushed two orders of magnitude past the paper: a
+    10,000-container fleet at the fixed 8:1 transient:reserved ratio,
+    churning at the high eviction rate for hours of simulated time while
+    a synthetic shuffle continuously moves data between random live
+    containers.
+
+    This is a simulator-scale cell, not a JCT cell: it drives exactly
+    the array-structured core the JCT sweeps sit on — timer-wheel
+    eviction ticks, slot-array container replacement, and record-packed
+    transfer rows on the flow-batched network (transfers to or through a
+    container that dies mid-flight fail over the same paths an engine
+    sees). The default shape processes over a million simulator events;
+    ``benchmarks/bench_fig9_scalability.py`` pins its wall time and the
+    CI smoke job runs a reduced shape on every PR.
+    """
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    rm = ResourceManager(sim, EvictionRate.HIGH.lifetime_model(), rng,
+                         replace_evicted=True)
+    rm.allocate(num_reserved, num_transient)
+    net = NetworkModel(sim)
+
+    # One endpoint per fleet slot, re-wrapped lazily whenever eviction
+    # replaced the slot's container since the last transfer touched it.
+    slots = len(rm.slot_container)
+    endpoints: list = [None] * slots
+
+    def endpoint(slot: int) -> ContainerEndpoint:
+        container = rm.slot_container[slot]
+        ep = endpoints[slot]
+        if ep is None or ep.container is not container:
+            ep = endpoints[slot] = ContainerEndpoint(container)
+        return ep
+
+    stats = {"started": 0, "ok": 0, "failed": 0}
+
+    def on_done(tag, result) -> None:
+        if result.ok:
+            stats["ok"] += 1
+        else:
+            stats["failed"] += 1
+
+    horizon = sim_hours * 3600.0
+
+    def wave() -> None:
+        pairs = rng.integers(0, slots, size=2 * wave_transfers)
+        requests = [(endpoint(int(pairs[2 * i])),
+                     endpoint(int(pairs[2 * i + 1])), transfer_bytes, i)
+                    for i in range(wave_transfers)
+                    if pairs[2 * i] != pairs[2 * i + 1]]
+        stats["started"] += len(requests)
+        net.transfer_many(requests, on_done)
+        nxt = sim.now + wave_interval
+        if nxt < horizon:
+            sim.schedule_at(nxt, wave)
+
+    sim.schedule_at(wave_interval, wave)
+    sim.run(until=horizon)
+    return Fig9XLStats(
+        num_containers=num_reserved + num_transient, sim_hours=sim_hours,
+        events=sim.events_processed, evictions=rm.evictions,
+        transfers_started=stats["started"],
+        transfers_completed=stats["ok"], transfers_failed=stats["failed"])
 
 
 # ======================================================================

@@ -18,6 +18,20 @@ are skipped on pop and compacted away in bulk once they outnumber live
 entries (see :meth:`EventHandle.cancel`). Call sites that never cancel
 should use :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_at_fast`,
 which skip the :class:`EventHandle` allocation entirely.
+
+Beside the heap sits a *calendar queue* (a single-level timer wheel):
+far-future events land in coarse time buckets instead of the heap, and a
+whole bucket spills into the heap just before the simulation reaches its
+start. Large homogeneous timer populations — the per-container eviction
+ticks of a 10k-container cluster, long-idle port drain timers — therefore
+never inflate the heap (and every push/pop's log factor) while they are
+minutes away. Ordering is untouched: every wheel entry takes its ``seq``
+at schedule time and keeps its ``(time, priority, seq)`` triple, and a
+bucket is merged before any event at or past its start can pop, so the
+merged pop order is bit-identical to scheduling everything on the heap.
+:meth:`Simulator.schedule_wheel` is the explicit entry point (used by the
+resource manager's eviction ticks); :meth:`Simulator.schedule_at_seq`
+routes far-future port timers to the wheel transparently.
 """
 
 from __future__ import annotations
@@ -36,6 +50,13 @@ _TIME, _PRIORITY, _SEQ, _CALLBACK = 0, 1, 2, 3
 #: Tombstone compaction kicks in only beyond this many cancelled entries,
 #: so short-lived simulations never pay the rebuild.
 _COMPACT_MIN_CANCELLED = 64
+
+#: Width of one calendar-queue bucket in simulated seconds. Eviction
+#: lifetimes are minute-scale (§5.1.1 traces), so 64 s buckets hold a few
+#: spill batches per lifetime while events less than one bucket away go
+#: straight to the heap (bucketing them would cost an extra hop for no
+#: heap-size reduction).
+_WHEEL_WIDTH = 64.0
 
 
 class EventHandle:
@@ -83,6 +104,14 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._cancelled = 0
+        # Calendar queue: bucket index -> unordered entry list, plus a
+        # min-heap of pending bucket indices. Entries are the same
+        # ``[time, priority, seq, callback]`` lists as the heap's, so a
+        # spill is a plain extend+heapify and the merged order is exactly
+        # what scheduling straight onto the heap would have produced.
+        self._buckets: dict[int, list] = {}
+        self._bucket_heap: list[int] = []
+        self._wheel_count = 0
 
     @property
     def now(self) -> float:
@@ -96,9 +125,10 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of entries still queued (including cancelled entries that
-        have not yet been popped or compacted away)."""
-        return len(self._heap)
+        """Number of entries still queued, on the heap or the wheel
+        (including cancelled heap entries that have not yet been popped or
+        compacted away)."""
+        return len(self._heap) + self._wheel_count
 
     @property
     def cancelled_pending(self) -> int:
@@ -170,16 +200,80 @@ class Simulator:
         """Schedule at an absolute time under a caller-provided ``seq``
         (from :meth:`take_seq`). The caller must not keep two live events
         under one seq — tied entries would compare on the callback slot.
+
+        Events more than one bucket width out are parked on the wheel
+        instead of the heap; they spill back (seq intact) before the
+        simulation reaches their bucket, so pop order is unchanged.
         """
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
                 f"cannot schedule event at {time} before now ({self._now})")
-        heappush(self._heap, [time, priority, seq, callback])
+        if time - now >= _WHEEL_WIDTH:
+            self._wheel_put([time, priority, seq, callback])
+        else:
+            heappush(self._heap, [time, priority, seq, callback])
+
+    def schedule_wheel(self, delay: float, callback: Callback,
+                       priority: int = 0) -> None:
+        """Handle-free scheduling through the calendar queue.
+
+        The entry point for large homogeneous far-future timer populations
+        (container eviction ticks). Entries cannot be cancelled; near-term
+        delays fall through to the heap, where bucketing would buy nothing.
+        """
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule event {delay} s in the past")
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay, priority, seq, callback]
+        if delay >= _WHEEL_WIDTH:
+            self._wheel_put(entry)
+        else:
+            heappush(self._heap, entry)
+
+    def _wheel_put(self, entry: list) -> None:
+        index = int(entry[_TIME] // _WHEEL_WIDTH)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = [entry]
+            heappush(self._bucket_heap, index)
+        else:
+            bucket.append(entry)
+        self._wheel_count += 1
+
+    def _spill_due(self) -> None:
+        """Merge every bucket whose window has reached the heap front.
+
+        A bucket must merge before any event at or after its start pops:
+        all heap entries satisfy ``time >= now``, so spilling whenever
+        ``bucket_start <= heap[0].time`` (or the heap is empty) guarantees
+        no bucket entry can be late — a bucket held back has
+        ``bucket_start > heap[0].time``, and every entry in it sorts after
+        the current heap front.
+        """
+        heap = self._heap
+        bucket_heap = self._bucket_heap
+        while bucket_heap and (
+                not heap or bucket_heap[0] * _WHEEL_WIDTH <= heap[0][_TIME]):
+            index = heappop(bucket_heap)
+            entries = self._buckets.pop(index)
+            self._wheel_count -= len(entries)
+            if len(entries) * 4 > len(heap):
+                heap.extend(entries)
+                heapify(heap)
+            else:
+                for entry in entries:
+                    heappush(heap, entry)
 
     def step(self) -> bool:
         """Execute the next pending event; return False if none remain."""
         heap = self._heap
-        while heap:
+        while True:
+            if self._bucket_heap:
+                self._spill_due()
+            if not heap:
+                return False
             entry = heappop(heap)
             callback = entry[_CALLBACK]
             if callback is None:
@@ -192,7 +286,6 @@ class Simulator:
             self._events_processed += 1
             callback()
             return True
-        return False
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -225,12 +318,16 @@ class Simulator:
 
     def _peek_time(self) -> float:
         heap = self._heap
-        while heap and heap[0][_CALLBACK] is None:
-            heappop(heap)
-            self._cancelled -= 1
-        if not heap:
-            return math.inf
-        return heap[0][_TIME]
+        while True:
+            if self._bucket_heap:
+                self._spill_due()
+            if not heap:
+                return math.inf
+            if heap[0][_CALLBACK] is None:
+                heappop(heap)
+                self._cancelled -= 1
+                continue
+            return heap[0][_TIME]
 
     # ------------------------------------------------------------------
     # cancellation bookkeeping

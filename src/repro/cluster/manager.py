@@ -76,8 +76,19 @@ class ResourceManager:
         self._replace_evicted = replace_evicted
         self._on_container: Optional[ContainerCallback] = None
         self._on_eviction: Optional[EvictionCallback] = None
+        #: Every container ever launched, in launch order (grows with each
+        #: replacement; kept for history/tests).
         self.containers: list[Container] = []
         self._pool_of: dict[int, TransientPool] = {}
+        # Slot-indexed parallel arrays of the *current* fleet: one dense
+        # slot per allocated position, the replacement of an evicted
+        # container inheriting its predecessor's slot. Sweeps over live
+        # capacity (accessors, eviction bookkeeping) touch these fixed-size
+        # arrays instead of the ever-growing history list.
+        self.slot_kind: list[ContainerKind] = []
+        self.slot_alive: list[bool] = []
+        self.slot_launched: list[float] = []
+        self.slot_container: list[Container] = []
         self.evictions = 0
         self.failures = 0
 
@@ -117,17 +128,31 @@ class ResourceManager:
                 self._launch(ContainerKind.TRANSIENT, pool=pool)
 
     def reserved_containers(self) -> list[Container]:
-        return [c for c in self.containers if c.is_reserved and c.alive]
+        return [c for c, kind, alive in zip(self.slot_container,
+                                            self.slot_kind, self.slot_alive)
+                if kind is ContainerKind.RESERVED and alive]
 
     def transient_containers(self) -> list[Container]:
-        return [c for c in self.containers if c.is_transient and c.alive]
+        return [c for c, kind, alive in zip(self.slot_container,
+                                            self.slot_kind, self.slot_alive)
+                if kind is ContainerKind.TRANSIENT and alive]
 
     def _launch(self, kind: ContainerKind,
-                pool: "Optional[TransientPool]" = None) -> Container:
+                pool: "Optional[TransientPool]" = None,
+                slot: Optional[int] = None) -> Container:
         now = self._sim.now
+        if slot is None:
+            slot = len(self.slot_container)
+            self.slot_kind.append(kind)
+            self.slot_alive.append(True)
+            self.slot_launched.append(now)
+            self.slot_container.append(None)  # type: ignore[arg-type]
+        else:
+            self.slot_alive[slot] = True
+            self.slot_launched[slot] = now
         if kind is ContainerKind.RESERVED:
             container = Container(kind=kind, spec=self._reserved_spec,
-                                  launched_at=now)
+                                  launched_at=now, slot=slot)
         else:
             model = pool.lifetime_model if pool is not None \
                 else self._lifetimes
@@ -139,16 +164,21 @@ class ResourceManager:
                         else model.sample(self._rng))
             container = Container(
                 kind=kind, spec=self._transient_spec, lifetime=lifetime,
-                launched_at=now,
+                launched_at=now, slot=slot,
                 pool=pool.name if pool is not None else None,
                 expected_lifetime=(pool.expected_lifetime
                                    if pool is not None else math.inf))
             if pool is not None:
                 self._pool_of[container.container_id] = pool
             if math.isfinite(lifetime):
-                self._sim.schedule_fast(lifetime,
-                                        lambda: self._evict(container),
-                                        priority=EVICTION_PRIORITY)
+                # Eviction ticks are the archetypal wheel population: one
+                # minute-scale timer per transient container, never
+                # cancelled, so at 10k containers they would otherwise
+                # dominate the heap.
+                self._sim.schedule_wheel(lifetime,
+                                         lambda: self._evict(container),
+                                         priority=EVICTION_PRIORITY)
+        self.slot_container[slot] = container
         self.containers.append(container)
         if self._on_container is not None:
             self._on_container(container)
@@ -161,6 +191,7 @@ class ResourceManager:
         if not container.alive:
             return
         container.evict(self._sim.now)
+        self.slot_alive[container.slot] = False
         self.evictions += 1
         if self.tracer is not None:
             self.tracer.emit(Eviction(
@@ -170,7 +201,8 @@ class ResourceManager:
         replacement: Optional[Container] = None
         if self._replace_evicted:
             pool = self._pool_of.get(container.container_id)
-            replacement = self._launch(ContainerKind.TRANSIENT, pool=pool)
+            replacement = self._launch(ContainerKind.TRANSIENT, pool=pool,
+                                       slot=container.slot)
         if self._on_eviction is not None:
             self._on_eviction(container, replacement)
 
@@ -184,6 +216,8 @@ class ResourceManager:
         if not container.alive:
             raise ResourceError(f"{container!r} is already dead")
         container.fail(self._sim.now)
+        if container.slot >= 0:
+            self.slot_alive[container.slot] = False
         self.failures += 1
         if self.tracer is not None:
             self.tracer.emit(Eviction(
@@ -191,7 +225,10 @@ class ResourceManager:
                 resource=("reserved" if container.is_reserved
                           else "transient"),
                 cause="fault", lifetime=container.lifetime))
-        replacement = self._launch(container.kind) if replace else None
+        replacement = (self._launch(container.kind,
+                                    slot=(container.slot
+                                          if container.slot >= 0 else None))
+                       if replace else None)
         if self._on_eviction is not None:
             self._on_eviction(container, replacement)
         return replacement
@@ -204,7 +241,7 @@ class ResourceManager:
             if container.alive:
                 self.inject_failure(container, replace=replace)
 
-        self._sim.schedule_fast(delay, fire, priority=EVICTION_PRIORITY)
+        self._sim.schedule_wheel(delay, fire, priority=EVICTION_PRIORITY)
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +267,9 @@ class ContainerLease:
     granted_at: float
     released_at: Optional[float] = None
     revoked_at: Optional[float] = None
+    #: Dense pool slot this lease occupies (reserved slots first, then
+    #: transient). A wave replacement inherits the revoked lease's slot.
+    slot: int = -1
 
     @property
     def active(self) -> bool:
@@ -267,29 +307,41 @@ class LeasePool:
         self.history: list[ContainerLease] = []
         #: (time, severity, {job_id: containers revoked}) per wave tick.
         self.waves: list[tuple[float, float, dict[str, int]]] = []
+        # Slot-structured state: reserved slots are [0, R), transient
+        # [R, R+T). slot_lease holds the current occupant; the free lists
+        # are LIFO stacks (initialized so the first grants take slots in
+        # ascending order). All capacity checks and the fair-share
+        # container-seconds metric are O(1) counter reads — the mtsweep
+        # outer loop used to rescan the whole lease history per scheduling
+        # decision.
+        self.slot_lease: list[Optional[ContainerLease]] = \
+            [None] * (num_reserved + num_transient)
+        self._free_reserved = list(range(num_reserved - 1, -1, -1))
+        self._free_transient = list(
+            range(num_reserved + num_transient - 1, num_reserved - 1, -1))
+        self._used_reserved = 0
+        self._used_transient = 0
+        self._reserved_by_tenant: dict[str, int] = {}
+        # job/tenant -> [completed_seconds, active_count, granted_at_sum]:
+        # container-seconds at time t = completed + active*t - granted_sum.
+        self._job_acct: dict[str, list[float]] = {}
+        self._tenant_acct: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
     # capacity
 
-    def _in_use(self, kind: ContainerKind) -> int:
-        return sum(1 for leases in self._active.values()
-                   for lease in leases if lease.kind is kind)
-
     @property
     def reserved_free(self) -> int:
-        return self.num_reserved - self._in_use(ContainerKind.RESERVED)
+        return self.num_reserved - self._used_reserved
 
     @property
     def transient_free(self) -> int:
-        return self.num_transient - self._in_use(ContainerKind.TRANSIENT)
+        return self.num_transient - self._used_transient
 
     def reserved_in_use(self, tenant: str) -> int:
         """Active reserved leases held by one tenant (the quantity the
         reserved-quota policy bounds)."""
-        return sum(1 for job, leases in self._active.items()
-                   if self._tenant_of[job] == tenant
-                   for lease in leases
-                   if lease.kind is ContainerKind.RESERVED)
+        return self._reserved_by_tenant.get(tenant, 0)
 
     def fits(self, num_reserved: int, num_transient: int) -> bool:
         return (self.reserved_free >= num_reserved
@@ -301,15 +353,60 @@ class LeasePool:
     # ------------------------------------------------------------------
     # grant / release
 
-    def _grant(self, job_id: str, kind: ContainerKind,
-               now: float) -> ContainerLease:
+    def _grant(self, job_id: str, kind: ContainerKind, now: float,
+               slot: Optional[int] = None) -> ContainerLease:
+        tenant = self._tenant_of[job_id]
+        if slot is None:
+            slot = (self._free_reserved.pop()
+                    if kind is ContainerKind.RESERVED
+                    else self._free_transient.pop())
         lease = ContainerLease(lease_id=self._next_lease, job_id=job_id,
-                               tenant=self._tenant_of[job_id], kind=kind,
-                               granted_at=now)
+                               tenant=tenant, kind=kind,
+                               granted_at=now, slot=slot)
         self._next_lease += 1
         self._active[job_id].append(lease)
         self.history.append(lease)
+        self.slot_lease[slot] = lease
+        if kind is ContainerKind.RESERVED:
+            self._used_reserved += 1
+            self._reserved_by_tenant[tenant] = \
+                self._reserved_by_tenant.get(tenant, 0) + 1
+        else:
+            self._used_transient += 1
+        for acct_map, key in ((self._job_acct, job_id),
+                              (self._tenant_acct, tenant)):
+            acct = acct_map.get(key)
+            if acct is None:
+                acct_map[key] = [0.0, 1, now]
+            else:
+                acct[1] += 1
+                acct[2] += now
         return lease
+
+    def _end_lease(self, lease: ContainerLease, now: float,
+                   free_slot: bool) -> None:
+        """Close out one active lease's slot, counters, and accounting.
+        ``free_slot`` is False when the caller hands the slot straight to
+        a replacement (wave revocations)."""
+        lease.released_at = now
+        slot = lease.slot
+        self.slot_lease[slot] = None
+        if lease.kind is ContainerKind.RESERVED:
+            self._used_reserved -= 1
+            self._reserved_by_tenant[lease.tenant] -= 1
+            if free_slot:
+                self._free_reserved.append(slot)
+        else:
+            self._used_transient -= 1
+            if free_slot:
+                self._free_transient.append(slot)
+        held = now - lease.granted_at
+        for acct_map, key in ((self._job_acct, lease.job_id),
+                              (self._tenant_acct, lease.tenant)):
+            acct = acct_map[key]
+            acct[0] += held
+            acct[1] -= 1
+            acct[2] -= lease.granted_at
 
     def lease(self, job_id: str, tenant: str, num_reserved: int,
               num_transient: int, now: float) -> list[ContainerLease]:
@@ -334,7 +431,7 @@ class LeasePool:
         if job_id not in self._active:
             raise ResourceError(f"job {job_id!r} holds no leases")
         for lease in self._active.pop(job_id):
-            lease.released_at = now
+            self._end_lease(lease, now, free_slot=True)
         return self.container_seconds(job_id=job_id, now=now)
 
     # ------------------------------------------------------------------
@@ -359,10 +456,14 @@ class LeasePool:
                     continue
                 if severity < 1.0 and float(rng.random()) >= severity:
                     continue
-                lease.released_at = now
+                self._end_lease(lease, now, free_slot=False)
                 lease.revoked_at = now
                 self._active[job_id].remove(lease)
-                self._grant(job_id, ContainerKind.TRANSIENT, now)
+                # The replacement inherits the revoked slot: the fleet's
+                # slot occupancy is unchanged by a wave, exactly like the
+                # single-job ResourceManager's in-place replacements.
+                self._grant(job_id, ContainerKind.TRANSIENT, now,
+                            slot=lease.slot)
                 revoked[job_id] = revoked.get(job_id, 0) + 1
         self.waves.append((now, severity, revoked))
         return revoked
@@ -377,13 +478,23 @@ class LeasePool:
 
         Counts completed and revoked leases in full and active leases up
         to ``now`` — the consumption metric weighted fair-share ranks
-        tenants by.
+        tenants by. O(1) via the incremental accounting the grant/release
+        paths maintain (``completed + active*now - granted_sum``), so the
+        mtsweep outer loop no longer rescans the lease history on every
+        scheduling decision.
         """
-        total = 0.0
-        for lease in self.history:
-            if job_id is not None and lease.job_id != job_id:
-                continue
-            if tenant is not None and lease.tenant != tenant:
-                continue
-            total += lease.seconds_held(now)
-        return total
+        if job_id is not None:
+            if tenant is not None and self._tenant_of.get(job_id) != tenant:
+                return 0.0
+            acct = self._job_acct.get(job_id)
+        elif tenant is not None:
+            acct = self._tenant_acct.get(tenant)
+        else:
+            acct = [0.0, 0, 0.0]
+            for each in self._job_acct.values():
+                acct[0] += each[0]
+                acct[1] += each[1]
+                acct[2] += each[2]
+        if acct is None:
+            return 0.0
+        return acct[0] + acct[1] * now - acct[2]

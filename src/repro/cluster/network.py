@@ -26,6 +26,11 @@ and the drain defers to any heap event that would have preceded the next
 completion under ``(time, priority, seq)`` ordering. Simulated times, byte
 counters, failure semantics, and same-timestamp event order are identical;
 only the event count changes.
+
+In-flight records themselves are packed into a :class:`TransferPool`: the
+pending deques hold integer row indices into parallel arrays (finish time,
+seq, endpoints, size, callback), and completed rows are recycled through a
+free list, so steady-state traffic allocates no per-transfer objects.
 """
 
 from __future__ import annotations
@@ -173,6 +178,70 @@ class TransferResult:
         self.size_bytes = size_bytes
 
 
+class TransferPool:
+    """Record-packed in-flight transfer state, indexed by integer row.
+
+    Port ``pending`` deques hold small ints naming rows in these parallel
+    arrays instead of per-transfer 8-tuples; a completed row returns to a
+    LIFO free list and is reused by the next request, so steady-state
+    traffic allocates no per-transfer objects at all. The same row layout
+    serves disk I/O (``src``/``dst`` unused, ``tag`` holds the is_write
+    flag), letting :class:`DiskModel` instances share one pool.
+    """
+
+    __slots__ = ("finish", "seq", "src", "dst", "size", "requested_at",
+                 "on_done", "tag", "_free")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.finish = [0.0] * capacity
+        self.seq = [0] * capacity
+        self.src: list = [None] * capacity
+        self.dst: list = [None] * capacity
+        self.size = [0.0] * capacity
+        self.requested_at = [0.0] * capacity
+        self.on_done: list = [None] * capacity
+        self.tag: list = [None] * capacity
+        self._free = list(range(capacity - 1, -1, -1))
+
+    def alloc(self, finish: float, seq: int, src, dst, size: float,
+              requested_at: float, on_done, tag) -> int:
+        free = self._free
+        if free:
+            row = free.pop()
+        else:
+            row = len(self.finish)
+            self.finish.append(0.0)
+            self.seq.append(0)
+            self.src.append(None)
+            self.dst.append(None)
+            self.size.append(0.0)
+            self.requested_at.append(0.0)
+            self.on_done.append(None)
+            self.tag.append(None)
+        self.finish[row] = finish
+        self.seq[row] = seq
+        self.src[row] = src
+        self.dst[row] = dst
+        self.size[row] = size
+        self.requested_at[row] = requested_at
+        self.on_done[row] = on_done
+        self.tag[row] = tag
+        return row
+
+    def release(self, row: int) -> None:
+        # Drop object references so recycled rows don't pin endpoints or
+        # closures; scalar columns are overwritten on the next alloc.
+        self.src[row] = None
+        self.dst[row] = None
+        self.on_done[row] = None
+        self.tag[row] = None
+        self._free.append(row)
+
+    def in_flight(self) -> int:
+        """Rows currently allocated (in some port's pending deque)."""
+        return len(self.finish) - len(self._free)
+
+
 class NetworkModel:
     """Schedules point-to-point transfers on the simulator.
 
@@ -202,6 +271,7 @@ class NetworkModel:
         self._labels: dict = {}
         self._plan: list = []
         self._plan_depth = 0
+        self._pool = TransferPool()
 
     def _label(self, endpoint: Endpoint) -> str:
         label = self._labels.get(endpoint)
@@ -334,8 +404,8 @@ class NetworkModel:
             port, finish = sport, src_end + self.latency
         else:
             port, finish = dport, dst_end + self.latency
-        port.pending.append(
-            (finish, seq, src, dst, size_bytes, now, on_done, tag))
+        port.pending.append(self._pool.alloc(
+            finish, seq, src, dst, size_bytes, now, on_done, tag))
         if not port.armed:
             port.armed = True
             sim.schedule_at_seq(finish, seq, lambda: self._drain(port))
@@ -346,8 +416,12 @@ class NetworkModel:
         heap = sim._heap
         pending = port.pending
         tracer = self.tracer
+        pool = self._pool
+        finish_col = pool.finish
+        seq_col = pool.seq
         while pending:
-            finish = pending[0][0]
+            row = pending[0]
+            finish = finish_col[row]
             if finish > now:
                 break
             # Defer to any heap event that would have sorted before this
@@ -356,12 +430,20 @@ class NetworkModel:
             # everything already queued at this timestamp.
             if heap:
                 top = heap[0]
-                seq = pending[0][1]
+                seq = seq_col[row]
                 if top[0] <= finish and (
                         top[1] < 0 or (top[1] == 0 and top[2] < seq)):
                     break
-            _, _, src, dst, size_bytes, requested_at, on_done, tag = \
-                pending.popleft()
+            pending.popleft()
+            src = pool.src[row]
+            dst = pool.dst[row]
+            size_bytes = pool.size[row]
+            requested_at = pool.requested_at[row]
+            on_done = pool.on_done[row]
+            tag = pool.tag[row]
+            # Recycle before the callback runs: any transfer it enqueues
+            # reuses this row (the values above are already in locals).
+            pool.release(row)
             ok = src.is_alive() and dst.is_alive()
             if ok:
                 self.bytes_transferred += int(size_bytes)
@@ -377,8 +459,8 @@ class NetworkModel:
             else:
                 on_done(tag, TransferResult(ok, now, int(size_bytes)))
         if pending:
-            head = pending[0]
-            sim.schedule_at_seq(head[0], head[1],
+            row = pending[0]
+            sim.schedule_at_seq(finish_col[row], seq_col[row],
                                 lambda: self._drain(port))
         else:
             port.armed = False
@@ -395,11 +477,13 @@ class DiskModel:
     """
 
     def __init__(self, sim: Simulator, container: Container,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 pool: Optional[TransferPool] = None) -> None:
         self._sim = sim
         self.container = container
         self.tracer = tracer
         self._port = FifoPort(container.spec.disk_bandwidth)
+        self._pool = pool if pool is not None else TransferPool()
         self._bytes_written = 0.0
         self._bytes_read = 0.0
 
@@ -428,7 +512,8 @@ class DiskModel:
         seq = sim.take_seq()
         port = self._port
         _, end = port.reserve(now, size_bytes)
-        port.pending.append((end, seq, size_bytes, now, on_done, is_write))
+        port.pending.append(self._pool.alloc(
+            end, seq, None, None, size_bytes, now, on_done, is_write))
         if not port.armed:
             port.armed = True
             sim.schedule_at_seq(end, seq, self._drain)
@@ -440,18 +525,26 @@ class DiskModel:
         port = self._port
         pending = port.pending
         tracer = self.tracer
+        pool = self._pool
+        finish_col = pool.finish
+        seq_col = pool.seq
         while pending:
-            end = pending[0][0]
+            row = pending[0]
+            end = finish_col[row]
             if end > now:
                 break
             if heap:
                 top = heap[0]
-                seq = pending[0][1]
+                seq = seq_col[row]
                 if top[0] <= end and (
                         top[1] < 0 or (top[1] == 0 and top[2] < seq)):
                     break
-            _, _, size_bytes, requested_at, on_done, is_write = \
-                pending.popleft()
+            pending.popleft()
+            size_bytes = pool.size[row]
+            requested_at = pool.requested_at[row]
+            on_done = pool.on_done[row]
+            is_write = pool.tag[row]
+            pool.release(row)
             ok = self.container.alive
             if ok:
                 if is_write:
@@ -470,7 +563,7 @@ class DiskModel:
             if on_done is not None:
                 on_done(ok)
         if pending:
-            head = pending[0]
-            sim.schedule_at_seq(head[0], head[1], self._drain)
+            row = pending[0]
+            sim.schedule_at_seq(finish_col[row], seq_col[row], self._drain)
         else:
             port.armed = False

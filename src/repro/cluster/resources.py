@@ -86,10 +86,16 @@ class Container:
     #: The pool's *estimated* lifetime — a scheduling hint, not the actual
     #: sampled lifetime (which the scheduler must not peek at).
     expected_lifetime: float = math.inf
-
-    @property
-    def alive(self) -> bool:
-        return self.evicted_at is None and self.failed_at is None
+    #: Dense slot index assigned by the :class:`~repro.cluster.manager.
+    #: ResourceManager` that launched this container (-1 outside one).
+    #: A replacement inherits its predecessor's slot, so the manager's
+    #: parallel per-slot arrays stay dense across any number of evictions.
+    slot: int = -1
+    #: Stored liveness flag, kept in step by :meth:`evict`/:meth:`fail`
+    #: (the only writers of ``evicted_at``/``failed_at``). A plain
+    #: attribute, not a property: every transfer endpoint check and
+    #: executor sweep reads it, millions of times per large run.
+    alive: bool = True
 
     @property
     def is_reserved(self) -> bool:
@@ -106,12 +112,14 @@ class Container:
         if not self.alive:
             raise ValueError(f"container {self.container_id} already dead")
         self.evicted_at = now
+        self.alive = False
 
     def fail(self, now: float) -> None:
         """Mark the container failed by a (rare) machine fault (§3.2.6)."""
         if not self.alive:
             raise ValueError(f"container {self.container_id} already dead")
         self.failed_at = now
+        self.alive = False
 
     def dead_since(self) -> float:
         """Time at which the container died; raises if still alive."""

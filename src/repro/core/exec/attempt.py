@@ -24,6 +24,13 @@ DONE             committed           done             done
 
 Forward transitions are validated (:class:`IllegalTransition` on a skip or
 a backward move); only ``reset()`` may rewind.
+
+Since the array-core refactor the machine's storage lives in a shared
+:class:`~repro.core.exec.records.AttemptTable`: each task owns a dense
+integer ``row`` into parallel status/attempt/countdown arrays, and the
+class is a thin view whose properties index them. Engine masters pass
+their table down so every task of a job shares one; a task constructed
+without a table (unit tests, ad-hoc use) gets a private one.
 """
 
 from __future__ import annotations
@@ -31,6 +38,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ExecutionError
+
+from repro.core.exec import records
+from repro.core.exec.records import ALLOWED_NEXT, CODE_OF, STATE_NAMES, \
+    AttemptTable
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.exec.executor import SimExecutor
@@ -60,14 +71,8 @@ class TaskState:
 ACTIVE_STATES = (TaskState.FETCHING, TaskState.COMPUTING,
                  TaskState.DELIVERING)
 
-_ALLOWED: dict[str, frozenset] = {
-    TaskState.PENDING: frozenset({TaskState.QUEUED, TaskState.FETCHING}),
-    TaskState.QUEUED: frozenset({TaskState.FETCHING}),
-    TaskState.FETCHING: frozenset({TaskState.COMPUTING}),
-    TaskState.COMPUTING: frozenset({TaskState.DELIVERING, TaskState.DONE}),
-    TaskState.DELIVERING: frozenset({TaskState.DONE}),
-    TaskState.DONE: frozenset(),
-}
+# The allowed forward transitions live as integer-coded sets next to the
+# packed arrays: see ``repro.core.exec.records.ALLOWED_NEXT``.
 
 
 class TaskAttempt:
@@ -76,7 +81,9 @@ class TaskAttempt:
     Subclasses add the engine-specific identity (``key``) and per-attempt
     scratch (cleared via the ``_reset_scratch`` hook). The generic fields
     here are exactly the ones the shared :class:`~repro.core.exec.fetch.
-    FetchService` barrier and the master-side assignment path manipulate.
+    FetchService` barrier and the master-side assignment path manipulate —
+    those live in the shared :class:`AttemptTable` row; object-valued
+    scratch (sets, dicts, the fetch-spec cache) stays on the instance.
     """
 
     #: State a fresh task (and a reset one) starts in. Pado's reserved
@@ -84,17 +91,16 @@ class TaskAttempt:
     #: never queued.
     initial_state = TaskState.PENDING
 
-    def __init__(self) -> None:
-        self._status = self.initial_state
-        self.executor: Optional["SimExecutor"] = None
-        self.attempt = 0
+    def __init__(self, table: Optional[AttemptTable] = None) -> None:
+        if table is None:
+            table = AttemptTable()
+        self.table = table
+        self.row = table.add(self, CODE_OF[self.initial_state])
+        self._executor: Optional["SimExecutor"] = None
         self.cache_keys: set = set()
         #: Cached external-input fetch specs; derived from static DAG
         #: topology, so attempts after the first skip re-deriving them.
         self.fetch_specs: Optional[list] = None
-        # per-attempt fetch barrier:
-        self.outstanding_fetches = 0
-        self.fetch_failed = False
         self.failed_parents: set = set()
         self.input_bytes_by_parent: dict[str, float] = {}
         self.external_inputs: dict[str, list] = {}
@@ -103,37 +109,95 @@ class TaskAttempt:
     def key(self) -> tuple:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # table-backed fields
+
     @property
     def status(self) -> str:
-        return self._status
+        return STATE_NAMES[self.table.status[self.row]]
 
     @status.setter
     def status(self, new: str) -> None:
-        old = self._status
-        if new == old:
+        table, row = self.table, self.row
+        old_code = table.status[row]
+        new_code = CODE_OF[new]
+        if new_code == old_code:
             return
-        if new not in _ALLOWED.get(old, frozenset()):
+        if new_code not in ALLOWED_NEXT[old_code]:
             raise IllegalTransition(
                 f"task {getattr(self, 'key', '?')} attempt {self.attempt}: "
-                f"cannot move {old!r} -> {new!r}")
-        self._status = new
+                f"cannot move {STATE_NAMES[old_code]!r} -> {new!r}")
+        table.set_status(row, new_code)
+        if new_code == records.DONE and self._executor is not None:
+            table.unbind(row, self._executor.executor_id)
+
+    @property
+    def _status(self) -> str:
+        return STATE_NAMES[self.table.status[self.row]]
+
+    @_status.setter
+    def _status(self, state: str) -> None:
+        # Unvalidated write into the packed array — the escape hatch tests
+        # use to place a task in an arbitrary state directly.
+        self.table.set_status(self.row, CODE_OF[state])
+
+    @property
+    def attempt(self) -> int:
+        return self.table.attempt[self.row]
+
+    @property
+    def outstanding_fetches(self) -> int:
+        return self.table.outstanding[self.row]
+
+    @outstanding_fetches.setter
+    def outstanding_fetches(self, count: int) -> None:
+        self.table.outstanding[self.row] = count
+
+    @property
+    def fetch_failed(self) -> bool:
+        return self.table.fetch_failed[self.row]
+
+    @fetch_failed.setter
+    def fetch_failed(self, failed: bool) -> None:
+        self.table.fetch_failed[self.row] = failed
+
+    @property
+    def executor(self) -> Optional["SimExecutor"]:
+        return self._executor
+
+    @executor.setter
+    def executor(self, executor: Optional["SimExecutor"]) -> None:
+        old = self._executor
+        if old is executor:
+            return
+        table, row = self.table, self.row
+        if old is not None:
+            table.unbind(row, old.executor_id)
+        self._executor = executor
+        if executor is not None and table.status[row] != records.DONE:
+            table.bind(row, executor.executor_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle
 
     def begin_attempt(self, executor: "SimExecutor") -> None:
         """Bind this attempt to an executor slot and start fetching."""
         self.status = TaskState.FETCHING
         self.executor = executor
-        self.fetch_failed = False
+        table, row = self.table, self.row
+        table.fetch_failed[row] = False
         self.input_bytes_by_parent = {}
         self.external_inputs = {}
 
     def reset(self) -> None:
         """Abandon the current attempt: bump the attempt counter and return
         to the initial state (the one rewind the state machine allows)."""
-        self.attempt += 1
-        self._status = self.initial_state
+        table, row = self.table, self.row
+        table.attempt[row] += 1
+        table.set_status(row, CODE_OF[self.initial_state])
         self.executor = None
-        self.outstanding_fetches = 0
-        self.fetch_failed = False
+        table.outstanding[row] = 0
+        table.fetch_failed[row] = False
         self.failed_parents = set()
         self.input_bytes_by_parent = {}
         self.external_inputs = {}

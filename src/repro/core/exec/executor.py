@@ -31,6 +31,11 @@ class SimExecutor:
         self.slots = slots if slots is not None else container.spec.cores
         self.free_slots = self.slots
         self.cache: Optional[Any] = None  # attached by engines that cache
+        #: Installed by the scheduler: called whenever a slot frees up, so
+        #: the free-executor set stays a superset without any scan. Hooked
+        #: here (not on ``slot_released``) because some release paths never
+        #: notify the scheduler.
+        self.on_free: Optional[Any] = None
 
     @property
     def executor_id(self) -> int:
@@ -54,6 +59,8 @@ class SimExecutor:
         if self.free_slots >= self.slots:
             raise ExecutionError("slot released twice")
         self.free_slots += 1
+        if self.on_free is not None:
+            self.on_free(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "R" if self.is_reserved else "T"

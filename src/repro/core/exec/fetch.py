@@ -21,7 +21,8 @@ from typing import TYPE_CHECKING, Callable, Hashable, Optional
 from repro.dataflow.dag import Edge, route_output, route_sizes
 from repro.errors import ExecutionError
 
-from repro.core.exec.attempt import TaskAttempt, TaskState
+from repro.core.exec import records
+from repro.core.exec.attempt import TaskAttempt
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.cluster.storage import InputStore
@@ -156,25 +157,34 @@ class FetchService:
 
     def arrived(self, task: TaskAttempt, attempt: int, parent: str,
                 size: float, payload: Optional[list]) -> None:
-        if task.attempt != attempt or task.status != TaskState.FETCHING:
+        # Barrier countdowns fire once per transfer — index the packed
+        # attempt arrays directly rather than going through the view
+        # properties.
+        table, row = task.table, task.row
+        if table.attempt[row] != attempt \
+                or table.status[row] != records.FETCHING:
             return  # stale arrival for an abandoned attempt
         task.input_bytes_by_parent[parent] = \
             task.input_bytes_by_parent.get(parent, 0.0) + size
         if payload is not None:
             task.external_inputs.setdefault(parent, []).extend(payload)
-        task.outstanding_fetches -= 1
-        if task.outstanding_fetches == 0:
-            if task.fetch_failed:
+        remaining = table.outstanding[row] - 1
+        table.outstanding[row] = remaining
+        if remaining == 0:
+            if table.fetch_failed[row]:
                 self.abort_attempt(task)
             else:
                 self.on_ready(task)
 
     def broke(self, task: TaskAttempt, attempt: int) -> None:
-        if task.attempt != attempt or task.status != TaskState.FETCHING:
+        table, row = task.table, task.row
+        if table.attempt[row] != attempt \
+                or table.status[row] != records.FETCHING:
             return
-        task.fetch_failed = True
-        task.outstanding_fetches -= 1
-        if task.outstanding_fetches == 0:
+        table.fetch_failed[row] = True
+        remaining = table.outstanding[row] - 1
+        table.outstanding[row] = remaining
+        if remaining == 0:
             self.abort_attempt(task)
 
     def arrived_routed(self, task: TaskAttempt, attempt: int, edge: Edge,

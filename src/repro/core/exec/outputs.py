@@ -26,7 +26,7 @@ class OutputRecord:
     """One task output: where it lives and whether it is still there."""
 
     __slots__ = ("executor", "size", "payload", "available",
-                 "checkpointed", "checkpoint_inflight")
+                 "checkpointed", "checkpoint_inflight", "order")
 
     def __init__(self, executor: Optional["SimExecutor"], size: float,
                  payload: Optional[list]) -> None:
@@ -36,6 +36,12 @@ class OutputRecord:
         self.available = True
         self.checkpointed = False
         self.checkpoint_inflight = False
+        #: Registration position in the registry (an overwrite-put keeps
+        #: the original position, like a dict overwrite; pop + re-put gets
+        #: a fresh one). The executor-loss sweep sorts its per-executor
+        #: bucket by this so it returns keys in exactly the order a full
+        #: registry scan would have.
+        self.order = 0
 
     def reachable(self) -> bool:
         """Could a consumer still fetch this output?"""
@@ -62,6 +68,12 @@ class OutputRegistry:
                  sim: "Optional[Simulator]" = None) -> None:
         self._records: dict[Hashable, OutputRecord] = {}
         self._waiters: dict[Hashable, list[Callable[[], None]]] = {}
+        #: executor_id -> {key: record}: outputs living on that executor.
+        #: Replaces the full-registry scan on executor loss with a bucket
+        #: sweep (the record keeps no back-pointer churn: ``executor`` is
+        #: never reassigned after construction).
+        self._by_executor: dict[int, dict[Hashable, OutputRecord]] = {}
+        self._next_order = 0
         self.tracer = tracer
         self.sim = sim
 
@@ -71,14 +83,34 @@ class OutputRegistry:
     def put(self, key: Hashable, executor: Optional["SimExecutor"],
             size: float, payload: Optional[list]) -> OutputRecord:
         record = OutputRecord(executor, size, payload)
+        old = self._records.get(key)
+        if old is not None:
+            record.order = old.order
+            if old.executor is not None:
+                bucket = self._by_executor.get(old.executor.executor_id)
+                if bucket is not None:
+                    bucket.pop(key, None)
+        else:
+            record.order = self._next_order
+            self._next_order += 1
         self._records[key] = record
+        if executor is not None:
+            self._by_executor.setdefault(
+                executor.executor_id, {})[key] = record
         return record
 
     def get(self, key: Hashable, default=None) -> Optional[OutputRecord]:
         return self._records.get(key, default)
 
     def pop(self, key: Hashable, default=None) -> Optional[OutputRecord]:
-        return self._records.pop(key, default)
+        record = self._records.pop(key, None)
+        if record is None:
+            return default
+        if record.executor is not None:
+            bucket = self._by_executor.get(record.executor.executor_id)
+            if bucket is not None:
+                bucket.pop(key, None)
+        return record
 
     def __getitem__(self, key: Hashable) -> OutputRecord:
         return self._records[key]
@@ -107,13 +139,22 @@ class OutputRegistry:
 
     def mark_executor_lost(self, executor: "SimExecutor") -> list:
         """Flag every non-checkpointed output on ``executor`` as lost;
-        returns their keys in registration order."""
+        returns their keys in registration order.
+
+        Sweeps only this executor's bucket — O(outputs on the executor)
+        rather than O(all outputs) — sorted by registration order to match
+        the full scan this replaced (the order feeds Spark's recompute
+        submissions, so it is parity-critical)."""
+        bucket = self._by_executor.get(executor.executor_id)
+        if not bucket:
+            return []
         lost = []
-        for key, record in self._records.items():
+        for key, record in bucket.items():
             if record.executor is executor and not record.checkpointed:
                 record.available = False
-                lost.append(key)
-        return lost
+                lost.append((record.order, key))
+        lost.sort(key=lambda pair: pair[0])
+        return [key for _, key in lost]
 
     def trace_miss(self, op: str, index: int) -> None:
         """Emit a :class:`~repro.obs.events.FetchMiss` — the lazy discovery

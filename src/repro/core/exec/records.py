@@ -1,0 +1,139 @@
+"""Record-packed per-task state shared by the engine masters.
+
+At fig9xl scale (10k containers, ≥1M events) per-task Python objects
+dominate allocation and attribute-lookup time on the hot paths. This
+module packs the fields the fetch barrier and eviction sweeps touch —
+state, attempt counter, outstanding-fetch countdown, failure flag — into
+parallel arrays indexed by a dense integer row, one row per task, handed
+out at task construction. :class:`~repro.core.exec.attempt.TaskAttempt`
+stays the public face (the tracer and tests keep reading ``task.status``
+strings), but it is a thin view: its properties index these arrays, and
+the hot callers (:class:`~repro.core.exec.fetch.FetchService`, the
+masters' relaunch sweeps) index them directly.
+
+The table also maintains a per-executor index of rows whose attempt is
+bound to that executor. Eviction used to scan every task of every stage
+(O(tasks) per lost container); with the index a sweep touches only the
+handful of attempts actually running there. Row ids are allocated in task
+creation order, so ``sorted(bucket)`` reproduces the exact iteration
+order of the old full scans — parity goldens stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.exec.attempt import TaskAttempt
+
+__all__ = ["AttemptTable", "PENDING", "QUEUED", "FETCHING", "COMPUTING",
+           "DELIVERING", "DONE", "STATE_NAMES", "CODE_OF"]
+
+#: Integer state codes, ordered along the lifecycle so the active range
+#: (occupying an executor slot) is the contiguous ``FETCHING..DELIVERING``.
+PENDING, QUEUED, FETCHING, COMPUTING, DELIVERING, DONE = range(6)
+
+STATE_NAMES = ("pending", "queued", "fetching", "computing", "delivering",
+               "done")
+CODE_OF = {name: code for code, name in enumerate(STATE_NAMES)}
+
+#: Forward transitions allowed without a ``reset()`` (mirrors the table in
+#: :mod:`repro.core.exec.attempt`).
+ALLOWED_NEXT = (
+    frozenset({QUEUED, FETCHING}),   # PENDING
+    frozenset({FETCHING}),           # QUEUED
+    frozenset({COMPUTING}),          # FETCHING
+    frozenset({DELIVERING, DONE}),   # COMPUTING
+    frozenset({DONE}),               # DELIVERING
+    frozenset(),                     # DONE
+)
+
+
+class AttemptTable:
+    """Parallel arrays of per-task attempt state, one row per task."""
+
+    __slots__ = ("status", "attempt", "outstanding", "fetch_failed",
+                 "tasks", "by_executor", "group", "_live_by_group",
+                 "_next_group")
+
+    def __init__(self) -> None:
+        self.status: list[int] = []
+        self.attempt: list[int] = []
+        self.outstanding: list[int] = []
+        self.fetch_failed: list[bool] = []
+        #: Row -> owning view object (for sweeps that need the task back).
+        self.tasks: list["TaskAttempt"] = []
+        #: executor_id -> {row: None}: rows whose live attempt is bound to
+        #: that executor (insertion-ordered; sweeps sort by row id).
+        self.by_executor: dict[int, dict[int, None]] = {}
+        #: Row -> task group (-1 = ungrouped). A group tracks how many of
+        #: its rows are still "live" (status before DELIVERING, i.e. could
+        #: still contribute output); the Pado master keys one group per
+        #: stage run so the flush-on-stage-drained check is O(1) instead
+        #: of rescanning every task of the stage.
+        self.group: list[int] = []
+        self._live_by_group: dict[int, int] = {}
+        self._next_group = 0
+
+    def add(self, task: "TaskAttempt", initial_code: int) -> int:
+        """Allocate the next row for ``task``; returns the row id."""
+        row = len(self.tasks)
+        self.tasks.append(task)
+        self.status.append(initial_code)
+        self.attempt.append(0)
+        self.outstanding.append(0)
+        self.fetch_failed.append(False)
+        self.group.append(-1)
+        return row
+
+    # ------------------------------------------------------------------
+    # status writes and live-count groups
+
+    def set_status(self, row: int, code: int) -> None:
+        """The one write path for ``status`` — keeps the owning group's
+        live count (rows before DELIVERING) in step with the array."""
+        status = self.status
+        old = status[row]
+        status[row] = code
+        group = self.group[row]
+        if group >= 0 and (old < DELIVERING) != (code < DELIVERING):
+            self._live_by_group[group] += 1 if code < DELIVERING else -1
+
+    def new_group(self) -> int:
+        group = self._next_group
+        self._next_group = group + 1
+        self._live_by_group[group] = 0
+        return group
+
+    def set_group(self, row: int, group: int) -> None:
+        self.group[row] = group
+        if self.status[row] < DELIVERING:
+            self._live_by_group[group] += 1
+
+    def live_count(self, group: int) -> int:
+        """Rows of ``group`` whose status precedes DELIVERING — tasks that
+        could still contribute output to their stage."""
+        return self._live_by_group[group]
+
+    # ------------------------------------------------------------------
+    # per-executor attempt index
+
+    def bind(self, row: int, executor_id: int) -> None:
+        bucket = self.by_executor.get(executor_id)
+        if bucket is None:
+            self.by_executor[executor_id] = {row: None}
+        else:
+            bucket[row] = None
+
+    def unbind(self, row: int, executor_id: int) -> None:
+        bucket = self.by_executor.get(executor_id)
+        if bucket is not None:
+            bucket.pop(row, None)
+
+    def rows_on(self, executor_id: int) -> list[int]:
+        """Rows bound to ``executor_id``, in task-creation order (matching
+        the full-scan iteration order the index replaced)."""
+        bucket = self.by_executor.get(executor_id)
+        if not bucket:
+            return []
+        return sorted(bucket)

@@ -13,6 +13,43 @@ from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
 
+class CacheIndex:
+    """Reverse index: cache key -> executor ids currently holding it.
+
+    The scheduler's cache-aware policy consults this before scanning the
+    candidate list — at fig9xl scale a cold task would otherwise probe
+    thousands of executor caches per pick just to learn nobody has its
+    input. Caches registered via :meth:`LruCache.attach_index` keep the
+    index in step on every insert and eviction; the scheduler drops an
+    executor's keys when it leaves the pool.
+    """
+
+    __slots__ = ("_owners",)
+
+    def __init__(self) -> None:
+        #: key -> {executor_id: None} (a dict-as-ordered-set).
+        self._owners: dict[Hashable, dict[int, None]] = {}
+
+    def add(self, key: Hashable, owner: int) -> None:
+        bucket = self._owners.get(key)
+        if bucket is None:
+            self._owners[key] = {owner: None}
+        else:
+            bucket[owner] = None
+
+    def discard(self, key: Hashable, owner: int) -> None:
+        bucket = self._owners.get(key)
+        if bucket is not None:
+            bucket.pop(owner, None)
+            if not bucket:
+                del self._owners[key]
+
+    def holders(self, key: Hashable) -> int:
+        """How many attached caches hold ``key`` right now."""
+        bucket = self._owners.get(key)
+        return len(bucket) if bucket else 0
+
+
 class LruCache:
     """Byte-bounded LRU cache of fetched task inputs."""
 
@@ -25,6 +62,24 @@ class LruCache:
         self._used = 0.0
         self.hits = 0
         self.misses = 0
+        self._index: Optional[CacheIndex] = None
+        self._owner = -1
+
+    def attach_index(self, index: CacheIndex, owner: int) -> None:
+        """Mirror this cache's key set into ``index`` under id ``owner``."""
+        self._index = index
+        self._owner = owner
+        for key in self._entries:
+            index.add(key, owner)
+
+    def detach_index(self) -> None:
+        """Remove this cache's keys from the index (executor left the
+        pool; its entries can no longer attract tasks)."""
+        index = self._index
+        if index is not None:
+            for key in self._entries:
+                index.discard(key, self._owner)
+            self._index = None
 
     @property
     def used_bytes(self) -> float:
@@ -50,16 +105,24 @@ class LruCache:
         """
         if size_bytes > self.capacity_bytes:
             return
+        index = self._index
         if key in self._entries:
             old_size, _ = self._entries.pop(key)
             self._used -= old_size
+        elif index is not None:
+            index.add(key, self._owner)
         while self._used + size_bytes > self.capacity_bytes and self._entries:
-            _, (evicted_size, _) = self._entries.popitem(last=False)
+            evicted_key, (evicted_size, _) = self._entries.popitem(last=False)
             self._used -= evicted_size
+            if index is not None:
+                index.discard(evicted_key, self._owner)
         self._entries[key] = (size_bytes, payload)
         self._used += size_bytes
 
     def clear(self) -> None:
+        if self._index is not None:
+            for key in self._entries:
+                self._index.discard(key, self._owner)
         self._entries.clear()
         self._used = 0.0
 

@@ -70,7 +70,7 @@ class _TransientTask(TaskAttempt):
 
     def __init__(self, stage_run: "_StageRun", chain: FusedOperator,
                  index: int) -> None:
-        super().__init__()
+        super().__init__(stage_run.master.attempts)
         self.stage_run = stage_run
         self.chain = chain
         self.index = index
@@ -105,7 +105,7 @@ class _ReservedTask(TaskAttempt):
     initial_state = TaskState.FETCHING  # placed directly, never queued
 
     def __init__(self, stage_run: "_StageRun", index: int) -> None:
-        super().__init__()
+        super().__init__(stage_run.master.attempts)
         self.stage_run = stage_run
         self.index = index
         self.expected: set = set()
@@ -151,6 +151,12 @@ class _StageRun:
                 for i in range(chain.parallelism):
                     self.tasks[(chain.name, i)] = _TransientTask(
                         self, chain, i)
+        # One attempt-table group per run: live_count(group) == 0 is the
+        # O(1) "no task of this stage can still contribute" check that
+        # _maybe_flush_stage used to answer by scanning every task.
+        self.group = master.attempts.new_group()
+        for task in self.tasks.values():
+            master.attempts.set_group(task.row, self.group)
 
     def chain_by_name(self, name: str) -> FusedOperator:
         for chain in self.pstage.chains:
@@ -717,10 +723,8 @@ class PadoMaster(MasterBase):
         """Flush aggregation buffers once the stage has no task left that
         could still contribute — waiting out the timer would only delay the
         stage without saving any transfer."""
-        for task in run.tasks.values():
-            if task.status in (TaskState.PENDING, TaskState.QUEUED,
-                               TaskState.FETCHING, TaskState.COMPUTING):
-                return
+        if self.attempts.live_count(run.group):
+            return
         stage_index = run.pstage.index
         for key, buffer in list(self._agg_buffers.items()):
             if key[1] == stage_index:
@@ -983,7 +987,9 @@ class PadoMaster(MasterBase):
                 if pkey in consumed:
                     self._forced_mo_dst[(pstage.index, pkey)] = root.index
                     to_relaunch.add(pkey)
-        for pkey in to_relaunch:
+        # Sorted: set iteration is hash-seeded per process, and relaunch
+        # submission order steers scheduling — keep runs reproducible.
+        for pkey in sorted(to_relaunch):
             producer = run.tasks[pkey]
             if producer.status in (TaskState.DONE, TaskState.DELIVERING):
                 self._trace_relaunch(producer, "repair", cause_ref=lost_ref)
@@ -1017,8 +1023,12 @@ class PadoMaster(MasterBase):
             for k in lost:
                 run.local_outputs.pop(k, None)
             # §3.2.5: relaunch only the uncommitted tasks scheduled there.
-            self._relaunch_lost(run.tasks.values(), executor, "eviction",
-                                cause_ref=container.container_id)
+            # The purge/relaunch interleaving is stage by stage, so the
+            # table sweep is restricted to this run's tasks.
+            self._relaunch_lost(executor, "eviction",
+                                cause_ref=container.container_id,
+                                within=lambda t, run=run:
+                                    t.stage_run is run)
 
     def _reserved_lost(self, container) -> None:
         executor = self._find_executor(container)
@@ -1058,7 +1068,8 @@ class PadoMaster(MasterBase):
                             if ("root", root.index) in \
                                     producer.delivered_dsts:
                                 to_relaunch.add(pkey)
-                    for pkey in to_relaunch:
+                    # Sorted for reproducibility (see _repair_output).
+                    for pkey in sorted(to_relaunch):
                         producer = run.tasks[pkey]
                         if producer.status in (TaskState.DONE,
                                                TaskState.DELIVERING):

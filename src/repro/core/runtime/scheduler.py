@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Optional, Protocol
 
+from repro.core.runtime.cache import CacheIndex
 from repro.errors import SchedulingError
 from repro.obs.events import TaskQueued
 
@@ -52,25 +53,46 @@ class RoundRobinPolicy(SchedulingPolicy):
 
 class CacheAwarePolicy(SchedulingPolicy):
     """Prefer executors holding the task's inputs in cache (§3.2.7),
-    falling back to round-robin."""
+    falling back to round-robin.
+
+    When a :class:`~repro.core.runtime.cache.CacheIndex` is attached (the
+    scheduler wires its own in), a task whose keys no registered cache
+    holds skips the candidate scan entirely — the common cold case at
+    scale — without changing which executor a scan would have chosen.
+    """
 
     def __init__(self) -> None:
         self._fallback = RoundRobinPolicy()
+        self.index = None
 
     def pick(self, task: SchedulableTask,
              candidates: list[SimExecutor]) -> Optional[SimExecutor]:
         if not candidates:
             return None
-        best: Optional[SimExecutor] = None
-        best_hits = 0
-        for executor in candidates:
-            if executor.cache is None or not task.cache_keys:
-                continue
-            hits = sum(1 for key in task.cache_keys if key in executor.cache)
-            if hits > best_hits:
-                best, best_hits = executor, hits
-        if best is not None:
-            return best
+        cache_keys = task.cache_keys
+        if cache_keys:
+            index = self.index
+            if index is not None \
+                    and not any(index.holders(k) for k in cache_keys):
+                return self._fallback.pick(task, candidates)
+            best: Optional[SimExecutor] = None
+            best_hits = 0
+            max_hits = len(cache_keys)
+            for executor in candidates:
+                cache = executor.cache
+                if cache is None:
+                    continue
+                entries = cache._entries
+                hits = 0
+                for key in cache_keys:
+                    if key in entries:
+                        hits += 1
+                if hits > best_hits:
+                    best, best_hits = executor, hits
+                    if hits == max_hits:
+                        break  # nothing later can strictly beat a full hit
+            if best is not None:
+                return best
         return self._fallback.pick(task, candidates)
 
 
@@ -111,10 +133,37 @@ class TaskScheduler:
 
     def __init__(self, policy: Optional[SchedulingPolicy] = None) -> None:
         self._policy = policy or CacheAwarePolicy()
+        #: Reverse key -> holders index shared by the executor caches the
+        #: masters attach (see :class:`CacheIndex`); wired into every
+        #: cache-aware policy in the fallback chain.
+        self.cache_index = CacheIndex()
+        chain = self._policy
+        while chain is not None:
+            if isinstance(chain, CacheAwarePolicy):
+                chain.index = self.cache_index
+            chain = getattr(chain, "_fallback", None)
         self._executors: dict[int, SimExecutor] = {}
         self._queue: deque = deque()
         self._tracer: "Optional[Tracer]" = None
         self._sim: "Optional[Simulator]" = None
+        # Superset of executor ids that may have a free slot, maintained by
+        # add_executor and the SimExecutor.on_free hook; stale ids (full,
+        # dead, removed) are dropped lazily inside dispatch(). Container
+        # ids are globally monotone and executors are registered in launch
+        # order, so iterating this set sorted reproduces the registration
+        # order a full pool scan would have used — if an id ever arrives
+        # out of order we fall back to the scan (_ordered flag).
+        self._free: dict[int, None] = {}
+        self._ordered = True
+        self._last_id = -1
+        # Bumped on every pool/slot mutation. The candidate list is cached
+        # across dispatch() calls and rebuilt only when the epoch moved (a
+        # freed slot, an executor arrival/departure, or an acquired slot
+        # invalidated it) — a burst of submissions within one event pays
+        # for one pool scan, not one per task.
+        self._epoch = 0
+        self._cand_cache: Optional[list[SimExecutor]] = None
+        self._cand_epoch = -1
 
     def attach_tracer(self, tracer: "Optional[Tracer]",
                       sim: "Simulator") -> None:
@@ -127,14 +176,38 @@ class TaskScheduler:
     # executor pool
 
     def add_executor(self, executor: SimExecutor) -> None:
-        if executor.executor_id in self._executors:
+        executor_id = executor.executor_id
+        if executor_id in self._executors:
             raise SchedulingError(
-                f"executor {executor.executor_id} registered twice")
-        self._executors[executor.executor_id] = executor
+                f"executor {executor_id} registered twice")
+        self._executors[executor_id] = executor
+        if executor.cache is not None:
+            executor.cache.attach_index(self.cache_index, executor_id)
+        if executor_id < self._last_id:
+            self._ordered = False
+        self._last_id = executor_id
+        executor.on_free = self._note_free
+        self._free[executor_id] = None
+        self._epoch += 1
         self.dispatch()
 
     def remove_executor(self, executor: SimExecutor) -> None:
-        self._executors.pop(executor.executor_id, None)
+        if self._executors.pop(executor.executor_id, None) is not None:
+            executor.on_free = None
+            if executor.cache is not None:
+                # Its entries can no longer attract tasks; keep the
+                # reverse index describing only pool members.
+                executor.cache.detach_index()
+        self._free.pop(executor.executor_id, None)
+        self._epoch += 1
+
+    def executor_for(self, executor_id: int) -> Optional[SimExecutor]:
+        """O(1) pool lookup by id (= container id)."""
+        return self._executors.get(executor_id)
+
+    def _note_free(self, executor: SimExecutor) -> None:
+        self._free[executor.executor_id] = None
+        self._epoch += 1
 
     @property
     def executors(self) -> list[SimExecutor]:
@@ -163,17 +236,62 @@ class TaskScheduler:
         self.dispatch()
 
     def dispatch(self) -> None:
-        """Assign as many queued tasks as free slots allow."""
-        while self._queue:
-            candidates = [e for e in self._executors.values()
-                          if e.alive and e.free_slots > 0]
+        """Assign as many queued tasks as free slots allow.
+
+        The candidate list is cached on the instance and reused while the
+        epoch stands still: a consumed last slot prunes the picked
+        executor in place, and any other pool mutation — a freed slot, an
+        executor arriving or leaving, a reentrant dispatch triggered by
+        the assignment callback — bumps ``_epoch`` and forces a rebuild.
+        The pruned/rebuilt list is element-for-element what a fresh scan
+        would produce, so policy decisions (and parity) are unchanged;
+        every executor-death path removes the executor from the pool
+        (bumping the epoch) before any dispatch can consult the cache.
+        """
+        queue = self._queue
+        while queue:
+            candidates = self._candidates()
             if not candidates:
                 return
-            task = self._queue.popleft()
+            task = queue.popleft()
             executor = self._policy.pick(task, candidates)
             if executor is None:
-                self._queue.appendleft(task)
+                queue.appendleft(task)
                 return
             if not executor.acquire_slot():
                 raise SchedulingError("policy picked a full executor")
+            self._epoch += 1
+            if executor.free_slots == 0:
+                candidates.remove(executor)
+            # The pruned list is still exactly what a rebuild would give.
+            self._cand_epoch = self._epoch
             task.assign(executor)
+
+    def _candidates(self) -> list[SimExecutor]:
+        if self._cand_epoch == self._epoch:
+            return self._cand_cache
+        if not self._ordered:
+            candidates = [e for e in self._executors.values()
+                          if e.alive and e.free_slots > 0]
+            self._cand_cache = candidates
+            self._cand_epoch = self._epoch
+            return candidates
+        executors = self._executors
+        free = self._free
+        candidates = []
+        stale = None
+        for executor_id in sorted(free):
+            executor = executors.get(executor_id)
+            if executor is not None and executor.alive \
+                    and executor.free_slots > 0:
+                candidates.append(executor)
+            else:
+                if stale is None:
+                    stale = []
+                stale.append(executor_id)
+        if stale is not None:
+            for executor_id in stale:
+                del free[executor_id]
+        self._cand_cache = candidates
+        self._cand_epoch = self._epoch
+        return candidates

@@ -23,10 +23,12 @@ from repro.cluster.network import NetworkModel
 from repro.cluster.resources import (NodeSpec, RESERVED_NODE,
                                      TRANSIENT_NODE)
 from repro.cluster.storage import InputStore
-from repro.core.exec.attempt import ACTIVE_STATES, TaskAttempt, TaskState
+from repro.core.exec import records
+from repro.core.exec.attempt import TaskAttempt, TaskState
 from repro.core.exec.executor import SimExecutor
 from repro.core.exec.fetch import FetchService, RetryPolicy
 from repro.core.exec.outputs import OutputRegistry
+from repro.core.exec.records import AttemptTable
 from repro.core.runtime.scheduler import SchedulingPolicy, TaskScheduler
 from repro.dataflow.dag import LogicalDAG, SourceKind
 from repro.errors import ExecutionError
@@ -199,6 +201,10 @@ class MasterBase:
         self.tracer = ctx.tracer
         self.scheduler = TaskScheduler(scheduling_policy)
         self.scheduler.attach_tracer(ctx.tracer, self.sim)
+        #: One packed attempt table shared by every task of the job (see
+        #: :mod:`repro.core.exec.records`); subclasses pass it into task
+        #: construction.
+        self.attempts = AttemptTable()
         self.outputs = OutputRegistry(tracer=ctx.tracer, sim=self.sim)
         self.fetch = FetchService(
             input_store=ctx.input_store, scheduler=self.scheduler,
@@ -265,19 +271,39 @@ class MasterBase:
                           callback: Callable[[], None]) -> None:
         self.sim.schedule_fast(seconds, callback)
 
-    def _relaunch_lost(self, tasks, executor: SimExecutor, cause: str,
-                       cause_ref: Optional[int] = None) -> None:
-        """Relaunch the active attempts scheduled on a lost executor."""
-        for task in tasks:
-            if task.executor is executor and task.status in ACTIVE_STATES:
-                self._trace_relaunch(task, cause, cause_ref=cause_ref)
-                task.reset()
-                self._resubmit(task)
+    def _relaunch_lost(self, executor: SimExecutor, cause: str,
+                       cause_ref: Optional[int] = None,
+                       within: Optional[Callable[[TaskAttempt], bool]] = None,
+                       ) -> None:
+        """Relaunch the active attempts scheduled on a lost executor.
+
+        Sweeps only the attempt table's per-executor row bucket instead of
+        every task of every stage; ``within`` optionally restricts the
+        sweep (Pado relaunches stage by stage, interleaved with its
+        per-stage output purges). Rows come back in task-creation order,
+        matching the full scans this replaced.
+        """
+        table = self.attempts
+        rows = table.rows_on(executor.executor_id)
+        if not rows:
+            return
+        status = table.status
+        for row in rows:
+            if not records.FETCHING <= status[row] <= records.DELIVERING:
+                continue
+            task = table.tasks[row]
+            if task.executor is not executor:
+                continue
+            if within is not None and not within(task):
+                continue
+            self._trace_relaunch(task, cause, cause_ref=cause_ref)
+            task.reset()
+            self._resubmit(task)
 
     def _find_executor(self, container) -> Optional[SimExecutor]:
-        for executor in self.scheduler.executors:
-            if executor.container is container:
-                return executor
+        executor = self.scheduler.executor_for(container.container_id)
+        if executor is not None and executor.container is container:
+            return executor
         for executor in self._extra_executors():
             if executor.container is container:
                 return executor

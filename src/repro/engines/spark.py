@@ -38,8 +38,9 @@ __all__ = ["SparkEngine", "SparkMaster", "transfer_share"]
 
 
 class _SparkTask(TaskAttempt):
-    def __init__(self, chain: FusedOperator, index: int) -> None:
-        super().__init__()
+    def __init__(self, chain: FusedOperator, index: int,
+                 table=None) -> None:
+        super().__init__(table)
         self.chain = chain
         self.index = index
         self.master: Optional["SparkMaster"] = None
@@ -54,13 +55,14 @@ class _SparkTask(TaskAttempt):
 
 class _ChainRun:
     def __init__(self, chain: FusedOperator, on_driver: bool,
-                 is_sink: bool) -> None:
+                 is_sink: bool, table=None) -> None:
         self.chain = chain
         self.on_driver = on_driver
         self.is_sink = is_sink
         self.started = False
         self.trace_open = False   # StageStart emitted, StageEnd pending
-        self.tasks = [_SparkTask(chain, i) for i in range(chain.parallelism)]
+        self.tasks = [_SparkTask(chain, i, table)
+                      for i in range(chain.parallelism)]
 
 
 class SparkMaster(MasterBase):
@@ -84,7 +86,8 @@ class SparkMaster(MasterBase):
         for chain in self.chains:
             on_driver = chain.parallelism == 1
             is_sink = chain.terminal.name in sink_names
-            self.runs[chain.name] = _ChainRun(chain, on_driver, is_sink)
+            self.runs[chain.name] = _ChainRun(chain, on_driver, is_sink,
+                                              table=self.attempts)
         self._stage_index = {chain.name: i
                              for i, chain in enumerate(self.chains)}
         self.driver = self._make_driver()
@@ -303,7 +306,9 @@ class SparkMaster(MasterBase):
         # Re-check the parents that broke this attempt *now*: any of them
         # may have been recomputed while the other fetches were draining.
         missing = []
-        for pkey in failed_parents:
+        # Sorted: set iteration is hash-seeded per process, and recompute
+        # submission order steers scheduling — keep runs reproducible.
+        for pkey in sorted(failed_parents):
             if not self.outputs.reachable(pkey):
                 missing.append(pkey)
         if not missing:
@@ -478,9 +483,11 @@ class SparkMaster(MasterBase):
         self.scheduler.remove_executor(executor)
         # All local state — including local-disk map outputs — is destroyed.
         lost_outputs = self.outputs.mark_executor_lost(executor)
-        for run in self.runs.values():
-            self._relaunch_lost(run.tasks, executor, "eviction",
-                                cause_ref=container.container_id)
+        # One table sweep replaces the per-run loops: rows come back in
+        # task-creation order, which is runs-in-submission-order — the
+        # same order the loops produced.
+        self._relaunch_lost(executor, "eviction",
+                            cause_ref=container.container_id)
         # Spark's ExecutorLost handling: map outputs lost while their stage
         # is still running are resubmitted right away, overlapping with the
         # remaining tasks; outputs of *completed* stages are recomputed

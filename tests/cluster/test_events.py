@@ -272,3 +272,90 @@ def test_small_cancellation_storms_skip_compaction():
     assert sim.cancelled_pending == 20
     sim.run()
     assert sim.events_processed == 0
+
+
+# ----------------------------------------------------------------------
+# calendar queue (timer wheel)
+
+
+def test_wheel_parks_far_future_events_off_the_heap():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule_wheel(1000.0 + i, lambda i=i: fired.append(i))
+    assert sim.pending_events == 10
+    assert len(sim._heap) == 0          # all parked in buckets
+    sim.run()
+    assert fired == list(range(10))
+    assert sim.pending_events == 0
+
+
+def test_wheel_near_term_delays_go_straight_to_heap():
+    sim = Simulator()
+    sim.schedule_wheel(1.0, lambda: None)
+    assert len(sim._heap) == 1
+    assert sim._wheel_count == 0
+
+
+def test_wheel_merge_preserves_time_priority_seq_order():
+    sim = Simulator()
+    fired = []
+    # Same timestamp reached three ways: wheel, heap fast path, and a
+    # handle-returning schedule. Insertion order must win the tie.
+    sim.schedule_wheel(200.0, lambda: fired.append("wheel"))
+    sim.schedule_fast(200.0, lambda: fired.append("fast"))
+    sim.schedule(200.0, lambda: fired.append("handle"))
+    sim.schedule_fast(200.0, lambda: fired.append("urgent"), priority=-1)
+    sim.run()
+    assert fired == ["urgent", "wheel", "fast", "handle"]
+
+
+def test_schedule_at_seq_routes_far_future_to_wheel():
+    sim = Simulator()
+    fired = []
+    seq = sim.take_seq()
+    sim.schedule_at_seq(500.0, seq, lambda: fired.append("far"))
+    assert sim._wheel_count == 1
+    near = sim.take_seq()
+    sim.schedule_at_seq(1.0, near, lambda: fired.append("near"))
+    assert len(sim._heap) == 1
+    sim.run()
+    assert fired == ["near", "far"]
+    assert sim.now == 500.0
+
+
+def test_wheel_rejects_negative_and_nan_delays():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_wheel(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_wheel(math.nan, lambda: None)
+
+
+def test_wheel_spills_before_equal_time_heap_event_pops():
+    # A bucket whose start equals the heap front's time must merge first:
+    # the bucket may hold an entry with the same timestamp but an earlier
+    # seq (or lower priority) than the heap front.
+    sim = Simulator()
+    fired = []
+    sim.schedule_wheel(128.0, lambda: fired.append("bucketed"))
+    sim.schedule_at_fast(128.0, lambda: fired.append("heap"))
+    # Bucket start (128.0 // 64 * 64 == 128.0) == heap front time.
+    sim.run()
+    assert fired == ["bucketed", "heap"]
+
+
+def test_wheel_events_interleave_with_dynamic_near_term_work():
+    sim = Simulator()
+    fired = []
+    sim.schedule_wheel(300.0, lambda: fired.append(("evict", sim.now)))
+
+    def tick():
+        fired.append(("tick", sim.now))
+        if sim.now < 400.0:
+            sim.schedule_fast(100.0, tick)
+
+    sim.schedule_fast(100.0, tick)
+    sim.run()
+    assert fired == [("tick", 100.0), ("tick", 200.0), ("evict", 300.0),
+                     ("tick", 300.0), ("tick", 400.0)]

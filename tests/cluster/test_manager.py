@@ -119,6 +119,31 @@ def test_schedule_failure_fires_later():
     assert not victim.alive
 
 
+def test_slot_arrays_stay_dense_across_eviction_generations():
+    """Evict, replace, evict the replacement: every generation reuses its
+    predecessor's slot, so the parallel slot arrays never grow past the
+    fleet size while the history list records every launch."""
+    sim, rm = make_rm(ExponentialLifetimeModel(5.0))
+    rm.allocate(1, 3)
+    sim.run(until=100.0)
+    assert rm.evictions > 3                 # several generations per slot
+    assert len(rm.slot_kind) == 4           # fleet size, not launch count
+    assert len(rm.containers) == 4 + rm.evictions
+    # The live view reads straight from the slot arrays.
+    live = rm.reserved_containers() + rm.transient_containers()
+    assert len(live) == 4
+    for container in live:
+        assert container.alive
+        assert rm.slot_container[container.slot] is container
+        assert rm.slot_alive[container.slot]
+        assert rm.slot_kind[container.slot] is container.kind
+        assert rm.slot_launched[container.slot] == container.launched_at
+    # Every dead generation shares a slot with exactly one live container.
+    for container in rm.containers:
+        if not container.alive:
+            assert rm.slot_container[container.slot] is not container
+
+
 def test_determinism_same_seed_same_lifetimes():
     def lifetimes(seed):
         sim, rm = make_rm(ExponentialLifetimeModel(7.0), seed=seed)

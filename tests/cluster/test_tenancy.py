@@ -221,6 +221,101 @@ def test_wave_revokes_colocated_jobs_atomically():
     assert pool.reserved_in_use("a") == 1 and pool.reserved_in_use("b") == 1
 
 
+def _replay_container_seconds(pool, now, job_id=None, tenant=None):
+    """Recompute container-seconds from the full lease history — the
+    O(history) scan the O(1) counters replaced. Any slot-recycling bug
+    that aliases accounting shows up as a mismatch against this."""
+    total = 0.0
+    for lease in pool.history:
+        if job_id is not None and lease.job_id != job_id:
+            continue
+        if tenant is not None and lease.tenant != tenant:
+            continue
+        until = lease.released_at if lease.released_at is not None else now
+        total += until - lease.granted_at
+    return total
+
+
+def _check_slot_invariants(pool):
+    """Every active lease owns exactly the slot that points back at it,
+    and the free lists partition the remaining slot space."""
+    occupied = {}
+    for job_id in pool.active_jobs():
+        for lease in pool._active[job_id]:
+            assert pool.slot_lease[lease.slot] is lease
+            assert lease.slot not in occupied, \
+                f"slot {lease.slot} aliased by two active leases"
+            occupied[lease.slot] = lease
+    free = set(pool._free_reserved) | set(pool._free_transient)
+    assert not (free & set(occupied)), "free list overlaps occupied slots"
+    assert len(free) + len(occupied) == pool.num_reserved + pool.num_transient
+    assert len(pool._free_reserved) + pool._used_reserved == pool.num_reserved
+    assert len(pool._free_transient) + pool._used_transient == \
+        pool.num_transient
+
+
+def test_slot_reuse_across_waves_never_aliases_accounting():
+    """Evict, replace in-slot, evict the replacement: three generations of
+    leases share one slot index, and the recycled slot must never leak one
+    generation's container-seconds into another."""
+    pool = LeasePool(1, 2)
+    pool.lease("j1", "a", 1, 2, 0.0)
+    rng = np.random.default_rng(7)
+    first_slots = sorted(lease.slot for lease in pool._active["j1"]
+                         if lease.kind is ContainerKind.TRANSIENT)
+
+    pool.revoke_wave(10.0, 1.0, rng)       # generation 1 dies at t=10
+    pool.revoke_wave(25.0, 1.0, rng)       # its replacement dies at t=25
+    _check_slot_invariants(pool)
+
+    # Replacements inherited the revoked slots: the fleet's slot occupancy
+    # is unchanged across both waves.
+    live_slots = sorted(lease.slot for lease in pool._active["j1"]
+                        if lease.kind is ContainerKind.TRANSIENT)
+    assert live_slots == first_slots
+    generations = [lease for lease in pool.history
+                   if lease.kind is ContainerKind.TRANSIENT]
+    assert len(generations) == 6           # 2 slots x 3 generations
+    assert {lease.slot for lease in generations} == set(first_slots)
+
+    # Each generation accrued only its own lifetime; the O(1) counters
+    # agree with a full history replay at several probe times.
+    for now in (25.0, 40.0):
+        assert pool.container_seconds(job_id="j1", now=now) == \
+            pytest.approx(_replay_container_seconds(pool, now))
+        assert pool.container_seconds(tenant="a", now=now) == \
+            pytest.approx(_replay_container_seconds(pool, now, tenant="a"))
+    # 1 reserved + 2 transient slots, each continuously held 0..40.
+    assert pool.container_seconds(job_id="j1", now=40.0) == \
+        pytest.approx(3 * 40.0)
+
+
+def test_released_slot_reuse_keeps_jobs_accounting_separate():
+    """A slot freed by one job's release and re-leased to another job
+    must start accruing from zero for the new job, and the old job's
+    total must stay frozen."""
+    pool = LeasePool(1, 1)
+    pool.lease("j1", "a", 1, 1, 0.0)
+    rng = np.random.default_rng(3)
+    pool.revoke_wave(5.0, 1.0, rng)        # churn the slot once first
+    total_j1 = pool.release_job("j1", 20.0)
+    assert total_j1 == pytest.approx(2 * 20.0)
+    _check_slot_invariants(pool)
+
+    pool.lease("j2", "b", 1, 1, 30.0)      # recycles j1's exact slots
+    _check_slot_invariants(pool)
+    assert pool.container_seconds(job_id="j2", now=30.0) == 0.0
+    assert pool.container_seconds(job_id="j2", now=45.0) == \
+        pytest.approx(2 * 15.0)
+    # j1's history is frozen; j2's accrual never bleeds into it.
+    assert pool.container_seconds(job_id="j1", now=45.0) == \
+        pytest.approx(total_j1)
+    assert pool.container_seconds(tenant="a", now=45.0) == \
+        pytest.approx(total_j1)
+    assert pool.container_seconds(now=45.0) == \
+        pytest.approx(total_j1 + 2 * 15.0)
+
+
 # ----------------------------------------------------------------------
 # the cluster loop (stub executors)
 

@@ -23,6 +23,7 @@ class _Task(TaskAttempt):
 
 class _Exec:
     alive = True
+    executor_id = 0
 
 
 def test_happy_path_walks_the_full_lifecycle():

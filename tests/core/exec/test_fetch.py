@@ -20,9 +20,13 @@ class _Task(TaskAttempt):
 
 
 class _Exec:
+    _next_id = 0
+
     def __init__(self, alive=True):
         self.alive = alive
         self.released = 0
+        self.executor_id = _Exec._next_id
+        _Exec._next_id += 1
 
     def release_slot(self):
         self.released += 1

@@ -4,8 +4,12 @@ from repro.core.exec import OutputRecord, OutputRegistry
 
 
 class _Exec:
+    _next_id = 0
+
     def __init__(self, alive=True):
         self.alive = alive
+        self.executor_id = _Exec._next_id
+        _Exec._next_id += 1
 
 
 def test_record_reachability_rules():

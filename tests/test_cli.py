@@ -93,3 +93,21 @@ def test_sweep_averaged(capsys):
     out = capsys.readouterr().out
     assert "±" in out
     assert "2 simulated" in out
+
+
+def test_fig9xl_reduced_scale(capsys):
+    assert main(["fig9xl", "--fleet", "200", "--hours", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9xl" in out
+    assert "events/s" in out
+
+
+def test_profile_mtsweep_forces_serial(capsys):
+    argv = ["profile", "mtsweep", "--policy", "fifo", "--load", "0.4",
+            "--eviction", "none", "--jobs", "2", "--workers", "4",
+            "--profile-limit", "5"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "forcing --workers 0" in out   # subprocesses escape cProfile
+    assert "policy=fifo" in out           # the sweep still ran
+    assert "function calls" in out        # ...inside the profiler
