@@ -14,6 +14,16 @@ benchmark silently disappearing is how regressions hide); cells only in
 the fresh run are reported but pass — commit a regenerated baseline to
 start tracking them.
 
+Two baseline formats are understood: pytest-benchmark JSON (cells are
+benchmark names, means are wall-time) and sweep-row lists as written by
+``python -m repro psweep --out`` (cells are workload/regime/variant rows,
+"means" are simulated JCT seconds — the sweep is deterministic, so a
+fresh run diverging beyond the threshold means the engine's *behavior*
+changed, not the machine's speed)::
+
+    python scripts/compare_bench.py \
+        --baseline benchmarks/BENCH_prediction.json --fresh fresh.json
+
 Zero dependencies beyond the standard library.
 """
 
@@ -26,8 +36,11 @@ import sys
 
 
 def load_means(path: pathlib.Path) -> dict[str, float]:
-    """``{cell name: mean seconds}`` from a pytest-benchmark JSON file."""
+    """``{cell name: mean seconds}`` from a benchmark JSON file."""
     data = json.loads(path.read_text())
+    if isinstance(data, list):
+        return {"{workload}/{regime}/{variant}".format(**row):
+                row["jct_minutes"] * 60.0 for row in data}
     return {bench["name"]: bench["stats"]["mean"]
             for bench in data["benchmarks"]}
 

@@ -7,6 +7,8 @@ Usage::
     python -m repro fig2 --trace traces/
     python -m repro sweep --workload mr --averaged --workers 4 --cache .cache
     python -m repro mtsweep --policy fair --load 0.8 [--eviction high]
+    python -m repro mtsweep --reserve fixed,elastic --load 0.8,1.1
+    python -m repro psweep [--pworkloads fanout] [--out BENCH.json]
     python -m repro fig9xl [--fleet 10000] [--hours 1.75]
     python -m repro profile fig7 [--profile-limit 40] [--profile-out f.pstats]
     python -m repro profile mtsweep --policy fair --load 0.8 --jobs 20
@@ -134,26 +136,53 @@ def _run_mtsweep(args) -> str:
     policies = SWEEP_POLICIES if args.policy == "all" else (args.policy,)
     loads = _parse_csv(args.load, float)
     evictions = _parse_csv(args.eviction)
+    reserves = _parse_csv(args.reserve)
     parts = []
     summaries = []
     for load in loads:
         for eviction in evictions:
             for policy in policies:
-                config = make_cell_config(policy, load, eviction,
-                                          num_jobs=args.jobs,
-                                          seed=args.seed)
-                result = run_multitenant_cell(config, runner=runner)
-                summaries.append(cell_summary(config, result))
-                parts.append(jct_table(
-                    result,
-                    title=(f"Multi-tenant JCT (minutes): policy={policy} "
-                           f"load={load} eviction={eviction} "
-                           f"jobs={args.jobs} seed={args.seed}")))
+                for reserve in reserves:
+                    config = make_cell_config(policy, load, eviction,
+                                              num_jobs=args.jobs,
+                                              seed=args.seed,
+                                              reserve=reserve)
+                    result = run_multitenant_cell(config, runner=runner)
+                    summaries.append(cell_summary(config, result))
+                    parts.append(jct_table(
+                        result,
+                        title=(f"Multi-tenant JCT (minutes): "
+                               f"policy={policy} load={load} "
+                               f"eviction={eviction} reserve={reserve} "
+                               f"jobs={args.jobs} seed={args.seed}")))
     if args.out is not None:
         out = pathlib.Path(args.out)
         out.write_text(json.dumps(summaries, indent=1, sort_keys=True)
                        + "\n")
         parts.append(f"[mtsweep] {len(summaries)} cell summaries -> {out}")
+    parts.append(f"[runner] {runner.stats}")
+    return "\n\n".join(parts)
+
+
+def _run_psweep(args) -> str:
+    """Prediction sweep: static vs predictive Pado under correlated
+    eviction waves (see docs/PREDICTION.md)."""
+    import json
+
+    from repro.bench.prediction import (SWEEP_WORKLOADS, prediction_sweep,
+                                        prediction_table)
+    runner = _runner_for(args)
+    workloads = (_parse_csv(args.pworkloads) if args.pworkloads
+                 else SWEEP_WORKLOADS)
+    rows = prediction_sweep(workloads=workloads, scale=args.scale,
+                            seed=args.seed, runner=runner)
+    parts = [prediction_table(
+        rows, title=(f"Prediction sweep: static vs predictive Pado "
+                     f"(seed={args.seed})"))]
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(rows, indent=1, sort_keys=True) + "\n")
+        parts.append(f"[psweep] {len(rows)} cell rows -> {out}")
     parts.append(f"[runner] {runner.stats}")
     return "\n\n".join(parts)
 
@@ -229,7 +258,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "sweep": ("Custom eviction sweep (--workload/--rates/--engines/"
               "--seeds/--averaged)", _run_sweep),
     "mtsweep": ("Multi-tenant cluster: JCT distributions per inter-job "
-                "policy (--policy/--load/--eviction/--jobs)", _run_mtsweep),
+                "policy (--policy/--load/--eviction/--jobs/--reserve)",
+                _run_mtsweep),
+    "psweep": ("Prediction sweep: static vs predictive Pado under "
+               "correlated waves (--pworkloads/--out)", _run_psweep),
     "fig9xl": ("Array-core stress: 10k containers, >1M events "
                "(--fleet/--hours)", _run_fig9xl),
 }
@@ -297,7 +329,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep_args = parser.add_argument_group(
         "sweep", "options for the 'sweep' experiment")
     sweep_args.add_argument("--workload", default="mr",
-                            choices=("als", "mlr", "mr"))
+                            choices=("als", "mlr", "mr", "fanout"))
     sweep_args.add_argument("--rates", default=None,
                             help="comma-separated eviction rates "
                                  "(none,low,medium,high)")
@@ -325,10 +357,18 @@ def main(argv: list[str] | None = None) -> int:
                               "comma-separated (none,low,medium,high)")
     mt_args.add_argument("--jobs", type=int, default=60,
                          help="number of arriving jobs per cell")
+    mt_args.add_argument("--reserve", default="fixed",
+                         help="reserved-pool sizing mode(s), "
+                              "comma-separated (fixed,elastic)")
     mt_args.add_argument("--out", metavar="FILE", default=None,
                          help="also write per-cell JSON summaries to FILE "
                               "(how benchmarks/BENCH_multitenant.json is "
                               "regenerated)")
+    p_args = parser.add_argument_group(
+        "psweep", "options for the 'psweep' experiment")
+    p_args.add_argument("--pworkloads", default=None,
+                        help="comma-separated psweep workloads "
+                             "(default: mlr,mr,fanout)")
     xl_args = parser.add_argument_group(
         "fig9xl", "options for the 'fig9xl' experiment")
     xl_args.add_argument("--fleet", type=int, default=10_000,
@@ -359,10 +399,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:10s} {description}")
         return 0
     if args.experiment == "all":
-        # 'sweep'/'mtsweep' are parameterized and 'fig9xl' is a stress
-        # cell, not paper artifacts; 'all' regenerates the paper set only.
+        # 'sweep'/'mtsweep'/'psweep' are parameterized and 'fig9xl' is a
+        # stress cell, not paper artifacts; 'all' regenerates the paper
+        # set only.
         targets = sorted(name for name in EXPERIMENTS
-                         if name not in ("sweep", "mtsweep", "fig9xl"))
+                         if name not in ("sweep", "mtsweep", "psweep",
+                                         "fig9xl"))
     else:
         targets = [args.experiment]
     for name in targets:

@@ -28,14 +28,16 @@ from repro.trace import (EvictionRate, TraceConfig, analyze_trace,
                          collected_memory_table, generate_trace,
                          refine_trace)
 from repro.trace.models import LifetimeModel, TABLE1_LIFETIME_MINUTES
-from repro.workloads import (als_synthetic_program, mlr_synthetic_program,
-                             mr_synthetic_program)
+from repro.workloads import (als_synthetic_program, fanout_synthetic_program,
+                             mlr_synthetic_program, mr_synthetic_program)
 
 #: Simulated-time cutoff, as in the paper's plots (minutes).
 TIME_LIMIT_MINUTES = 150.0
 
 #: Default workload scales for benchmark runs (wall-time friendly).
-BENCH_SCALES = {"als": 0.25, "mlr": 0.2, "mr": 0.25}
+#: ``fanout`` is not a paper workload — it is the fan-out pipeline of
+#: :mod:`repro.workloads.pipeline`, added for the prediction sweep.
+BENCH_SCALES = {"als": 0.25, "mlr": 0.2, "mr": 0.25, "fanout": 0.2}
 
 MARGIN_LABELS = {"0.1%": 0.001, "1%": 0.01, "5%": 0.05}
 RATE_OF_MARGIN = {"0.1%": "high", "1%": "medium", "5%": "low"}
@@ -53,6 +55,8 @@ def make_workload(name: str, scale: Optional[float] = None) -> Program:
         return mlr_synthetic_program(scale=scale, iterations=3)
     if name == "mr":
         return mr_synthetic_program(scale=scale)
+    if name == "fanout":
+        return fanout_synthetic_program(scale=scale)
     raise ValueError(f"unknown workload {name!r}")
 
 

@@ -30,6 +30,7 @@ from repro.obs.tracer import active_collector
 SWEEP_POLICIES = ("fifo", "fair", "quota")
 SWEEP_LOADS = (0.5, 0.8, 1.1)
 SWEEP_EVICTIONS = ("medium", "high")
+SWEEP_RESERVES = ("fixed",)
 
 
 def spec_for_job(request: JobRequest, waves: WaveOffsets,
@@ -60,10 +61,11 @@ def sweep_executor(config: TenancyConfig, runner: SweepRunner):
 
 
 def make_cell_config(policy: str, load: float, eviction: str,
-                     num_jobs: int = 60, seed: int = 11) -> TenancyConfig:
+                     num_jobs: int = 60, seed: int = 11,
+                     reserve: str = "fixed") -> TenancyConfig:
     """One sweep cell: a policy under an offered load and wave regime."""
     return TenancyConfig(policy=policy, eviction=eviction,
-                         num_jobs=num_jobs, seed=seed,
+                         num_jobs=num_jobs, seed=seed, reserve=reserve,
                          arrival=ArrivalConfig(load=load))
 
 
@@ -119,9 +121,11 @@ def cell_summary(config: TenancyConfig, result: TenancyResult) -> dict:
         "policy": config.policy,
         "load": config.arrival.load,
         "eviction": config.eviction,
+        "reserve": config.reserve,
         "num_jobs": config.num_jobs,
         "seed": config.seed,
         "makespan_minutes": round(result.makespan / 60.0, 3),
+        "pool_resizes": len(result.pool.resizes),
         "waves": len(result.waves),
         "waves_delivered": len(result.pool.waves),
         "containers_revoked": sum(r.containers_revoked
@@ -135,14 +139,17 @@ def cell_summary(config: TenancyConfig, result: TenancyResult) -> dict:
 def multitenant_sweep(policies: Sequence[str] = SWEEP_POLICIES,
                       loads: Sequence[float] = SWEEP_LOADS,
                       evictions: Sequence[str] = SWEEP_EVICTIONS,
+                      reserves: Sequence[str] = SWEEP_RESERVES,
                       num_jobs: int = 60, seed: int = 11,
                       runner: Optional[SweepRunner] = None,
                       workers: int = 0, cache=None) -> list[dict]:
-    """Sweep load x policy x eviction; one summary dict per cell.
+    """Sweep load x policy x eviction x reserve; one summary per cell.
 
     All cells share one runner, so identical inner jobs (same arrival
     schedule under different policies can dispatch a job at the same
-    instant) simulate once per process and cache across runs.
+    instant) simulate once per process and cache across runs. The
+    ``reserves`` axis defaults to fixed-only; pass ``("fixed",
+    "elastic")`` to measure the elasticity controller head to head.
     """
     if runner is None:
         runner = SweepRunner(workers=workers, cache_dir=cache)
@@ -150,8 +157,10 @@ def multitenant_sweep(policies: Sequence[str] = SWEEP_POLICIES,
     for load in loads:
         for eviction in evictions:
             for policy in policies:
-                config = make_cell_config(policy, load, eviction,
-                                          num_jobs=num_jobs, seed=seed)
-                result = run_multitenant_cell(config, runner=runner)
-                summaries.append(cell_summary(config, result))
+                for reserve in reserves:
+                    config = make_cell_config(policy, load, eviction,
+                                              num_jobs=num_jobs, seed=seed,
+                                              reserve=reserve)
+                    result = run_multitenant_cell(config, runner=runner)
+                    summaries.append(cell_summary(config, result))
     return summaries

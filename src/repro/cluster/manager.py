@@ -43,19 +43,24 @@ class TransientPool:
     resources by how long they are expected to survive, letting schedulers
     place heavy work on the longer-lived classes. ``expected_lifetime`` is
     the hint exposed to schedulers; actual lifetimes are sampled from
-    ``lifetime_model``.
+    ``lifetime_model``. ``price_weight`` is the relative cost of the
+    class — the portfolio predictor (:mod:`repro.predict.portfolio`)
+    ranks classes by expected lifetime per unit price.
     """
 
     name: str
     count: int
     lifetime_model: LifetimeModel
     expected_lifetime: float
+    price_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.count < 0:
             raise ResourceError("pool count must be non-negative")
         if self.expected_lifetime <= 0:
             raise ResourceError("expected lifetime must be positive")
+        if self.price_weight <= 0:
+            raise ResourceError("price weight must be positive")
 
 
 class ResourceManager:
@@ -76,6 +81,11 @@ class ResourceManager:
         self._replace_evicted = replace_evicted
         self._on_container: Optional[ContainerCallback] = None
         self._on_eviction: Optional[EvictionCallback] = None
+        # Attached lifetime predictor (repro.predict), fed every witnessed
+        # eviction so online models (hazard) learn the cluster's actual
+        # reclamation dynamics. None by default: nothing observes, nothing
+        # changes.
+        self._predictor = None
         #: Every container ever launched, in launch order (grows with each
         #: replacement; kept for history/tests).
         self.containers: list[Container] = []
@@ -102,6 +112,12 @@ class ResourceManager:
     def on_eviction(self, callback: EvictionCallback) -> None:
         """Register the callback fired when a container dies."""
         self._on_eviction = callback
+
+    def attach_predictor(self, predictor) -> None:
+        """Feed every witnessed eviction to a
+        :class:`~repro.predict.base.LifetimePredictor` as an observed
+        lifetime (the predictor's online learning stream)."""
+        self._predictor = predictor
 
     # ------------------------------------------------------------------
     # allocation
@@ -156,12 +172,11 @@ class ResourceManager:
         else:
             model = pool.lifetime_model if pool is not None \
                 else self._lifetimes
-            # Wave-pinned models (repro.cluster.tenancy) need the launch
-            # time so replacements still die on cluster-wide wave ticks;
-            # ordinary models keep the launch-time-free sampling path.
-            sample_at = getattr(model, "sample_at", None)
-            lifetime = (sample_at(now, self._rng) if sample_at is not None
-                        else model.sample(self._rng))
+            # Every launch goes through sample_at: wave-pinned models
+            # (repro.cluster.tenancy) need the launch time so replacements
+            # still die on cluster-wide wave ticks, and time-homogeneous
+            # models delegate back to sample() unchanged.
+            lifetime = model.sample_at(now, self._rng)
             container = Container(
                 kind=kind, spec=self._transient_spec, lifetime=lifetime,
                 launched_at=now, slot=slot,
@@ -193,6 +208,8 @@ class ResourceManager:
         container.evict(self._sim.now)
         self.slot_alive[container.slot] = False
         self.evictions += 1
+        if self._predictor is not None:
+            self._predictor.observe(self._sim.now - container.launched_at)
         if self.tracer is not None:
             self.tracer.emit(Eviction(
                 time=self._sim.now, container=container.container_id,
@@ -322,6 +339,9 @@ class LeasePool:
         self._used_reserved = 0
         self._used_transient = 0
         self._reserved_by_tenant: dict[str, int] = {}
+        #: ``(time, delta_reserved)`` per elastic conversion (the
+        #: repro.predict.elastic controller's applied decisions).
+        self.resizes: list[tuple[float, int]] = []
         # job/tenant -> [completed_seconds, active_count, granted_at_sum]:
         # container-seconds at time t = completed + active*t - granted_sum.
         self._job_acct: dict[str, list[float]] = {}
@@ -349,6 +369,49 @@ class LeasePool:
 
     def active_jobs(self) -> list[str]:
         return sorted(self._active)
+
+    # ------------------------------------------------------------------
+    # elastic resizing (repro.predict.elastic)
+
+    def convert_transient_to_reserved(self, count: int, now: float) -> int:
+        """Re-dedicate ``count`` *free* transient slots as reserved.
+
+        Slot kind is defined by free-list membership plus the occupying
+        lease's kind — not by index ranges — so a conversion just moves
+        free slot ids between the LIFO stacks and adjusts the capacity
+        counters. Returns ``count``; raises
+        :class:`~repro.errors.ResourceError` when fewer free transient
+        slots exist (the controller must only convert idle capacity).
+        """
+        if count < 0:
+            raise ResourceError("conversion count must be non-negative")
+        if count > len(self._free_transient):
+            raise ResourceError(
+                f"cannot convert {count} transient slots: only "
+                f"{len(self._free_transient)} free")
+        for _ in range(count):
+            self._free_reserved.append(self._free_transient.pop())
+        self.num_transient -= count
+        self.num_reserved += count
+        if count:
+            self.resizes.append((now, count))
+        return count
+
+    def convert_reserved_to_transient(self, count: int, now: float) -> int:
+        """Inverse of :meth:`convert_transient_to_reserved`."""
+        if count < 0:
+            raise ResourceError("conversion count must be non-negative")
+        if count > len(self._free_reserved):
+            raise ResourceError(
+                f"cannot convert {count} reserved slots: only "
+                f"{len(self._free_reserved)} free")
+        for _ in range(count):
+            self._free_transient.append(self._free_reserved.pop())
+        self.num_reserved -= count
+        self.num_transient += count
+        if count:
+            self.resizes.append((now, -count))
+        return count
 
     # ------------------------------------------------------------------
     # grant / release

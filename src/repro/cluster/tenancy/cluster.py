@@ -33,6 +33,7 @@ from repro.cluster.tenancy.arrivals import (ArrivalConfig,
 from repro.cluster.tenancy.policies import (InterJobPolicy,
                                             ReservedQuotaPolicy, make_policy)
 from repro.errors import SimulationError
+from repro.predict.elastic import ElasticReserveController
 
 #: Wave schedules extend this far past the last arrival so jobs that queue
 #: behind a long backlog still see correlated reclamation while running.
@@ -118,6 +119,10 @@ class TenancyConfig:
     #: Inner per-job engine time limit (and the window a job's wave
     #: schedule must cover).
     time_limit_minutes: float = 150.0
+    #: ``"fixed"`` keeps the reserved/transient split static; ``"elastic"``
+    #: lets a :class:`~repro.predict.elastic.ElasticReserveController`
+    #: convert free slots between the tiers between dispatches.
+    reserve: str = "fixed"
     arrival: ArrivalConfig = field(default_factory=ArrivalConfig)
 
     def __post_init__(self) -> None:
@@ -127,6 +132,10 @@ class TenancyConfig:
             raise ValueError("need at least one job")
         if self.time_limit_minutes <= 0:
             raise ValueError("time limit must be positive")
+        if self.reserve not in ("fixed", "elastic"):
+            raise ValueError(
+                f"unknown reserve mode {self.reserve!r}; "
+                f"choose 'fixed' or 'elastic'")
 
 
 @dataclass(frozen=True)
@@ -176,6 +185,9 @@ class MultiTenantCluster:
         # revocation draws (seed+2), so changing e.g. the wave regime
         # never perturbs the arrival schedule.
         self._revoke_rng = np.random.default_rng(config.seed + 2)
+        self.controller: Optional[ElasticReserveController] = None
+        if config.reserve == "elastic":
+            self.controller = ElasticReserveController(config.num_reserved)
 
     # ------------------------------------------------------------------
     # schedule generation and validation
@@ -230,6 +242,8 @@ class MultiTenantCluster:
             record = self._records[job_id]
             record.waves_hit += 1
             record.containers_revoked += count
+        if self.controller is not None:
+            self.controller.record_revocations(now, sum(revoked.values()))
 
     def _on_completion(self, job_id: str) -> None:
         now = self._sim.now
@@ -240,6 +254,10 @@ class MultiTenantCluster:
 
     def _try_dispatch(self) -> None:
         now = self._sim.now
+        if self.controller is not None:
+            # Rebalancing may unblock the head of the queue before the
+            # policy looks at the pool.
+            self.controller.rebalance(now, self.pool, self._queue)
         picked = self.policy.select(tuple(self._queue), self.pool, now)
         if not picked:
             return
@@ -270,6 +288,11 @@ class MultiTenantCluster:
     def run(self) -> TenancyResult:
         """Simulate the whole run; returns once every job has finished."""
         requests = self._generate()
+        if self.controller is not None and requests:
+            # No conversion may ever make a generated demand unsatisfiable.
+            self.controller.set_floors(
+                max(r.num_reserved for r in requests),
+                max(r.num_transient for r in requests))
         for request in requests:
             self._sim.schedule_at_fast(
                 request.arrival_time,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.compiler.placement import recomputation_weight
 from repro.dataflow.dag import (DependencyType, LogicalDAG, Operator,
@@ -97,3 +97,47 @@ def place_with_lifetime_classes(
                         if assignment[op.name].is_reserved
                         else Placement.TRANSIENT)
     return assignment
+
+
+def classes_from_pools(pools: Optional[Sequence],
+                       predictor=None) -> list[ResourceClass]:
+    """Derive the :class:`ResourceClass` list from the cluster's actual
+    transient pools via a predictor.
+
+    This is what promotes the §6 pass from hand-fed constants to a real
+    compilation path: the reserved class is always present, and each
+    :class:`~repro.cluster.manager.TransientPool` contributes one class
+    whose expected lifetime comes from the predictor's fresh-container
+    mean residual estimate (``expected_remaining(0)``) — falling back to
+    the pool's static hint, or, with no pools at all, to a single
+    transient class summarizing the homogeneous fleet.
+    """
+    classes = [ResourceClass("reserved", math.inf)]
+    if pools:
+        for pool in pools:
+            lifetime = pool.expected_lifetime
+            if predictor is not None:
+                estimate = None
+                per_class = getattr(predictor, "class_expected_remaining",
+                                    None)
+                if per_class is not None:
+                    try:
+                        estimate = per_class(pool.name, 0.0)
+                    except KeyError:
+                        estimate = None
+                if estimate is None:
+                    estimate = predictor.expected_remaining(0.0)
+                if math.isfinite(estimate) and estimate > 0:
+                    lifetime = estimate
+            classes.append(ResourceClass(pool.name, lifetime))
+    else:
+        lifetime = math.inf
+        if predictor is not None:
+            lifetime = predictor.expected_remaining(0.0)
+        if math.isinf(lifetime):
+            # Homogeneous eviction-free fleet: everything flexible may as
+            # well be "transient" with an unbounded estimate — use a large
+            # finite stand-in so the class is not mistaken for reserved.
+            lifetime = 1e12
+        classes.append(ResourceClass("transient", lifetime))
+    return classes

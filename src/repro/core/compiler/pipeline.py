@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.compiler.partitioning import (StageDAG, check_partitioning,
                                               partition_stages)
 from repro.core.compiler.placement import check_placement, place_operators
 from repro.dataflow.dag import LogicalDAG
+from repro.errors import CompilerError
 
 
 @dataclass
@@ -16,6 +18,10 @@ class CompiledJob:
 
     logical: LogicalDAG
     stage_dag: StageDAG
+    #: Operator name -> resource-class name, filled in by the §6
+    #: lifetime-placement path (None under Algorithm 1). The runtime
+    #: scheduler uses it to match tasks to §6 pool classes.
+    class_of: Optional[dict[str, str]] = None
 
     @property
     def num_stages(self) -> int:
@@ -37,11 +43,35 @@ class CompiledJob:
         return "\n".join(lines)
 
 
-def compile_program(dag: LogicalDAG) -> CompiledJob:
-    """Run the full Pado compilation: Algorithm 1 then Algorithm 2,
-    with the invariants of both checked."""
-    place_operators(dag)
+def compile_program(dag: LogicalDAG, placement: str = "algorithm1",
+                    classes: Optional[Sequence] = None) -> CompiledJob:
+    """Run the full Pado compilation with a selectable placement pass.
+
+    ``placement="algorithm1"`` (default) is the paper's binary
+    reserved/transient split. ``placement="lifetime"`` runs the §6
+    lifetime-class pass instead, spreading flexible operators over the
+    given :class:`~repro.core.compiler.lifetime_placement.ResourceClass`
+    list (heavier recomputation weight → longer-lived class) and
+    recording the operator→class map in
+    :attr:`CompiledJob.class_of`. Algorithm 2 partitions the placed DAG
+    identically in both paths.
+    """
+    if placement == "algorithm1":
+        place_operators(dag)
+        class_of = None
+    elif placement == "lifetime":
+        from repro.core.compiler.lifetime_placement import \
+            place_with_lifetime_classes
+        if classes is None:
+            raise CompilerError(
+                "placement='lifetime' needs a ResourceClass list "
+                "(see classes_from_pools)")
+        assignment = place_with_lifetime_classes(dag, classes)
+        class_of = {name: cls.name for name, cls in assignment.items()}
+    else:
+        raise CompilerError(f"unknown placement pass {placement!r}; "
+                            f"choose 'algorithm1' or 'lifetime'")
     check_placement(dag)
     stage_dag = partition_stages(dag)
     check_partitioning(stage_dag)
-    return CompiledJob(logical=dag, stage_dag=stage_dag)
+    return CompiledJob(logical=dag, stage_dag=stage_dag, class_of=class_of)

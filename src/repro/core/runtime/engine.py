@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.core.compiler.pipeline import compile_program
@@ -12,6 +13,15 @@ from repro.engines.base import EngineBase, Program, SimContext
 
 class PadoEngine(EngineBase):
     """Pado: compiler-placed execution over transient + reserved containers.
+
+    With the default config this is the paper's engine: Algorithm 1
+    placement, no predictor, no proactive pushes. Setting
+    ``placement="lifetime"`` (plus optionally ``predictor=`` and
+    ``proactive_push=True``) turns on the §6 prediction stack — the
+    compiler spreads operators over predictor-derived resource classes, a
+    :class:`~repro.core.runtime.scheduler.RiskAwarePolicy` matches tasks
+    to pools at schedule time, and the master re-replicates at-risk local
+    outputs ahead of predicted evictions (docs/PREDICTION.md).
 
     Example
     -------
@@ -27,8 +37,34 @@ class PadoEngine(EngineBase):
         self.config = config or PadoRuntimeConfig()
 
     def _start(self, ctx: SimContext, program: Program) -> PadoMaster:
-        compiled = compile_program(program.dag)
+        config = self.config
+        predictor = None
+        if (config.placement == "lifetime" or config.predictor is not None
+                or config.proactive_push):
+            from repro.predict import make_predictor
+            predictor = make_predictor(
+                config.predictor or "static", ctx.cluster.lifetime_model(),
+                pools=ctx.cluster.transient_pools,
+                horizon=config.push_horizon)
+            ctx.rm.attach_predictor(predictor)
+        if config.placement == "lifetime":
+            from repro.core.compiler.lifetime_placement import \
+                classes_from_pools
+            classes = classes_from_pools(ctx.cluster.transient_pools,
+                                         predictor)
+            compiled = compile_program(program.dag, placement="lifetime",
+                                       classes=classes)
+            if config.scheduling_policy is None:
+                from repro.core.runtime.scheduler import RiskAwarePolicy
+                config = dataclasses.replace(
+                    config, scheduling_policy=RiskAwarePolicy(
+                        predictor, class_of=compiled.class_of))
+        else:
+            compiled = compile_program(program.dag,
+                                       placement=config.placement)
         plan = build_execution_plan(compiled)
-        master = PadoMaster(ctx, program, plan, self.config)
+        master = PadoMaster(ctx, program, plan, config)
+        if config.proactive_push:
+            master.enable_proactive_push(predictor)
         master.start()
         return master

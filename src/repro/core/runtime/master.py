@@ -47,13 +47,23 @@ from repro.dataflow.dag import (DependencyType, Edge, destination_indices,
 from repro.engines.base import (MasterBase, Program, SimContext,
                                 SimExecutor)
 from repro.errors import ExecutionError
-from repro.obs.events import StageEnd, StageStart, TaskCommitted, TaskPushed, \
-    TaskStart
+from repro.obs.events import PredictedEviction, ProactivePush, StageEnd, \
+    StageStart, TaskCommitted, TaskPushed, TaskStart
 
 
 @dataclass(frozen=True)
 class PadoRuntimeConfig:
-    """Runtime knobs (§3.2.7 optimizations are on by default)."""
+    """Runtime knobs (§3.2.7 optimizations are on by default).
+
+    The prediction knobs (all default-off) select the §6 lifetime
+    extension: ``placement`` switches the compiler pass, ``predictor``
+    names a :func:`repro.predict.base.make_predictor` model, and
+    ``proactive_push`` arms the master's re-replication loop — every
+    ``push_check_interval`` simulated seconds, local outputs sitting on
+    containers whose predicted eviction probability within
+    ``push_horizon`` exceeds ``push_threshold`` are copied to a reserved
+    home ahead of the eviction (see docs/PREDICTION.md).
+    """
 
     enable_caching: bool = True
     enable_partial_aggregation: bool = True
@@ -63,6 +73,12 @@ class PadoRuntimeConfig:
     scheduling_policy: Optional[SchedulingPolicy] = None
     progress_replication_interval: float = 30.0
     retry_policy: Optional[RetryPolicy] = None
+    placement: str = "algorithm1"
+    predictor: Optional[str] = None
+    proactive_push: bool = False
+    push_threshold: float = 0.4
+    push_horizon: float = 120.0
+    push_check_interval: float = 30.0
 
 
 class _TransientTask(TaskAttempt):
@@ -186,6 +202,17 @@ class PadoMaster(MasterBase):
         self._forced_mo_dst: dict[tuple, int] = {}
         self.commit_count = 0
         self.reserved_repairs = 0
+        # Proactive re-replication state (enable_proactive_push). Replicas
+        # are keyed (stage index, producer key) and hold the same
+        # (executor, size, payload) shape as _StageRun.local_outputs, with
+        # the executor a reserved one.
+        self._push_predictor = None
+        self._predicted: set[int] = set()
+        self._replicas: dict[tuple, tuple] = {}
+        self._replicating: set[tuple] = set()
+        self.proactive_pushes = 0
+        self.recomputes_avoided = 0
+        self.predicted_evictions = 0
         # Progress metadata "replicated" for master fault tolerance (§3.2.6).
         self.replicated_done_stages: set[int] = set()
         self._snapshot_progress()
@@ -206,11 +233,16 @@ class PadoMaster(MasterBase):
         return self.plan.total_tasks
 
     def result_extras(self) -> dict:
-        return {
+        extras = {
             "commits": self.commit_count,
             "reserved_repairs": self.reserved_repairs,
             "stages": len(self.stage_runs),
         }
+        if self._push_predictor is not None:
+            extras["proactive_pushes"] = self.proactive_pushes
+            extras["recomputes_avoided"] = self.recomputes_avoided
+            extras["predicted_evictions"] = self.predicted_evictions
+        return extras
 
     # ==================================================================
     # startup and container management
@@ -241,6 +273,127 @@ class PadoMaster(MasterBase):
             raise ExecutionError("all reserved executors lost")
         self._reserved_cursor = (self._reserved_cursor + 1) % len(alive)
         return alive[self._reserved_cursor]
+
+    # ==================================================================
+    # proactive re-replication (predicted evictions)
+
+    def enable_proactive_push(self, predictor) -> None:
+        """Arm the predictor-driven re-replication loop.
+
+        Every ``config.push_check_interval`` simulated seconds the master
+        ranks live transient containers by predicted eviction probability
+        within ``config.push_horizon`` and, for each container crossing
+        ``config.push_threshold``, copies its retained local outputs to a
+        reserved executor. When the eviction then lands, the replica is
+        swapped into ``local_outputs`` and the producer never re-runs —
+        the recompute is *avoided* rather than suffered (the lineage
+        category ``recompute_avoided``).
+        """
+        self._push_predictor = predictor
+        self.sim.schedule_fast(self.config.push_check_interval,
+                               self._push_tick)
+
+    def _push_tick(self) -> None:
+        if self.completed:
+            return
+        predictor = self._push_predictor
+        now = self.sim.now
+        threshold = self.config.push_threshold
+        horizon = self.config.push_horizon
+        for container in predictor.risk_rank(
+                self.ctx.rm.transient_containers(), now):
+            age = max(0.0, now - container.launched_at)
+            probability = predictor.eviction_probability(age, horizon)
+            if probability < threshold:
+                break  # ranked: everything after is safer still
+            if container.container_id not in self._predicted:
+                self._predicted.add(container.container_id)
+                self.predicted_evictions += 1
+                if self.tracer is not None:
+                    self.tracer.emit(PredictedEviction(
+                        time=now, container=container.container_id,
+                        probability=probability, age=age))
+            self._protect(container)
+        self.sim.schedule_fast(self.config.push_check_interval,
+                               self._push_tick)
+
+    def _protect(self, container) -> None:
+        """Replicate every local output held on an at-risk container."""
+        executor = self._find_executor(container)
+        if executor is None or not executor.alive:
+            return
+        # Aggregation batches buffered on the executor would die with it;
+        # flush them out ahead of the predicted eviction.
+        for key in list(self._buffers_by_executor.get(
+                executor.executor_id, [])):
+            buffer = self._agg_buffers.get(key)
+            if buffer is not None and buffer.pending_count:
+                buffer.flush()
+        for run in self.stage_runs:
+            if run.status is not _StageRun.RUNNING:
+                continue
+            stage_index = run.pstage.index
+            # Sorted for reproducibility: replica transfers contend on
+            # network ports, so issue order steers the simulation.
+            for pkey in sorted(run.local_outputs):
+                entry = run.local_outputs[pkey]
+                if entry[0] is not executor:
+                    continue
+                rkey = (stage_index, pkey)
+                if rkey in self._replicas or rkey in self._replicating:
+                    continue
+                if not self._replica_needed(run, pkey):
+                    continue
+                self._replicate(run, pkey, entry)
+
+    def _replica_needed(self, run: _StageRun, pkey: tuple) -> bool:
+        """Whether some intra-stage consumer has yet to pull this output.
+
+        Once every consumer has its share on board, losing the retained
+        copy costs nothing (nobody will call ``_ensure_local_output`` for
+        it), so replicating it would only burn network the real fetches
+        need.
+        """
+        producer = run.tasks.get(pkey)
+        if producer is None:
+            return False
+        pstage = run.pstage
+        for ice in pstage.consumers_of(producer.chain):
+            if pstage.has_reserved_root and ice.consumer is pstage.root_chain:
+                continue
+            for cidx in route_sizes(ice.edge, pkey[1], 1.0):
+                consumer = run.tasks.get((ice.consumer.name, cidx))
+                if consumer is not None and consumer.status in (
+                        TaskState.PENDING, TaskState.QUEUED,
+                        TaskState.FETCHING):
+                    return True
+        return False
+
+    def _replicate(self, run: _StageRun, pkey: tuple, entry: tuple) -> None:
+        src_executor, size, payload = entry
+        dst = self._pick_reserved()
+        rkey = (run.pstage.index, pkey)
+        self._replicating.add(rkey)
+
+        def done(result: TransferResult) -> None:
+            self._replicating.discard(rkey)
+            if not result.ok:
+                return  # source died mid-copy: the eviction path takes over
+            if run.local_outputs.get(pkey) is not entry:
+                return  # producer re-ran meanwhile; this copy is stale
+            if not dst.alive:
+                return
+            self._replicas[rkey] = (dst, size, payload)
+            self.proactive_pushes += 1
+            self.ctx.bytes_pushed += int(size)
+            if self.tracer is not None:
+                self.tracer.emit(ProactivePush(
+                    time=self.sim.now,
+                    container=src_executor.container.container_id,
+                    task=pkey[0], index=pkey[1], size_bytes=size,
+                    executor=dst.executor_id))
+
+        self.net.transfer(src_executor.endpoint, dst.endpoint, size, done)
 
     # ==================================================================
     # stage lifecycle
@@ -693,6 +846,10 @@ class PadoMaster(MasterBase):
                 continue
             has_transient_consumer = True
         if has_transient_consumer:
+            if self._replicas:
+                # A fresh attempt's output supersedes any proactive replica
+                # of an earlier attempt.
+                self._replicas.pop((pstage.index, task.key), None)
             run.local_outputs[task.key] = (task.executor, task.output_bytes,
                                            task.output_records)
         # Pushes into the reserved root.
@@ -1017,11 +1174,26 @@ class PadoMaster(MasterBase):
             if buffer is not None:
                 buffer.discard()
         for run in self.stage_runs:
-            # Local outputs on the evicted executor are gone.
+            # Local outputs on the evicted executor are gone — unless a
+            # proactive replica survives on the reserved side, in which
+            # case it is swapped in and the producer never re-runs.
             lost = [k for k, (ex, _, _) in run.local_outputs.items()
                     if ex is executor]
             for k in lost:
-                run.local_outputs.pop(k, None)
+                replica = self._replicas.pop((run.pstage.index, k), None)
+                if replica is not None and replica[0].alive:
+                    run.local_outputs[k] = replica
+                    self.recomputes_avoided += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(ProactivePush(
+                            time=self.sim.now,
+                            container=container.container_id,
+                            task=k[0], index=k[1],
+                            size_bytes=replica[1],
+                            executor=replica[0].executor_id,
+                            restored=True))
+                else:
+                    run.local_outputs.pop(k, None)
             # §3.2.5: relaunch only the uncommitted tasks scheduled there.
             # The purge/relaunch interleaving is stage by stage, so the
             # table sweep is restricted to this run's tasks.
@@ -1041,6 +1213,11 @@ class PadoMaster(MasterBase):
         # Preserved outputs on the failed machine are lost; consumers will
         # trigger repairs lazily, but receivers of *running* stages must be
         # reassigned right away.
+        if self._replicas:
+            dead = [k for k, (dst, _, _) in self._replicas.items()
+                    if dst is executor]
+            for k in dead:
+                del self._replicas[k]
         self.outputs.mark_executor_lost(executor)
         for run in self.stage_runs:
             if run.status != _StageRun.RUNNING:
@@ -1116,6 +1293,10 @@ class PadoMaster(MasterBase):
         for idx in range(run.pstage.root_chain.parallelism):
             self.outputs.pop((root_name, idx), None)
         run.local_outputs.clear()
+        if self._replicas:
+            stale = [k for k in self._replicas if k[0] == run.pstage.index]
+            for k in stale:
+                del self._replicas[k]
         run.status = _StageRun.WAITING
         for task in run.tasks.values():
             if task.status != TaskState.PENDING:

@@ -128,6 +128,79 @@ class LifetimeAwarePolicy(SchedulingPolicy):
         return target
 
 
+class RiskAwarePolicy(SchedulingPolicy):
+    """Predictor-backed placement (the runtime half of ``--placement
+    lifetime``).
+
+    Where :class:`LifetimeAwarePolicy` compares static pool hints, this
+    policy asks a :class:`~repro.predict.base.LifetimePredictor` for
+    each candidate's *age-conditioned* mean residual lifetime. A task
+    whose fused chain was assigned to a §6 resource class
+    (``class_of``, from
+    :attr:`~repro.core.compiler.pipeline.CompiledJob.class_of`) is
+    first narrowed to executors of that pool; within the group, heavy
+    tasks go to the executor predicted to survive longest and light
+    tasks to the shortest-lived, falling back to cache-aware placement
+    when predictions cannot discriminate.
+    """
+
+    def __init__(self, predictor, heavy_threshold: float = 2.0,
+                 class_of: Optional[dict] = None) -> None:
+        self.predictor = predictor
+        self.heavy_threshold = heavy_threshold
+        self.class_of = class_of or {}
+        self._fallback = CacheAwarePolicy()
+        #: Simulation clock, wired by :meth:`TaskScheduler.attach_tracer`
+        #: so age queries use real simulated time.
+        self.sim: "Optional[Simulator]" = None
+
+    def _class_for(self, chain_name: str) -> Optional[str]:
+        cls = self.class_of.get(chain_name)
+        if cls is None and "+" in chain_name:
+            # Fused chains are "+"-joined operator names; the terminal
+            # operator's class stands for the chain.
+            cls = self.class_of.get(chain_name.split("+")[-1])
+        return cls
+
+    def pick(self, task: SchedulableTask,
+             candidates: list["SimExecutor"]) -> Optional["SimExecutor"]:
+        if not candidates:
+            return None
+        now = self.sim.now if self.sim is not None else 0.0
+        chain_name = getattr(task, "key", ("", -1))[0]
+        wanted = self._class_for(chain_name)
+        group = candidates
+        if wanted is not None:
+            matched = [e for e in candidates
+                       if e.container.pool == wanted]
+            if matched:
+                group = matched
+        remaining = {}
+        per_class = getattr(self.predictor, "class_expected_remaining",
+                            None)
+        for executor in group:
+            container = executor.container
+            age = max(0.0, now - container.launched_at)
+            if per_class is not None and container.pool is not None:
+                try:
+                    value = per_class(container.pool, age)
+                except KeyError:
+                    value = self.predictor.expected_remaining(age)
+            else:
+                value = self.predictor.expected_remaining(age)
+            remaining[executor.executor_id] = value
+        if len(set(remaining.values())) <= 1 and group is candidates:
+            # Predictions cannot discriminate: keep cache affinity.
+            return self._fallback.pick(task, group)
+        weight = getattr(task, "weight", 0.0)
+        if weight > self.heavy_threshold:
+            return max(group,
+                       key=lambda e: (remaining[e.executor_id],
+                                      -e.executor_id))
+        return min(group,
+                   key=lambda e: (remaining[e.executor_id], e.executor_id))
+
+
 class TaskScheduler:
     """Queue of pending transient tasks plus the executor pool."""
 
@@ -168,9 +241,17 @@ class TaskScheduler:
     def attach_tracer(self, tracer: "Optional[Tracer]",
                       sim: "Simulator") -> None:
         """Emit :class:`~repro.obs.events.TaskQueued` events (queue-depth
-        visibility) on ``tracer``, timestamped with ``sim`` time."""
+        visibility) on ``tracer``, timestamped with ``sim`` time. Also
+        hands the clock to any policy in the fallback chain that wants
+        one (a declared ``sim`` attribute, e.g.
+        :class:`RiskAwarePolicy` age queries)."""
         self._tracer = tracer
         self._sim = sim
+        chain: Optional[SchedulingPolicy] = self._policy
+        while chain is not None:
+            if hasattr(chain, "sim"):
+                chain.sim = sim
+            chain = getattr(chain, "_fallback", None)
 
     # ------------------------------------------------------------------
     # executor pool

@@ -31,6 +31,10 @@ class ResourceError(ReproError):
     """Container allocation or resource accounting failed."""
 
 
+class ModelError(ReproError):
+    """A lifetime model or predictor was queried in an invalid way."""
+
+
 class ExecutionError(ReproError):
     """A job could not make progress (e.g. unrecoverable data loss)."""
 

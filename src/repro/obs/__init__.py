@@ -20,7 +20,8 @@ Quick use::
 """
 
 from repro.obs.events import (EVENT_TYPES, DiskIO, Eviction, FetchMiss,
-                              JobTag, Relaunch, StageEnd, StageStart,
+                              JobTag, PredictedEviction, ProactivePush,
+                              Relaunch, StageEnd, StageStart,
                               TaskCommitted, TaskPushed, TaskQueued,
                               TaskStart, TraceEvent, Transfer,
                               event_from_dict, event_to_dict)
@@ -38,7 +39,7 @@ __all__ = [
     "DURATION_BUCKETS", "EVENT_TYPES", "AttemptRecord", "ClassBreakdown",
     "DiskIO", "Eviction",
     "EvictionImpact", "FetchMiss", "JobTag", "LineageReport", "ObsReport",
-    "Relaunch",
+    "PredictedEviction", "ProactivePush", "Relaunch",
     "StageEnd", "StageStart", "TaskCommitted", "TaskPushed", "TaskQueued",
     "TaskStart", "TraceCollector", "TraceEvent", "Tracer", "Transfer",
     "active_collector", "analyze_eviction_lineage", "build_report",

@@ -23,6 +23,7 @@ from typing import Any, Optional
 __all__ = [
     "TraceEvent", "StageStart", "StageEnd", "TaskQueued", "TaskStart",
     "TaskPushed", "TaskCommitted", "Relaunch", "Eviction", "FetchMiss",
+    "PredictedEviction", "ProactivePush",
     "Transfer", "DiskIO", "JobTag", "EVENT_TYPES",
     "RELAUNCH_CAUSE_CATEGORIES", "event_to_dict", "event_from_dict",
 ]
@@ -222,6 +223,43 @@ class DiskIO(TraceEvent):
 
 
 @dataclass(frozen=True)
+class PredictedEviction(TraceEvent):
+    """The master's lifetime predictor flagged a live container.
+
+    Emitted once per container the first time its predicted eviction
+    probability (within the proactive-push horizon) crosses the
+    configured threshold — the trigger for proactive re-replication.
+    ``probability`` is the crossing value; ``age`` the container's age in
+    seconds at the prediction.
+    """
+
+    container: int
+    probability: float
+    age: float
+
+
+@dataclass(frozen=True)
+class ProactivePush(TraceEvent):
+    """One local output replicated ahead of a predicted eviction — or
+    that replica paying off.
+
+    With ``restored=False``: the master copied task ``(task, index)``'s
+    local output (``size_bytes``) off at-risk container ``container``
+    (executor id ``executor``) to a reserved home. With
+    ``restored=True``: the at-risk container did die, and the replica
+    was swapped in — a recompute *avoided* rather than suffered (the
+    lineage category ``recompute_avoided``).
+    """
+
+    container: int
+    task: str
+    index: int
+    size_bytes: float
+    executor: int
+    restored: bool = False
+
+
+@dataclass(frozen=True)
 class JobTag(TraceEvent):
     """Identifies the cluster-level job a trace belongs to.
 
@@ -244,7 +282,8 @@ class JobTag(TraceEvent):
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (StageStart, StageEnd, TaskQueued, TaskStart, TaskPushed,
-                TaskCommitted, Relaunch, Eviction, FetchMiss, Transfer,
+                TaskCommitted, Relaunch, Eviction, FetchMiss,
+                PredictedEviction, ProactivePush, Transfer,
                 DiskIO, JobTag)
 }
 

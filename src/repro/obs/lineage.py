@@ -24,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.obs.events import (RELAUNCH_CAUSE_CATEGORIES, Eviction, Relaunch,
-                              TaskCommitted, TaskStart, TraceEvent)
+from repro.obs.events import (RELAUNCH_CAUSE_CATEGORIES, Eviction,
+                              ProactivePush, Relaunch, TaskCommitted,
+                              TaskStart, TraceEvent)
 
 __all__ = ["AttemptRecord", "EvictionImpact", "LineageReport",
            "analyze_eviction_lineage"]
@@ -84,6 +85,12 @@ class LineageReport:
     unique_tasks: int
     by_eviction: dict[int, EvictionImpact]
     by_cause: dict[str, EvictionImpact]
+    #: Local outputs replicated ahead of predicted evictions, and how
+    #: many of those replicas were actually swapped in after the eviction
+    #: landed — recomputes *avoided*, the complement of the suffered
+    #: ``upstream_lost`` bucket (see docs/PREDICTION.md).
+    proactive_pushes: int = 0
+    recomputes_avoided: int = 0
 
     @property
     def relaunched_tasks(self) -> int:
@@ -96,7 +103,11 @@ class LineageReport:
         """``by_cause`` folded through the engine-neutral taxonomy of
         :data:`repro.obs.events.RELAUNCH_CAUSE_CATEGORIES`, so the same
         buckets (``eviction``, ``fetch_broke``, ``upstream_lost``,
-        ``master_restart``) are comparable across engines."""
+        ``master_restart``) are comparable across engines. When
+        proactive pushes restored replicas, an extra
+        ``recompute_avoided`` bucket counts the upstream recomputes that
+        *would* have joined ``upstream_lost`` but never ran (zero
+        recompute seconds by construction)."""
         merged: dict[str, EvictionImpact] = {}
         for cause, impact in self.by_cause.items():
             category = RELAUNCH_CAUSE_CATEGORIES.get(cause, "other")
@@ -104,6 +115,9 @@ class LineageReport:
             tally.relaunched_tasks += impact.relaunched_tasks
             tally.recompute_seconds += impact.recompute_seconds
             tally.tasks.extend(impact.tasks)
+        if self.recomputes_avoided:
+            merged["recompute_avoided"] = EvictionImpact(
+                container=-1, relaunched_tasks=self.recomputes_avoided)
         return merged
 
     @property
@@ -133,6 +147,8 @@ def analyze_eviction_lineage(events: list[TraceEvent]) -> LineageReport:
     unique: set = set()
     starts = 0
     eviction_times: dict[int, float] = {}
+    proactive_pushes = 0
+    recomputes_avoided = 0
 
     for event in events:
         if isinstance(event, TaskStart):
@@ -164,6 +180,11 @@ def analyze_eviction_lineage(events: list[TraceEvent]) -> LineageReport:
             record.cause_ref = event.cause_ref
         elif isinstance(event, Eviction):
             eviction_times[event.container] = event.time
+        elif isinstance(event, ProactivePush):
+            if event.restored:
+                recomputes_avoided += 1
+            else:
+                proactive_pushes += 1
 
     by_eviction: dict[int, EvictionImpact] = {}
     by_cause: dict[str, EvictionImpact] = {}
@@ -187,4 +208,6 @@ def analyze_eviction_lineage(events: list[TraceEvent]) -> LineageReport:
 
     return LineageReport(attempts=attempts, starts=starts,
                          unique_tasks=len(unique),
-                         by_eviction=by_eviction, by_cause=by_cause)
+                         by_eviction=by_eviction, by_cause=by_cause,
+                         proactive_pushes=proactive_pushes,
+                         recomputes_avoided=recomputes_avoided)

@@ -1,0 +1,33 @@
+"""Pluggable transient-lifetime prediction (the §6 estimation layer).
+
+Everything that previously *implied* a lifetime estimate — the resource
+manager's sampling table, the lifetime-aware scheduler's
+``expected_lifetime`` comparisons, the §6 compiler pass's hand-fed
+``ResourceClass`` constants — now programs against one protocol,
+:class:`LifetimePredictor`:
+
+* :class:`StaticTablePredictor` — the existing empirical percentile
+  table conditioned on age (behavior-preserving default);
+* :class:`HazardPredictor` — an age-dependent piecewise-constant hazard
+  fitted online from observed evictions (temporally-constrained
+  preemption model), with right-censoring;
+* :class:`PortfolioPredictor` — per-class survival over mixed transient
+  offerings with price weights and a value-per-price allocator.
+
+:class:`ElasticReserveController` is the companion control layer: a
+CLUES-style rebalancer that grows/shrinks the multi-tenant reserved pool
+between jobs. See docs/PREDICTION.md.
+"""
+
+from repro.predict.base import (DEFAULT_HORIZON, LifetimePredictor,
+                                StaticTablePredictor, make_predictor)
+from repro.predict.elastic import (ElasticReserveConfig,
+                                   ElasticReserveController)
+from repro.predict.hazard import HazardPredictor
+from repro.predict.portfolio import PortfolioPredictor, TransientClass
+
+__all__ = [
+    "DEFAULT_HORIZON", "ElasticReserveConfig", "ElasticReserveController",
+    "HazardPredictor", "LifetimePredictor", "PortfolioPredictor",
+    "StaticTablePredictor", "TransientClass", "make_predictor",
+]

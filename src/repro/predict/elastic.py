@@ -1,0 +1,153 @@
+"""CLUES-style elasticity controller for the reserved pool.
+
+The multi-tenant cluster leases from a fixed split of reserved and
+transient slots. CLUES-like infrastructure managers instead resize the
+durable tier between jobs in response to demand signals. This controller
+does the same over the namespaced
+:class:`~repro.cluster.manager.LeasePool`: between dispatches it may
+convert *free* transient slots into reserved ones (when the queue head is
+starved for reserved capacity, or eviction pressure makes transient
+capacity untrustworthy) or give reserved slots back (when the head needs
+transient capacity and pressure is low), with hysteresis via a cooldown
+and hard floors so no queued job's demand ever becomes unsatisfiable.
+
+Everything is deterministic — decisions read only the pool state, the
+queue, and the recorded revocation history — so elastic runs remain
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ElasticReserveConfig:
+    """Knobs of the elasticity controller (see docs/PREDICTION.md)."""
+
+    #: Slots converted per rebalance decision.
+    step: int = 2
+    #: Max reserved slots above the configured baseline.
+    max_extra: int = 8
+    #: Sliding window (seconds) over which revocations count as pressure.
+    pressure_window: float = 1800.0
+    #: Revoked-per-transient-slot fraction (within the window) above
+    #: which the controller refuses to shrink the reserved pool and
+    #: grows it for reserved-starved queue heads.
+    pressure_threshold: float = 0.2
+    #: Minimum seconds between two conversions (hysteresis).
+    cooldown: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise ValueError("step must be at least 1")
+        if self.max_extra < 0:
+            raise ValueError("max_extra must be non-negative")
+        if self.pressure_window <= 0:
+            raise ValueError("pressure_window must be positive")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+
+class ElasticReserveController:
+    """Grow/shrink the reserved pool between job dispatches.
+
+    The cluster loop calls :meth:`record_revocations` from every eviction
+    wave and :meth:`rebalance` before each dispatch attempt;
+    :meth:`set_floors` pins the per-kind minima to the largest single
+    job demand so conversions can never deadlock the queue.
+    """
+
+    def __init__(self, baseline_reserved: int,
+                 config: ElasticReserveConfig = ElasticReserveConfig()) \
+            -> None:
+        self.baseline_reserved = baseline_reserved
+        self.config = config
+        self._revocations: deque[tuple[float, int]] = deque()
+        self._last_change = -float("inf")
+        self._min_reserved = 0
+        self._min_transient = 0
+        #: ``(time, delta_reserved)`` of every applied conversion.
+        self.decisions: list[tuple[float, int]] = []
+
+    def set_floors(self, min_reserved: int, min_transient: int) -> None:
+        """Never shrink either kind below these counts (largest queued
+        demand), so every generated job stays dispatchable."""
+        self._min_reserved = min_reserved
+        self._min_transient = min_transient
+
+    def record_revocations(self, now: float, count: int) -> None:
+        """Feed one eviction wave's revocation count."""
+        if count > 0:
+            self._revocations.append((now, count))
+
+    def pressure(self, now: float, num_transient: int) -> float:
+        """Fraction of transient capacity revoked within the window."""
+        window_start = now - self.config.pressure_window
+        while self._revocations and self._revocations[0][0] < window_start:
+            self._revocations.popleft()
+        if num_transient <= 0:
+            return 0.0
+        revoked = sum(count for _, count in self._revocations)
+        return revoked / num_transient
+
+    # ------------------------------------------------------------------
+
+    def rebalance(self, now: float, pool, queued: Sequence) -> int:
+        """Inspect the queue head and maybe convert free slots.
+
+        Returns the signed change in reserved slots (0 = no action).
+        ``pool`` is a :class:`~repro.cluster.manager.LeasePool``;
+        ``queued`` the pending job requests in dispatch order.
+        """
+        config = self.config
+        if now - self._last_change < config.cooldown:
+            return 0
+        pressure = self.pressure(now, pool.num_transient)
+        delta = 0
+        if queued:
+            head = queued[0]
+            reserved_blocked = pool.reserved_free < head.num_reserved
+            transient_blocked = pool.transient_free < head.num_transient
+            if reserved_blocked and not transient_blocked:
+                room = min(
+                    config.step,
+                    self.baseline_reserved + config.max_extra
+                    - pool.num_reserved,
+                    pool.num_transient - self._min_transient,
+                    pool.transient_free - head.num_transient)
+                if room > 0:
+                    delta = pool.convert_transient_to_reserved(room, now)
+            elif transient_blocked and not reserved_blocked \
+                    and pressure < config.pressure_threshold:
+                room = min(
+                    config.step,
+                    pool.num_reserved - max(self._min_reserved,
+                                            self.baseline_reserved
+                                            - config.max_extra),
+                    pool.reserved_free - head.num_reserved)
+                if room > 0:
+                    delta = -pool.convert_reserved_to_transient(room, now)
+        else:
+            # Idle: drift back toward the baseline split, but never give
+            # up reserved capacity while eviction pressure is high.
+            if pool.num_reserved > self.baseline_reserved \
+                    and pressure < config.pressure_threshold:
+                room = min(config.step,
+                           pool.num_reserved - self.baseline_reserved,
+                           pool.reserved_free)
+                if room > 0:
+                    delta = -pool.convert_reserved_to_transient(room, now)
+            elif pool.num_reserved < self.baseline_reserved:
+                room = min(config.step,
+                           self.baseline_reserved - pool.num_reserved,
+                           pool.num_transient - self._min_transient,
+                           pool.transient_free)
+                if room > 0:
+                    delta = pool.convert_transient_to_reserved(room, now)
+        if delta != 0:
+            self._last_change = now
+            self.decisions.append((now, delta))
+        return delta

@@ -1,0 +1,172 @@
+"""Portfolio predictor over mixed transient resource classes.
+
+*Portfolio-driven Resource Management for Transient Cloud Servers*
+(PAPERS.md) treats heterogeneous transient offerings — distinct
+price/lifetime trade-offs — as a portfolio to allocate across. The §6
+extension of the paper gives the simulated cluster the same shape:
+:class:`~repro.cluster.manager.TransientPool`\\ s with per-class lifetime
+models and price weights. This module wraps those pools in one
+predictor: per-class survival curves for containers whose pool is known,
+a capacity-weighted mixture for anonymous queries, and a
+largest-remainder capacity allocator proportional to expected-lifetime
+value per unit price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.predict.base import (DEFAULT_HORIZON, LifetimePredictor,
+                                StaticTablePredictor)
+from repro.trace.models import LifetimeModel
+
+
+@dataclass(frozen=True)
+class TransientClass:
+    """One transient offering: a lifetime model at a price."""
+
+    name: str
+    model: LifetimeModel
+    price_weight: float = 1.0
+    capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.price_weight <= 0:
+            raise ValueError("price_weight must be positive")
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+
+
+class PortfolioPredictor(LifetimePredictor):
+    """Mixture-of-classes predictor over §6 transient pools.
+
+    Containers carry their pool name
+    (:attr:`~repro.cluster.resources.Container.pool`), so
+    :meth:`risk_rank` scores each against its own class's survival
+    curve; class-less queries (:meth:`survival`,
+    :meth:`expected_remaining`) use the capacity-weighted mixture.
+    """
+
+    def __init__(self, classes: Sequence[TransientClass],
+                 horizon: float = DEFAULT_HORIZON) -> None:
+        if not classes:
+            raise ValueError("need at least one transient class")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names in {names}")
+        self.classes = tuple(classes)
+        self.horizon = horizon
+        self._subs = {c.name: StaticTablePredictor(c.model, horizon=horizon)
+                      for c in classes}
+        weights = [float(c.capacity) for c in classes]
+        if sum(weights) <= 0.0:
+            weights = [1.0] * len(classes)
+        total = sum(weights)
+        self._weights = {c.name: w / total
+                         for c, w in zip(classes, weights)}
+
+    @classmethod
+    def from_pools(cls, pools: Sequence,
+                   horizon: float = DEFAULT_HORIZON) -> "PortfolioPredictor":
+        """Build from :class:`~repro.cluster.manager.TransientPool`\\ s."""
+        classes = [TransientClass(name=pool.name,
+                                  model=pool.lifetime_model,
+                                  price_weight=getattr(pool, "price_weight",
+                                                       1.0),
+                                  capacity=pool.count)
+                   for pool in pools]
+        return cls(classes, horizon=horizon)
+
+    # ------------------------------------------------------------------
+    # per-class queries
+
+    def class_survival(self, name: str, age: float,
+                       horizon: float) -> float:
+        """Survival for one named class."""
+        return self._subs[name].survival(age, horizon)
+
+    def class_expected_remaining(self, name: str, age: float) -> float:
+        """Mean residual lifetime for one named class."""
+        return self._subs[name].expected_remaining(age)
+
+    def value_per_price(self, name: str) -> float:
+        """Expected fresh lifetime per unit price — the portfolio
+        ranking criterion."""
+        for c in self.classes:
+            if c.name == name:
+                value = self.class_expected_remaining(name, 0.0)
+                return value / c.price_weight
+        raise KeyError(name)
+
+    def allocate(self, total: int) -> dict[str, int]:
+        """Split ``total`` containers across classes proportionally to
+        value per price (largest-remainder rounding).
+
+        Infinite-value classes (no eviction observed) absorb everything;
+        ties split evenly.
+        """
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        values = {c.name: self.value_per_price(c.name) for c in self.classes}
+        infinite = [n for n, v in values.items() if math.isinf(v)]
+        if infinite:
+            shares = {c.name: 0.0 for c in self.classes}
+            for name in infinite:
+                shares[name] = 1.0 / len(infinite)
+        else:
+            denom = sum(values.values())
+            if denom <= 0.0:
+                shares = {n: 1.0 / len(values) for n in values}
+            else:
+                shares = {n: v / denom for n, v in values.items()}
+        exact = {n: total * s for n, s in shares.items()}
+        counts = {n: int(exact[n]) for n in exact}
+        leftover = total - sum(counts.values())
+        by_remainder = sorted(exact,
+                              key=lambda n: (-(exact[n] - counts[n]), n))
+        for name in by_remainder[:leftover]:
+            counts[name] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # the predictor protocol (mixture view)
+
+    def survival(self, age: float, horizon: float) -> float:
+        return sum(self._weights[name] * sub.survival(age, horizon)
+                   for name, sub in self._subs.items())
+
+    def expected_remaining(self, age: float) -> float:
+        total = 0.0
+        for name, sub in self._subs.items():
+            value = sub.expected_remaining(age)
+            if math.isinf(value):
+                return math.inf
+            total += self._weights[name] * value
+        return total
+
+    def _predictor_for(self, container) -> LifetimePredictor:
+        pool = getattr(container, "pool", None)
+        if pool is not None and pool in self._subs:
+            return self._subs[pool]
+        return self
+
+    def risk_rank(self, containers: Sequence, now: float) -> list:
+        def probability(container) -> float:
+            age = max(0.0, now - container.launched_at)
+            sub = self._predictor_for(container)
+            return min(1.0, max(0.0, 1.0 - sub.survival(age, self.horizon)))
+        return sorted(containers,
+                      key=lambda c: (-probability(c), c.container_id))
+
+    def eviction_probability(self, age: float,
+                             horizon: Optional[float] = None,
+                             name: Optional[str] = None) -> float:
+        """Mixture eviction probability, or a named class's when
+        ``name`` is given."""
+        if horizon is None:
+            horizon = self.horizon
+        sub = self._subs[name] if name is not None else self
+        return min(1.0, max(0.0, 1.0 - sub.survival(max(0.0, age),
+                                                    horizon)))

@@ -31,6 +31,16 @@ class LifetimeModel:
     def sample(self, rng: np.random.Generator) -> float:
         raise NotImplementedError
 
+    def sample_at(self, now: float, rng: np.random.Generator) -> float:
+        """Lifetime for a container launched at ``now``.
+
+        Time-homogeneous models ignore the launch time and delegate to
+        :meth:`sample` — the path every resource-manager launch takes.
+        Launch-time-dependent models (:class:`WaveLifetimeModel`)
+        override this and reject plain :meth:`sample` calls.
+        """
+        return self.sample(rng)
+
     def cdf(self, t_seconds: float) -> float:
         """Fraction of containers with lifetime <= ``t_seconds``."""
         raise NotImplementedError
@@ -178,7 +188,10 @@ class WaveLifetimeModel(LifetimeModel):
     Sampling is launch-time aware: the resource manager calls
     :meth:`sample_at` with the container's launch time so replacements
     provisioned mid-run still die exactly on wave boundaries. The plain
-    :meth:`sample` entry point assumes launch at time zero.
+    :meth:`sample` entry point is therefore ill-posed once any wave is
+    scheduled — it used to silently assume launch at time zero, which
+    made every mid-run replacement die too early — and now raises
+    :class:`~repro.errors.ModelError` unless the schedule is empty.
     """
 
     def __init__(self, waves: Sequence[tuple[float, float]]) -> None:
@@ -201,7 +214,12 @@ class WaveLifetimeModel(LifetimeModel):
         return math.inf
 
     def sample(self, rng: np.random.Generator) -> float:
-        return self.sample_at(0.0, rng)
+        if self.waves:
+            from repro.errors import ModelError
+            raise ModelError(
+                "WaveLifetimeModel lifetimes depend on launch time; "
+                "call sample_at(now, rng) instead of sample()")
+        return math.inf
 
     def cdf(self, t_seconds: float) -> float:
         """Probability a container launched at time zero dies by

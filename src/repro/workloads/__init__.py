@@ -10,10 +10,11 @@ from repro.workloads.map_reduce import (ShuffleCombiner, mr_real_program,
                                         mr_synthetic_program)
 from repro.workloads.mlr import (VectorSumCombiner, mlr_real_program,
                                  mlr_synthetic_program)
+from repro.workloads.pipeline import fanout_synthetic_program
 
 __all__ = [
     "ShuffleCombiner", "VectorSumCombiner", "als_real_program",
-    "als_synthetic_program", "mlr_real_program", "mlr_synthetic_program",
-    "mr_real_program", "mr_synthetic_program", "music_ratings",
-    "pageview_records", "partition", "training_samples",
+    "als_synthetic_program", "fanout_synthetic_program", "mlr_real_program",
+    "mlr_synthetic_program", "mr_real_program", "mr_synthetic_program",
+    "music_ratings", "pageview_records", "partition", "training_samples",
 ]

@@ -1,0 +1,81 @@
+"""Fan-out log-analytics pipeline — the local-retention stress workload.
+
+The paper's three workloads fuse into single transient chains per stage:
+every transient output escapes straight to the reserved side, so nothing
+of committed work lives on transient containers. Real pipelines are less
+tidy — a parsed log is consumed by *several* sibling branches before
+anything aggregates. Fan-out breaks operator fusion (a producer with two
+consumers cannot join either consumer's chain), which makes Pado retain
+the producer's outputs *locally on the transient side* for its intra-stage
+consumers (§3.2.4): exactly the state an eviction destroys after the
+producer already committed, forcing ``local-output-lost`` recomputes.
+
+This workload exists to measure that loss mode — and what the
+:mod:`repro.predict` proactive re-replication path saves of it (see
+docs/PREDICTION.md and ``python -m repro psweep``).
+
+Shape (all transient until the reduce)::
+
+    read ─1:1─ parse ─1:1─┬─ sessions ─m:m─┐
+                          └─ errors  ──m:m─┴─ reduce (reserved)
+"""
+
+from __future__ import annotations
+
+from repro.cluster.resources import GB, MB
+from repro.dataflow.dag import (DependencyType, LogicalDAG, OpCost, Operator,
+                                SourceKind)
+from repro.engines.base import Program
+from repro.errors import WorkloadError
+from repro.workloads.map_reduce import ShuffleCombiner
+
+
+def fanout_synthetic_program(input_gb: float = 200.0,
+                             partition_mb: float = 128.0,
+                             reduce_parallelism: int = 40,
+                             parse_output_ratio: float = 0.3,
+                             parse_compute_factor: float = 9.0,
+                             branch_compute_factor: float = 1.5,
+                             scale: float = 1.0) -> Program:
+    """Paper-scale byte model of the fan-out pipeline.
+
+    ``parse`` is the expensive shared step (log parsing dominates, like
+    MR's map phase); ``sessions`` and ``errors`` both read its retained
+    local output, so an eviction of a parse executor between parse's
+    commit and the branches' fetches re-runs parse. ``scale`` shrinks the
+    input while keeping per-task sizes fixed, like the other workloads.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    total_bytes = input_gb * GB * scale
+    part_bytes = int(partition_mb * MB)
+    num_parts = max(1, int(round(total_bytes / part_bytes)))
+
+    dag = LogicalDAG()
+    read = dag.add_operator(Operator(
+        "read", parallelism=num_parts, source_kind=SourceKind.READ,
+        input_ref="rawlogs", partition_bytes=[part_bytes] * num_parts,
+        cost=OpCost(output_ratio=1.0), cacheable=True))
+    parse = dag.add_operator(Operator(
+        "parse", parallelism=num_parts,
+        cost=OpCost(output_ratio=parse_output_ratio,
+                    compute_factor=parse_compute_factor)))
+    sessions = dag.add_operator(Operator(
+        "sessions", parallelism=num_parts,
+        cost=OpCost(output_ratio=0.5,
+                    compute_factor=branch_compute_factor)))
+    errors = dag.add_operator(Operator(
+        "errors", parallelism=num_parts,
+        cost=OpCost(output_ratio=0.15,
+                    compute_factor=branch_compute_factor)))
+    reduce_op = dag.add_operator(Operator(
+        "reduce", parallelism=reduce_parallelism,
+        cost=OpCost(output_ratio=0.3, compute_factor=0.3),
+        combiner=ShuffleCombiner()))
+    dag.connect(read, parse, DependencyType.ONE_TO_ONE)
+    dag.connect(parse, sessions, DependencyType.ONE_TO_ONE)
+    dag.connect(parse, errors, DependencyType.ONE_TO_ONE)
+    dag.connect(sessions, reduce_op, DependencyType.MANY_TO_MANY)
+    dag.connect(errors, reduce_op, DependencyType.MANY_TO_MANY)
+    dag.validate()
+    return Program(dag, name="fanout")

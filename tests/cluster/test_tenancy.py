@@ -398,3 +398,41 @@ def test_executor_outcome_count_is_checked():
 
     with pytest.raises(SimulationError):
         MultiTenantCluster(stub_config(policy="fifo"), broken).run()
+
+
+def test_reserve_mode_validated():
+    with pytest.raises(ValueError, match="reserve mode"):
+        stub_config(reserve="banana")
+
+
+def test_fixed_reserve_never_resizes():
+    cluster = MultiTenantCluster(stub_config(policy="fair"), stub_executor)
+    result = cluster.run()
+    assert cluster.controller is None
+    assert result.pool.resizes == []
+    assert (result.pool.num_reserved, result.pool.num_transient) == (8, 48)
+
+
+def test_elastic_reserve_resizes_and_conserves_capacity():
+    config = stub_config(policy="fair", reserve="elastic",
+                         arrival=ArrivalConfig(load=1.3))
+    cluster = MultiTenantCluster(config, stub_executor)
+    result = cluster.run()
+    assert cluster.controller is not None
+    assert result.pool.resizes == cluster.controller.decisions
+    assert result.pool.resizes, "elastic run never rebalanced"
+    # Conversions move slots between tiers, never create or destroy them.
+    assert result.pool.num_reserved + result.pool.num_transient == 8 + 48
+    assert all(r.finish_time is not None for r in result.records)
+
+
+def test_elastic_runs_are_bit_identical_per_seed():
+    rows = []
+    for _ in range(2):
+        result = MultiTenantCluster(
+            stub_config(policy="fair", reserve="elastic",
+                        arrival=ArrivalConfig(load=1.3)),
+            stub_executor).run()
+        rows.append([(r.job_id, r.start_time, r.finish_time)
+                     for r in result.records] + result.pool.resizes)
+    assert rows[0] == rows[1]

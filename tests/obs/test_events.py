@@ -5,7 +5,8 @@ import dataclasses
 import pytest
 
 from repro.obs.events import (EVENT_TYPES, DiskIO, Eviction, FetchMiss,
-                              JobTag, Relaunch, StageEnd, StageStart,
+                              JobTag, PredictedEviction, ProactivePush,
+                              Relaunch, StageEnd, StageStart,
                               TaskCommitted, TaskPushed, TaskQueued,
                               TaskStart, TraceEvent, Transfer,
                               event_from_dict, event_to_dict)
@@ -31,6 +32,9 @@ SAMPLES = [
            size_bytes=3e6, requested_at=7.5, ok=True),
     JobTag(time=600.0, job="job0003", tenant="tenant1", engine="pado",
            workload="mr", queue_seconds=42.0),
+    PredictedEviction(time=100.0, container=9, probability=0.72, age=95.0),
+    ProactivePush(time=101.0, container=9, task="parse", index=2,
+                  size_bytes=4e6, executor=1, restored=False),
 ]
 
 

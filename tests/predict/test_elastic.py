@@ -1,0 +1,159 @@
+"""Unit tests for the CLUES-style elastic reserved-pool controller."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cluster.manager import LeasePool
+from repro.errors import ResourceError
+from repro.predict import ElasticReserveConfig, ElasticReserveController
+
+
+@dataclass(frozen=True)
+class Demand:
+    """A queued job request as the controller sees it."""
+
+    num_reserved: int
+    num_transient: int
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ElasticReserveConfig(step=0)
+    with pytest.raises(ValueError):
+        ElasticReserveConfig(max_extra=-1)
+    with pytest.raises(ValueError):
+        ElasticReserveConfig(pressure_window=0.0)
+    with pytest.raises(ValueError):
+        ElasticReserveConfig(cooldown=-1.0)
+
+
+# ----------------------------------------------------------------------
+# LeasePool conversions (the mechanism the controller drives)
+
+
+def test_pool_conversions_move_capacity_and_record_resizes():
+    pool = LeasePool(4, 8)
+    assert pool.convert_transient_to_reserved(2, now=10.0) == 2
+    assert (pool.num_reserved, pool.num_transient) == (6, 6)
+    assert pool.convert_reserved_to_transient(1, now=20.0) == 1
+    assert (pool.num_reserved, pool.num_transient) == (5, 7)
+    assert pool.resizes == [(10.0, 2), (20.0, -1)]
+    assert pool.reserved_free == 5
+    assert pool.transient_free == 7
+
+
+def test_pool_conversion_requires_free_slots():
+    pool = LeasePool(2, 3)
+    with pytest.raises(ResourceError):
+        pool.convert_transient_to_reserved(4, now=0.0)
+    with pytest.raises(ResourceError):
+        pool.convert_reserved_to_transient(3, now=0.0)
+    with pytest.raises(ResourceError):
+        pool.convert_transient_to_reserved(-1, now=0.0)
+
+
+# ----------------------------------------------------------------------
+# rebalance decisions
+
+
+def test_grows_for_reserved_starved_head():
+    pool = LeasePool(2, 10)
+    controller = ElasticReserveController(baseline_reserved=2)
+    delta = controller.rebalance(0.0, pool, [Demand(4, 2)])
+    assert delta == 2
+    assert (pool.num_reserved, pool.num_transient) == (4, 8)
+    assert controller.decisions == [(0.0, 2)]
+
+
+def test_shrinks_for_transient_starved_head_under_low_pressure():
+    pool = LeasePool(8, 2)
+    controller = ElasticReserveController(baseline_reserved=8)
+    delta = controller.rebalance(0.0, pool, [Demand(1, 4)])
+    assert delta == -2
+    assert (pool.num_reserved, pool.num_transient) == (6, 4)
+
+
+def test_pressure_blocks_shrinking():
+    pool = LeasePool(8, 2)
+    controller = ElasticReserveController(baseline_reserved=8)
+    # 1 of 2 transient slots revoked inside the window: pressure 0.5.
+    controller.record_revocations(50.0, 1)
+    assert controller.pressure(100.0, pool.num_transient) == \
+        pytest.approx(0.5)
+    assert controller.rebalance(100.0, pool, [Demand(1, 4)]) == 0
+    assert pool.num_reserved == 8
+
+
+def test_pressure_window_expires():
+    controller = ElasticReserveController(baseline_reserved=2)
+    controller.record_revocations(0.0, 4)
+    window = controller.config.pressure_window
+    assert controller.pressure(window - 1.0, 10) == pytest.approx(0.4)
+    assert controller.pressure(window + 1.0, 10) == 0.0
+
+
+def test_cooldown_hysteresis():
+    pool = LeasePool(2, 10)
+    controller = ElasticReserveController(baseline_reserved=2)
+    assert controller.rebalance(0.0, pool, [Demand(6, 2)]) == 2
+    # Still starved, but inside the cooldown: no further conversion.
+    assert controller.rebalance(100.0, pool, [Demand(6, 2)]) == 0
+    cooldown = controller.config.cooldown
+    assert controller.rebalance(cooldown + 1.0, pool, [Demand(6, 2)]) == 2
+    assert [delta for _, delta in controller.decisions] == [2, 2]
+
+
+def test_max_extra_caps_growth():
+    config = ElasticReserveConfig(step=4, max_extra=3, cooldown=0.0)
+    pool = LeasePool(2, 20)
+    controller = ElasticReserveController(baseline_reserved=2, config=config)
+    assert controller.rebalance(0.0, pool, [Demand(10, 2)]) == 3
+    assert controller.rebalance(1.0, pool, [Demand(10, 2)]) == 0
+    assert pool.num_reserved == 5
+
+
+def test_floors_keep_every_job_dispatchable():
+    config = ElasticReserveConfig(cooldown=0.0)
+    pool = LeasePool(2, 6)
+    controller = ElasticReserveController(baseline_reserved=2, config=config)
+    # Some queued job needs 5 transient slots: growth must stop at 6-5.
+    controller.set_floors(min_reserved=1, min_transient=5)
+    assert controller.rebalance(0.0, pool, [Demand(4, 0)]) == 1
+    assert pool.num_transient == 5
+    assert controller.rebalance(1.0, pool, [Demand(4, 0)]) == 0
+
+
+def test_both_kinds_blocked_is_a_no_op():
+    pool = LeasePool(2, 2)
+    controller = ElasticReserveController(baseline_reserved=2)
+    assert controller.rebalance(0.0, pool, [Demand(4, 4)]) == 0
+    assert controller.decisions == []
+
+
+def test_idle_drifts_back_to_baseline():
+    config = ElasticReserveConfig(cooldown=0.0)
+    pool = LeasePool(6, 4)
+    controller = ElasticReserveController(baseline_reserved=2, config=config)
+    assert controller.rebalance(0.0, pool, []) == -2
+    assert controller.rebalance(1.0, pool, []) == -2
+    assert controller.rebalance(2.0, pool, []) == 0
+    assert (pool.num_reserved, pool.num_transient) == (2, 8)
+
+
+def test_idle_drift_up_when_below_baseline():
+    config = ElasticReserveConfig(cooldown=0.0)
+    pool = LeasePool(1, 9)
+    controller = ElasticReserveController(baseline_reserved=4, config=config)
+    assert controller.rebalance(0.0, pool, []) == 2
+    assert controller.rebalance(1.0, pool, []) == 1
+    assert (pool.num_reserved, pool.num_transient) == (4, 6)
+
+
+def test_idle_keeps_extra_reserve_under_pressure():
+    config = ElasticReserveConfig(cooldown=0.0)
+    pool = LeasePool(6, 4)
+    controller = ElasticReserveController(baseline_reserved=2, config=config)
+    controller.record_revocations(10.0, 2)  # 2/4 revoked: pressure 0.5
+    assert controller.rebalance(20.0, pool, []) == 0
+    assert pool.num_reserved == 6

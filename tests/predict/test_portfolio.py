@@ -1,0 +1,128 @@
+"""Unit tests for the portfolio predictor over mixed transient classes."""
+
+import math
+
+import pytest
+
+from repro.cluster.manager import TransientPool
+from repro.cluster.resources import Container, ContainerKind, NodeSpec
+from repro.predict import PortfolioPredictor, TransientClass
+from repro.trace.models import ExponentialLifetimeModel, NoEvictionModel
+
+SHORT = TransientClass("short", ExponentialLifetimeModel(120.0),
+                       price_weight=1.0, capacity=4)
+LONG = TransientClass("long", ExponentialLifetimeModel(1200.0),
+                      price_weight=2.0, capacity=12)
+
+
+def make_container(pool, launched_at=0.0):
+    return Container(kind=ContainerKind.TRANSIENT, spec=NodeSpec(),
+                     launched_at=launched_at, pool=pool)
+
+
+def test_class_validation():
+    with pytest.raises(ValueError):
+        TransientClass("x", NoEvictionModel(), price_weight=0.0)
+    with pytest.raises(ValueError):
+        TransientClass("x", NoEvictionModel(), capacity=-1)
+    with pytest.raises(ValueError):
+        PortfolioPredictor([])
+    with pytest.raises(ValueError, match="duplicate"):
+        PortfolioPredictor([SHORT, SHORT])
+
+
+def test_per_class_survival_curves():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    assert predictor.class_survival("long", 0.0, 300.0) > \
+        predictor.class_survival("short", 0.0, 300.0)
+    assert predictor.class_expected_remaining("long", 0.0) == \
+        pytest.approx(1200.0, rel=0.05)
+    assert predictor.class_expected_remaining("short", 0.0) == \
+        pytest.approx(120.0, rel=0.05)
+
+
+def test_mixture_is_capacity_weighted():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    expected = (4 / 16) * predictor.class_survival("short", 0.0, 300.0) \
+        + (12 / 16) * predictor.class_survival("long", 0.0, 300.0)
+    assert predictor.survival(0.0, 300.0) == pytest.approx(expected)
+
+
+def test_zero_capacity_classes_weighted_equally():
+    a = TransientClass("a", ExponentialLifetimeModel(100.0))
+    b = TransientClass("b", ExponentialLifetimeModel(400.0))
+    predictor = PortfolioPredictor([a, b])
+    expected = 0.5 * predictor.class_survival("a", 0.0, 200.0) \
+        + 0.5 * predictor.class_survival("b", 0.0, 200.0)
+    assert predictor.survival(0.0, 200.0) == pytest.approx(expected)
+
+
+def test_risk_rank_uses_the_container_class():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    # Same age: the short-lived class is the riskier home.
+    on_long = make_container("long")
+    on_short = make_container("short")
+    ranked = predictor.risk_rank([on_long, on_short], now=60.0)
+    assert ranked == [on_short, on_long]
+    # Unknown pool falls back to the mixture rather than raising.
+    anonymous = make_container(None)
+    assert anonymous in predictor.risk_rank([anonymous], now=60.0)
+
+
+def test_value_per_price_ranking():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    # 1200s at price 2 beats 120s at price 1.
+    assert predictor.value_per_price("long") > \
+        predictor.value_per_price("short")
+    with pytest.raises(KeyError):
+        predictor.value_per_price("nope")
+
+
+def test_allocate_proportional_to_value_per_price():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    counts = predictor.allocate(20)
+    assert sum(counts.values()) == 20
+    # value/price: short = 120, long = 600 -> long gets ~5x the slots.
+    assert counts["long"] > counts["short"]
+    shares = predictor.allocate(0)
+    assert shares == {"short": 0, "long": 0}
+    with pytest.raises(ValueError):
+        predictor.allocate(-1)
+
+
+def test_allocate_exact_and_deterministic():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    for total in (1, 7, 16, 33):
+        first = predictor.allocate(total)
+        assert sum(first.values()) == total
+        assert predictor.allocate(total) == first
+
+
+def test_infinite_value_classes_absorb_everything():
+    safe = TransientClass("safe", NoEvictionModel(), capacity=2)
+    predictor = PortfolioPredictor([SHORT, safe])
+    assert math.isinf(predictor.value_per_price("safe"))
+    counts = predictor.allocate(10)
+    assert counts == {"safe": 10, "short": 0}
+    assert math.isinf(predictor.expected_remaining(0.0))
+
+
+def test_from_pools():
+    pools = (TransientPool("spot", 4, ExponentialLifetimeModel(600.0),
+                           600.0, price_weight=1.5),
+             TransientPool("burst", 8, ExponentialLifetimeModel(60.0),
+                           60.0))
+    predictor = PortfolioPredictor.from_pools(pools, horizon=90.0)
+    assert {c.name for c in predictor.classes} == {"spot", "burst"}
+    assert predictor.horizon == 90.0
+    by_name = {c.name: c for c in predictor.classes}
+    assert by_name["spot"].price_weight == 1.5
+    assert by_name["spot"].capacity == 4
+
+
+def test_named_eviction_probability():
+    predictor = PortfolioPredictor([SHORT, LONG])
+    p_short = predictor.eviction_probability(0.0, 300.0, name="short")
+    p_long = predictor.eviction_probability(0.0, 300.0, name="long")
+    p_mix = predictor.eviction_probability(0.0, 300.0)
+    assert p_long < p_mix < p_short

@@ -1,0 +1,237 @@
+"""Unit tests for the lifetime-predictor protocol (repro.predict).
+
+The calibration tests pin the two properties every predictor must have
+before the master may act on it: survival curves are monotone
+(non-increasing in horizon, valid probabilities everywhere) and the
+online hazard model reproduces the empirical lifetime percentiles of the
+Google-trace analysis it was fitted from.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.manager import TransientPool
+from repro.cluster.resources import Container, ContainerKind, NodeSpec
+from repro.predict import (HazardPredictor, PortfolioPredictor,
+                           StaticTablePredictor, make_predictor)
+from repro.trace.google_trace import TraceConfig, generate_trace
+from repro.trace.lifetimes import analyze_trace
+from repro.trace.models import (ExponentialLifetimeModel, NoEvictionModel,
+                                PercentileLifetimeModel)
+
+
+def make_container(launched_at=0.0, pool=None):
+    return Container(kind=ContainerKind.TRANSIENT, spec=NodeSpec(),
+                     launched_at=launched_at, pool=pool)
+
+
+PERCENTILE_MODEL = PercentileLifetimeModel(
+    [(0.10, 60.0), (0.50, 120.0), (0.90, 19 * 60.0)])
+
+
+# ----------------------------------------------------------------------
+# StaticTablePredictor
+
+
+class TestStaticTable:
+    def test_survival_monotone_non_increasing_in_horizon(self):
+        predictor = StaticTablePredictor(PERCENTILE_MODEL)
+        for age in (0.0, 30.0, 90.0, 600.0):
+            curve = [predictor.survival(age, h)
+                     for h in np.linspace(0.0, 2000.0, 50)]
+            assert all(0.0 <= s <= 1.0 for s in curve)
+            assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_zero_horizon_survival_is_one(self):
+        predictor = StaticTablePredictor(PERCENTILE_MODEL)
+        assert predictor.survival(100.0, 0.0) == pytest.approx(1.0)
+
+    def test_exponential_is_memoryless(self):
+        predictor = StaticTablePredictor(ExponentialLifetimeModel(300.0))
+        fresh = predictor.survival(0.0, 100.0)
+        for age in (10.0, 250.0, 1000.0):
+            assert predictor.survival(age, 100.0) == pytest.approx(fresh)
+
+    def test_exponential_expected_remaining_is_the_mean(self):
+        predictor = StaticTablePredictor(ExponentialLifetimeModel(300.0))
+        for age in (0.0, 200.0):
+            assert predictor.expected_remaining(age) == \
+                pytest.approx(300.0, rel=0.05)
+
+    def test_no_eviction_model_is_riskless(self):
+        predictor = StaticTablePredictor(NoEvictionModel())
+        assert predictor.survival(0.0, 1e6) == 1.0
+        assert predictor.eviction_probability(500.0) == 0.0
+        assert math.isinf(predictor.expected_remaining(0.0))
+
+    def test_eviction_probability_clamped_and_complementary(self):
+        predictor = StaticTablePredictor(PERCENTILE_MODEL)
+        for age in (0.0, 90.0):
+            for horizon in (10.0, 300.0, 5000.0):
+                p = predictor.eviction_probability(age, horizon)
+                assert 0.0 <= p <= 1.0
+                assert p == pytest.approx(
+                    1.0 - predictor.survival(age, horizon))
+
+    def test_risk_rank_orders_riskiest_first(self):
+        # Inside the steep 60s-120s stretch of the percentile table the
+        # hazard grows with age, so the older container ranks first.
+        predictor = StaticTablePredictor(PERCENTILE_MODEL, horizon=60.0)
+        young = make_container(launched_at=600.0)  # age 0
+        old = make_container(launched_at=540.0)    # age 60
+        assert predictor.eviction_probability(60.0, 60.0) > \
+            predictor.eviction_probability(0.0, 60.0)
+        ranked = predictor.risk_rank([young, old], now=600.0)
+        assert ranked == [old, young]
+
+    def test_risk_rank_breaks_ties_on_container_id(self):
+        predictor = StaticTablePredictor(NoEvictionModel())
+        containers = [make_container() for _ in range(5)]
+        ranked = predictor.risk_rank(list(reversed(containers)), now=100.0)
+        assert ranked == sorted(containers, key=lambda c: c.container_id)
+
+
+# ----------------------------------------------------------------------
+# HazardPredictor
+
+
+class TestHazard:
+    def test_cold_start_follows_the_prior(self):
+        prior = StaticTablePredictor(PERCENTILE_MODEL)
+        predictor = HazardPredictor(prior=prior)
+        assert not predictor.fitted
+        assert predictor.survival(60.0, 120.0) == \
+            pytest.approx(prior.survival(60.0, 120.0))
+        assert predictor.expected_remaining(0.0) == \
+            pytest.approx(prior.expected_remaining(0.0))
+
+    def test_cold_start_without_prior_is_riskless(self):
+        predictor = HazardPredictor()
+        assert predictor.survival(0.0, 1e6) == 1.0
+        assert math.isinf(predictor.expected_remaining(0.0))
+
+    def test_fitted_after_min_observations(self):
+        predictor = HazardPredictor(min_observations=3)
+        predictor.observe(100.0, censored=True)
+        for lifetime in (50.0, 80.0, 110.0):
+            predictor.observe(lifetime)
+        assert predictor.fitted
+        assert predictor.observation_count == 3  # censored ones don't count
+
+    def test_survival_monotone_non_increasing(self):
+        predictor = HazardPredictor(min_observations=4, bin_seconds=10.0,
+                                    max_age=600.0)
+        for lifetime in (40.0, 90.0, 150.0, 310.0, 470.0):
+            predictor.observe(lifetime)
+        for age in (0.0, 50.0, 200.0):
+            curve = [predictor.survival(age, h)
+                     for h in np.linspace(0.0, 1200.0, 60)]
+            assert all(0.0 <= s <= 1.0 for s in curve)
+            assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_recovers_exponential_quantiles(self, rng):
+        model = ExponentialLifetimeModel(200.0)
+        predictor = HazardPredictor(bin_seconds=20.0, max_age=1200.0)
+        for _ in range(4000):
+            predictor.observe(model.sample(rng))
+        for q in (0.25, 0.5, 0.75):
+            expected = -200.0 * math.log(1.0 - q)
+            assert predictor.quantile(q) == pytest.approx(expected, rel=0.15)
+
+    def test_censoring_lowers_the_hazard(self):
+        """Treating survivors as deaths overstates risk; the Nelson-Aalen
+        fit must count their exposure without their 'death'."""
+        censored = HazardPredictor(min_observations=4, bin_seconds=30.0,
+                                   max_age=600.0)
+        naive = HazardPredictor(min_observations=4, bin_seconds=30.0,
+                                max_age=600.0)
+        for lifetime in (60.0, 120.0, 180.0, 240.0):
+            censored.observe(lifetime)
+            naive.observe(lifetime)
+        for _ in range(8):
+            censored.observe(300.0, censored=True)
+            naive.observe(300.0)
+        assert censored.survival(0.0, 300.0) > naive.survival(0.0, 300.0)
+
+    def test_reproduces_google_trace_percentiles(self):
+        """Fitted on the §2.1 safety-margin intervals, the hazard model's
+        percentile table must land near the empirical one (censoring
+        shifts the upper quantiles up a little; that is correct)."""
+        trace = generate_trace(
+            TraceConfig(num_containers=10, duration_hours=12.0), seed=3)
+        analysis = analyze_trace(trace, safety_margin=0.01)
+        assert analysis.eviction_count >= 8
+        predictor = HazardPredictor.from_analysis(
+            analysis, bin_seconds=120.0, max_age=4 * 3600.0)
+        assert predictor.fitted
+        for q in (0.25, 0.5, 0.75, 0.9):
+            empirical = analysis.percentile(q * 100)
+            assert predictor.quantile(q) == \
+                pytest.approx(empirical, rel=0.25)
+
+    def test_observation_invalidates_the_fit(self):
+        predictor = HazardPredictor(min_observations=1, bin_seconds=30.0,
+                                    max_age=600.0)
+        predictor.observe(60.0)
+        before = predictor.survival(0.0, 120.0)
+        for _ in range(20):
+            predictor.observe(600.0, censored=True)
+        assert predictor.survival(0.0, 120.0) > before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HazardPredictor(bin_seconds=0.0)
+        with pytest.raises(ValueError):
+            HazardPredictor(bin_seconds=60.0, max_age=30.0)
+        predictor = HazardPredictor()
+        with pytest.raises(ValueError):
+            predictor.observe(-1.0)
+        with pytest.raises(ValueError):
+            predictor.quantile(0.0)
+        with pytest.raises(ValueError):
+            predictor.quantile(1.0)
+
+    def test_quantile_infinite_when_hazard_free(self):
+        predictor = HazardPredictor(min_observations=1, bin_seconds=30.0,
+                                    max_age=120.0)
+        predictor.observe(500.0, censored=True)
+        predictor.observe(10.0)
+        predictor2 = HazardPredictor(min_observations=0)
+        assert math.isinf(predictor2.quantile(0.99))
+
+
+# ----------------------------------------------------------------------
+# make_predictor registry
+
+
+class TestRegistry:
+    def test_default_and_static_names(self):
+        for name in (None, "static"):
+            predictor = make_predictor(name, PERCENTILE_MODEL)
+            assert isinstance(predictor, StaticTablePredictor)
+            assert predictor.model is PERCENTILE_MODEL
+
+    def test_hazard_gets_the_static_prior(self):
+        predictor = make_predictor("hazard", PERCENTILE_MODEL, horizon=90.0)
+        assert isinstance(predictor, HazardPredictor)
+        assert isinstance(predictor.prior, StaticTablePredictor)
+        assert predictor.horizon == 90.0
+        # Cold start: indistinguishable from the static table.
+        static = make_predictor("static", PERCENTILE_MODEL, horizon=90.0)
+        assert predictor.survival(30.0, 90.0) == \
+            pytest.approx(static.survival(30.0, 90.0))
+
+    def test_portfolio_needs_pools(self):
+        with pytest.raises(ValueError, match="pools"):
+            make_predictor("portfolio", PERCENTILE_MODEL)
+        pools = (TransientPool("spot", 4, ExponentialLifetimeModel(600.0),
+                               600.0),)
+        predictor = make_predictor("portfolio", PERCENTILE_MODEL,
+                                   pools=pools)
+        assert isinstance(predictor, PortfolioPredictor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("oracle", PERCENTILE_MODEL)

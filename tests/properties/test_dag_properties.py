@@ -141,3 +141,34 @@ def test_fusion_partitions_operators(dag):
             edges = [e for e in dag.in_edges(nxt) if e.src is prev]
             assert len(edges) == 1
             assert edges[0].dep_type is DependencyType.ONE_TO_ONE
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dag())
+def test_lifetime_placement_matches_weight_order(dag):
+    """§6 placement invariant: among operators assigned to transient
+    classes, recomputation weight and class lifetime must sort the same
+    way — no light operator may occupy a longer-lived (more valuable)
+    class than a heavier one."""
+    import math
+
+    from repro.core.compiler.lifetime_placement import (
+        ResourceClass, place_with_lifetime_classes)
+    from repro.core.compiler.placement import recomputation_weight
+
+    classes = [ResourceClass("reserved", math.inf),
+               ResourceClass("long", 3600.0),
+               ResourceClass("mid", 600.0),
+               ResourceClass("short", 120.0)]
+    assignment = place_with_lifetime_classes(dag, classes)
+    for op in dag.operators:
+        assert op.name in assignment
+        if any(e.dep_type.is_wide for e in dag.in_edges(op)):
+            assert assignment[op.name].is_reserved, op.name
+    flexible = sorted(
+        (recomputation_weight(dag, op),
+         assignment[op.name].expected_lifetime)
+        for op in dag.operators if not assignment[op.name].is_reserved)
+    for (w1, l1), (w2, l2) in zip(flexible, flexible[1:]):
+        if w1 < w2:
+            assert l1 <= l2

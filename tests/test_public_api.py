@@ -16,6 +16,7 @@ def test_top_level_exports():
     "repro.cluster", "repro.trace", "repro.dataflow", "repro.core",
     "repro.core.compiler", "repro.core.runtime", "repro.engines",
     "repro.workloads", "repro.bench", "repro.metrics", "repro.obs",
+    "repro.predict",
 ])
 def test_subpackage_exports_resolve(module):
     mod = importlib.import_module(module)
@@ -33,7 +34,7 @@ def test_every_public_item_documented():
     for module_name in ("repro.cluster", "repro.trace", "repro.dataflow",
                         "repro.core.compiler", "repro.core.runtime",
                         "repro.engines", "repro.workloads", "repro.bench",
-                        "repro.metrics", "repro.obs"):
+                        "repro.metrics", "repro.obs", "repro.predict"):
         mod = importlib.import_module(module_name)
         for name in getattr(mod, "__all__", []):
             obj = getattr(mod, name)

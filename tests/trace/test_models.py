@@ -116,3 +116,49 @@ class TestEmpiricalModel:
             EmpiricalLifetimeModel([])
         with pytest.raises(ValueError):
             EmpiricalLifetimeModel([1.0, -2.0])
+
+
+class TestWaveModel:
+    def make(self):
+        from repro.trace.models import WaveLifetimeModel
+        return WaveLifetimeModel([(60.0, 0.5), (120.0, 1.0)])
+
+    def test_sample_requires_launch_time(self, rng):
+        """Regression: ``sample()`` silently assumed launch at time zero,
+        so mid-run replacements died too early. It must refuse now."""
+        from repro.errors import ModelError
+        with pytest.raises(ModelError, match="sample_at"):
+            self.make().sample(rng)
+
+    def test_sample_without_waves_is_eviction_free(self, rng):
+        from repro.trace.models import WaveLifetimeModel
+        assert math.isinf(WaveLifetimeModel([]).sample(rng))
+
+    def test_sample_at_lands_on_wave_boundaries(self, rng):
+        model = self.make()
+        # The second wave is certain: a container launched between the
+        # waves dies exactly on it, never in between.
+        for _ in range(20):
+            assert model.sample_at(90.0, rng) == pytest.approx(30.0)
+        # Launched at a wave tick, it only faces *later* waves.
+        assert model.sample_at(120.0, rng) == math.inf
+
+    def test_sample_at_certain_first_wave(self, rng):
+        from repro.trace.models import WaveLifetimeModel
+        model = WaveLifetimeModel([(45.0, 1.0)])
+        assert model.sample_at(0.0, rng) == pytest.approx(45.0)
+
+    def test_cdf_is_the_survival_product(self):
+        model = self.make()
+        assert model.cdf(59.0) == 0.0
+        assert model.cdf(60.0) == pytest.approx(0.5)
+        assert model.cdf(120.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        from repro.trace.models import WaveLifetimeModel
+        with pytest.raises(ValueError):
+            WaveLifetimeModel([(-1.0, 0.5)])
+        with pytest.raises(ValueError):
+            WaveLifetimeModel([(60.0, 0.0)])
+        with pytest.raises(ValueError):
+            WaveLifetimeModel([(60.0, 1.5)])
