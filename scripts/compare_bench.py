@@ -15,8 +15,10 @@ the fresh run are reported but pass — commit a regenerated baseline to
 start tracking them.
 
 Two baseline formats are understood: pytest-benchmark JSON (cells are
-benchmark names, means are wall-time) and sweep-row lists as written by
-``python -m repro psweep --out`` (cells are workload/regime/variant rows,
+benchmark names, means are wall-time) and sweep rows as written by
+``python -m repro psweep --out`` — either a bare row list or the
+``{"rows": [...], "runner": {...}}`` wrapper that carries runner timing
+(cells are workload/regime/variant rows,
 "means" are simulated JCT seconds — the sweep is deterministic, so a
 fresh run diverging beyond the threshold means the engine's *behavior*
 changed, not the machine's speed)::
@@ -38,6 +40,10 @@ import sys
 def load_means(path: pathlib.Path) -> dict[str, float]:
     """``{cell name: mean seconds}`` from a benchmark JSON file."""
     data = json.loads(path.read_text())
+    if isinstance(data, dict) and "rows" in data:
+        # ``python -m repro psweep --out`` wraps the row list with runner
+        # timing; the timing is machine-dependent and not compared.
+        data = data["rows"]
     if isinstance(data, list):
         return {"{workload}/{regime}/{variant}".format(**row):
                 row["jct_minutes"] * 60.0 for row in data}

@@ -12,6 +12,8 @@ Usage::
     python -m repro fig9xl [--fleet 10000] [--hours 1.75]
     python -m repro profile fig7 [--profile-limit 40] [--profile-out f.pstats]
     python -m repro profile mtsweep --policy fair --load 0.8 --jobs 20
+    python -m repro mtsweep --job-dir /shared/jobs     # distributed dispatch
+    python -m repro sweep-worker /shared/jobs [--once]
     python -m repro all
 
 Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
@@ -22,8 +24,14 @@ and dumps one ``<label>.jsonl`` plus one Chrome/Perfetto-loadable
 
 Every sweep-style experiment (fig5-9, ablations, sweep) accepts
 ``--workers N`` to fan independent simulations out over worker processes
-and ``--cache DIR`` to memoize completed runs on disk (see
-docs/PERFORMANCE.md); results are bit-identical to the serial path.
+(one warm pool per invocation) and ``--cache DIR`` to memoize completed
+runs on disk (see docs/PERFORMANCE.md); results are bit-identical to the
+serial path. ``--job-dir DIR`` switches dispatch to the distributed
+jobfile backend: chunks are published under DIR and any number of
+``python -m repro sweep-worker DIR`` processes (on any machine sharing
+DIR) pick them up; the submitting process drains the queue itself, so
+workers accelerate but are never required. A wall-clock timing summary
+for every runner-backed experiment goes to stderr.
 """
 
 from __future__ import annotations
@@ -52,12 +60,31 @@ AVERAGED_HEADERS = ["workload", "eviction", "engine", "JCT (m)",
 
 
 def _runner_for(args) -> SweepRunner:
+    if args.job_dir is not None:
+        return SweepRunner(workers=args.workers, cache_dir=args.cache,
+                           backend="jobfile", job_dir=args.job_dir)
     return SweepRunner(workers=args.workers, cache_dir=args.cache)
+
+
+def _finish_runner(runner: SweepRunner) -> None:
+    """Release the warm pool and report wall-clock timing on stderr
+    (stdout carries the tables; the ``[runner]`` stats line stays there
+    for compatibility)."""
+    stats = runner.stats
+    print(f"[runner:timing] {stats.wall_seconds:.2f}s wall, "
+          f"{stats.mean_spec_seconds * 1e3:.1f} ms/spec, "
+          f"{stats.pool_startup_seconds:.2f}s pool startup "
+          f"({stats.pools_started} pool(s), {stats.batches} batch(es), "
+          f"{stats.chunks} chunk(s))", file=sys.stderr)
+    runner.close()
 
 
 def _sweep(fn: Callable, title: str, args, **kwargs) -> str:
     runner = _runner_for(args)
-    rows = fn(runner=runner, **kwargs)
+    try:
+        rows = fn(runner=runner, **kwargs)
+    finally:
+        _finish_runner(runner)
     table = render_table(SWEEP_HEADERS, [r.as_tuple() for r in rows],
                          title=title)
     return f"{table}\n[runner] {runner.stats}"
@@ -100,23 +127,27 @@ def _run_fig8(args) -> str:
 
 def _run_ablations(args) -> str:
     runner = _runner_for(args)
-    parts = [
-        render_table(["variant", "JCT (m)", "pushed (GB)",
-                      "input read (GB)", "shuffled (GB)"],
-                     ablation_optimizations(seed=args.seed, runner=runner),
-                     title="Ablation: Pado optimizations (MLR, high)"),
-        render_table(["max merged tasks", "JCT (m)", "pushed (GB)",
-                      "relaunched"],
-                     ablation_aggregation_limits(seed=args.seed,
-                                                 runner=runner),
-                     title="Ablation: aggregation escape limits"),
-        render_table(["semantics", "JCT (m)", "relaunched",
-                      "shuffled (GB)"],
-                     ablation_fetch_semantics(seed=args.seed,
-                                              runner=runner),
-                     title="Ablation: Spark fetch-failure semantics"),
-        f"[runner] {runner.stats}",
-    ]
+    try:
+        parts = [
+            render_table(["variant", "JCT (m)", "pushed (GB)",
+                          "input read (GB)", "shuffled (GB)"],
+                         ablation_optimizations(seed=args.seed,
+                                                runner=runner),
+                         title="Ablation: Pado optimizations (MLR, high)"),
+            render_table(["max merged tasks", "JCT (m)", "pushed (GB)",
+                          "relaunched"],
+                         ablation_aggregation_limits(seed=args.seed,
+                                                     runner=runner),
+                         title="Ablation: aggregation escape limits"),
+            render_table(["semantics", "JCT (m)", "relaunched",
+                          "shuffled (GB)"],
+                         ablation_fetch_semantics(seed=args.seed,
+                                                  runner=runner),
+                         title="Ablation: Spark fetch-failure semantics"),
+            f"[runner] {runner.stats}",
+        ]
+    finally:
+        _finish_runner(runner)
     return "\n\n".join(parts)
 
 
@@ -139,26 +170,29 @@ def _run_mtsweep(args) -> str:
     reserves = _parse_csv(args.reserve)
     parts = []
     summaries = []
-    for load in loads:
-        for eviction in evictions:
-            for policy in policies:
-                for reserve in reserves:
-                    config = make_cell_config(policy, load, eviction,
-                                              num_jobs=args.jobs,
-                                              seed=args.seed,
-                                              reserve=reserve)
-                    result = run_multitenant_cell(config, runner=runner)
-                    summaries.append(cell_summary(config, result))
-                    parts.append(jct_table(
-                        result,
-                        title=(f"Multi-tenant JCT (minutes): "
-                               f"policy={policy} load={load} "
-                               f"eviction={eviction} reserve={reserve} "
-                               f"jobs={args.jobs} seed={args.seed}")))
+    try:
+        for load in loads:
+            for eviction in evictions:
+                for policy in policies:
+                    for reserve in reserves:
+                        config = make_cell_config(policy, load, eviction,
+                                                  num_jobs=args.jobs,
+                                                  seed=args.seed,
+                                                  reserve=reserve)
+                        result = run_multitenant_cell(config, runner=runner)
+                        summaries.append(cell_summary(config, result))
+                        parts.append(jct_table(
+                            result,
+                            title=(f"Multi-tenant JCT (minutes): "
+                                   f"policy={policy} load={load} "
+                                   f"eviction={eviction} reserve={reserve} "
+                                   f"jobs={args.jobs} seed={args.seed}")))
+    finally:
+        _finish_runner(runner)
     if args.out is not None:
         out = pathlib.Path(args.out)
-        out.write_text(json.dumps(summaries, indent=1, sort_keys=True)
-                       + "\n")
+        payload = {"cells": summaries, "runner": runner.stats.to_dict()}
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         parts.append(f"[mtsweep] {len(summaries)} cell summaries -> {out}")
     parts.append(f"[runner] {runner.stats}")
     return "\n\n".join(parts)
@@ -174,14 +208,18 @@ def _run_psweep(args) -> str:
     runner = _runner_for(args)
     workloads = (_parse_csv(args.pworkloads) if args.pworkloads
                  else SWEEP_WORKLOADS)
-    rows = prediction_sweep(workloads=workloads, scale=args.scale,
-                            seed=args.seed, runner=runner)
+    try:
+        rows = prediction_sweep(workloads=workloads, scale=args.scale,
+                                seed=args.seed, runner=runner)
+    finally:
+        _finish_runner(runner)
     parts = [prediction_table(
         rows, title=(f"Prediction sweep: static vs predictive Pado "
                      f"(seed={args.seed})"))]
     if args.out is not None:
         out = pathlib.Path(args.out)
-        out.write_text(json.dumps(rows, indent=1, sort_keys=True) + "\n")
+        payload = {"rows": rows, "runner": runner.stats.to_dict()}
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         parts.append(f"[psweep] {len(rows)} cell rows -> {out}")
     parts.append(f"[runner] {runner.stats}")
     return "\n\n".join(parts)
@@ -212,6 +250,9 @@ def _run_fig9xl(args) -> str:
 
 def _run_sweep(args) -> str:
     """The generic runner-backed sweep: engines x rates (x seeds)."""
+    import dataclasses
+    import json
+
     runner = _runner_for(args)
     kwargs = {"scale": args.scale, "runner": runner}
     if args.rates:
@@ -220,20 +261,30 @@ def _run_sweep(args) -> str:
     if args.engines:
         kwargs["engines"] = _parse_csv(args.engines)
     seeds = _parse_csv(args.seeds, int) if args.seeds else None
-    if args.averaged:
-        if seeds:
-            kwargs["seeds"] = tuple(seeds)
-        rows = averaged_eviction_sweep(args.workload, **kwargs)
-        table = render_table(
-            AVERAGED_HEADERS, [row.as_tuple() for row in rows],
-            title=f"Averaged eviction sweep ({args.workload})")
-    else:
-        kwargs["seed"] = seeds[0] if seeds else args.seed
-        rows = eviction_rate_sweep(args.workload, **kwargs)
-        table = render_table(
-            SWEEP_HEADERS, [row.as_tuple() for row in rows],
-            title=f"Eviction sweep ({args.workload})")
-    return f"{table}\n[runner] {runner.stats}"
+    try:
+        if args.averaged:
+            if seeds:
+                kwargs["seeds"] = tuple(seeds)
+            rows = averaged_eviction_sweep(args.workload, **kwargs)
+            table = render_table(
+                AVERAGED_HEADERS, [row.as_tuple() for row in rows],
+                title=f"Averaged eviction sweep ({args.workload})")
+        else:
+            kwargs["seed"] = seeds[0] if seeds else args.seed
+            rows = eviction_rate_sweep(args.workload, **kwargs)
+            table = render_table(
+                SWEEP_HEADERS, [row.as_tuple() for row in rows],
+                title=f"Eviction sweep ({args.workload})")
+    finally:
+        _finish_runner(runner)
+    output = f"{table}\n[runner] {runner.stats}"
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        payload = {"rows": [dataclasses.asdict(row) for row in rows],
+                   "runner": runner.stats.to_dict()}
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        output += f"\n[sweep] {len(rows)} rows -> {out}"
+    return output
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
@@ -308,11 +359,14 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the Pado paper's tables and figures.")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["list", "all",
-                                                       "profile"],
-                        help="experiment id, 'list', 'all', or 'profile'")
+                                                       "profile",
+                                                       "sweep-worker"],
+                        help="experiment id, 'list', 'all', 'profile', or "
+                             "'sweep-worker'")
     parser.add_argument("target", nargs="?", default=None,
                         help="with 'profile': the experiment to profile "
-                             "under cProfile")
+                             "under cProfile; with 'sweep-worker': the "
+                             "shared job directory to serve")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale override (default: bench "
                              "scales)")
@@ -326,6 +380,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="memoize completed simulations in DIR; "
                              "re-runs only simulate what changed")
+    parser.add_argument("--job-dir", metavar="DIR", default=None,
+                        help="dispatch simulations through the distributed "
+                             "jobfile backend rooted at DIR (pair with "
+                             "'sweep-worker DIR' processes; see "
+                             "docs/PERFORMANCE.md)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="for sweep/mtsweep/psweep: also write rows "
+                             "plus runner timing as JSON to FILE (how the "
+                             "committed benchmarks/BENCH_*.json sweeps are "
+                             "regenerated)")
     sweep_args = parser.add_argument_group(
         "sweep", "options for the 'sweep' experiment")
     sweep_args.add_argument("--workload", default="mr",
@@ -360,10 +424,6 @@ def main(argv: list[str] | None = None) -> int:
     mt_args.add_argument("--reserve", default="fixed",
                          help="reserved-pool sizing mode(s), "
                               "comma-separated (fixed,elastic)")
-    mt_args.add_argument("--out", metavar="FILE", default=None,
-                         help="also write per-cell JSON summaries to FILE "
-                              "(how benchmarks/BENCH_multitenant.json is "
-                              "regenerated)")
     p_args = parser.add_argument_group(
         "psweep", "options for the 'psweep' experiment")
     p_args.add_argument("--pworkloads", default=None,
@@ -377,6 +437,15 @@ def main(argv: list[str] | None = None) -> int:
     xl_args.add_argument("--hours", type=float, default=1.75,
                          help="simulated hours of churn + shuffle "
                               "(default: 1.75, >1M events)")
+    worker_args = parser.add_argument_group(
+        "sweep-worker", "options for the 'sweep-worker' mode")
+    worker_args.add_argument("--once", action="store_true",
+                             help="drain the queue and exit instead of "
+                                  "polling forever")
+    worker_args.add_argument("--claim-timeout", type=float, default=120.0,
+                             help="seconds before a stalled claim is "
+                                  "assumed crashed and re-queued "
+                                  "(default: 120)")
     profile_args = parser.add_argument_group(
         "profile", "options for the 'profile' mode")
     profile_args.add_argument("--profile-sort", default="cumulative",
@@ -387,13 +456,23 @@ def main(argv: list[str] | None = None) -> int:
                               help="also dump raw pstats data to FILE")
     args = parser.parse_args(argv)
 
+    if args.experiment == "sweep-worker":
+        if args.target is None:
+            parser.error("sweep-worker needs a job directory to serve")
+        from repro.bench.runner import sweep_worker_loop
+        completed = sweep_worker_loop(args.target, cache_dir=args.cache,
+                                      once=args.once,
+                                      claim_timeout=args.claim_timeout)
+        print(f"[sweep-worker] {completed} chunk(s) completed")
+        return 0
     if args.experiment == "profile":
         if args.target not in EXPERIMENTS:
             parser.error("profile needs an experiment to profile, one of: "
                          + ", ".join(sorted(EXPERIMENTS)))
         return _run_profiled(args.target, args)
     if args.target is not None:
-        parser.error("a second positional is only valid with 'profile'")
+        parser.error("a second positional is only valid with 'profile' "
+                     "or 'sweep-worker'")
     if args.experiment == "list":
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"{name:10s} {description}")

@@ -19,20 +19,24 @@ from repro.bench.multitenant import (cell_summary, jct_table,
                                      make_cell_config, multitenant_sweep,
                                      run_multitenant_cell, spec_for_job,
                                      sweep_executor)
-from repro.bench.runner import (PoolSpec, ResultCache, RunSpec, RunnerStats,
-                                SweepRunner, build_cluster, build_engine,
+from repro.bench.runner import (JobFileBackend, PoolSpec, ResultCache,
+                                RunSpec, RunnerStats, SweepRunner,
+                                build_cache, build_cluster, build_engine,
                                 canonical_result_json, code_fingerprint,
                                 engine_spec, execute_spec, result_from_dict,
-                                result_to_dict, run_specs)
+                                result_to_dict, run_specs, spec_from_dict,
+                                spec_to_dict, sweep_worker_loop)
 from repro.bench.tables import render_cdf_series, render_table, speedup
 
 __all__ = [
-    "AveragedRow", "BENCH_SCALES", "PoolSpec", "ResultCache", "RunSpec",
+    "AveragedRow", "BENCH_SCALES", "JobFileBackend", "PoolSpec",
+    "ResultCache", "RunSpec",
     "RunnerStats", "SweepRow", "SweepRunner", "TIME_LIMIT_MINUTES",
     "averaged_eviction_sweep",
     "ablation_aggregation_limits", "ablation_fetch_semantics",
     "ablation_lifetime_aware_scheduling",
-    "ablation_optimizations", "build_cluster", "build_engine",
+    "ablation_optimizations", "build_cache", "build_cluster",
+    "build_engine",
     "canonical_result_json", "cell_summary", "code_fingerprint",
     "default_engines",
     "engine_spec", "eviction_rate_sweep", "execute_spec",
@@ -43,6 +47,7 @@ __all__ = [
     "make_cell_config", "make_workload", "multitenant_sweep",
     "render_cdf_series", "render_table", "result_from_dict",
     "result_to_dict", "run_multitenant_cell", "run_one", "run_specs",
-    "spec_for_job", "speedup", "sweep_executor",
+    "spec_for_job", "spec_from_dict", "spec_to_dict", "speedup",
+    "sweep_executor", "sweep_worker_loop",
     "tab1_lifetime_percentiles", "tab2_collected_memory",
 ]

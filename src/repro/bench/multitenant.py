@@ -7,8 +7,11 @@ whose ``eviction_waves`` carry the cluster-wide wave schedule re-based to
 the job's start, and the batch runs through a
 :class:`~repro.bench.runner.SweepRunner` — so dispatched jobs simulate in
 parallel across worker processes and a warm on-disk cache replays a whole
-sweep without a single inner simulation. ``python -m repro mtsweep`` drives
-:func:`multitenant_sweep` over load x policy x eviction-rate cells.
+sweep without a single inner simulation. One runner (and thus one warm
+worker pool with its per-process build caches) serves every dispatch
+batch of the outer loop; the pool is paid for once per sweep, not once
+per batch. ``python -m repro mtsweep`` drives :func:`multitenant_sweep`
+over load x policy x eviction-rate cells.
 """
 
 from __future__ import annotations
@@ -81,7 +84,8 @@ def run_multitenant_cell(config: TenancyConfig,
     records to the observability layer.
     """
     if runner is None:
-        runner = SweepRunner(workers=workers, cache_dir=cache)
+        with SweepRunner(workers=workers, cache_dir=cache) as local:
+            return run_multitenant_cell(config, runner=local)
     cluster = MultiTenantCluster(config, sweep_executor(config, runner))
     result = cluster.run()
     _tag_job_traces(result)
@@ -125,6 +129,7 @@ def cell_summary(config: TenancyConfig, result: TenancyResult) -> dict:
         "num_jobs": config.num_jobs,
         "seed": config.seed,
         "makespan_minutes": round(result.makespan / 60.0, 3),
+        "dispatch_batches": result.dispatch_batches,
         "pool_resizes": len(result.pool.resizes),
         "waves": len(result.waves),
         "waves_delivered": len(result.pool.waves),
@@ -145,14 +150,18 @@ def multitenant_sweep(policies: Sequence[str] = SWEEP_POLICIES,
                       workers: int = 0, cache=None) -> list[dict]:
     """Sweep load x policy x eviction x reserve; one summary per cell.
 
-    All cells share one runner, so identical inner jobs (same arrival
-    schedule under different policies can dispatch a job at the same
-    instant) simulate once per process and cache across runs. The
-    ``reserves`` axis defaults to fixed-only; pass ``("fixed",
+    All cells share one runner — and with ``workers=N`` one *warm worker
+    pool* across every dispatch batch of every cell — so identical inner
+    jobs (same arrival schedule under different policies can dispatch a
+    job at the same instant) simulate once per process and cache across
+    runs. The ``reserves`` axis defaults to fixed-only; pass ``("fixed",
     "elastic")`` to measure the elasticity controller head to head.
     """
     if runner is None:
-        runner = SweepRunner(workers=workers, cache_dir=cache)
+        with SweepRunner(workers=workers, cache_dir=cache) as local:
+            return multitenant_sweep(policies, loads, evictions, reserves,
+                                     num_jobs=num_jobs, seed=seed,
+                                     runner=local)
     summaries = []
     for load in loads:
         for eviction in evictions:

@@ -104,7 +104,11 @@ def prediction_sweep(workloads: Sequence[str] = SWEEP_WORKLOADS,
     quantities the predictive variant is expected to reduce.
     """
     if runner is None:
-        runner = SweepRunner(workers=workers, cache_dir=cache)
+        with SweepRunner(workers=workers, cache_dir=cache) as local:
+            return prediction_sweep(workloads, regimes, scale=scale,
+                                    seed=seed,
+                                    time_limit_minutes=time_limit_minutes,
+                                    runner=local)
     cells = []
     specs = []
     for workload in workloads:

@@ -1,11 +1,11 @@
-"""Parallel, cached experiment runner.
+"""Parallel, cached experiment runner with a warm worker pool.
 
 The paper's evaluation protocol (§5.1.3) runs every configuration five
 times and sweeps engines x eviction rates x cluster sizes — dozens to
 hundreds of independent simulations. This module turns those sweeps into
 data: a :class:`RunSpec` is a picklable, declaratively-specified simulation
 (workload + engine + cluster + seed) with a stable content hash, and a
-:class:`SweepRunner` fans lists of specs out over a
+:class:`SweepRunner` fans lists of specs out over a persistent
 ``ProcessPoolExecutor``, returns results in deterministic spec order, and
 memoizes completed :class:`~repro.engines.base.JobResult` rows in an
 on-disk JSON cache keyed by ``(spec hash, code fingerprint)`` so re-running
@@ -17,14 +17,34 @@ Design constraints:
   carries options as plain ``(key, value)`` pairs; clusters are named
   eviction rates plus counts (or declarative §6 transient pools). This
   keeps specs picklable for worker processes, JSON-serializable for the
-  cache key, and independent of in-process object identity.
+  cache key and the jobfile backend, and independent of in-process object
+  identity.
 * **Determinism.** ``workers=0`` (the default) runs every simulation
   in-process in spec order — bit-identical to the historical serial
   sweeps. ``workers=N`` runs the same simulations in worker processes;
   each simulation seeds its own ``Generator``, so results are
-  bit-identical to the serial path regardless of scheduling.
+  bit-identical to the serial path regardless of scheduling, chunking,
+  pool lifetime, or backend.
+* **Warm pools.** One runner owns its pool across ``run()`` calls
+  (``close()`` / context-manager lifecycle). Workers initialize once
+  (imports, code fingerprint) and keep a per-process :class:`_BuildCache`
+  so programs/engines/clusters are built once per structural key, not
+  once per spec — the multi-tenant dispatch loop sends hundreds of
+  near-identical jobs where only seed/wave fields vary. Dispatch is
+  chunked: one pickle round-trip per chunk, not per spec.
 * **Honest caching.** Cache entries are invalidated by a fingerprint of
   every ``.py`` file under ``src/repro``; any code change re-simulates.
+  An in-memory LRU fronts the per-spec files so repeated probes within
+  one process skip disk I/O.
+* **Distributed backend.** ``SweepRunner(backend="jobfile",
+  job_dir=...)`` fans chunk files out over a shared directory;
+  ``python -m repro sweep-worker <dir>`` processes run anywhere the
+  directory is mounted. Chunks are claimed by atomic rename, results
+  flow back through the content-hash :class:`ResultCache` (idempotent
+  puts give exactly-once result commit even when a crashed worker's
+  chunk is reclaimed and partially re-executed), and the submitting
+  runner drains the queue itself so a sweep finishes even with zero
+  external workers.
 """
 
 from __future__ import annotations
@@ -32,9 +52,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
+import multiprocessing
 import os
 import pathlib
 import tempfile
+import time
+import uuid
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Union
@@ -43,6 +68,20 @@ from repro.engines.base import ClusterConfig, EngineBase, JobResult
 
 #: Option values allowed in a spec: must survive a JSON round-trip intact.
 _SCALAR_TYPES = (bool, int, float, str, type(None))
+
+#: Start method for worker pools. ``spawn`` (not the POSIX ``fork``
+#: default) so pool workers are interpreter-fresh — the same execution
+#: model as distributed ``sweep-worker`` processes, with no inherited
+#: module state, tracer registrations, or fingerprint memos. Spawn
+#: startup is expensive (~0.5 s/worker), which is exactly why the pool
+#: is warm: the cost is paid once per runner, not once per batch.
+DEFAULT_MP_CONTEXT = "spawn"
+
+#: Seconds after which a claimed-but-untouched jobfile chunk is assumed
+#: orphaned by a crashed worker and moved back to the queue. Workers
+#: touch their claim file after every completed spec, so this only needs
+#: to exceed the longest single simulation.
+DEFAULT_CLAIM_TIMEOUT = 120.0
 
 
 def _freeze_options(options: Optional[dict]) -> tuple:
@@ -116,6 +155,40 @@ class RunSpec:
 
     def options(self) -> dict:
         return dict(self.engine_options)
+
+    def structural_key(self) -> tuple:
+        """Everything that shapes the *built objects* (program, engine,
+        cluster) but not the run itself: excludes ``seed`` and
+        ``time_limit_minutes``, which only parameterize ``engine.run``.
+        The per-process :class:`_BuildCache` memoizes on slices of this.
+        """
+        return (self.workload, self.engine, self.scale, self.num_reserved,
+                self.num_transient, self.eviction, self.engine_options,
+                self.transient_pools, self.eviction_waves)
+
+
+def spec_to_dict(spec: RunSpec) -> dict:
+    """JSON-safe dict form of a spec (jobfile chunks, cache metadata)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_dict(data: dict) -> RunSpec:
+    """Inverse of :func:`spec_to_dict`. Restores the tuple structure JSON
+    flattened to lists, so ``content_hash()`` round-trips exactly."""
+    fields = {f.name: data[f.name] for f in dataclasses.fields(RunSpec)
+              if f.name in data}
+    fields["engine_options"] = tuple(
+        (key, value) for key, value in fields.get("engine_options") or ())
+    pools = fields.get("transient_pools")
+    if pools is not None:
+        fields["transient_pools"] = tuple(
+            pool if isinstance(pool, PoolSpec) else PoolSpec(**pool)
+            for pool in pools)
+    waves = fields.get("eviction_waves")
+    if waves is not None:
+        fields["eviction_waves"] = tuple(
+            (offset, severity) for offset, severity in waves)
+    return RunSpec(**fields)
 
 
 # ----------------------------------------------------------------------
@@ -218,13 +291,131 @@ def build_cluster(spec: RunSpec) -> ClusterConfig:
                          transient_pools=pools)
 
 
+# ----------------------------------------------------------------------
+# per-process build cache
+
+class _BuildCache:
+    """Memoizes ``build_engine``/``build_cluster``/workload construction
+    by the spec's structural key — one instance per process (workers and
+    the in-process serial path alike).
+
+    What is safe to reuse across runs, verified bit-identical by
+    ``tests/bench/test_sweep_pool.py``:
+
+    * **Programs** — the DAG is read-only to the engines.
+    * **Clusters** — ``ClusterConfig`` is frozen; lifetime models are
+      stateless (``sample(rng)`` draws from the caller's generator).
+    * **Engines without a ``scheduling_policy`` option** — plain config
+      holders whose ``run()`` builds fresh per-run state. A configured
+      policy *instance* (e.g. ``LifetimeAwarePolicy``) carries a
+      round-robin cursor across runs, so those specs rebuild the engine
+      every time.
+
+    Entries are evicted FIFO past ``capacity`` per table so tenancy
+    sweeps with thousands of distinct wave tuples stay bounded.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._programs: OrderedDict[tuple, Any] = OrderedDict()
+        self._engines: OrderedDict[tuple, EngineBase] = OrderedDict()
+        self._clusters: OrderedDict[tuple, ClusterConfig] = OrderedDict()
+
+    def _lookup(self, table: OrderedDict, key: tuple, build) -> Any:
+        try:
+            value = table[key]
+            self.hits += 1
+            return value
+        except KeyError:
+            self.misses += 1
+        value = build()
+        table[key] = value
+        while len(table) > self.capacity:
+            table.popitem(last=False)
+        return value
+
+    def program_for(self, spec: RunSpec) -> Any:
+        from repro.bench.experiments import make_workload
+        return self._lookup(self._programs, (spec.workload, spec.scale),
+                            lambda: make_workload(spec.workload, spec.scale))
+
+    def engine_for(self, spec: RunSpec) -> EngineBase:
+        if any(key == "scheduling_policy" for key, _ in spec.engine_options):
+            return build_engine(spec)
+        return self._lookup(self._engines, (spec.engine, spec.engine_options),
+                            lambda: build_engine(spec))
+
+    def cluster_for(self, spec: RunSpec) -> ClusterConfig:
+        key = (spec.num_reserved, spec.num_transient, spec.eviction,
+               spec.transient_pools, spec.eviction_waves)
+        return self._lookup(self._clusters, key, lambda: build_cluster(spec))
+
+    def clear(self) -> None:
+        self._programs.clear()
+        self._engines.clear()
+        self._clusters.clear()
+
+
+#: Process-wide build cache shared by every spec executed in this process.
+_BUILD_CACHE = _BuildCache()
+
+
+def build_cache() -> _BuildCache:
+    """This process's build cache (tests inspect/clear it)."""
+    return _BUILD_CACHE
+
+
 def execute_spec(spec: RunSpec) -> JobResult:
-    """Run one spec to completion (this is what worker processes execute)."""
-    from repro.bench.experiments import make_workload
-    program = make_workload(spec.workload, spec.scale)
-    engine = build_engine(spec)
-    return engine.run(program, build_cluster(spec), seed=spec.seed,
+    """Run one spec to completion (this is what worker processes execute).
+
+    Program/engine/cluster construction is memoized per process through
+    :func:`build_cache`; the simulation itself always runs fresh.
+    """
+    program = _BUILD_CACHE.program_for(spec)
+    engine = _BUILD_CACHE.engine_for(spec)
+    return engine.run(program, _BUILD_CACHE.cluster_for(spec), seed=spec.seed,
                       time_limit=spec.time_limit_minutes * 60.0)
+
+
+# ----------------------------------------------------------------------
+# pool worker entry points (module-level so they pickle under spawn)
+
+def _init_worker() -> None:
+    """Run once per pool worker: pay the heavy imports and the source-tree
+    fingerprint up front so the first chunk measures simulation, not
+    setup. Spawned workers start interpreter-fresh, so nothing leaks in
+    from the parent."""
+    import repro.bench.experiments  # noqa: F401
+    import repro.cluster.tenancy  # noqa: F401
+    import repro.predict  # noqa: F401
+    code_fingerprint()
+
+
+def _pool_probe(delay_seconds: float) -> int:
+    """Warm-up task: occupying every worker briefly forces the executor
+    to actually spawn its full complement, so pool startup is paid (and
+    measured) inside ``_ensure_pool``, not inside the first real chunk."""
+    time.sleep(delay_seconds)
+    return os.getpid()
+
+
+def _execute_chunk(specs: list[RunSpec]) -> list[JobResult]:
+    """Worker-side entry: one pickle round-trip executes a whole chunk."""
+    return [execute_spec(spec) for spec in specs]
+
+
+def _chunked(items: list, chunk_count: int) -> list[list]:
+    """Split into ``chunk_count`` contiguous slices, sizes within one."""
+    count = max(1, min(chunk_count, len(items)))
+    base, extra = divmod(len(items), count)
+    chunks, start = [], 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
 
 
 # ----------------------------------------------------------------------
@@ -294,34 +485,62 @@ def code_fingerprint(root: Optional[pathlib.Path] = None) -> str:
 
 class ResultCache:
     """One JSON file per completed spec, under
-    ``<dir>/<code fingerprint>/<spec hash>.json``."""
+    ``<dir>/<code fingerprint>/<spec hash>.json``, fronted by an
+    in-memory LRU so repeated probes within one process skip disk I/O.
 
-    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+    ``get``/``put``/``path_for`` accept the precomputed content hash via
+    ``key=`` so callers that already hashed the spec never hash twice.
+    ``memory_hits``/``disk_hits``/``misses`` count where probes landed.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 memory_entries: int = 4096) -> None:
         self.directory = pathlib.Path(directory)
+        self.memory_entries = memory_entries
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self._memory: OrderedDict[str, JobResult] = OrderedDict()
 
-    def path_for(self, spec: RunSpec) -> pathlib.Path:
-        return (self.directory / code_fingerprint()
-                / f"{spec.content_hash()}.json")
+    def path_for(self, spec: RunSpec, key: Optional[str] = None)\
+            -> pathlib.Path:
+        key = key if key is not None else spec.content_hash()
+        return self.directory / code_fingerprint() / f"{key}.json"
 
-    def get(self, spec: RunSpec) -> Optional[JobResult]:
-        path = self.path_for(spec)
+    def get(self, spec: RunSpec, key: Optional[str] = None)\
+            -> Optional[JobResult]:
+        key = key if key is not None else spec.content_hash()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return cached
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            data = json.loads(self.path_for(spec, key=key).read_text())
+            result = result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
             return None
-        return result_from_dict(data["result"])
+        self.disk_hits += 1
+        self._remember(key, result)
+        return result
 
-    def put(self, spec: RunSpec, result: JobResult) -> bool:
+    def put(self, spec: RunSpec, result: JobResult,
+            key: Optional[str] = None) -> bool:
         """Persist a result; returns False (and caches nothing) when the
-        result carries non-JSON payloads (real-data ``outputs``/extras)."""
+        result carries non-JSON payloads (real-data ``outputs``/extras).
+        Writes are atomic (tempfile + rename), so concurrent writers —
+        jobfile workers racing on a reclaimed chunk — land whole files
+        and the duplicate put is an idempotent overwrite."""
+        key = key if key is not None else spec.content_hash()
         try:
             payload = json.dumps(
-                {"spec": dataclasses.asdict(spec),
+                {"spec": spec_to_dict(spec),
                  "result": result_to_dict(result)},
                 sort_keys=True)
         except TypeError:
             return False
-        path = self.path_for(spec)
+        path = self.path_for(spec, key=key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
@@ -334,7 +553,132 @@ class ResultCache:
             except OSError:
                 pass
             return False
+        self._remember(key, result)
         return True
+
+    def _remember(self, key: str, result: JobResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# jobfile backend: chunk files over a shared directory
+
+class JobFileBackend:
+    """Work queue as files: ``<root>/queue/*.json`` chunks are claimed by
+    atomic rename into ``<root>/claimed/``, executed, and deleted; results
+    land in the shared :class:`ResultCache` at ``<root>/cache``.
+
+    Crash recovery: a worker that dies mid-chunk leaves its claim file
+    behind. Workers touch the claim after every completed spec, so a
+    claim whose mtime is older than the reclaim timeout is orphaned and
+    moves back to the queue. Specs already finished before the crash are
+    cache hits on re-execution — at-least-once execution, exactly-once
+    result commit.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.queue_dir = self.root / "queue"
+        self.claimed_dir = self.root / "claimed"
+        self.cache_dir = self.root / "cache"
+        for directory in (self.queue_dir, self.claimed_dir, self.cache_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def enqueue_chunk(self, specs: Sequence[RunSpec]) -> pathlib.Path:
+        """Atomically publish one chunk file to the queue."""
+        payload = json.dumps(
+            {"specs": [spec_to_dict(spec) for spec in specs]},
+            sort_keys=True)
+        target = self.queue_dir / f"chunk-{uuid.uuid4().hex}.json"
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, target)
+        return target
+
+    def claim(self) -> Optional[pathlib.Path]:
+        """Move one queued chunk into ``claimed/``; None when the queue is
+        empty. The rename is atomic, so exactly one claimant wins."""
+        for path in sorted(self.queue_dir.glob("chunk-*.json")):
+            target = self.claimed_dir / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue
+            return target
+        return None
+
+    def finish(self, claimed: pathlib.Path) -> None:
+        try:
+            claimed.unlink()
+        except OSError:
+            pass
+
+    def heartbeat(self, claimed: pathlib.Path) -> None:
+        """Freshen a claim's mtime so it is not reclaimed while live."""
+        try:
+            os.utime(claimed)
+        except OSError:
+            pass
+
+    def reclaim_stale(self, older_than_seconds: float) -> int:
+        """Move orphaned claims back to the queue; returns how many."""
+        reclaimed = 0
+        cutoff = time.time() - older_than_seconds
+        for path in sorted(self.claimed_dir.glob("chunk-*.json")):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                os.rename(path, self.queue_dir / path.name)
+            except OSError:
+                continue
+            reclaimed += 1
+        return reclaimed
+
+    @staticmethod
+    def load_chunk(path: pathlib.Path) -> list[RunSpec]:
+        data = json.loads(path.read_text())
+        return [spec_from_dict(entry) for entry in data["specs"]]
+
+
+def sweep_worker_loop(job_dir: Union[str, pathlib.Path], *,
+                      cache_dir: Optional[Union[str, pathlib.Path]] = None,
+                      once: bool = False, poll_seconds: float = 0.5,
+                      claim_timeout: float = DEFAULT_CLAIM_TIMEOUT,
+                      max_chunks: Optional[int] = None) -> int:
+    """Process jobfile chunks until the queue stays empty (``once``) or
+    forever (the ``python -m repro sweep-worker`` service loop). Returns
+    the number of chunks completed.
+
+    Each spec is probed against the shared cache before executing —
+    re-running a reclaimed chunk only simulates what the crashed worker
+    had not finished.
+    """
+    backend = JobFileBackend(job_dir)
+    cache = ResultCache(cache_dir if cache_dir is not None
+                        else backend.cache_dir)
+    completed = 0
+    while True:
+        claimed = backend.claim()
+        if claimed is None:
+            if backend.reclaim_stale(claim_timeout):
+                continue
+            if once:
+                return completed
+            time.sleep(poll_seconds)
+            continue
+        for spec in backend.load_chunk(claimed):
+            key = spec.content_hash()
+            if cache.get(spec, key=key) is None:
+                cache.put(spec, execute_spec(spec), key=key)
+            backend.heartbeat(claimed)
+        backend.finish(claimed)
+        completed += 1
+        if max_chunks is not None and completed >= max_chunks:
+            return completed
 
 
 # ----------------------------------------------------------------------
@@ -342,83 +686,276 @@ class ResultCache:
 
 @dataclass
 class RunnerStats:
-    """What a :class:`SweepRunner` actually did."""
+    """What a :class:`SweepRunner` actually did, and how long it took.
+
+    ``simulated`` counts fresh results this runner produced (locally or,
+    for the jobfile backend, through attached workers). ``exec_seconds``
+    is time inside simulation dispatch — pool startup is accounted
+    separately so ``mean_spec_seconds`` reflects steady-state throughput.
+    """
 
     simulated: int = 0
     cache_hits: int = 0
     deduplicated: int = 0
+    batches: int = 0
+    chunks: int = 0
+    pools_started: int = 0
+    wall_seconds: float = 0.0
+    exec_seconds: float = 0.0
+    pool_startup_seconds: float = 0.0
+
+    @property
+    def mean_spec_seconds(self) -> float:
+        return self.exec_seconds / self.simulated if self.simulated else 0.0
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["mean_spec_seconds"] = self.mean_spec_seconds
+        return data
 
     def __str__(self) -> str:
-        return (f"{self.simulated} simulated, {self.cache_hits} cached, "
+        text = (f"{self.simulated} simulated, {self.cache_hits} cached, "
                 f"{self.deduplicated} deduplicated")
+        text += (f"; {self.wall_seconds:.2f}s wall, "
+                 f"{self.mean_spec_seconds * 1e3:.1f} ms/spec")
+        if self.pools_started:
+            text += (f", {self.pool_startup_seconds:.2f}s pool startup "
+                     f"x{self.pools_started}")
+        return text
 
 
 class SweepRunner:
     """Execute lists of :class:`RunSpec` with optional process-parallelism
     and on-disk memoization.
 
-    ``workers=0`` (or 1) runs serially in-process — the default for
-    determinism-sensitive tests. ``workers=N`` fans pending specs out over
-    a ``ProcessPoolExecutor``; results always come back in spec order.
-    Identical specs within one call are simulated once (the simulation is
-    deterministic, so duplicates share the result object).
+    ``workers=0`` runs serially in-process — the default for
+    determinism-sensitive tests. ``workers=N`` fans pending specs out in
+    chunks over a persistent ``ProcessPoolExecutor`` that lives across
+    ``run()`` calls; results always come back in spec order, bit-identical
+    to serial. Identical specs within one call are simulated once (the
+    simulation is deterministic, so duplicates share the result object).
+
+    Lifecycle: the pool (and jobfile state) is released by ``close()`` or
+    by using the runner as a context manager::
+
+        with SweepRunner(workers=8) as runner:
+            for batch in batches:
+                results = runner.run(batch)   # one warm pool throughout
+
+    ``warm=False`` starts (and tears down) an ephemeral pool per
+    ``run()`` call — the per-batch cold-pool model this refactor
+    replaces, kept as the benchmark baseline. ``backend="jobfile"``
+    dispatches through a shared directory instead of a local pool — see
+    :class:`JobFileBackend`; the submitting runner drains the queue
+    itself, so external ``sweep-worker`` processes accelerate but are
+    never required for completion.
     """
 
     def __init__(self, workers: int = 0,
-                 cache_dir: Optional[Union[str, pathlib.Path]] = None)\
-            -> None:
+                 cache_dir: Optional[Union[str, pathlib.Path]] = None, *,
+                 warm: bool = True,
+                 backend: str = "process",
+                 job_dir: Optional[Union[str, pathlib.Path]] = None,
+                 chunk_size: Optional[int] = None,
+                 mp_context: Optional[str] = DEFAULT_MP_CONTEXT,
+                 claim_timeout: float = DEFAULT_CLAIM_TIMEOUT,
+                 poll_seconds: float = 0.05) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if backend not in ("process", "jobfile"):
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from process, jobfile")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.workers = workers
+        self.warm = warm
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        self.claim_timeout = claim_timeout
+        self.poll_seconds = poll_seconds
+        self._jobfile: Optional[JobFileBackend] = None
+        if backend == "jobfile":
+            if job_dir is None:
+                raise ValueError("backend='jobfile' requires job_dir")
+            self._jobfile = JobFileBackend(job_dir)
+            if cache_dir is None:
+                # Results flow back through the shared cache; without one
+                # the runner could never observe remote completions.
+                cache_dir = self._jobfile.cache_dir
+        elif job_dir is not None:
+            raise ValueError("job_dir is only meaningful with "
+                             "backend='jobfile'")
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = RunnerStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool. The runner stays usable — the next
+        ``run()`` starts a fresh pool — so ``close()`` doubles as an
+        explicit way to release workers between distant batches."""
+        self._close_pool()
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- execution
 
     def run(self, specs: Sequence[RunSpec]) -> list[JobResult]:
+        started = time.perf_counter()
         specs = list(specs)
         results: list[Optional[JobResult]] = [None] * len(specs)
 
-        # Cache probe, then dedupe the misses by content hash.
+        # Cache probe, then dedupe the misses by content hash (hashed
+        # exactly once per spec; the key travels with it from here on).
         pending: dict[str, list[int]] = {}
         pending_specs: list[RunSpec] = []
+        pending_keys: list[str] = []
         for index, spec in enumerate(specs):
+            key = spec.content_hash()
             if self.cache is not None:
-                hit = self.cache.get(spec)
+                hit = self.cache.get(spec, key=key)
                 if hit is not None:
                     results[index] = hit
                     self.stats.cache_hits += 1
                     continue
-            key = spec.content_hash()
             if key in pending:
                 pending[key].append(index)
                 self.stats.deduplicated += 1
             else:
                 pending[key] = [index]
                 pending_specs.append(spec)
+                pending_keys.append(key)
 
-        fresh = self._execute(pending_specs)
+        fresh = self._execute(pending_specs, pending_keys)
         self.stats.simulated += len(pending_specs)
 
-        for spec, result in zip(pending_specs, fresh):
-            for index in pending[spec.content_hash()]:
+        for spec, key, result in zip(pending_specs, pending_keys, fresh):
+            for index in pending[key]:
                 results[index] = result
             if self.cache is not None:
-                self.cache.put(spec, result)
+                self.cache.put(spec, result, key=key)
+        self.stats.batches += 1
+        self.stats.wall_seconds += time.perf_counter() - started
         return results  # type: ignore[return-value]
 
-    def _execute(self, specs: list[RunSpec]) -> list[JobResult]:
-        if self.workers > 1 and len(specs) > 1:
-            max_workers = min(self.workers, len(specs))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [pool.submit(execute_spec, spec) for spec in specs]
-                return [future.result() for future in futures]
-        return [execute_spec(spec) for spec in specs]
+    def _execute(self, specs: list[RunSpec],
+                 keys: list[str]) -> list[JobResult]:
+        if not specs:
+            return []
+        if self.backend == "jobfile":
+            return self._execute_jobfile(specs, keys)
+        use_pool = self.workers > 0
+        started = time.perf_counter()
+        if use_pool:
+            results = self._execute_pool(specs)
+        else:
+            results = [execute_spec(spec) for spec in specs]
+        self.stats.exec_seconds += time.perf_counter() - started
+        return results
+
+    def _ensure_pool(self, size: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            started = time.perf_counter()
+            context = (multiprocessing.get_context(self.mp_context)
+                       if self.mp_context is not None else None)
+            self._pool = ProcessPoolExecutor(max_workers=size,
+                                             mp_context=context,
+                                             initializer=_init_worker)
+            # Occupy every slot briefly so the executor spawns its full
+            # complement now; startup cost lands here, not in chunk 1.
+            probes = [self._pool.submit(_pool_probe, 0.05)
+                      for _ in range(size)]
+            for probe in probes:
+                probe.result()
+            self.stats.pool_startup_seconds += time.perf_counter() - started
+            self.stats.pools_started += 1
+        return self._pool
+
+    def _chunk_count(self, spec_count: int, pool_size: int) -> int:
+        if self.chunk_size is not None:
+            return math.ceil(spec_count / self.chunk_size)
+        # ~4 chunks per worker balances load without per-spec round-trips.
+        return min(spec_count, 4 * pool_size)
+
+    def _execute_pool(self, specs: list[RunSpec]) -> list[JobResult]:
+        size = self.workers if self.warm else min(self.workers, len(specs))
+        pool = self._ensure_pool(size)
+        chunks = _chunked(specs, self._chunk_count(len(specs), size))
+        try:
+            futures = [pool.submit(_execute_chunk, chunk)
+                       for chunk in chunks]
+            results: list[JobResult] = []
+            for future in futures:  # in submission order: streams, ordered
+                results.extend(future.result())
+        except BaseException:
+            # A broken pool (worker killed, pickling failure) is not
+            # recoverable in place; drop it so the next run() rebuilds.
+            self._close_pool()
+            raise
+        self.stats.chunks += len(chunks)
+        if not self.warm:
+            self._close_pool()
+        return results
+
+    def _execute_jobfile(self, specs: list[RunSpec],
+                         keys: list[str]) -> list[JobResult]:
+        assert self._jobfile is not None and self.cache is not None
+        backend = self._jobfile
+        started = time.perf_counter()
+        chunk_size = self.chunk_size if self.chunk_size is not None else 4
+        chunks = _chunked(specs, math.ceil(len(specs) / chunk_size))
+        for chunk in chunks:
+            backend.enqueue_chunk(chunk)
+        self.stats.chunks += len(chunks)
+
+        missing: dict[str, RunSpec] = dict(zip(keys, specs))
+        found: dict[str, JobResult] = {}
+        while missing:
+            # Drain the queue ourselves: progress never depends on
+            # external workers being attached.
+            claimed = backend.claim()
+            if claimed is not None:
+                for spec in backend.load_chunk(claimed):
+                    key = spec.content_hash()
+                    if self.cache.get(spec, key=key) is None:
+                        self.cache.put(spec, execute_spec(spec), key=key)
+                    backend.heartbeat(claimed)
+                backend.finish(claimed)
+                continue
+            # Queue empty: harvest results, then wait on in-flight claims.
+            for key in list(missing):
+                hit = self.cache.get(missing[key], key=key)
+                if hit is not None:
+                    found[key] = hit
+                    del missing[key]
+            if not missing:
+                break
+            if backend.reclaim_stale(self.claim_timeout):
+                continue
+            time.sleep(self.poll_seconds)
+        self.stats.exec_seconds += time.perf_counter() - started
+        return [found[key] for key in keys]
 
 
 def run_specs(specs: Sequence[RunSpec], workers: int = 0,
               cache: Optional[Union[str, pathlib.Path]] = None,
               runner: Optional[SweepRunner] = None) -> list[JobResult]:
     """Convenience wrapper: run specs through ``runner`` or a fresh
-    :class:`SweepRunner` built from ``workers``/``cache``."""
-    if runner is None:
-        runner = SweepRunner(workers=workers, cache_dir=cache)
-    return runner.run(specs)
+    :class:`SweepRunner` built from ``workers``/``cache`` (closed before
+    returning — callers wanting a warm pool across calls pass ``runner``).
+    """
+    if runner is not None:
+        return runner.run(specs)
+    with SweepRunner(workers=workers, cache_dir=cache) as local:
+        return local.run(specs)

@@ -147,6 +147,9 @@ class TenancyResult:
     #: The exogenous wave schedule ``(time, severity)``.
     waves: tuple[tuple[float, float], ...]
     pool: LeasePool
+    #: How many times the dispatch loop invoked ``execute_batch`` — the
+    #: number of pool round-trips a per-batch (cold) executor would pay.
+    dispatch_batches: int = 0
 
     @property
     def makespan(self) -> float:
@@ -167,6 +170,13 @@ class MultiTenantCluster:
     simulated instant (with each job's wave schedule re-based to its
     start) and returns their outcomes in order; the cluster schedules the
     completions and keeps the books.
+
+    The loop calls ``execute_batch`` once per dispatch instant — dozens
+    to hundreds of times per run, most batches small. Executors should
+    therefore hold one warm :class:`~repro.bench.runner.SweepRunner`
+    across the whole outer loop (see
+    :func:`repro.bench.multitenant.sweep_executor`) rather than paying
+    per-batch worker-pool startup.
     """
 
     def __init__(self, config: TenancyConfig,
@@ -185,6 +195,7 @@ class MultiTenantCluster:
         # revocation draws (seed+2), so changing e.g. the wave regime
         # never perturbs the arrival schedule.
         self._revoke_rng = np.random.default_rng(config.seed + 2)
+        self._dispatch_batches = 0
         self.controller: Optional[ElasticReserveController] = None
         if config.reserve == "elastic":
             self.controller = ElasticReserveController(config.num_reserved)
@@ -269,6 +280,7 @@ class MultiTenantCluster:
             self._records[request.job_id] = JobRecord(
                 request=request, start_time=now)
             batch.append((request, self._wave_offsets(now)))
+        self._dispatch_batches += 1
         outcomes = self._execute_batch(batch)
         if len(outcomes) != len(batch):
             raise SimulationError(
@@ -309,4 +321,5 @@ class MultiTenantCluster:
                 f"the policy deadlocked")
         records = tuple(self._records[r.job_id] for r in requests)
         return TenancyResult(config=self.config, records=records,
-                             waves=self._waves, pool=self.pool)
+                             waves=self._waves, pool=self.pool,
+                             dispatch_batches=self._dispatch_batches)

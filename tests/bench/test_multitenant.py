@@ -44,7 +44,8 @@ def test_spec_for_job_pins_waves_to_the_inner_cluster():
 def test_cell_is_bit_identical_across_worker_counts():
     config = make_cell_config("fair", 0.8, "medium", **TINY)
     serial = run_multitenant_cell(config, runner=SweepRunner(workers=0))
-    parallel = run_multitenant_cell(config, runner=SweepRunner(workers=3))
+    with SweepRunner(workers=3) as runner:
+        parallel = run_multitenant_cell(config, runner=runner)
     assert record_rows(serial) == record_rows(parallel)
 
 

@@ -1,0 +1,368 @@
+"""Warm-pool, build-cache, and jobfile-backend tests for the runner.
+
+The parity tests here run pools under ``mp_context="fork"`` — start
+method changes where workers come from, never what they compute, and
+fork keeps the 8-worker matrix cells fast. The default spawn context is
+covered by :func:`test_default_spawn_pool_is_bit_identical` (and by the
+workers>1 tests in test_runner.py / test_multitenant.py).
+"""
+
+import dataclasses
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bench.experiments import eviction_rate_sweep
+from repro.bench.multitenant import (cell_summary, make_cell_config,
+                                     run_multitenant_cell)
+from repro.bench.runner import (JobFileBackend, ResultCache, RunSpec,
+                                SweepRunner, _BuildCache, build_cache,
+                                canonical_result_json, code_fingerprint,
+                                execute_spec, run_specs, spec_from_dict,
+                                spec_to_dict, sweep_worker_loop, PoolSpec)
+from repro.trace import EvictionRate
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+TINY = dict(scale=0.02, seed=3, eviction="high")
+
+
+def tiny_spec(**overrides):
+    fields = dict(TINY)
+    fields.update(overrides)
+    return RunSpec(workload="mr", engine="pado", **fields)
+
+
+def result_rows(results):
+    return [canonical_result_json(r) for r in results]
+
+
+# ----------------------------------------------------------------------
+# warm pool lifecycle
+
+
+def test_warm_pool_persists_across_runs_and_stays_bit_identical():
+    specs = [tiny_spec(seed=s) for s in (1, 2, 3, 4)]
+    serial = result_rows(run_specs(specs))
+    with SweepRunner(workers=2, mp_context="fork") as runner:
+        first = runner.run(specs)
+        second = runner.run(specs)
+        assert runner.stats.pools_started == 1       # one pool, two runs
+        assert runner.stats.batches == 2
+        assert runner.stats.chunks >= 2
+        assert runner._pool is not None
+    assert runner._pool is None                      # context exit closed it
+    assert result_rows(first) == serial
+    assert result_rows(second) == serial
+
+
+def test_cold_pool_restarts_every_run():
+    specs = [tiny_spec(seed=s) for s in (1, 2)]
+    with SweepRunner(workers=2, warm=False, mp_context="fork") as runner:
+        runner.run(specs)
+        assert runner.stats.pools_started == 1
+        assert runner._pool is None                  # torn down after run
+        runner.run([tiny_spec(seed=9)])   # even one spec pays a pool
+        runner.run(specs)
+        assert runner.stats.pools_started == 3
+
+
+def test_closed_runner_restarts_a_fresh_pool():
+    specs = [tiny_spec(seed=s) for s in (1, 2)]
+    runner = SweepRunner(workers=2, mp_context="fork")
+    try:
+        before = result_rows(runner.run(specs))
+        runner.close()
+        assert runner._pool is None
+        after = result_rows(runner.run(specs))
+        assert runner.stats.pools_started == 2
+        assert before == after
+    finally:
+        runner.close()
+
+
+def test_default_spawn_pool_is_bit_identical():
+    specs = [tiny_spec(seed=s) for s in (1, 2)]
+    serial = result_rows(run_specs(specs))
+    with SweepRunner(workers=2) as runner:           # DEFAULT_MP_CONTEXT
+        pooled = runner.run(specs)
+        assert runner.stats.pool_startup_seconds > 0.0
+    assert result_rows(pooled) == serial
+
+
+def test_runner_stats_timing_and_dict():
+    runner = SweepRunner()
+    runner.run([tiny_spec(seed=1), tiny_spec(seed=1)])
+    stats = runner.stats
+    assert stats.wall_seconds > 0.0
+    assert stats.exec_seconds > 0.0
+    assert stats.mean_spec_seconds > 0.0
+    data = stats.to_dict()
+    assert data["simulated"] == 1 and data["deduplicated"] == 1
+    assert data["mean_spec_seconds"] == stats.mean_spec_seconds
+    # the historical prefix is load-bearing (CLI tests grep for it)
+    assert str(stats).startswith("1 simulated, 0 cached, 1 deduplicated")
+
+
+def test_content_hash_computed_once_per_spec_per_run(tmp_path, monkeypatch):
+    calls = []
+    original = RunSpec.content_hash
+
+    def counting(self):
+        calls.append(self)
+        return original(self)
+
+    monkeypatch.setattr(RunSpec, "content_hash", counting)
+    runner = SweepRunner(cache_dir=tmp_path)
+    runner.run([tiny_spec(seed=1), tiny_spec(seed=1), tiny_spec(seed=2)])
+    # one hash per spec in the probe loop; cache get/put and the fill
+    # loop all reuse the carried key
+    assert len(calls) == 3
+
+
+# ----------------------------------------------------------------------
+# bit-identity matrices: mtsweep cell and fig6 cell
+
+
+POOL_MATRIX = [(2, True), (8, True), (8, False)]
+
+
+@pytest.mark.parametrize("workers,warm", POOL_MATRIX)
+def test_mtsweep_cell_bit_identical_across_pools(workers, warm):
+    config = make_cell_config("fair", 0.8, "medium", num_jobs=8, seed=5)
+    serial = run_multitenant_cell(config, runner=SweepRunner(workers=0))
+    with SweepRunner(workers=workers, warm=warm,
+                     mp_context="fork") as runner:
+        pooled = run_multitenant_cell(config, runner=runner)
+    assert cell_summary(config, serial) == cell_summary(config, pooled)
+
+
+@pytest.mark.parametrize("workers,warm", POOL_MATRIX)
+def test_fig6_cell_bit_identical_across_pools(workers, warm):
+    kwargs = dict(scale=0.05, rates=(EvictionRate.NONE, EvictionRate.HIGH),
+                  engines=["pado", "spark"])
+    serial = eviction_rate_sweep("mlr", **kwargs)
+    with SweepRunner(workers=workers, warm=warm,
+                     mp_context="fork") as runner:
+        pooled = eviction_rate_sweep("mlr", runner=runner, **kwargs)
+    assert serial == pooled
+
+
+# ----------------------------------------------------------------------
+# per-process build cache
+
+
+def test_build_cache_memoizes_by_structural_key():
+    cache = build_cache()
+    cache.clear()
+    base = tiny_spec(seed=1)
+    reseeded = dataclasses.replace(base, seed=99, time_limit_minutes=60.0)
+    # seed/time-limit are not structural: everything is shared
+    assert cache.program_for(base) is cache.program_for(reseeded)
+    assert cache.engine_for(base) is cache.engine_for(reseeded)
+    assert cache.cluster_for(base) is cache.cluster_for(reseeded)
+    # structural changes miss
+    assert cache.program_for(dataclasses.replace(base, scale=0.05)) \
+        is not cache.program_for(base)
+    assert cache.program_for(dataclasses.replace(base, workload="mlr")) \
+        is not cache.program_for(base)
+    assert cache.cluster_for(dataclasses.replace(base, eviction="none")) \
+        is not cache.cluster_for(base)
+    assert cache.cluster_for(dataclasses.replace(base, num_transient=8)) \
+        is not cache.cluster_for(base)
+    waved = dataclasses.replace(base, eviction="none",
+                                eviction_waves=((60.0, 0.5),))
+    assert cache.cluster_for(waved) is not cache.cluster_for(base)
+    pooled = dataclasses.replace(
+        base, transient_pools=(PoolSpec("short", 4, 90.0),))
+    assert cache.cluster_for(pooled) is not cache.cluster_for(base)
+    configured = RunSpec.make("mr", "pado",
+                              engine_options={"enable_caching": False},
+                              **TINY)
+    assert cache.engine_for(configured) is not cache.engine_for(base)
+    assert cache.engine_for(configured) is cache.engine_for(
+        dataclasses.replace(configured, seed=7))
+    cache.clear()
+
+
+def test_build_cache_never_reuses_policy_engines():
+    """A ``scheduling_policy`` option configures a *stateful* policy
+    instance (round-robin cursor), so those engines rebuild every run —
+    reuse would leak scheduler state between simulations."""
+    cache = build_cache()
+    spec = RunSpec.make("mr", "pado",
+                        engine_options={"scheduling_policy":
+                                        "lifetime-aware"}, **TINY)
+    assert cache.engine_for(spec) is not cache.engine_for(spec)
+    # and execution through the cache stays deterministic
+    assert canonical_result_json(execute_spec(spec)) == \
+        canonical_result_json(execute_spec(spec))
+
+
+def test_build_cache_capacity_is_bounded():
+    cache = _BuildCache(capacity=2)
+    for scale in (0.02, 0.03, 0.04):
+        cache.program_for(tiny_spec(scale=scale))
+    assert len(cache._programs) == 2
+
+
+# ----------------------------------------------------------------------
+# result-cache memory layer
+
+
+def test_result_cache_memory_layer_skips_disk(tmp_path, monkeypatch):
+    spec = tiny_spec(seed=1)
+    result = execute_spec(spec)
+    writer = ResultCache(tmp_path)
+    assert writer.put(spec, result)
+    assert writer.get(spec) == result            # put seeded the LRU
+    assert writer.memory_hits == 1 and writer.disk_hits == 0
+
+    reader = ResultCache(tmp_path)
+    assert reader.get(spec) == result            # first probe hits disk
+    assert reader.disk_hits == 1
+
+    def no_reads(*args, **kwargs):
+        raise AssertionError("memory-cached probe touched the disk")
+
+    monkeypatch.setattr(pathlib.Path, "read_text", no_reads)
+    assert reader.get(spec) == result            # second probe: memory
+    assert reader.memory_hits == 1
+
+
+def test_result_cache_memory_layer_evicts_lru(tmp_path):
+    cache = ResultCache(tmp_path, memory_entries=1)
+    first, second = tiny_spec(seed=1), tiny_spec(seed=2)
+    cache.put(first, execute_spec(first))
+    cache.put(second, execute_spec(second))      # evicts the first entry
+    assert cache.get(second) is not None
+    assert cache.memory_hits == 1
+    assert cache.get(first) is not None          # falls back to disk
+    assert cache.disk_hits == 1
+
+
+# ----------------------------------------------------------------------
+# jobfile backend
+
+
+def test_spec_json_round_trip_preserves_content_hash():
+    import json
+    specs = [
+        tiny_spec(),
+        RunSpec.make("mlr", "pado",
+                     engine_options={"enable_caching": False,
+                                     "aggregation_max_tasks": 4},
+                     transient_pools=[PoolSpec("short", 4, 90.0)]),
+        tiny_spec(eviction="none",
+                  eviction_waves=((60.0, 0.5), (300.25, 0.4))),
+    ]
+    for spec in specs:
+        wire = json.loads(json.dumps(spec_to_dict(spec)))
+        rebuilt = spec_from_dict(wire)
+        assert rebuilt == spec
+        assert rebuilt.content_hash() == spec.content_hash()
+
+
+def test_jobfile_runner_drains_queue_without_workers(tmp_path):
+    specs = [tiny_spec(seed=s) for s in (1, 2, 3)]
+    serial = result_rows(run_specs(specs))
+    with SweepRunner(backend="jobfile", job_dir=tmp_path / "jobs",
+                     chunk_size=2) as runner:
+        results = runner.run(specs)
+        assert runner.stats.chunks == 2
+    assert result_rows(results) == serial
+    # nothing left behind, and a second runner replays from the cache
+    backend = JobFileBackend(tmp_path / "jobs")
+    assert not list(backend.queue_dir.iterdir())
+    assert not list(backend.claimed_dir.iterdir())
+    with SweepRunner(backend="jobfile", job_dir=tmp_path / "jobs") as again:
+        replay = again.run(specs)
+        assert again.stats.simulated == 0
+        assert again.stats.cache_hits == 3
+    assert result_rows(replay) == serial
+
+
+def test_jobfile_requires_job_dir():
+    with pytest.raises(ValueError):
+        SweepRunner(backend="jobfile")
+    with pytest.raises(ValueError):
+        SweepRunner(job_dir="/tmp/somewhere")     # only valid with jobfile
+
+
+def test_jobfile_stale_claims_are_reclaimed(tmp_path):
+    backend = JobFileBackend(tmp_path / "jobs")
+    backend.enqueue_chunk([tiny_spec(seed=1)])
+    claimed = backend.claim()
+    assert claimed is not None
+    assert backend.claim() is None                # exactly one claimant wins
+    os.utime(claimed, (0, 0))                     # crashed long ago
+    assert backend.reclaim_stale(60.0) == 1
+    reclaimed = backend.claim()
+    assert reclaimed is not None
+    assert backend.load_chunk(reclaimed)[0] == tiny_spec(seed=1)
+
+
+def test_sweep_worker_loop_processes_enqueued_chunks(tmp_path):
+    backend = JobFileBackend(tmp_path / "jobs")
+    specs = [tiny_spec(seed=s) for s in (1, 2, 3)]
+    backend.enqueue_chunk(specs[:2])
+    backend.enqueue_chunk(specs[2:])
+    assert sweep_worker_loop(tmp_path / "jobs", once=True) == 2
+    cache = ResultCache(backend.cache_dir)
+    assert all(cache.get(spec) is not None for spec in specs)
+
+
+def test_jobfile_crash_recovery_completes_from_cache(tmp_path):
+    """Kill a sweep-worker subprocess mid-chunk; a rerun finishes only
+    what the dead worker had not committed, and the final results are
+    bit-identical to serial."""
+    job_dir = tmp_path / "jobs"
+    backend = JobFileBackend(job_dir)
+    specs = [RunSpec(workload="mr", engine="pado", scale=0.3, seed=s,
+                     eviction="high") for s in (1, 2, 3)]
+    backend.enqueue_chunk(specs)                  # one chunk, ~0.6 s/spec
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    worker = subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep-worker", str(job_dir),
+         "--once"], env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        # SIGKILL as soon as the first committed result appears — the
+        # worker is then mid-chunk with two specs still unfinished.
+        result_dir = backend.cache_dir / code_fingerprint()
+        deadline = time.time() + 60.0
+        while time.time() < deadline:
+            if result_dir.is_dir() and any(result_dir.glob("*.json")):
+                break
+            if worker.poll() is not None:
+                break
+            time.sleep(0.02)
+        worker.kill()
+    finally:
+        worker.wait()
+
+    committed = (len(list(result_dir.glob("*.json")))
+                 if result_dir.is_dir() else 0)
+    assert committed >= 1, "worker never committed a result"
+    if committed < len(specs):
+        # died mid-chunk: the claim file is still parked in claimed/
+        assert list(backend.claimed_dir.glob("chunk-*.json"))
+
+    # Recovery: reclaim the orphaned chunk immediately and finish it.
+    # (claim_timeout=-1 treats every parked claim as stale.)
+    sweep_worker_loop(job_dir, once=True, claim_timeout=-1.0)
+    cache = ResultCache(backend.cache_dir)
+    assert all(cache.get(spec) is not None for spec in specs)
+
+    with SweepRunner(backend="jobfile", job_dir=job_dir) as runner:
+        recovered = runner.run(specs)
+        assert runner.stats.cache_hits == len(specs)
+        assert runner.stats.simulated == 0
+    assert result_rows(recovered) == result_rows(run_specs(specs))
