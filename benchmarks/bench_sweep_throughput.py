@@ -10,9 +10,13 @@ simulator rather than the simulator itself:
   fresh pool per batch (the pre-warm-pool execution model, kept as the
   baseline).
 * ``test_mtsweep_end_to_end`` — a full 40-job multi-tenant cell at load
-  1.0 under high eviction, warm vs cold at 8 workers. This is the
-  headline number: the committed baseline shows the warm pool beating
-  the per-batch cold pool by >= 3x on wall-clock.
+  1.0 under high eviction at 8 workers: warm vs cold pools, plus
+  ``spec-8`` — the same cell with ``--speculate on`` semantics
+  (speculative pre-execution between dispatch instants over an elastic,
+  hardware-capped pool; see docs/PERFORMANCE.md). These are the headline
+  numbers: the committed baseline shows the warm pool beating the
+  per-batch cold pool by >= 3x and speculation beating the warm pool by
+  >= 2x on wall-clock, with a bit-identical per-tenant JCT table.
 
 ``BENCH_sweep.json`` in this directory is the committed wall-time
 baseline; regenerate it after intentional dispatch-layer changes with::
@@ -29,6 +33,8 @@ extra cores.
 """
 
 from __future__ import annotations
+
+import functools
 
 import pytest
 
@@ -79,21 +85,41 @@ def test_batched_sweep(benchmark, save_artifact, label, workers, warm):
         f"  {stats}")
 
 
-@pytest.mark.parametrize("label,warm", [("warm-8", True), ("cold-8", False)],
-                         ids=["warm-8", "cold-8"])
-def test_mtsweep_end_to_end(benchmark, save_artifact, label, warm):
+def mtsweep_config():
+    return make_cell_config("fair", 1.0, "high", num_jobs=40, seed=11)
+
+
+@functools.lru_cache(maxsize=1)
+def serial_jct_table() -> str:
+    """The cell's serial-ground-truth per-tenant JCT table, computed once
+    and asserted against every benchmarked variant (bit-identity is part
+    of what the committed baseline certifies)."""
+    return jct_table(run_multitenant_cell(mtsweep_config(),
+                                          runner=SweepRunner(workers=0)))
+
+
+@pytest.mark.parametrize("label,warm,speculate",
+                         [("warm-8", True, False), ("cold-8", False, False),
+                          ("spec-8", True, True)],
+                         ids=["warm-8", "cold-8", "spec-8"])
+def test_mtsweep_end_to_end(benchmark, save_artifact, label, warm,
+                            speculate):
     """One full multi-tenant cell: ~40 dispatch batches through the
     runner. Warm amortizes one pool startup over all of them; cold pays
-    a startup per batch."""
+    a startup per batch; spec-8 additionally pre-executes predicted
+    dispatches between outer-loop instants (and brings workers up
+    elastically, capped at the core count)."""
 
     def run():
-        config = make_cell_config("fair", 1.0, "high", num_jobs=40,
-                                  seed=11)
-        with SweepRunner(workers=8, warm=warm) as runner:
-            return runner.stats, run_multitenant_cell(config, runner=runner)
+        scaling = "elastic" if speculate else "eager"
+        with SweepRunner(workers=8, warm=warm,
+                         pool_scaling=scaling) as runner:
+            return runner.stats, run_multitenant_cell(
+                mtsweep_config(), runner=runner, speculate=speculate)
 
     stats, result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert all(r.finish_time is not None for r in result.records)
+    assert jct_table(result) == serial_jct_table()
     save_artifact(
         f"sweep_mtsweep_{label}",
         f"mtsweep cell [{label}]: {result.dispatch_batches} dispatch "

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Fan sweep-workers out over SSH against a shared job directory.
+#
+# The jobfile backend (docs/PERFORMANCE.md, "Sweep throughput") needs
+# nothing but processes that can see the same directory: each worker
+# claims chunks from JOB_DIR/queue by atomic rename and commits results
+# to the shared content-hash cache, so this launcher is deliberately
+# dumb — one ssh per host, no daemon, no coordination. The submitting
+# runner (`python -m repro mtsweep --job-dir JOB_DIR ...`) drains the
+# queue itself, so a host that never comes up costs nothing but speed.
+#
+# Usage:
+#   scripts/launch_sweep_workers.sh JOB_DIR HOST [HOST...]
+#
+#   JOB_DIR   job directory as seen FROM THE REMOTE HOSTS (NFS or
+#             equivalent shared mount, same path everywhere)
+#   HOST      ssh destinations (user@host works); pass the same host
+#             twice to start two workers on it
+#
+# Environment:
+#   REPRO_REMOTE_ROOT   repo checkout on the remote hosts
+#                       (default: same absolute path as this checkout)
+#   REPRO_PYTHON        python interpreter on the remote hosts
+#                       (default: python3)
+#   REPRO_WORKER_ARGS   extra sweep-worker flags, e.g. "--once" or
+#                       "--claim-timeout 300"
+#
+# Workers poll forever by default; stop them with ctrl-C here (ssh -tt
+# ties their lifetime to this script) or kill the remote processes.
+# Smoke-test the whole path on one machine with a --once worker, which
+# drains the queue and exits:
+#
+#   scripts/launch_sweep_workers.sh /shared/jobs localhost &
+#   REPRO_WORKER_ARGS=--once scripts/launch_sweep_workers.sh \
+#       /shared/jobs localhost     # one-shot drain, exits when empty
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 JOB_DIR HOST [HOST...]" >&2
+    exit 64
+fi
+
+job_dir=$1
+shift
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+remote_root=${REPRO_REMOTE_ROOT:-$repo_root}
+python=${REPRO_PYTHON:-python3}
+worker_args=${REPRO_WORKER_ARGS:-}
+
+pids=""
+for host in "$@"; do
+    echo "[launch_sweep_workers] $host: $python -m repro sweep-worker" \
+         "$job_dir $worker_args" >&2
+    # -tt: the remote worker dies with this script instead of lingering.
+    ssh -tt -o BatchMode=yes "$host" \
+        "cd '$remote_root' && PYTHONPATH=src $python -m repro" \
+        "sweep-worker '$job_dir' $worker_args" &
+    pids="$pids $!"
+done
+
+status=0
+for pid in $pids; do
+    wait "$pid" || status=$?
+done
+exit "$status"

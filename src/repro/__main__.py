@@ -8,6 +8,7 @@ Usage::
     python -m repro sweep --workload mr --averaged --workers 4 --cache .cache
     python -m repro mtsweep --policy fair --load 0.8 [--eviction high]
     python -m repro mtsweep --reserve fixed,elastic --load 0.8,1.1
+    python -m repro mtsweep --workers 8 --speculate on   # async dispatch
     python -m repro psweep [--pworkloads fanout] [--out BENCH.json]
     python -m repro fig9xl [--fleet 10000] [--hours 1.75]
     python -m repro profile fig7 [--profile-limit 40] [--profile-out f.pstats]
@@ -63,7 +64,13 @@ def _runner_for(args) -> SweepRunner:
     if args.job_dir is not None:
         return SweepRunner(workers=args.workers, cache_dir=args.cache,
                            backend="jobfile", job_dir=args.job_dir)
-    return SweepRunner(workers=args.workers, cache_dir=args.cache)
+    # Speculative dispatch drives the pool through the futures API with
+    # many small submissions, so bring workers up lazily and only as many
+    # as the hardware can actually run (see docs/PERFORMANCE.md).
+    scaling = ("elastic" if getattr(args, "speculate", "off") == "on"
+               else "eager")
+    return SweepRunner(workers=args.workers, cache_dir=args.cache,
+                       pool_scaling=scaling)
 
 
 def _finish_runner(runner: SweepRunner) -> None:
@@ -179,7 +186,9 @@ def _run_mtsweep(args) -> str:
                                                   num_jobs=args.jobs,
                                                   seed=args.seed,
                                                   reserve=reserve)
-                        result = run_multitenant_cell(config, runner=runner)
+                        result = run_multitenant_cell(
+                            config, runner=runner,
+                            speculate=args.speculate == "on")
                         summaries.append(cell_summary(config, result))
                         parts.append(jct_table(
                             result,
@@ -210,7 +219,8 @@ def _run_psweep(args) -> str:
                  else SWEEP_WORKLOADS)
     try:
         rows = prediction_sweep(workloads=workloads, scale=args.scale,
-                                seed=args.seed, runner=runner)
+                                seed=args.seed, runner=runner,
+                                speculate=args.speculate == "on")
     finally:
         _finish_runner(runner)
     parts = [prediction_table(
@@ -390,6 +400,11 @@ def main(argv: list[str] | None = None) -> int:
                              "plus runner timing as JSON to FILE (how the "
                              "committed benchmarks/BENCH_*.json sweeps are "
                              "regenerated)")
+    parser.add_argument("--speculate", default="off", choices=("on", "off"),
+                        help="for mtsweep/psweep: pre-execute predicted "
+                             "dispatches on idle workers between outer-loop "
+                             "instants (results are bit-identical; see "
+                             "docs/PERFORMANCE.md)")
     sweep_args = parser.add_argument_group(
         "sweep", "options for the 'sweep' experiment")
     sweep_args.add_argument("--workload", default="mr",

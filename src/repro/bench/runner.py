@@ -60,7 +60,7 @@ import tempfile
 import time
 import uuid
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Union
 
@@ -401,9 +401,17 @@ def _pool_probe(delay_seconds: float) -> int:
     return os.getpid()
 
 
-def _execute_chunk(specs: list[RunSpec]) -> list[JobResult]:
-    """Worker-side entry: one pickle round-trip executes a whole chunk."""
-    return [execute_spec(spec) for spec in specs]
+def _execute_chunk(specs: list[RunSpec]) -> tuple[list[JobResult], float]:
+    """Worker-side entry: one pickle round-trip executes a whole chunk.
+
+    Returns the results plus the worker-side busy time for the chunk so
+    the runner can integrate real worker utilization
+    (:attr:`RunnerStats.busy_worker_seconds`) without guessing from
+    round-trip latencies.
+    """
+    started = time.perf_counter()
+    results = [execute_spec(spec) for spec in specs]
+    return results, time.perf_counter() - started
 
 
 def _chunked(items: list, chunk_count: int) -> list[list]:
@@ -690,8 +698,21 @@ class RunnerStats:
 
     ``simulated`` counts fresh results this runner produced (locally or,
     for the jobfile backend, through attached workers). ``exec_seconds``
-    is time inside simulation dispatch — pool startup is accounted
-    separately so ``mean_spec_seconds`` reflects steady-state throughput.
+    is time inside simulation compute — worker-side busy time for pool
+    chunks, per-spec execution for the serial path — with pool startup
+    accounted separately so ``mean_spec_seconds`` reflects steady-state
+    throughput.
+
+    Utilization: ``busy_worker_seconds`` integrates worker-side compute
+    time, ``pool_worker_seconds`` integrates ``pool size x seconds the
+    pool was open``; their ratio :attr:`pool_occupancy` makes idle-worker
+    waste a measured number (a warm 8-pool fed 1–2 job batches shows it
+    directly). Speculation counters are filled by the multi-tenant
+    speculative executor (:mod:`repro.cluster.tenancy.speculation`):
+    ``speculation_submitted`` specs pre-submitted between dispatch
+    instants, of which ``speculation_hits`` were consumed by a real
+    dispatch and ``speculation_wasted`` were discarded (their results
+    still land in the on-disk cache).
     """
 
     simulated: int = 0
@@ -703,14 +724,28 @@ class RunnerStats:
     wall_seconds: float = 0.0
     exec_seconds: float = 0.0
     pool_startup_seconds: float = 0.0
+    busy_worker_seconds: float = 0.0
+    pool_worker_seconds: float = 0.0
+    speculation_submitted: int = 0
+    speculation_hits: int = 0
+    speculation_wasted: int = 0
 
     @property
     def mean_spec_seconds(self) -> float:
         return self.exec_seconds / self.simulated if self.simulated else 0.0
 
+    @property
+    def pool_occupancy(self) -> float:
+        """Fraction of pool-worker capacity spent computing (0 when no
+        pool ran)."""
+        if self.pool_worker_seconds <= 0.0:
+            return 0.0
+        return self.busy_worker_seconds / self.pool_worker_seconds
+
     def to_dict(self) -> dict:
         data = dataclasses.asdict(self)
         data["mean_spec_seconds"] = self.mean_spec_seconds
+        data["pool_occupancy"] = self.pool_occupancy
         return data
 
     def __str__(self) -> str:
@@ -721,7 +756,78 @@ class RunnerStats:
         if self.pools_started:
             text += (f", {self.pool_startup_seconds:.2f}s pool startup "
                      f"x{self.pools_started}")
+        if self.pool_worker_seconds > 0.0:
+            text += f", {self.pool_occupancy:.0%} pool occupancy"
+        if self.speculation_submitted:
+            text += (f"; speculation {self.speculation_submitted} submitted"
+                     f" / {self.speculation_hits} hit"
+                     f" / {self.speculation_wasted} wasted")
         return text
+
+
+class SpecFuture:
+    """Handle for one submitted :class:`RunSpec`.
+
+    Obtained from :meth:`SweepRunner.submit` / ``submit_many``; redeemed
+    through :meth:`SweepRunner.wait` (or ``handle.result()``). A handle
+    is resolved exactly once; duplicate submissions of the same content
+    hash share one handle. Speculative submitters keep handles around and
+    either consume them on an exact match or let :meth:`SweepRunner.cancel`
+    try to call the work off.
+    """
+
+    __slots__ = ("spec", "key", "_runner", "_done", "_result", "_error",
+                 "_chunk", "_jobfile")
+
+    def __init__(self, spec: RunSpec, key: str,
+                 runner: "SweepRunner") -> None:
+        self.spec = spec
+        self.key = key
+        self._runner = runner
+        self._done = False
+        self._result: Optional[JobResult] = None
+        self._error: Optional[BaseException] = None
+        self._chunk: Optional[_AsyncChunk] = None
+        self._jobfile = False
+
+    def done(self) -> bool:
+        """True once the result (or error) is available without blocking.
+        Pool-backed handles also report True when their chunk finished
+        but has not been finalized yet (``wait`` finalizes instantly)."""
+        if self._done:
+            return True
+        return self._chunk is not None and self._chunk.future.done()
+
+    def result(self) -> JobResult:
+        """Block until resolved; equivalent to ``runner.wait(handle)``."""
+        return self._runner.wait(self)
+
+    def _resolve(self, result: JobResult) -> None:
+        self._done = True
+        self._result = result
+        self._chunk = None
+
+    def _fail(self, error: BaseException) -> None:
+        self._done = True
+        self._error = error
+        self._chunk = None
+
+    def _outcome(self) -> JobResult:
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class _AsyncChunk:
+    """One in-flight pool chunk: the executor future plus the handles it
+    will resolve, in submission order."""
+
+    __slots__ = ("future", "items")
+
+    def __init__(self, future: Any, items: list[SpecFuture]) -> None:
+        self.future = future
+        self.items = items
 
 
 class SweepRunner:
@@ -734,6 +840,17 @@ class SweepRunner:
     ``run()`` calls; results always come back in spec order, bit-identical
     to serial. Identical specs within one call are simulated once (the
     simulation is deterministic, so duplicates share the result object).
+
+    **Futures API.** ``submit(spec)`` / ``submit_many(specs)`` return
+    :class:`SpecFuture` handles immediately; ``wait(handle)`` blocks for
+    one result, ``poll()`` finalizes whatever finished without blocking,
+    and ``cancel(handle)`` calls off work that has not started. Handles
+    stream out of order: a later-submitted spec may resolve first.
+    Submissions dedupe in flight by content hash — submitting a spec that
+    is already queued (or cached) returns instantly with the shared
+    handle — which is what makes speculative pre-submission from the
+    multi-tenant outer loop free to get wrong. ``run()`` is a thin
+    wrapper: submit everything, wait in spec order.
 
     Lifecycle: the pool (and jobfile state) is released by ``close()`` or
     by using the runner as a context manager::
@@ -749,6 +866,14 @@ class SweepRunner:
     :class:`JobFileBackend`; the submitting runner drains the queue
     itself, so external ``sweep-worker`` processes accelerate but are
     never required for completion.
+
+    ``pool_scaling`` picks how the pool is brought up. ``"eager"`` (the
+    historical model) spawns and probes all ``workers`` processes up
+    front — right for saturating batch sweeps on many-core hosts.
+    ``"elastic"`` caps the pool at the host's CPU count and lets the
+    executor spawn processes lazily as submissions arrive, so a trickle
+    of speculative single-spec submissions on a small host never pays
+    for workers the hardware cannot run anyway.
     """
 
     def __init__(self, workers: int = 0,
@@ -759,7 +884,8 @@ class SweepRunner:
                  chunk_size: Optional[int] = None,
                  mp_context: Optional[str] = DEFAULT_MP_CONTEXT,
                  claim_timeout: float = DEFAULT_CLAIM_TIMEOUT,
-                 poll_seconds: float = 0.05) -> None:
+                 poll_seconds: float = 0.05,
+                 pool_scaling: str = "eager") -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if backend not in ("process", "jobfile"):
@@ -767,6 +893,9 @@ class SweepRunner:
                              f"choose from process, jobfile")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if pool_scaling not in ("eager", "elastic"):
+            raise ValueError(f"unknown pool_scaling {pool_scaling!r}; "
+                             f"choose from eager, elastic")
         self.workers = workers
         self.warm = warm
         self.backend = backend
@@ -774,6 +903,7 @@ class SweepRunner:
         self.mp_context = mp_context
         self.claim_timeout = claim_timeout
         self.poll_seconds = poll_seconds
+        self.pool_scaling = pool_scaling
         self._jobfile: Optional[JobFileBackend] = None
         if backend == "jobfile":
             if job_dir is None:
@@ -789,6 +919,10 @@ class SweepRunner:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = RunnerStats()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        self._pool_mark: Optional[float] = None
+        self._inflight: dict[str, SpecFuture] = {}
+        self._async_chunks: list[_AsyncChunk] = []
 
     # -- lifecycle
 
@@ -806,122 +940,211 @@ class SweepRunner:
 
     def _close_pool(self) -> None:
         if self._pool is not None:
+            self._mark_pool()
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+            self._pool_mark = None
+
+    def _mark_pool(self) -> None:
+        """Advance the ``pool size x open time`` integral to now."""
+        if self._pool is not None and self._pool_mark is not None:
+            now = time.perf_counter()
+            self.stats.pool_worker_seconds += (
+                self._pool_size * (now - self._pool_mark))
+            self._pool_mark = now
 
     # -- execution
 
     def run(self, specs: Sequence[RunSpec]) -> list[JobResult]:
+        """Submit every spec, wait in spec order. Identical to the
+        historical synchronous path — same cache probes, dedup, chunking,
+        and ordering — just expressed over the futures API."""
         started = time.perf_counter()
-        specs = list(specs)
-        results: list[Optional[JobResult]] = [None] * len(specs)
+        handles = self.submit_many(specs)
+        try:
+            results = [self.wait(handle) for handle in handles]
+        finally:
+            if (not self.warm and self.backend == "process"
+                    and self.workers > 0 and not self._async_chunks):
+                self._close_pool()
+        self.stats.batches += 1
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results
 
-        # Cache probe, then dedupe the misses by content hash (hashed
-        # exactly once per spec; the key travels with it from here on).
-        pending: dict[str, list[int]] = {}
-        pending_specs: list[RunSpec] = []
-        pending_keys: list[str] = []
-        for index, spec in enumerate(specs):
+    # -- futures API
+
+    def submit(self, spec: RunSpec) -> SpecFuture:
+        """Submit one spec for asynchronous execution; returns a handle
+        immediately (already resolved on a cache hit)."""
+        return self.submit_many([spec])[0]
+
+    def submit_many(self, specs: Sequence[RunSpec]) -> list[SpecFuture]:
+        """Submit specs for asynchronous execution, one handle per spec.
+
+        Each spec is hashed exactly once, probed against the on-disk
+        cache (resolved handle on a hit), deduplicated against both this
+        call and everything still in flight, and the remainder dispatched
+        to the backend: chunked onto the worker pool, enqueued as jobfile
+        chunks, or — with ``workers=0`` — executed inline before
+        returning (the serial path has nowhere to hide latency).
+        """
+        specs = list(specs)
+        handles: list[SpecFuture] = []
+        fresh: list[SpecFuture] = []
+        local: dict[str, SpecFuture] = {}
+        for spec in specs:
             key = spec.content_hash()
             if self.cache is not None:
                 hit = self.cache.get(spec, key=key)
                 if hit is not None:
-                    results[index] = hit
+                    handle = SpecFuture(spec, key, self)
+                    handle._resolve(hit)
+                    handles.append(handle)
                     self.stats.cache_hits += 1
                     continue
-            if key in pending:
-                pending[key].append(index)
+            existing = local.get(key)
+            if existing is None:
+                existing = self._inflight.get(key)
+            if existing is not None:
+                handles.append(existing)
                 self.stats.deduplicated += 1
-            else:
-                pending[key] = [index]
-                pending_specs.append(spec)
-                pending_keys.append(key)
+                continue
+            handle = SpecFuture(spec, key, self)
+            local[key] = handle
+            handles.append(handle)
+            fresh.append(handle)
+        self._dispatch(fresh)
+        return handles
 
-        fresh = self._execute(pending_specs, pending_keys)
-        self.stats.simulated += len(pending_specs)
+    def wait(self, handle: SpecFuture) -> JobResult:
+        """Block until ``handle`` resolves; returns its
+        :class:`~repro.engines.base.JobResult` (or re-raises the
+        execution error)."""
+        if handle._done:
+            return handle._outcome()
+        if handle._chunk is not None:
+            self._finalize_chunk(handle._chunk)
+            return handle._outcome()
+        if handle._jobfile:
+            self._wait_jobfile(handle)
+            return handle._outcome()
+        raise RuntimeError("cannot wait on an unsubmitted handle")
 
-        for spec, key, result in zip(pending_specs, pending_keys, fresh):
-            for index in pending[key]:
-                results[index] = result
-            if self.cache is not None:
-                self.cache.put(spec, result, key=key)
-        self.stats.batches += 1
-        self.stats.wall_seconds += time.perf_counter() - started
-        return results  # type: ignore[return-value]
+    def poll(self) -> list[SpecFuture]:
+        """Finalize everything that completed without blocking; returns
+        the handles that resolved during this call (out of order)."""
+        resolved: list[SpecFuture] = []
+        for chunk in list(self._async_chunks):
+            if chunk.future.done():
+                resolved.extend(chunk.items)
+                self._finalize_chunk(chunk)
+        if self.cache is not None:
+            jobfile_handles = [h for h in self._inflight.values()
+                               if h._jobfile]
+            for handle in jobfile_handles:
+                hit = self.cache.get(handle.spec, key=handle.key)
+                if hit is not None:
+                    self._commit(handle, hit, put=False)
+                    resolved.append(handle)
+        return resolved
 
-    def _execute(self, specs: list[RunSpec],
-                 keys: list[str]) -> list[JobResult]:
-        if not specs:
-            return []
+    def cancel(self, handle: SpecFuture) -> bool:
+        """Try to call off a submitted handle before it starts. Only
+        single-spec pool chunks whose future has not been picked up by a
+        worker can be cancelled; everything else returns False and runs
+        to completion (the result still lands in the cache)."""
+        chunk = handle._chunk
+        if handle._done or chunk is None or len(chunk.items) > 1:
+            return False
+        if not chunk.future.cancel():
+            return False
+        self._async_chunks.remove(chunk)
+        self._inflight.pop(handle.key, None)
+        handle._fail(CancelledError(f"speculative spec {handle.key[:12]} "
+                                    f"cancelled before execution"))
+        return True
+
+    # -- dispatch internals
+
+    def _dispatch(self, handles: list[SpecFuture]) -> None:
+        if not handles:
+            return
         if self.backend == "jobfile":
-            return self._execute_jobfile(specs, keys)
-        use_pool = self.workers > 0
-        started = time.perf_counter()
-        if use_pool:
-            results = self._execute_pool(specs)
-        else:
-            results = [execute_spec(spec) for spec in specs]
-        self.stats.exec_seconds += time.perf_counter() - started
-        return results
-
-    def _ensure_pool(self, size: int) -> ProcessPoolExecutor:
-        if self._pool is None:
-            started = time.perf_counter()
-            context = (multiprocessing.get_context(self.mp_context)
-                       if self.mp_context is not None else None)
-            self._pool = ProcessPoolExecutor(max_workers=size,
-                                             mp_context=context,
-                                             initializer=_init_worker)
-            # Occupy every slot briefly so the executor spawns its full
-            # complement now; startup cost lands here, not in chunk 1.
-            probes = [self._pool.submit(_pool_probe, 0.05)
-                      for _ in range(size)]
-            for probe in probes:
-                probe.result()
-            self.stats.pool_startup_seconds += time.perf_counter() - started
-            self.stats.pools_started += 1
-        return self._pool
-
-    def _chunk_count(self, spec_count: int, pool_size: int) -> int:
-        if self.chunk_size is not None:
-            return math.ceil(spec_count / self.chunk_size)
-        # ~4 chunks per worker balances load without per-spec round-trips.
-        return min(spec_count, 4 * pool_size)
-
-    def _execute_pool(self, specs: list[RunSpec]) -> list[JobResult]:
-        size = self.workers if self.warm else min(self.workers, len(specs))
+            assert self._jobfile is not None
+            chunk_size = self.chunk_size if self.chunk_size is not None else 4
+            chunks = _chunked(handles,
+                              math.ceil(len(handles) / chunk_size))
+            for chunk in chunks:
+                self._jobfile.enqueue_chunk([h.spec for h in chunk])
+            self.stats.chunks += len(chunks)
+            for handle in handles:
+                handle._jobfile = True
+                self._inflight[handle.key] = handle
+            return
+        if self.workers == 0:
+            for handle in handles:
+                started = time.perf_counter()
+                result = execute_spec(handle.spec)
+                self.stats.exec_seconds += time.perf_counter() - started
+                self._commit(handle, result)
+            return
+        size = self._pool_target(len(handles))
         pool = self._ensure_pool(size)
-        chunks = _chunked(specs, self._chunk_count(len(specs), size))
-        try:
-            futures = [pool.submit(_execute_chunk, chunk)
-                       for chunk in chunks]
-            results: list[JobResult] = []
-            for future in futures:  # in submission order: streams, ordered
-                results.extend(future.result())
-        except BaseException:
-            # A broken pool (worker killed, pickling failure) is not
-            # recoverable in place; drop it so the next run() rebuilds.
-            self._close_pool()
-            raise
+        chunks = _chunked(handles,
+                          self._chunk_count(len(handles), self._pool_size))
+        for chunk in chunks:
+            try:
+                future = pool.submit(_execute_chunk,
+                                     [h.spec for h in chunk])
+            except BaseException:
+                self._close_pool()
+                raise
+            async_chunk = _AsyncChunk(future, chunk)
+            self._async_chunks.append(async_chunk)
+            for handle in chunk:
+                handle._chunk = async_chunk
+                self._inflight[handle.key] = handle
         self.stats.chunks += len(chunks)
-        if not self.warm:
-            self._close_pool()
-        return results
 
-    def _execute_jobfile(self, specs: list[RunSpec],
-                         keys: list[str]) -> list[JobResult]:
+    def _commit(self, handle: SpecFuture, result: JobResult,
+                put: bool = True) -> None:
+        handle._resolve(result)
+        self._inflight.pop(handle.key, None)
+        self.stats.simulated += 1
+        if put and self.cache is not None:
+            self.cache.put(handle.spec, result, key=handle.key)
+
+    def _finalize_chunk(self, chunk: _AsyncChunk) -> None:
+        if chunk not in self._async_chunks:
+            return                       # already finalized (or cancelled)
+        self._async_chunks.remove(chunk)
+        try:
+            results, busy_seconds = chunk.future.result()
+        except BaseException as error:
+            # A broken pool (worker killed, pickling failure) is not
+            # recoverable in place; drop it so the next dispatch rebuilds.
+            # The error surfaces through every handle of the chunk.
+            for handle in chunk.items:
+                self._inflight.pop(handle.key, None)
+                handle._fail(error)
+            self._close_pool()
+            return
+        self._mark_pool()
+        self.stats.busy_worker_seconds += busy_seconds
+        self.stats.exec_seconds += busy_seconds
+        for handle, result in zip(chunk.items, results):
+            self._commit(handle, result)
+        # Cold runners tear the pool down whenever the in-flight set
+        # drains — also for callers driving submit()/wait() directly, so
+        # "cold" keeps meaning per-batch pools under the futures API.
+        if not self.warm and not self._async_chunks:
+            self._close_pool()
+
+    def _wait_jobfile(self, handle: SpecFuture) -> None:
         assert self._jobfile is not None and self.cache is not None
         backend = self._jobfile
         started = time.perf_counter()
-        chunk_size = self.chunk_size if self.chunk_size is not None else 4
-        chunks = _chunked(specs, math.ceil(len(specs) / chunk_size))
-        for chunk in chunks:
-            backend.enqueue_chunk(chunk)
-        self.stats.chunks += len(chunks)
-
-        missing: dict[str, RunSpec] = dict(zip(keys, specs))
-        found: dict[str, JobResult] = {}
-        while missing:
+        while not handle._done:
             # Drain the queue ourselves: progress never depends on
             # external workers being attached.
             claimed = backend.claim()
@@ -932,20 +1155,58 @@ class SweepRunner:
                         self.cache.put(spec, execute_spec(spec), key=key)
                     backend.heartbeat(claimed)
                 backend.finish(claimed)
-                continue
-            # Queue empty: harvest results, then wait on in-flight claims.
-            for key in list(missing):
-                hit = self.cache.get(missing[key], key=key)
+            # Harvest every in-flight jobfile handle the cache can now
+            # satisfy (local execution above, or remote sweep-workers).
+            for pending in [h for h in self._inflight.values()
+                            if h._jobfile]:
+                hit = self.cache.get(pending.spec, key=pending.key)
                 if hit is not None:
-                    found[key] = hit
-                    del missing[key]
-            if not missing:
+                    self._commit(pending, hit, put=False)
+            if handle._done:
                 break
+            if claimed is not None:
+                continue
             if backend.reclaim_stale(self.claim_timeout):
                 continue
             time.sleep(self.poll_seconds)
         self.stats.exec_seconds += time.perf_counter() - started
-        return [found[key] for key in keys]
+
+    # -- pool internals
+
+    def _pool_target(self, pending_count: int) -> int:
+        if self.pool_scaling == "elastic":
+            return max(1, min(self.workers, os.cpu_count() or 1))
+        return (self.workers if self.warm
+                else min(self.workers, pending_count))
+
+    def _ensure_pool(self, size: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            started = time.perf_counter()
+            context = (multiprocessing.get_context(self.mp_context)
+                       if self.mp_context is not None else None)
+            self._pool = ProcessPoolExecutor(max_workers=size,
+                                             mp_context=context,
+                                             initializer=_init_worker)
+            if self.pool_scaling == "eager":
+                # Occupy every slot briefly so the executor spawns its
+                # full complement now; startup cost lands here, not in
+                # chunk 1. Elastic pools skip this on purpose: the
+                # executor spawns workers lazily as submissions arrive.
+                probes = [self._pool.submit(_pool_probe, 0.05)
+                          for _ in range(size)]
+                for probe in probes:
+                    probe.result()
+            self._pool_size = size
+            self._pool_mark = time.perf_counter()
+            self.stats.pool_startup_seconds += time.perf_counter() - started
+            self.stats.pools_started += 1
+        return self._pool
+
+    def _chunk_count(self, spec_count: int, pool_size: int) -> int:
+        if self.chunk_size is not None:
+            return math.ceil(spec_count / self.chunk_size)
+        # ~4 chunks per worker balances load without per-spec round-trips.
+        return min(spec_count, 4 * pool_size)
 
 
 def run_specs(specs: Sequence[RunSpec], workers: int = 0,

@@ -41,12 +41,17 @@ from repro.cluster.tenancy.policies import (FairSharePolicy, FifoPolicy,
                                             InterJobPolicy, POLICY_NAMES,
                                             ReservedQuotaPolicy, make_policy,
                                             reserved_quotas)
+from repro.cluster.tenancy.speculation import (DispatchPredictor,
+                                               SpeculationStats,
+                                               SpeculativeBatchExecutor)
 
 __all__ = [
-    "ArrivalConfig", "DiurnalArrivalProcess", "EvictionWaveProcess",
+    "ArrivalConfig", "DispatchPredictor", "DiurnalArrivalProcess",
+    "EvictionWaveProcess",
     "FairSharePolicy", "FifoPolicy", "InterJobPolicy", "JobOutcome",
     "JobRecord",
     "JobRequest", "JobTemplate", "MultiTenantCluster", "POLICY_NAMES",
-    "ReservedQuotaPolicy", "TenancyConfig", "TenancyResult",
+    "ReservedQuotaPolicy", "SpeculationStats", "SpeculativeBatchExecutor",
+    "TenancyConfig", "TenancyResult",
     "WAVE_RATE_PER_HOUR", "make_policy", "reserved_quotas",
 ]

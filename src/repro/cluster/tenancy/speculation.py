@@ -1,0 +1,358 @@
+"""Speculative pre-execution of inner jobs for the multi-tenant loop.
+
+:class:`~repro.cluster.tenancy.cluster.MultiTenantCluster` calls its
+``execute_batch`` callback synchronously at every dispatch instant, and
+most batches hold one or two jobs — so a parallel inner-job backend
+idles through every outer-loop round-trip. This module closes that gap
+the way Pado itself hides transient-resource cost: by *planning around
+what is already known*. At any instant the outer loop knows
+
+* every future **arrival** (the diurnal schedule is generated up front),
+* every pending **completion** (the instant an outcome is scheduled,
+  its finish time ``now + jct`` is fixed), and
+* that eviction **waves never change pool capacity** (``revoke_wave``
+  re-grants replacement leases in the same tick).
+
+:class:`DispatchPredictor` therefore replays the outer event loop
+*forward* against a lightweight :class:`_ProjectedPool` — the exact
+O(1) counters the policies read, advanced through future completions
+and arrivals — and asks the *real* policy object which queued job
+starts at which instant. Arrival and completion instants are replayed
+with the same float arithmetic the simulator uses, so a predicted
+``(JobRequest, start_time)`` pair is bit-exact unless an
+as-yet-unknown completion (of a job dispatched inside the projection,
+whose JCT nobody knows yet) or an elastic-reserve rebalance intervenes.
+
+:class:`SpeculativeBatchExecutor` wraps any ``BatchExecutor``: between
+dispatch instants it pre-submits the predicted jobs' inner ``RunSpec``\\ s
+(the spec content hash covers the exact re-based
+:data:`~repro.cluster.tenancy.cluster.WaveOffsets`, so an exact-key hit
+is *provably the same simulation*); on a real dispatch it consumes the
+exact match or falls back to the wrapped executor. A wrong guess costs
+only compute — the result still lands in the on-disk
+:class:`~repro.bench.runner.ResultCache` where later mtsweep/psweep
+cells can reuse it — and can never leak into records, because consumption
+requires the full ``(JobRequest, WaveOffsets)`` key to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cluster.tenancy.arrivals import JobRequest
+from repro.cluster.tenancy.cluster import (BatchExecutor, JobOutcome,
+                                           WaveOffsets)
+from repro.errors import SimulationError
+
+#: One speculation key: exactly the per-job arguments ``execute_batch``
+#: receives, so key equality implies the inner simulation is identical.
+SpeculationKey = tuple[JobRequest, WaveOffsets]
+
+#: Upper bound on speculations kept in flight at once (guesses beyond
+#: this are deferred to the next refill, not dropped).
+DEFAULT_MAX_INFLIGHT = 16
+
+#: How many future events (arrivals + known completions) one prediction
+#: pass replays before giving up — bounds prediction cost per refill.
+DEFAULT_LOOKAHEAD_EVENTS = 64
+
+
+@dataclass
+class SpeculationStats:
+    """Speculation bookkeeping, mirrored into
+    :class:`~repro.bench.runner.RunnerStats` by the bench layer.
+
+    ``submitted`` counts pre-submitted jobs; every one ends as either a
+    ``hit`` (consumed by a real dispatch with the exact key) or
+    ``wasted`` (discarded — superseded prediction, job dispatched under
+    a different key, or leftovers at run end). ``cancelled`` is the
+    subset of ``wasted`` whose execution was called off before it
+    started, i.e. waste that cost nothing.
+    """
+
+    submitted: int = 0
+    hits: int = 0
+    wasted: int = 0
+    cancelled: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.submitted if self.submitted else 0.0
+
+
+class _ProjectedPool:
+    """Forward-projected view of a :class:`~repro.cluster.manager.LeasePool`.
+
+    Duck-types exactly the surface the three inter-job policies read —
+    ``reserved_free`` / ``transient_free`` / ``reserved_in_use`` /
+    ``container_seconds(tenant=..., now=...)`` — over copied counters,
+    so the *real* policy object can be asked what it would dispatch at a
+    future instant without touching the live pool.
+
+    Accounting mirrors the pool's incremental triples
+    (``completed + active*now - granted_sum``) with the same per-lease
+    update order, so projected fair-share usage matches the live pool to
+    float rounding. Waves need no modeling at all: a wave revokes and
+    re-grants in the same tick, leaving free counts, per-tenant reserved
+    use, and the container-seconds *value* unchanged (only the internal
+    split of a triple shifts, which can perturb fair-share comparisons
+    by float epsilons — a misprediction risk, never a correctness one).
+    """
+
+    def __init__(self) -> None:
+        self.reserved_free = 0
+        self.transient_free = 0
+        self._reserved_by_tenant: dict[str, int] = {}
+        self._tenant_acct: dict[str, list[float]] = {}
+        self._job_acct: dict[str, list[float]] = {}
+        self._job_demand: dict[str, tuple[str, int, int]] = {}
+
+    @classmethod
+    def snapshot(cls, cluster: Any) -> "_ProjectedPool":
+        pool = cluster.pool
+        view = cls()
+        view.reserved_free = pool.reserved_free
+        view.transient_free = pool.transient_free
+        view._reserved_by_tenant = dict(pool._reserved_by_tenant)
+        view._tenant_acct = {tenant: list(acct) for tenant, acct
+                             in pool._tenant_acct.items()}
+        for job_id in pool.active_jobs():
+            view._job_acct[job_id] = list(pool._job_acct[job_id])
+            request = cluster._records[job_id].request
+            view._job_demand[job_id] = (request.tenant,
+                                        request.num_reserved,
+                                        request.num_transient)
+        return view
+
+    def reserved_in_use(self, tenant: str) -> int:
+        return self._reserved_by_tenant.get(tenant, 0)
+
+    def container_seconds(self, job_id: Optional[str] = None,
+                          tenant: Optional[str] = None,
+                          now: float = 0.0) -> float:
+        if tenant is None:
+            raise NotImplementedError(
+                "projection only tracks per-tenant accounting")
+        acct = self._tenant_acct.get(tenant)
+        if acct is None:
+            return 0.0
+        return acct[0] + acct[1] * now - acct[2]
+
+    def complete(self, job_id: str, finish_time: float) -> None:
+        """Release a projected job at its known completion instant."""
+        tenant, num_reserved, num_transient = self._job_demand.pop(job_id)
+        acct = self._job_acct.pop(job_id)
+        tenant_acct = self._tenant_acct[tenant]
+        # Identical to releasing each lease: active*f - granted_sum is
+        # the held seconds of every active lease summed.
+        tenant_acct[0] += acct[1] * finish_time - acct[2]
+        tenant_acct[1] -= acct[1]
+        tenant_acct[2] -= acct[2]
+        self.reserved_free += num_reserved
+        self.transient_free += num_transient
+        self._reserved_by_tenant[tenant] -= num_reserved
+
+    def dispatch(self, request: JobRequest, start_time: float) -> None:
+        """Lease a projected job's whole allocation at ``start_time``."""
+        total = request.num_reserved + request.num_transient
+        tenant_acct = self._tenant_acct.setdefault(
+            request.tenant, [0.0, 0, 0.0])
+        job_acct = [0.0, 0, 0.0]
+        for _ in range(total):          # per-grant order, like the pool
+            for acct in (job_acct, tenant_acct):
+                acct[1] += 1
+                acct[2] += start_time
+        self._job_acct[request.job_id] = job_acct
+        self._job_demand[request.job_id] = (request.tenant,
+                                            request.num_reserved,
+                                            request.num_transient)
+        self.reserved_free -= request.num_reserved
+        self.transient_free -= request.num_transient
+        self._reserved_by_tenant[request.tenant] = \
+            self._reserved_by_tenant.get(request.tenant, 0) \
+            + request.num_reserved
+
+
+class DispatchPredictor:
+    """Predicts the cluster's next dispatches: ``(request, start_time,
+    wave_offsets)`` tuples, in projected dispatch order.
+
+    The projection replays the outer event loop over what is already
+    determined — future arrivals (all known up front) and pending
+    completions (known the instant each outcome is scheduled) — with the
+    event ordering the simulator uses (arrivals before completions at
+    equal times, both in scheduling order), asking the real policy what
+    it would start after each event. Jobs dispatched *inside* the
+    projection hold their capacity forever (their JCTs are unknown), so
+    deep predictions are conservative rather than guessed.
+    """
+
+    def __init__(self, cluster: Any,
+                 lookahead_events: int = DEFAULT_LOOKAHEAD_EVENTS) -> None:
+        self._cluster = cluster
+        self.lookahead_events = lookahead_events
+
+    def predict(self, budget: int) \
+            -> list[tuple[JobRequest, float, WaveOffsets]]:
+        if budget <= 0:
+            return []
+        cluster = self._cluster
+        view = _ProjectedPool.snapshot(cluster)
+        queue = list(cluster._queue)
+        policy = cluster.policy
+        now = cluster._sim.now
+
+        events: list[tuple[float, int, int, Any]] = []
+        for order, request in enumerate(
+                cluster._requests[cluster._arrival_cursor:]):
+            events.append((request.arrival_time, 0, order, request))
+        for order, (job_id, finish_time) in enumerate(
+                cluster._pending_completions.items()):
+            events.append((finish_time, 1, order, job_id))
+        events.sort(key=lambda event: event[:3])
+
+        predicted: list[tuple[JobRequest, float, WaveOffsets]] = []
+        # The policy may already pass on the current queue state (the
+        # real loop's select at `now` ran just before this refill, so
+        # re-dispatching now would double-predict — start at the events).
+        for event_time, kind, _, payload in events[:self.lookahead_events]:
+            if event_time < now:
+                continue
+            if kind == 0:
+                queue.append(payload)
+            else:
+                view.complete(payload, event_time)
+            picked = policy.select(tuple(queue), view, event_time)
+            for request in picked:
+                queue.remove(request)
+                view.dispatch(request, event_time)
+                predicted.append((request, event_time,
+                                  cluster._wave_offsets(event_time)))
+            if len(predicted) >= budget:
+                break
+        return predicted[:budget]
+
+
+class SpeculativeBatchExecutor:
+    """Wraps a :data:`~repro.cluster.tenancy.cluster.BatchExecutor` with
+    predict-ahead submission over an asynchronous backend.
+
+    The cluster calls this object exactly like any executor; in between,
+    its dispatch loop calls :meth:`refill` (after every dispatch attempt
+    and once before the event loop starts) to keep up to ``max_inflight``
+    predicted jobs in flight. The backend is abstracted as three
+    callables so the executor never depends on the bench layer:
+
+    * ``submit(request, wave_offsets) -> handle`` — start the inner
+      simulation asynchronously;
+    * ``resolve(handle) -> JobOutcome`` — block for its outcome;
+    * ``cancel(handle) -> bool`` (optional) — try to call off work that
+      has not started (a False return means it runs to completion and
+      lands in the result cache for later reuse).
+
+    Exactness is structural: a speculation is consumed only on an exact
+    ``(JobRequest, WaveOffsets)`` match — the full argument tuple the
+    real executor would receive — so a consumed result is the same
+    simulation, and a discarded one never reaches the cluster's records.
+    At most one speculation per job is kept; a fresher prediction for
+    the same job supersedes (discards) the stale one.
+    """
+
+    def __init__(self, inner: BatchExecutor, *,
+                 submit: Callable[[JobRequest, WaveOffsets], Any],
+                 resolve: Callable[[Any], JobOutcome],
+                 cancel: Optional[Callable[[Any], bool]] = None,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 lookahead_events: int = DEFAULT_LOOKAHEAD_EVENTS) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._inner = inner
+        self._submit = submit
+        self._resolve = resolve
+        self._cancel = cancel
+        self.max_inflight = max_inflight
+        self.lookahead_events = lookahead_events
+        self.stats = SpeculationStats()
+        self._entries: dict[SpeculationKey, Any] = {}
+        self._key_of_job: dict[str, SpeculationKey] = {}
+        self._predictor: Optional[DispatchPredictor] = None
+
+    # -- cluster protocol
+
+    def bind(self, cluster: Any) -> None:
+        """Attach to the cluster whose dispatches should be predicted
+        (called by ``MultiTenantCluster.run``)."""
+        self._predictor = DispatchPredictor(
+            cluster, lookahead_events=self.lookahead_events)
+
+    def refill(self) -> None:
+        """Predict upcoming dispatches and submit what is not already in
+        flight, up to ``max_inflight``. No-op until :meth:`bind`."""
+        if self._predictor is None:
+            return
+        if len(self._entries) >= self.max_inflight:
+            return
+        for request, _, waves in self._predictor.predict(self.max_inflight):
+            key: SpeculationKey = (request, waves)
+            if key in self._entries:
+                continue
+            stale = self._key_of_job.get(request.job_id)
+            if stale is not None:
+                # The prediction for this job moved (a different start
+                # instant rebased its waves); the old guess can never
+                # match a real dispatch anymore.
+                self._discard(stale)
+            if len(self._entries) >= self.max_inflight:
+                break
+            self._entries[key] = self._submit(request, waves)
+            self._key_of_job[request.job_id] = key
+            self.stats.submitted += 1
+
+    def finish(self) -> None:
+        """Discard every speculation still in flight (run teardown)."""
+        for key in list(self._entries):
+            self._discard(key)
+
+    # -- BatchExecutor protocol
+
+    def __call__(self, batch: Sequence[tuple[JobRequest, WaveOffsets]]) \
+            -> Sequence[JobOutcome]:
+        outcomes: dict[int, JobOutcome] = {}
+        missing: list[tuple[JobRequest, WaveOffsets]] = []
+        missing_index: list[int] = []
+        for index, (request, waves) in enumerate(batch):
+            handle = self._entries.pop((request, waves), None)
+            if handle is not None:
+                del self._key_of_job[request.job_id]
+                self.stats.hits += 1
+                outcomes[index] = self._resolve(handle)
+            else:
+                missing.append((request, waves))
+                missing_index.append(index)
+        # A job dispatched under a different key than its speculation
+        # can never hit later — drop the stale guess now.
+        for request, _ in batch:
+            stale = self._key_of_job.get(request.job_id)
+            if stale is not None:
+                self._discard(stale)
+        if missing:
+            fresh = self._inner(missing)
+            if len(fresh) != len(missing):
+                raise SimulationError(
+                    f"inner executor returned {len(fresh)} outcomes "
+                    f"for {len(missing)} jobs")
+            for index, outcome in zip(missing_index, fresh):
+                outcomes[index] = outcome
+        return [outcomes[index] for index in range(len(batch))]
+
+    # -- internals
+
+    def _discard(self, key: SpeculationKey) -> None:
+        handle = self._entries.pop(key, None)
+        if handle is None:
+            return
+        self._key_of_job.pop(key[0].job_id, None)
+        self.stats.wasted += 1
+        if self._cancel is not None and self._cancel(handle):
+            self.stats.cancelled += 1

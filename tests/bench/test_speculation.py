@@ -1,0 +1,290 @@
+"""Tests for speculative inner-job execution and the runner futures API.
+
+Two layers are pinned here. The executor layer
+(:mod:`repro.cluster.tenancy.speculation`) is driven with stub
+executors: speculation must be consumed only on an exact
+``(JobRequest, WaveOffsets)`` match, so records are bit-identical with
+speculation on or off, and a corrupted/stale guess can never leak into
+them. The bench layer runs the real thing — ``mtsweep`` cells and
+``psweep`` rows through a :class:`SweepRunner` — across the
+``--speculate on/off`` x workers x policy matrix. Pools run under
+``mp_context="fork"`` to keep the matrix fast (start method changes
+where workers come from, never what they compute).
+"""
+
+import pytest
+
+from repro.bench.multitenant import (cell_summary, make_cell_config,
+                                     run_multitenant_cell)
+from repro.bench.prediction import prediction_sweep
+from repro.bench.runner import RunSpec, SweepRunner, run_specs
+from repro.cluster.tenancy import (JobOutcome, MultiTenantCluster,
+                                   SpeculativeBatchExecutor, TenancyConfig)
+
+TINY = dict(scale=0.02, seed=3, eviction="high")
+
+
+def tiny_spec(**overrides):
+    fields = dict(TINY)
+    fields.update(overrides)
+    return RunSpec(workload="mr", engine="pado", **fields)
+
+
+def stub_outcome(request, waves):
+    return JobOutcome(jct_seconds=request.nominal_minutes * 60.0
+                      * (1.0 + 0.05 * len(waves)),
+                      completed=True, evictions=len(waves))
+
+
+def stub_executor(batch):
+    return [stub_outcome(request, waves) for request, waves in batch]
+
+
+def record_rows(result):
+    return [(r.job_id, r.tenant, r.start_time, r.finish_time, r.completed,
+             r.evictions, r.waves_hit, r.containers_revoked,
+             r.container_seconds) for r in result.records]
+
+
+def speculative_stub(config, sabotage=None):
+    """A stub-backed speculative cluster run; ``sabotage`` may mutate the
+    executor after each refill."""
+    def submit(request, waves):
+        return (request, waves)
+
+    executor = SpeculativeBatchExecutor(
+        stub_executor, submit=submit,
+        resolve=lambda handle: stub_outcome(*handle))
+    if sabotage is not None:
+        real_refill = executor.refill
+
+        def refill():
+            real_refill()
+            sabotage(executor)
+
+        executor.refill = refill
+    cluster = MultiTenantCluster(config, executor, speculator=executor)
+    return cluster.run(), executor
+
+
+# ----------------------------------------------------------------------
+# executor layer (stub-driven)
+
+
+@pytest.mark.parametrize("policy", ("fifo", "fair", "quota"))
+@pytest.mark.parametrize("reserve", ("fixed", "elastic"))
+def test_stub_records_bit_identical_and_speculation_hits(policy, reserve):
+    config = TenancyConfig(policy=policy, num_jobs=20, seed=7,
+                           eviction="high", reserve=reserve)
+    plain = MultiTenantCluster(config, stub_executor).run()
+    spec, executor = speculative_stub(config)
+    assert record_rows(plain) == record_rows(spec)
+    stats = executor.stats
+    assert stats.hits > 0
+    # finish() settles every guess: nothing stays in flight
+    assert stats.submitted == stats.hits + stats.wasted
+    assert 0.0 < stats.hit_rate <= 1.0
+
+
+def test_corrupted_speculation_never_leaks_into_records():
+    """Force every guess onto a key no real dispatch can match: all
+    dispatches must run live, the poisoned handles must never resolve,
+    and records stay bit-identical to the plain run."""
+    config = TenancyConfig(policy="fair", num_jobs=20, seed=7,
+                           eviction="high")
+    plain = MultiTenantCluster(config, stub_executor).run()
+    poisoned = object()
+
+    def corrupt(executor):
+        for key in list(executor._entries):
+            request, waves = key
+            del executor._entries[key]
+            bad = (request, waves + ((9999.0, 0.25),))
+            executor._entries[bad] = poisoned
+            executor._key_of_job[request.job_id] = bad
+
+    def resolve(handle):
+        raise AssertionError("poisoned speculation was consumed")
+
+    def submit(request, waves):
+        return poisoned
+
+    executor = SpeculativeBatchExecutor(stub_executor, submit=submit,
+                                        resolve=resolve)
+    real_refill = executor.refill
+
+    def refill():
+        real_refill()
+        corrupt(executor)
+
+    executor.refill = refill
+    cluster = MultiTenantCluster(config, executor, speculator=executor)
+    result = cluster.run()
+    assert record_rows(result) == record_rows(plain)
+    assert executor.stats.submitted > 0
+    assert executor.stats.hits == 0
+    assert executor.stats.wasted == executor.stats.submitted
+
+
+def test_executor_validates_max_inflight():
+    with pytest.raises(ValueError):
+        SpeculativeBatchExecutor(stub_executor, submit=lambda r, w: None,
+                                 resolve=lambda h: None, max_inflight=0)
+
+
+def test_unbound_executor_is_a_plain_executor():
+    """Without bind()/refill() the wrapper degrades to its inner
+    executor — same records, zero speculation."""
+    config = TenancyConfig(policy="fifo", num_jobs=10, seed=3,
+                           eviction="medium")
+    plain = MultiTenantCluster(config, stub_executor).run()
+    executor = SpeculativeBatchExecutor(
+        stub_executor, submit=lambda r, w: None,
+        resolve=lambda h: None)
+    wrapped = MultiTenantCluster(config, executor).run()
+    assert record_rows(plain) == record_rows(wrapped)
+    assert executor.stats.submitted == 0
+
+
+# ----------------------------------------------------------------------
+# bench layer: real inner simulations through the runner
+
+
+def _plain_cell(config):
+    return cell_summary(config,
+                        run_multitenant_cell(config,
+                                             runner=SweepRunner(workers=0)))
+
+
+@pytest.mark.parametrize("policy", ("fifo", "fair", "quota"))
+@pytest.mark.parametrize("workers", (0, 2, 8))
+def test_mtsweep_cell_bit_identical_with_speculation(policy, workers):
+    config = make_cell_config(policy, 0.9, "high", num_jobs=8, seed=5)
+    plain = _plain_cell(config)
+    with SweepRunner(workers=workers, mp_context="fork",
+                     pool_scaling="elastic") as runner:
+        spec = run_multitenant_cell(config, runner=runner, speculate=True)
+        stats = runner.stats
+    assert cell_summary(config, spec) == plain
+    assert stats.speculation_submitted > 0
+    assert stats.speculation_hits > 0
+    assert stats.speculation_submitted == \
+        stats.speculation_hits + stats.speculation_wasted
+
+
+def test_psweep_rows_bit_identical_with_speculation():
+    kwargs = dict(workloads=("mr",), regimes=(("sparse", 480.0, 0.5),),
+                  scale=0.05, seed=11)
+    serial = prediction_sweep(runner=SweepRunner(workers=0), **kwargs)
+    with SweepRunner(workers=2, mp_context="fork",
+                     pool_scaling="elastic") as runner:
+        async_rows = prediction_sweep(runner=runner, speculate=True,
+                                      **kwargs)
+    assert serial == async_rows
+
+
+def test_speculated_results_land_in_the_shared_cache(tmp_path):
+    """Wasted speculation is not lost: whatever ran lands in the on-disk
+    cache, and a replay of the same cell simulates nothing."""
+    config = make_cell_config("fair", 0.9, "high", num_jobs=6, seed=5)
+    with SweepRunner(cache_dir=tmp_path) as runner:
+        first = run_multitenant_cell(config, runner=runner, speculate=True)
+    with SweepRunner(cache_dir=tmp_path) as runner:
+        replay = run_multitenant_cell(config, runner=runner, speculate=True)
+        assert runner.stats.simulated == 0
+    assert record_rows(first) == record_rows(replay)
+
+
+# ----------------------------------------------------------------------
+# runner futures API
+
+
+def test_serial_submit_resolves_inline():
+    runner = SweepRunner(workers=0)
+    handle = runner.submit(tiny_spec(seed=1))
+    assert handle.done()
+    result = runner.wait(handle)
+    assert handle.result() is result
+    assert runner.stats.simulated == 1
+    [serial] = run_specs([tiny_spec(seed=1)])
+    assert result == serial
+
+
+def test_submit_many_dedups_against_inflight():
+    with SweepRunner(workers=2, mp_context="fork") as runner:
+        first, second = runner.submit_many([tiny_spec(seed=1),
+                                            tiny_spec(seed=1)])
+        assert second is first                    # same in-flight future
+        [third] = runner.submit_many([tiny_spec(seed=1)])
+        assert third is first
+        assert runner.wait(first) == runner.wait(third)
+        assert runner.stats.simulated == 1
+        assert runner.stats.deduplicated == 2
+
+
+def test_poll_streams_completions_out_of_order():
+    specs = [tiny_spec(seed=s) for s in (1, 2, 3, 4)]
+    serial = run_specs(specs)
+    with SweepRunner(workers=2, mp_context="fork") as runner:
+        handles = runner.submit_many(specs)
+        resolved = []
+        while len(resolved) < len(handles):
+            resolved.extend(runner.poll())
+        assert {id(h) for h in resolved} == {id(h) for h in handles}
+        assert [h.result() for h in handles] == serial
+
+
+def test_cancel_calls_off_unstarted_work():
+    slow = RunSpec(workload="mr", engine="pado", scale=0.3, seed=1,
+                   eviction="high")
+    with SweepRunner(workers=1, mp_context="fork") as runner:
+        running = runner.submit(slow)             # occupies the only worker
+        queued = runner.submit(tiny_spec(seed=2))
+        assert runner.cancel(queued)
+        assert queued.done()
+        with pytest.raises(Exception):
+            runner.wait(queued)
+        runner.wait(running)                      # unaffected by the cancel
+        assert runner.stats.simulated == 1
+    # resolved handles cannot be cancelled
+    runner = SweepRunner(workers=0)
+    handle = runner.submit(tiny_spec(seed=3))
+    assert not runner.cancel(handle)
+    assert runner.wait(handle) is handle.result()
+
+
+def test_worker_failure_propagates_through_wait():
+    bad = RunSpec(workload="no-such-workload", engine="pado", **TINY)
+    with SweepRunner(workers=2, mp_context="fork") as runner:
+        handle = runner.submit(bad)
+        with pytest.raises(Exception):
+            runner.wait(handle)
+        # the runner recovers: a fresh pool serves the next submission
+        assert runner.run([tiny_spec(seed=1)]) == run_specs(
+            [tiny_spec(seed=1)])
+
+
+def test_pool_occupancy_is_accounted():
+    with SweepRunner(workers=2, mp_context="fork") as runner:
+        runner.run([tiny_spec(seed=s) for s in (1, 2, 3, 4)])
+        stats = runner.stats
+    assert stats.busy_worker_seconds > 0.0
+    assert stats.pool_worker_seconds > 0.0
+    assert 0.0 < stats.pool_occupancy <= 1.5      # headroom for clock skew
+    data = stats.to_dict()
+    assert data["pool_occupancy"] == stats.pool_occupancy
+    assert {"speculation_submitted", "speculation_hits",
+            "speculation_wasted"} <= set(data)
+    serial = SweepRunner(workers=0)
+    serial.run([tiny_spec(seed=1)])
+    assert serial.stats.pool_occupancy == 0.0
+
+
+def test_pool_scaling_validated():
+    with pytest.raises(ValueError):
+        SweepRunner(workers=2, pool_scaling="bogus")
+    # elastic pools never exceed the machine, and stay bit-identical
+    specs = [tiny_spec(seed=s) for s in (1, 2)]
+    with SweepRunner(workers=8, mp_context="fork",
+                     pool_scaling="elastic") as runner:
+        assert runner.run(specs) == run_specs(specs)
